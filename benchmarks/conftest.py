@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper figure/table at a reduced scale
+(trace length) so the whole suite runs in minutes; the experiment modules'
+``run()`` defaults produce the EXPERIMENTS.md numbers at full scale.
+Results are attached to ``benchmark.extra_info`` and printed, so
+``pytest benchmarks/ --benchmark-only -s`` shows every regenerated row.
+"""
+
+import pytest
+
+#: Trace length used by the scaled-down benchmark runs.
+BENCH_ACCESSES = 6000
+#: Reduced per-core trace length for the eight-core benchmark.
+BENCH_MULTICORE_ACCESSES = 2500
+
+
+def record_rows(benchmark, title, rows):
+    """Attach experiment rows to the benchmark report and print them."""
+    benchmark.extra_info["rows"] = {
+        str(k): {str(a): round(float(b), 4) for a, b in v.items()}
+        if isinstance(v, dict)
+        else round(float(v), 4)
+        for k, v in rows.items()
+    }
+    print(f"\n{title}")
+    for key, row in rows.items():
+        if isinstance(row, dict):
+            cells = "  ".join(f"{a}={float(b):.3f}" for a, b in row.items())
+            print(f"  {key}: {cells}")
+        else:
+            print(f"  {key}: {row}")

@@ -1,0 +1,17 @@
+"""Bench: Fig. 1 — prefetcher table misses with vs without DDRA."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig01_table_misses
+
+
+def test_fig01_table_misses(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig01_table_misses.run(accesses=BENCH_ACCESSES // 2),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 1 — table misses (thousands)", rows)
+    for suite, row in rows.items():
+        # The headline claim: DDRA significantly reduces table conflicts.
+        assert row["with_ddra"] < row["without_ddra"]

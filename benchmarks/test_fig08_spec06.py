@@ -1,0 +1,22 @@
+"""Bench: Fig. 8 — SPEC06 single-core speedups for all five selectors."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig08_spec06
+
+
+def test_fig08_spec06(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig08_spec06.run(accesses=BENCH_ACCESSES, memory_intensive_only=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 8 — SPEC06 speedup over no prefetching", rows)
+    geomean = rows["Geomean-Mem"]
+    # Paper shape: Alecto leads the train-all/RL selectors (IPCP, Bandit).
+    # Our DOL implementation is stronger than the paper's (documented in
+    # EXPERIMENTS.md), so Alecto only has to stay within a whisker of it.
+    assert geomean["alecto"] > 1.0
+    for rival in ("ipcp", "bandit3", "bandit6"):
+        assert geomean["alecto"] >= geomean[rival], rival
+    assert geomean["alecto"] >= 0.96 * geomean["dol"]

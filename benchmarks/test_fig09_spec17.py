@@ -1,0 +1,19 @@
+"""Bench: Fig. 9 — SPEC17 single-core speedups for all five selectors."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig09_spec17
+
+
+def test_fig09_spec17(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig09_spec17.run(accesses=BENCH_ACCESSES, memory_intensive_only=True),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 9 — SPEC17 speedup over no prefetching", rows)
+    geomean = rows["Geomean-Mem"]
+    assert geomean["alecto"] > 1.0
+    for rival in ("ipcp", "bandit3", "bandit6"):
+        assert geomean["alecto"] >= geomean[rival], rival
+    assert geomean["alecto"] >= 0.96 * geomean["dol"]

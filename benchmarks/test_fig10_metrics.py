@@ -1,0 +1,24 @@
+"""Bench: Fig. 10 — accuracy/coverage/timeliness breakdown per selector."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig10_metrics
+
+
+def test_fig10_metrics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig10_metrics.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 10 — prefetcher metrics", rows)
+    # Paper shape: Alecto harmonises accuracy, coverage and timeliness —
+    # more accurate than the train-all schemes at comparable coverage
+    # (Bandit3 buys accuracy with degree-3 conservatism and pays in
+    # coverage), and the largest timely-covered share overall.
+    for rival in ("ipcp", "bandit6"):
+        assert rows["alecto"]["accuracy"] > rows[rival]["accuracy"], rival
+    assert rows["alecto"]["coverage"] > rows["bandit3"]["coverage"]
+    assert rows["alecto"]["coverage"] >= 0.9 * rows["ipcp"]["coverage"]
+    timely = {name: row["covered_timely"] for name, row in rows.items()}
+    assert timely["alecto"] == max(timely.values())

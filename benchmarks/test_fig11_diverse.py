@@ -1,0 +1,17 @@
+"""Bench: Fig. 11 — selector generality on the GS+Berti+CPLX composite."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig11_diverse
+
+
+def test_fig11_diverse_composite(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig11_diverse.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 11 — GS+Berti+CPLX composite", rows)
+    geomean = rows["Geomean"]
+    # Ordering is preserved on the alternate composite.
+    assert geomean["alecto"] >= max(geomean["ipcp"], geomean["bandit6"])

@@ -1,0 +1,21 @@
+"""Bench: Fig. 12 — Alecto composites vs standalone PMP / Berti."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig12_noncomposite
+
+
+def test_fig12_noncomposite(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig12_noncomposite.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 12 — composite vs non-composite", rows)
+    geomean = rows["Geomean"]
+    # Paper shape: Alecto-scheduled composites beat single prefetchers.
+    best_composite = max(
+        geomean["Alecto (GS+CS+PMP)"], geomean["Alecto (GS+Berti+CPLX)"]
+    )
+    assert best_composite > geomean["PMP"]
+    assert best_composite > geomean["Berti"]

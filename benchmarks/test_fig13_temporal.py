@@ -1,0 +1,18 @@
+"""Bench: Fig. 13 — temporal prefetching under the three policies."""
+
+from conftest import record_rows
+
+from repro.experiments import fig13_temporal
+
+
+def test_fig13_temporal(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig13_temporal.run(accesses=15000),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 13 — temporal prefetching speedup", rows)
+    geomean = rows["Geomean"]
+    # Paper shape: Alecto > Triangel and Alecto > Bandit.
+    assert geomean["alecto"] >= geomean["triangel"]
+    assert geomean["alecto"] >= geomean["bandit"]

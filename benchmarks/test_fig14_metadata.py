@@ -1,0 +1,17 @@
+"""Bench: Fig. 14 — speedup vs temporal metadata table size."""
+
+from conftest import record_rows
+
+from repro.experiments import fig14_metadata_size
+
+
+def test_fig14_metadata_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig14_metadata_size.run(accesses=12000),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 14 — speedup vs metadata size", rows)
+    # Paper shape: Alecto >= Bandit at every metadata budget.
+    for size, row in rows.items():
+        assert row["alecto"] >= row["bandit"] - 0.02, size

@@ -1,0 +1,18 @@
+"""Bench: Fig. 15 — LLC size sensitivity."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig15_llc_size
+
+
+def test_fig15_llc_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig15_llc_size.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 15 — speedup vs LLC size", rows)
+    # Paper shape: Alecto stays on top at every LLC size.
+    for size, row in rows.items():
+        best_baseline = max(v for k, v in row.items() if k != "alecto")
+        assert row["alecto"] >= 0.97 * best_baseline, size

@@ -1,0 +1,17 @@
+"""Bench: Fig. 16 — DRAM bandwidth sensitivity (DDR3-1600 vs DDR4-2400)."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig16_bandwidth
+
+
+def test_fig16_bandwidth(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig16_bandwidth.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 16 — speedup vs DRAM bandwidth", rows)
+    for dram, row in rows.items():
+        best_baseline = max(v for k, v in row.items() if k != "alecto")
+        assert row["alecto"] >= 0.97 * best_baseline, dram

@@ -1,0 +1,22 @@
+"""Bench: Fig. 17 — eight-core weighted speedups."""
+
+from conftest import BENCH_MULTICORE_ACCESSES, record_rows
+
+from repro.experiments import fig17_multicore
+
+
+def test_fig17_multicore(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig17_multicore.run(
+            cores=8, accesses_per_core=BENCH_MULTICORE_ACCESSES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 17 — eight-core weighted speedup", rows)
+    geomean = rows["Geomean"]
+    # Paper shape: Alecto beats the RL/train-all selectors under
+    # contention (our DOL is stronger than the paper's, see EXPERIMENTS.md).
+    for rival in ("bandit3", "bandit6"):
+        assert geomean["alecto"] >= geomean[rival], rival
+    assert geomean["alecto"] >= 0.95 * max(geomean.values())

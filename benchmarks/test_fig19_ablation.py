@@ -1,0 +1,20 @@
+"""Bench: Fig. 19 — ablation of allocation vs degree adjustment."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig19_ablation
+
+
+def test_fig19_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig19_ablation.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 19 — ablation", rows)
+    geomean = rows["Geomean"]
+    # Paper shape: allocation alone (Alecto_fix) already beats Bandit6;
+    # degree adjustment is a smaller second-order effect (at this reduced
+    # trace length its ramp has not fully converged, hence the tolerance).
+    assert geomean["alecto_fix"] > 0.97 * geomean["bandit6"]
+    assert geomean["alecto"] >= 0.97 * geomean["alecto_fix"]

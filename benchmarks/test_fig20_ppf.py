@@ -1,0 +1,20 @@
+"""Bench: Fig. 20 — DDRA vs perceptron prefetch filtering."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import fig20_ppf
+
+
+def test_fig20_ppf(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig20_ppf.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Fig. 20 — Alecto vs IPCP+PPF", rows)
+    geomean = rows["Geomean"]
+    # Paper shape: input-side allocation beats output-side filtering.
+    # Aggressive filtering loses coverage outright; the conservative tune
+    # tracks IPCP closely, so at reduced scale allow a whisker.
+    assert geomean["alecto"] > geomean["ppf_aggressive"]
+    assert geomean["alecto"] >= 0.98 * geomean["ppf_conservative"]

@@ -1,0 +1,20 @@
+"""Bench: Sec. VI-H — extended Bandit convergence and storage."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import sec6h_extended_bandit
+
+
+def test_sec6h_extended_bandit(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sec6h_extended_bandit.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Sec. VI-H — extended Bandit", rows)
+    geomean = rows["Geomean"]
+    # Paper shape: 512 arms fail to converge — below Bandit6 and Alecto.
+    assert geomean["bandit_ext"] < geomean["alecto"]
+    assert geomean["bandit_ext"] <= geomean["bandit6"] + 0.02
+    # Storage: 4 KB vs Alecto's ~1.3 KB.
+    assert rows["storage_bits"]["bandit_ext"] > rows["storage_bits"]["alecto"]

@@ -1,0 +1,18 @@
+"""Bench: Sec. VII-B — per-prefetcher issue ratios, Alecto vs Bandit6."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import sec7b_degree_study
+
+
+def test_sec7b_degree_study(benchmark):
+    ratios = benchmark.pedantic(
+        lambda: sec7b_degree_study.run(accesses=BENCH_ACCESSES),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Sec. VII-B — issue ratios (Alecto / Bandit6)", ratios)
+    # Paper shape: overall aggressiveness comparable (ratios within a
+    # broad band), with the temporal prefetcher trained better (>1).
+    for name, ratio in ratios.items():
+        assert ratio > 0.2, name

@@ -1,0 +1,15 @@
+"""Bench: Table III — storage-overhead accounting."""
+
+import pytest
+from conftest import record_rows
+
+from repro.experiments import table3_storage
+
+
+def test_table3_storage(benchmark):
+    rows = benchmark.pedantic(lambda: table3_storage.run(3), rounds=1, iterations=1)
+    record_rows(benchmark, "Table III — storage overhead (P=3)", {"P=3": rows})
+    assert rows["total_bits"] == 5312 + 1792 * 3
+    assert rows["total_kb"] == pytest.approx(1.30, abs=0.02)
+    assert rows["excl_sandbox_bytes"] == pytest.approx(760, abs=10)
+    assert rows["extended_bandit_bits"] == 8 * 8 * 512  # 4 KB

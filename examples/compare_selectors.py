@@ -1,0 +1,45 @@
+"""Compare all five prefetcher selection algorithms (a mini Fig. 8).
+
+Runs a handful of SPEC06 memory-intensive profiles under IPCP, DOL,
+Bandit3, Bandit6 and Alecto — all scheduling the identical GS+CS+PMP
+composite — and prints per-benchmark speedups plus the geomean.
+
+Run:  python examples/compare_selectors.py
+"""
+
+from repro.experiments.common import SELECTOR_NAMES, geomean, make_selector
+from repro.sim import simulate
+from repro.workloads import get_profile
+
+BENCHMARKS = ("libquantum", "GemsFDTD", "milc", "sphinx3", "bzip2", "leslie3d")
+ACCESSES = 12_000
+
+
+def main() -> None:
+    header = f"{'benchmark':<12}" + "".join(f"{s:>10}" for s in SELECTOR_NAMES)
+    print(header)
+    print("-" * len(header))
+    per_selector = {name: [] for name in SELECTOR_NAMES}
+    for bench in BENCHMARKS:
+        trace = get_profile(bench).generate(ACCESSES, seed=1)
+        baseline = simulate(trace, None, name=bench)
+        row = []
+        for selector_name in SELECTOR_NAMES:
+            result = simulate(trace, make_selector(selector_name), name=bench)
+            speedup = result.ipc / baseline.ipc
+            per_selector[selector_name].append(speedup)
+            row.append(speedup)
+        print(f"{bench:<12}" + "".join(f"{s:>10.3f}" for s in row))
+    print("-" * len(header))
+    print(
+        f"{'geomean':<12}"
+        + "".join(f"{geomean(per_selector[s]):>10.3f}" for s in SELECTOR_NAMES)
+    )
+    print(
+        "\nExpected shape (paper Fig. 8): Alecto leads, Bandit6/Bandit3 in "
+        "the middle, IPCP trails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Extending the library: write a prefetcher and schedule it with Alecto.
+
+Implements a trivial next-N-line prefetcher against the public
+:class:`repro.prefetchers.Prefetcher` interface and lets Alecto decide,
+per PC, whether it deserves demand requests — next-line prefetching is
+great on streams and junk on everything else, so Alecto's Allocation
+Table should promote it on stream PCs and block it on random PCs.
+
+Run:  python examples/custom_prefetcher.py
+"""
+
+from typing import List, Sequence
+
+from repro import AlectoSelection, simulate
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import DemandAccess
+from repro.prefetchers import Prefetcher, StridePrefetcher
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Always prefetches the next ``degree`` sequential lines."""
+
+    name = "nextline"
+
+    def __init__(self):
+        super().__init__()
+        # Even a stateless prefetcher keeps a tiny recent-PC table so its
+        # table traffic is measurable like everyone else's.
+        self._table = SetAssociativeTable(16, ways=4, name="nextline_pcs")
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        self._table.lookup(access.pc)
+        self._table.insert(access.pc, access.line)
+        return [access.line + i + 1 for i in range(degree)]
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._table,)
+
+
+def main() -> None:
+    workload = profile("stream_plus_noise", "example", True, 0.3, [
+        (0.6, "stream", {"footprint": 32 * MB, "run_length": 800}),
+        (0.4, "random", {"footprint": 2 * MB, "pc_count": 8}),
+    ])
+    trace = workload.generate(15_000, seed=1)
+
+    baseline = simulate(trace, None)
+    selector = AlectoSelection([NextLinePrefetcher(), StridePrefetcher()])
+    result = simulate(trace, selector)
+
+    print(f"speedup over no prefetching: {result.ipc / baseline.ipc:.3f}x")
+    print(f"accuracy: {result.metrics.accuracy:.2f}")
+    print("\nper-PC states (nextline, stride):")
+    for pc, entry in sorted(selector.allocation_table._table.items()):
+        print(f"  pc 0x{pc:x}: {[repr(s) for s in entry.states]}")
+    print(
+        "\nStream PCs should show the next-line prefetcher in IA "
+        "(promoted); random-noise PCs should show IB (blocked) or UI."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (``pip install -e . --no-build-isolation``) on
+offline machines where pip cannot fetch ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

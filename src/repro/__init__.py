@@ -1,0 +1,49 @@
+"""repro: a reproduction of Alecto (HPCA 2025).
+
+"Integrating Prefetcher Selection with Dynamic Request Allocation
+Improves Prefetching Efficiency" — Li, Zhang, Ren, Xie.
+
+Public API tour:
+
+- :func:`repro.sim.simulate` / :func:`repro.sim.simulate_multicore` — run
+  traces through the Table-I memory hierarchy;
+- :func:`repro.prefetchers.make_composite` — build the paper's composite
+  prefetcher sets;
+- :class:`repro.selection.AlectoSelection` and the baseline selectors
+  (:class:`~repro.selection.IPCPSelection`,
+  :class:`~repro.selection.DOLSelection`,
+  :class:`~repro.selection.BanditSelection`, ...);
+- :mod:`repro.workloads` — synthetic SPEC/PARSEC/Ligra benchmark profiles;
+- :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400, multicore_config
+from repro.prefetchers import make_composite
+from repro.selection import (
+    AlectoConfig,
+    AlectoSelection,
+    BanditSelection,
+    DOLSelection,
+    IPCPSelection,
+)
+from repro.sim import simulate, simulate_multicore
+from repro.workloads import get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlectoConfig",
+    "AlectoSelection",
+    "BanditSelection",
+    "DOLSelection",
+    "IPCPSelection",
+    "SystemConfig",
+    "__version__",
+    "ddr3_1600",
+    "ddr4_2400",
+    "get_profile",
+    "make_composite",
+    "multicore_config",
+    "simulate",
+    "simulate_multicore",
+]

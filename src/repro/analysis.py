@@ -1,0 +1,101 @@
+"""Reporting helpers: tables, CSV export, and speedup statistics.
+
+Used by the experiment CLIs and by downstream users who want the raw
+rows in machine-readable form.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def rows_to_csv(rows: Mapping[str, Mapping[str, float]]) -> str:
+    """Render ``{row: {column: value}}`` as CSV text."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["name"] + columns)
+    for name, row in rows.items():
+        writer.writerow([name] + [row.get(col, "") for col in columns])
+    return buffer.getvalue()
+
+
+def rows_to_markdown(
+    rows: Mapping[str, Mapping[str, float]], digits: int = 3
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(empty)"
+    columns: List[str] = []
+    for row in rows.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = ["| name | " + " | ".join(columns) + " |"]
+    lines.append("|" + "---|" * (len(columns) + 1))
+    for name, row in rows.items():
+        cells = []
+        for col in columns:
+            value = row.get(col)
+            if value is None:
+                cells.append("")
+            elif isinstance(value, float):
+                cells.append(f"{value:.{digits}f}")
+            else:
+                cells.append(str(value))
+        lines.append(f"| {name} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def speedup_statistics(speedups: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a speedup distribution."""
+    values = sorted(v for v in speedups if v > 0)
+    if not values:
+        return {"count": 0}
+    n = len(values)
+    geo = math.exp(sum(math.log(v) for v in values) / n)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "count": n,
+        "geomean": geo,
+        "mean": mean,
+        "stdev": math.sqrt(variance),
+        "min": values[0],
+        "max": values[-1],
+        "median": values[n // 2] if n % 2 else (values[n // 2 - 1] + values[n // 2]) / 2,
+        "wins": sum(1 for v in values if v > 1.0),
+        "losses": sum(1 for v in values if v < 1.0),
+    }
+
+
+def relative_improvement(
+    rows: Mapping[str, Mapping[str, float]],
+    subject: str,
+    baseline: str,
+    skip: Iterable[str] = ("Geomean", "Geomean-Mem", "Geomean-All"),
+) -> Dict[str, float]:
+    """Per-row relative improvement of ``subject`` over ``baseline``.
+
+    The paper's headline percentages ("Alecto outperforms Bandit by
+    2.76%") are exactly this quantity on the geomean row.
+    """
+    skipped = set(skip)
+    improvements = {}
+    for name, row in rows.items():
+        if name in skipped:
+            continue
+        base = row.get(baseline)
+        subj = row.get(subject)
+        if base and subj:
+            improvements[name] = subj / base - 1.0
+    return improvements

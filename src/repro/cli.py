@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``: simulate one benchmark under one selector and print metrics.
+- ``compare``: run several selectors on one benchmark.
+- ``experiment``: regenerate a paper figure/table by name.
+- ``list``: show available benchmarks, selectors, and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = {
+    "fig01": "repro.experiments.fig01_table_misses",
+    "fig08": "repro.experiments.fig08_spec06",
+    "fig09": "repro.experiments.fig09_spec17",
+    "fig10": "repro.experiments.fig10_metrics",
+    "fig11": "repro.experiments.fig11_diverse",
+    "fig12": "repro.experiments.fig12_noncomposite",
+    "fig13": "repro.experiments.fig13_temporal",
+    "fig14": "repro.experiments.fig14_metadata_size",
+    "fig15": "repro.experiments.fig15_llc_size",
+    "fig16": "repro.experiments.fig16_bandwidth",
+    "fig17": "repro.experiments.fig17_multicore",
+    "fig18": "repro.experiments.fig18_energy",
+    "fig19": "repro.experiments.fig19_ablation",
+    "fig20": "repro.experiments.fig20_ppf",
+    "table3": "repro.experiments.table3_storage",
+    "sec6a": "repro.experiments.sec6a_csr_tuning",
+    "sec6h": "repro.experiments.sec6h_extended_bandit",
+    "sec7b": "repro.experiments.sec7b_degree_study",
+    "abl_boundaries": "repro.experiments.ablation_boundaries",
+    "abl_epoch": "repro.experiments.ablation_epoch",
+    "abl_sandbox": "repro.experiments.ablation_sandbox",
+}
+
+SELECTORS = (
+    "ipcp", "dol", "bandit3", "bandit6", "alecto", "alecto_fix",
+    "ppf_aggressive", "ppf_conservative", "bandit_ext",
+)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import make_selector
+    from repro.sim import simulate
+    from repro.workloads import get_profile
+
+    profile = get_profile(args.benchmark)
+    trace = profile.generate(args.accesses, seed=args.seed)
+    baseline = simulate(trace, None, name=args.benchmark)
+    selector = (
+        make_selector(args.selector, composite=args.composite)
+        if args.selector != "none"
+        else None
+    )
+    result = simulate(trace, selector, name=args.benchmark)
+    print(f"benchmark: {args.benchmark} ({args.accesses} accesses)")
+    print(f"selector:  {args.selector}")
+    print(f"ipc:       {result.ipc:.4f}")
+    print(f"speedup:   {result.ipc / baseline.ipc:.3f}x over no prefetching")
+    if selector is not None:
+        print(f"accuracy:  {result.metrics.accuracy:.3f}")
+        print(f"coverage:  {result.metrics.coverage:.3f}")
+        print(f"issued:    {result.metrics.issued}")
+        print(f"tbl miss:  {result.table_misses}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.common import make_selector
+    from repro.sim import simulate
+    from repro.workloads import get_profile
+
+    profile = get_profile(args.benchmark)
+    trace = profile.generate(args.accesses, seed=args.seed)
+    baseline = simulate(trace, None, name=args.benchmark)
+    print(f"{args.benchmark}: baseline ipc {baseline.ipc:.4f}")
+    for name in args.selectors:
+        result = simulate(
+            trace, make_selector(name, composite=args.composite), name=args.benchmark
+        )
+        print(
+            f"  {name:<16} speedup {result.ipc / baseline.ipc:.3f}  "
+            f"acc {result.metrics.accuracy:.2f}  "
+            f"cov {result.metrics.coverage:.2f}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(EXPERIMENTS[args.name])
+    module.main()
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_SUITES
+    from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("selectors:  ", ", ".join(SELECTORS))
+    for suite, profiles in ALL_SUITES.items():
+        print(f"{suite}: {', '.join(sorted(profiles))}")
+    print(f"temporal: {', '.join(sorted(TEMPORAL_PROFILES))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Alecto (HPCA 2025) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one benchmark under one selector")
+    run.add_argument("benchmark")
+    run.add_argument("--selector", default="alecto", choices=SELECTORS + ("none",))
+    run.add_argument("--composite", default="gs_cs_pmp")
+    run.add_argument("--accesses", type=int, default=15000)
+    run.add_argument("--seed", type=int, default=1)
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="compare selectors on one benchmark")
+    compare.add_argument("benchmark")
+    compare.add_argument(
+        "--selectors", nargs="+",
+        default=["ipcp", "dol", "bandit3", "bandit6", "alecto"],
+    )
+    compare.add_argument("--composite", default="gs_cs_pmp")
+    compare.add_argument("--accesses", type=int, default=15000)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.set_defaults(func=_cmd_compare)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser("list", help="list benchmarks/selectors/experiments")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

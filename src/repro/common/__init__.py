@@ -1,0 +1,49 @@
+"""Shared building blocks: request types, configuration, counters, tables.
+
+Everything in :mod:`repro` is built on the small vocabulary defined here:
+memory requests and prefetch candidates (:mod:`repro.common.types`),
+Table-I-style system configuration (:mod:`repro.common.config`),
+saturating counters and PC-folding hashes used by the hardware structures
+(:mod:`repro.common.counters`, :mod:`repro.common.hashing`), and a generic
+set-associative table with uniform miss accounting
+(:mod:`repro.common.tables`).
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    DRAMConfig,
+    SystemConfig,
+    ddr3_1600,
+    ddr4_2400,
+)
+from repro.common.counters import SaturatingCounter
+from repro.common.hashing import fold_pc
+from repro.common.tables import SetAssociativeTable, TableStats
+from repro.common.types import (
+    CACHE_LINE_BYTES,
+    CACHE_LINE_SHIFT,
+    AccessType,
+    DemandAccess,
+    PrefetchCandidate,
+    line_address,
+    region_address,
+)
+
+__all__ = [
+    "AccessType",
+    "CACHE_LINE_BYTES",
+    "CACHE_LINE_SHIFT",
+    "CacheConfig",
+    "DemandAccess",
+    "DRAMConfig",
+    "PrefetchCandidate",
+    "SaturatingCounter",
+    "SetAssociativeTable",
+    "SystemConfig",
+    "TableStats",
+    "ddr3_1600",
+    "ddr4_2400",
+    "fold_pc",
+    "line_address",
+    "region_address",
+]

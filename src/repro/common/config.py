@@ -1,0 +1,131 @@
+"""System configuration mirroring Table I of the paper.
+
+The defaults model the Intel-Skylake-like setup used in the evaluation:
+32 KB L1D / 256 KB L2 / 2 MB-per-core L3 with 4 / 15 / 35 cycle round-trip
+latencies, a 256-entry ROB, 6-wide front end, and DDR4-2400 main memory
+(single channel in single-core mode, ``cores / 2`` channels in multi-core
+mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: int
+    mshrs: int
+    line_bytes: int = 64
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.ways)
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Main-memory timing and bandwidth model parameters.
+
+    ``lines_per_cycle_per_channel`` is the sustained fill bandwidth used by
+    the token-bucket queueing model; it is derived from the transfer rate so
+    that DDR4-2400 provides 1.5x the bandwidth of DDR3-1600.
+    """
+
+    name: str
+    channels: int
+    ranks_per_channel: int
+    banks_per_rank: int
+    transfer_mtps: int
+    base_latency: int = 160
+
+    @property
+    def lines_per_cycle_per_channel(self) -> float:
+        # One 64-byte line takes 64 / 8 = 8 transfers on a 64-bit channel.
+        # Normalised against a nominal 3 GHz core clock.
+        transfers_per_cycle = self.transfer_mtps / 3000.0
+        return transfers_per_cycle / 8.0
+
+    @property
+    def total_lines_per_cycle(self) -> float:
+        return self.lines_per_cycle_per_channel * self.channels
+
+
+def ddr4_2400(channels: int = 1) -> DRAMConfig:
+    """DDR4-2400 configuration (the paper's default)."""
+    return DRAMConfig(
+        name="DDR4-2400",
+        channels=channels,
+        ranks_per_channel=2 if channels > 1 else 1,
+        banks_per_rank=8,
+        transfer_mtps=2400,
+    )
+
+
+def ddr3_1600(channels: int = 1) -> DRAMConfig:
+    """DDR3-1600 configuration for the Fig. 16 bandwidth sensitivity study."""
+    return DRAMConfig(
+        name="DDR3-1600",
+        channels=channels,
+        ranks_per_channel=2 if channels > 1 else 1,
+        banks_per_rank=8,
+        transfer_mtps=1600,
+        base_latency=180,
+    )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full single/multi-core system description (paper Table I)."""
+
+    cores: int = 1
+    rob_entries: int = 256
+    issue_width: int = 6
+    commit_width: int = 4
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, ways=8, latency=4, mshrs=16
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, ways=8, latency=15, mshrs=32
+        )
+    )
+    llc_size_per_core: int = 2 * 1024 * 1024
+    llc_ways: int = 16
+    llc_latency: int = 35
+    llc_mshrs_per_bank: int = 64
+    dram: DRAMConfig = field(default_factory=ddr4_2400)
+
+    @property
+    def llc(self) -> CacheConfig:
+        """Shared LLC configuration scaled by core count."""
+        return CacheConfig(
+            size_bytes=self.llc_size_per_core * self.cores,
+            ways=self.llc_ways,
+            latency=self.llc_latency,
+            mshrs=self.llc_mshrs_per_bank * self.cores,
+        )
+
+    def with_llc_size(self, per_core_bytes: int) -> "SystemConfig":
+        """Return a copy with a different per-core LLC size (Fig. 15)."""
+        return replace(self, llc_size_per_core=per_core_bytes)
+
+    def with_dram(self, dram: DRAMConfig) -> "SystemConfig":
+        """Return a copy with a different DRAM configuration (Fig. 16)."""
+        return replace(self, dram=dram)
+
+
+def multicore_config(cores: int, **overrides) -> SystemConfig:
+    """Table-I multi-core setup: ``cores / 2`` DRAM channels (min 1)."""
+    channels = max(1, cores // 2)
+    return SystemConfig(cores=cores, dram=ddr4_2400(channels=channels), **overrides)

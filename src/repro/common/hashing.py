@@ -1,0 +1,45 @@
+"""PC-folding hashes in the style of TAGE-family branch predictors.
+
+Section IV-C: "Alecto utilizes common hash functions found in Branch
+Prediction Unit designs.  This approach involves dividing the PC address
+into n segments and applying an XOR operation across these segments to
+generate a final, compacted hash value".
+"""
+
+from __future__ import annotations
+
+
+def fold_pc(pc: int, output_bits: int, input_bits: int = 48) -> int:
+    """Fold ``pc`` down to ``output_bits`` by XOR-ing equal-width segments.
+
+    Args:
+        pc: program-counter value (treated as an ``input_bits``-wide word).
+        output_bits: width of the folded hash; must be positive.
+        input_bits: how many low bits of the PC participate.
+
+    Returns:
+        An integer in ``[0, 2**output_bits)``.
+    """
+    if output_bits <= 0:
+        raise ValueError("output_bits must be positive")
+    mask = (1 << output_bits) - 1
+    value = pc & ((1 << input_bits) - 1)
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= output_bits
+    return folded
+
+
+def index_hash(key: int, num_entries: int) -> int:
+    """Map an arbitrary key onto a table index in ``[0, num_entries)``.
+
+    Mixes high and low bits first so that strided keys do not all land in
+    the same set.  ``num_entries`` need not be a power of two.
+    """
+    if num_entries <= 0:
+        raise ValueError("num_entries must be positive")
+    key &= (1 << 64) - 1
+    key = (key ^ (key >> 33)) * 0xFF51AFD7ED558CCD & ((1 << 64) - 1)
+    key ^= key >> 33
+    return key % num_entries

@@ -1,0 +1,194 @@
+"""A generic set-associative table with uniform access/miss accounting.
+
+Every prefetcher's internal state (IP tables, pattern-history tables,
+temporal metadata) is built on this structure so that "prefetcher table
+misses" (paper Fig. 1) and "training occurrences" (Fig. 18) are counted
+the same way for every algorithm under comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+from repro.common.hashing import index_hash
+
+V = TypeVar("V")
+
+
+@dataclass
+class TableStats:
+    """Access statistics for one table."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "TableStats") -> "TableStats":
+        """Return a new TableStats combining self and other."""
+        return TableStats(
+            lookups=self.lookups + other.lookups,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+        )
+
+
+@dataclass
+class _Way(Generic[V]):
+    key: int
+    value: V
+    last_use: int = 0
+
+
+class SetAssociativeTable(Generic[V]):
+    """LRU set-associative key/value table of bounded size.
+
+    Args:
+        num_entries: total capacity (entries across all sets).
+        ways: associativity; ``num_entries`` must be divisible by ``ways``.
+        name: label used in statistics reporting.
+        entry_bits: storage cost of one entry, for the energy/storage models.
+        replacement: ``"lru"`` (default) or ``"random"``.  Random
+            replacement avoids the LRU pathology on cyclic reference
+            streams (zero hits as soon as the working set exceeds
+            capacity) and is what temporal metadata tables use.
+        seed: RNG seed for random replacement (kept deterministic).
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        ways: int = 4,
+        name: str = "table",
+        entry_bits: int = 64,
+        replacement: str = "lru",
+        seed: int = 11,
+    ):
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        if ways <= 0 or num_entries % ways != 0:
+            raise ValueError(
+                f"num_entries ({num_entries}) must be a positive multiple "
+                f"of ways ({ways})"
+            )
+        if replacement not in ("lru", "random"):
+            raise ValueError(f"unknown replacement policy: {replacement!r}")
+        self.name = name
+        self.num_entries = num_entries
+        self.ways = ways
+        self.num_sets = num_entries // ways
+        self.entry_bits = entry_bits
+        self.replacement = replacement
+        self.stats = TableStats()
+        self._sets: Dict[int, list] = {}
+        self._clock = 0
+        self._rng = __import__("random").Random(seed)
+
+    # -- core operations ---------------------------------------------------
+
+    def _set_for(self, key: int) -> list:
+        index = index_hash(key, self.num_sets)
+        return self._sets.setdefault(index, [])
+
+    def lookup(self, key: int, update_lru: bool = True) -> Optional[V]:
+        """Return the value for ``key`` or None; counts a hit or miss."""
+        self._clock += 1
+        self.stats.lookups += 1
+        ways = self._set_for(key)
+        for way in ways:
+            if way.key == key:
+                self.stats.hits += 1
+                if update_lru:
+                    way.last_use = self._clock
+                return way.value
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: int) -> Optional[V]:
+        """Return the value for ``key`` without touching statistics or LRU."""
+        for way in self._sets.get(index_hash(key, self.num_sets), []):
+            if way.key == key:
+                return way.value
+        return None
+
+    def insert(self, key: int, value: V) -> Optional[Tuple[int, V]]:
+        """Insert or overwrite ``key``.
+
+        Returns:
+            The evicted ``(key, value)`` pair when an LRU victim was
+            displaced, else None.
+        """
+        self._clock += 1
+        ways = self._set_for(key)
+        for way in ways:
+            if way.key == key:
+                way.value = value
+                way.last_use = self._clock
+                return None
+        self.stats.insertions += 1
+        evicted = None
+        if len(ways) >= self.ways:
+            if self.replacement == "random":
+                victim = ways[self._rng.randrange(len(ways))]
+            else:
+                victim = min(ways, key=lambda w: w.last_use)
+            ways.remove(victim)
+            evicted = (victim.key, victim.value)
+            self.stats.evictions += 1
+        ways.append(_Way(key=key, value=value, last_use=self._clock))
+        return evicted
+
+    def get_or_insert(self, key: int, factory: Callable[[], V]) -> V:
+        """Lookup ``key``; on miss insert ``factory()`` and return it."""
+        value = self.lookup(key)
+        if value is None:
+            value = factory()
+            self.insert(key, value)
+        return value
+
+    def invalidate(self, key: int) -> bool:
+        """Remove ``key`` if present.  Returns True when an entry was removed."""
+        ways = self._sets.get(index_hash(key, self.num_sets), [])
+        for way in ways:
+            if way.key == key:
+                ways.remove(way)
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are preserved)."""
+        self._sets.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(ways) for ways in self._sets.values())
+
+    def __contains__(self, key: int) -> bool:
+        return self.peek(key) is not None
+
+    def items(self):
+        """Iterate over live ``(key, value)`` pairs (test/debug helper)."""
+        for ways in self._sets.values():
+            for way in ways:
+                yield way.key, way.value
+
+    @property
+    def storage_bits(self) -> int:
+        """Total storage cost of the table in bits."""
+        return self.num_entries * self.entry_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeTable(name={self.name!r}, "
+            f"entries={self.num_entries}, ways={self.ways}, "
+            f"occupancy={len(self)})"
+        )

@@ -1,0 +1,15 @@
+"""Core-side substrate: trace records and the ROB/MLP timing model.
+
+The paper runs execution-driven gem5; we run trace-driven.  A trace is a
+sequence of :class:`~repro.cpu.trace.TraceRecord` items (PC, address,
+load/store, preceding non-memory instruction count, dependence flag).  The
+:class:`~repro.cpu.core.CoreModel` retires them through a 256-entry-ROB,
+6-wide abstract pipeline in which independent misses overlap up to the ROB
+window (memory-level parallelism) while dependent loads serialize —
+the distinction that makes pointer-chasing workloads latency-bound.
+"""
+
+from repro.cpu.core import CoreModel, CoreStats
+from repro.cpu.trace import TraceRecord, interleave_traces
+
+__all__ = ["CoreModel", "CoreStats", "TraceRecord", "interleave_traces"]

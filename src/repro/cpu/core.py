@@ -1,0 +1,145 @@
+"""Abstract out-of-order core timing model.
+
+An interval-analysis-style model: instructions issue at ``issue_width`` per
+cycle; a load that misses the L1 becomes an outstanding miss that blocks
+retirement once the ROB fills behind it.  Independent misses therefore
+overlap (bounded by the ROB window and the L1 MSHRs), while a
+``dependent`` load must wait for the previous miss to complete before it
+can even issue — reproducing the MLP-vs-latency-bound split that decides
+how much a prefetcher is worth on each workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+from repro.common.config import SystemConfig
+
+
+@dataclass
+class _OutstandingMiss:
+    completion_cycle: float
+    instruction_index: int
+
+
+@dataclass
+class CoreStats:
+    """Retired-instruction and cycle accounting for one core."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    loads: int = 0
+    stores: int = 0
+    l1_miss_stalls: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class CoreModel:
+    """ROB/MLP-limited timing model for one core.
+
+    Args:
+        config: supplies ROB size, issue width and L1 MSHR count.
+    """
+
+    # Latency at or below which an access is considered pipeline-hidden.
+    HIT_LATENCY_THRESHOLD = 8
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.rob_entries = config.rob_entries
+        self.issue_width = config.issue_width
+        self.max_outstanding = config.l1d.mshrs
+        self.stats = CoreStats()
+        self._misses: Deque[_OutstandingMiss] = deque()
+
+    @property
+    def cycle(self) -> int:
+        """Current cycle, rounded down for use as a hardware timestamp."""
+        return int(self.stats.cycles)
+
+    def _retire_completed(self) -> None:
+        while self._misses and self._misses[0].completion_cycle <= self.stats.cycles:
+            self._misses.popleft()
+
+    def _stall_for_oldest(self) -> None:
+        """ROB-full stall: wait for the oldest (program-order) miss."""
+        oldest = self._misses.popleft()
+        if oldest.completion_cycle > self.stats.cycles:
+            self.stats.l1_miss_stalls += oldest.completion_cycle - self.stats.cycles
+            self.stats.cycles = oldest.completion_cycle
+
+    def _stall_for_earliest(self) -> None:
+        """MSHR-full stall: MSHRs free in completion order, so wait only
+        for the earliest-completing outstanding miss."""
+        earliest = min(self._misses, key=lambda m: m.completion_cycle)
+        self._misses.remove(earliest)
+        if earliest.completion_cycle > self.stats.cycles:
+            self.stats.l1_miss_stalls += earliest.completion_cycle - self.stats.cycles
+            self.stats.cycles = earliest.completion_cycle
+
+    def advance(self, instructions: int) -> None:
+        """Issue ``instructions`` non-memory instructions."""
+        remaining = instructions
+        while remaining > 0:
+            self._retire_completed()
+            if self._misses:
+                oldest = self._misses[0]
+                headroom = self.rob_entries - (
+                    self.stats.instructions - oldest.instruction_index
+                )
+                if headroom <= 0:
+                    self._stall_for_oldest()
+                    continue
+                step = min(remaining, headroom)
+            else:
+                step = remaining
+            self.stats.cycles += step / self.issue_width
+            self.stats.instructions += step
+            remaining -= step
+
+    def memory_access(
+        self, latency: int, is_load: bool = True, dependent: bool = False
+    ) -> None:
+        """Issue one memory instruction whose hierarchy latency is known.
+
+        Args:
+            latency: round-trip latency the hierarchy reported.
+            is_load: stores never block retirement here (modelled as
+                draining through the store queue).
+            dependent: the access waits for the previous outstanding miss
+                before issuing (pointer chase).
+        """
+        if dependent and self._misses:
+            # Serialise behind the most recent miss.
+            newest = max(m.completion_cycle for m in self._misses)
+            if newest > self.stats.cycles:
+                self.stats.l1_miss_stalls += newest - self.stats.cycles
+                self.stats.cycles = newest
+            self._misses.clear()
+        self.advance(1)
+        if is_load:
+            self.stats.loads += 1
+        else:
+            self.stats.stores += 1
+            return
+        if latency <= self.HIT_LATENCY_THRESHOLD:
+            return
+        self._retire_completed()
+        while len(self._misses) >= self.max_outstanding:
+            self._stall_for_earliest()
+        self._misses.append(
+            _OutstandingMiss(
+                completion_cycle=self.stats.cycles + latency,
+                instruction_index=self.stats.instructions,
+            )
+        )
+
+    def drain(self) -> None:
+        """Wait for all outstanding misses (end-of-trace cleanup)."""
+        while self._misses:
+            self._stall_for_oldest()

@@ -1,0 +1,59 @@
+"""Trace record format and helpers.
+
+A trace models the committed instruction stream projected onto its memory
+accesses: every record is one memory instruction plus the count of
+non-memory instructions committed since the previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.common.types import AccessType
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory instruction in a committed-instruction trace.
+
+    Attributes:
+        pc: address of the memory instruction.
+        address: byte address accessed.
+        access_type: load or store.
+        nonmem_before: non-memory instructions committed since the previous
+            memory instruction.
+        dependent: True when the address depends on the previous load's
+            value (pointer chasing); such a load cannot overlap with the
+            previous miss.
+    """
+
+    pc: int
+    address: int
+    access_type: AccessType = AccessType.LOAD
+    nonmem_before: int = 3
+    dependent: bool = False
+
+    @property
+    def instructions(self) -> int:
+        """Committed instructions this record accounts for (itself included)."""
+        return self.nonmem_before + 1
+
+
+def interleave_traces(traces: Sequence[Sequence[TraceRecord]]) -> Iterator[tuple]:
+    """Round-robin interleave per-core traces for lockstep multi-core runs.
+
+    Yields ``(core_id, record)`` pairs.  Cores with exhausted traces drop
+    out; iteration ends when every trace is consumed.
+    """
+    iterators: List[Iterator[TraceRecord]] = [iter(t) for t in traces]
+    active = list(range(len(iterators)))
+    while active:
+        finished = []
+        for core_id in active:
+            try:
+                yield core_id, next(iterators[core_id])
+            except StopIteration:
+                finished.append(core_id)
+        for core_id in finished:
+            active.remove(core_id)

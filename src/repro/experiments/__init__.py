@@ -1,0 +1,16 @@
+"""One module per paper figure/table (see DESIGN.md's experiment index).
+
+Every module exposes ``run(accesses=..., seed=...) -> dict`` returning the
+figure's rows, plus a ``main()`` that prints them; ``python -m
+repro.experiments.fig08_spec06`` regenerates the corresponding result.
+Shared machinery lives in :mod:`repro.experiments.common`.
+"""
+
+from repro.experiments.common import (
+    SELECTOR_NAMES,
+    geomean,
+    make_selector,
+    speedup_suite,
+)
+
+__all__ = ["SELECTOR_NAMES", "geomean", "make_selector", "speedup_suite"]

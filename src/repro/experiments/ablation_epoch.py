@@ -1,0 +1,54 @@
+"""Ablation: sensitivity to the accuracy-epoch length.
+
+Section IV-A: "an epoch marked by 100 demand accesses is adequate".
+Shorter epochs react faster but judge accuracy from noisy samples;
+longer epochs are stabler but slow to identify and to unblock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import geomean, make_selector
+from repro.selection.alecto import AlectoConfig
+from repro.sim import simulate
+from repro.workloads.spec06 import spec06_memory_intensive
+
+BENCHMARKS = ("bwaves", "GemsFDTD", "milc", "sphinx3", "bzip2", "libquantum")
+EPOCHS = (25, 50, 100, 200, 400)
+
+
+def run(accesses: int = 10000, seed: int = 1) -> Dict[str, float]:
+    """Geomean speedup per epoch length."""
+    profiles = {
+        name: prof
+        for name, prof in spec06_memory_intensive().items()
+        if name in BENCHMARKS
+    }
+    traces = {
+        name: prof.generate(accesses, seed=seed) for name, prof in profiles.items()
+    }
+    baselines = {name: simulate(t, None, name=name) for name, t in traces.items()}
+    rows: Dict[str, float] = {}
+    for epoch in EPOCHS:
+        config = AlectoConfig(epoch_demands=epoch)
+        speedups = [
+            simulate(
+                trace, make_selector("alecto", alecto_config=config), name=name
+            ).ipc
+            / baselines[name].ipc
+            for name, trace in traces.items()
+        ]
+        rows[f"epoch={epoch}"] = geomean(speedups)
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Ablation — accuracy epoch length (geomean speedup)")
+    for label, value in rows.items():
+        print(f"  {label}: {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,178 @@
+"""Shared experiment machinery: selector registry and suite runners."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.prefetchers import TemporalPrefetcher, make_composite
+from repro.selection import (
+    AlectoConfig,
+    AlectoSelection,
+    BanditSelection,
+    DOLSelection,
+    IPCPSelection,
+    PPFSelection,
+    TriangelSelection,
+)
+from repro.selection.bandit import ExtendedBanditSelection
+from repro.sim import SimulationResult, simulate
+from repro.workloads.profiles import BenchmarkProfile
+
+#: The five selectors compared throughout Section VI.
+SELECTOR_NAMES = ("ipcp", "dol", "bandit3", "bandit6", "alecto")
+
+
+def make_selector(
+    name: str,
+    composite: str = "gs_cs_pmp",
+    with_temporal: bool = False,
+    temporal_bytes: int = 1024 * 1024,
+    alecto_config: Optional[AlectoConfig] = None,
+):
+    """Build a fresh selector (with fresh prefetchers) by registry name.
+
+    Args:
+        name: one of ``ipcp``, ``dol``, ``bandit3``, ``bandit6``,
+            ``bandit_ext``, ``alecto``, ``alecto_fix``, ``ppf_aggressive``,
+            ``ppf_conservative``, ``triangel``, or a single-prefetcher name
+            (``pmp_only`` / ``berti_only``) for the Fig. 12 comparison.
+        composite: which composite prefetcher set to schedule.
+        with_temporal: append an L2 temporal prefetcher (Fig. 13 setups).
+        temporal_bytes: temporal metadata budget.
+        alecto_config: overrides for Alecto variants.
+    """
+    prefetchers = make_composite(composite)
+    if with_temporal:
+        prefetchers.append(TemporalPrefetcher(metadata_bytes=temporal_bytes))
+
+    if name == "ipcp":
+        return IPCPSelection(prefetchers)
+    if name == "dol":
+        return DOLSelection(prefetchers)
+    if name in ("bandit3", "bandit6"):
+        degree = 3 if name == "bandit3" else 6
+        selector = BanditSelection(
+            prefetchers, degree=degree, train_on_prefetches=with_temporal
+        )
+        selector.name = name
+        return selector
+    if name == "bandit_ext":
+        return ExtendedBanditSelection(prefetchers)
+    if name == "alecto":
+        return AlectoSelection(prefetchers, alecto_config)
+    if name == "alecto_fix":
+        config = alecto_config or AlectoConfig(fixed_degree=6)
+        selector = AlectoSelection(prefetchers, config)
+        selector.name = "alecto_fix"
+        return selector
+    if name == "ppf_aggressive":
+        selector = PPFSelection(prefetchers, threshold=8)
+        selector.name = "ppf_aggressive"
+        return selector
+    if name == "ppf_conservative":
+        selector = PPFSelection(prefetchers, threshold=-4)
+        selector.name = "ppf_conservative"
+        return selector
+    if name == "triangel":
+        if not with_temporal:
+            raise ValueError("triangel requires with_temporal=True")
+        return TriangelSelection(prefetchers)
+    if name == "pmp_only":
+        from repro.prefetchers import PMPPrefetcher
+
+        return IPCPSelection([PMPPrefetcher()], degree=6)
+    if name == "berti_only":
+        from repro.prefetchers import BertiPrefetcher
+
+        return IPCPSelection([BertiPrefetcher()], degree=6)
+    raise ValueError(f"unknown selector: {name!r}")
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_benchmark(
+    profile: BenchmarkProfile,
+    selector_name: Optional[str],
+    accesses: int,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+    **selector_kwargs,
+) -> SimulationResult:
+    """Simulate one benchmark under one selector (None = no prefetching)."""
+    trace = profile.generate(accesses, seed=seed)
+    selector = (
+        make_selector(selector_name, **selector_kwargs)
+        if selector_name is not None
+        else None
+    )
+    return simulate(trace, selector, config=config, name=profile.name)
+
+
+def speedup_suite(
+    profiles: Dict[str, BenchmarkProfile],
+    selector_names: Sequence[str] = SELECTOR_NAMES,
+    accesses: int = 15000,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+    **selector_kwargs,
+) -> Dict[str, Dict[str, float]]:
+    """Speedup over no-prefetching for every (benchmark, selector) pair.
+
+    Returns ``{benchmark: {selector: speedup}}``; traces are generated once
+    per benchmark so every selector sees the identical access stream.
+    """
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, profile in profiles.items():
+        trace = profile.generate(accesses, seed=seed)
+        baseline = simulate(trace, None, config=config, name=name)
+        row = {}
+        for selector_name in selector_names:
+            selector = make_selector(selector_name, **selector_kwargs)
+            result = simulate(trace, selector, config=config, name=name)
+            row[selector_name] = (
+                result.ipc / baseline.ipc if baseline.ipc else 0.0
+            )
+        rows[name] = row
+    return rows
+
+
+def add_geomean_rows(
+    rows: Dict[str, Dict[str, float]],
+    profiles: Dict[str, BenchmarkProfile],
+) -> Dict[str, Dict[str, float]]:
+    """Append the paper's Geomean-Mem / Geomean-All aggregate rows."""
+    selectors: List[str] = list(next(iter(rows.values())).keys()) if rows else []
+    mem = {
+        s: geomean(
+            rows[b][s] for b in rows if profiles[b].memory_intensive
+        )
+        for s in selectors
+    }
+    allr = {s: geomean(rows[b][s] for b in rows) for s in selectors}
+    out = dict(rows)
+    out["Geomean-Mem"] = mem
+    out["Geomean-All"] = allr
+    return out
+
+
+def format_table(rows: Dict[str, Dict[str, float]], digits: int = 3) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return "(empty)"
+    selectors = list(next(iter(rows.values())).keys())
+    header = f"{'benchmark':<16}" + "".join(f"{s:>12}" for s in selectors)
+    lines = [header]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<16}"
+            + "".join(f"{row.get(s, float('nan')):>12.{digits}f}" for s in selectors)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Fig. 8: single-core IPC speedup over no prefetching, SPEC CPU2006.
+
+All five selection algorithms schedule the same composite prefetcher
+(GS + CS + PMP).  Memory-intensive benchmarks get their own geomean row,
+as in the paper's dotted box.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import (
+    SELECTOR_NAMES,
+    add_geomean_rows,
+    format_table,
+    speedup_suite,
+)
+from repro.workloads.spec06 import SPEC06_PROFILES, spec06_memory_intensive
+
+
+def run(
+    accesses: int = 15000, seed: int = 1, memory_intensive_only: bool = False
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark speedups plus Geomean-Mem / Geomean-All rows."""
+    profiles = (
+        spec06_memory_intensive() if memory_intensive_only else SPEC06_PROFILES
+    )
+    rows = speedup_suite(profiles, SELECTOR_NAMES, accesses=accesses, seed=seed)
+    return add_geomean_rows(rows, SPEC06_PROFILES)
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 8 — SPEC06 IPC speedup over no prefetching")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Fig. 9: single-core IPC speedup over no prefetching, SPEC CPU2017."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import (
+    SELECTOR_NAMES,
+    add_geomean_rows,
+    format_table,
+    speedup_suite,
+)
+from repro.workloads.spec17 import SPEC17_PROFILES, spec17_memory_intensive
+
+
+def run(
+    accesses: int = 15000, seed: int = 1, memory_intensive_only: bool = False
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark speedups plus Geomean-Mem / Geomean-All rows."""
+    profiles = (
+        spec17_memory_intensive() if memory_intensive_only else SPEC17_PROFILES
+    )
+    rows = speedup_suite(profiles, SELECTOR_NAMES, accesses=accesses, seed=seed)
+    return add_geomean_rows(rows, SPEC17_PROFILES)
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 9 — SPEC17 IPC speedup over no prefetching")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

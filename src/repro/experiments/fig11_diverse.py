@@ -1,0 +1,54 @@
+"""Fig. 11: selector generality on a different composite (GS+Berti+CPLX).
+
+Section VI-B replaces CS with Berti and PMP with CPLX and re-runs the five
+selection algorithms; the ordering should be preserved, with Berti's
+conservatism narrowing the Alecto-vs-Bandit gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import SELECTOR_NAMES, geomean, speedup_suite
+from repro.workloads.spec06 import spec06_memory_intensive
+from repro.workloads.spec17 import spec17_memory_intensive
+
+
+def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Geomean speedups per suite for the GS+Berti+CPLX composite.
+
+    Returns:
+        ``{"SPEC CPU2006": {selector: speedup}, "SPEC CPU2017": ...,
+        "Geomean": ...}``.
+    """
+    rows: Dict[str, Dict[str, float]] = {}
+    for suite_name, profiles in (
+        ("SPEC CPU2006", spec06_memory_intensive()),
+        ("SPEC CPU2017", spec17_memory_intensive()),
+    ):
+        suite_rows = speedup_suite(
+            profiles,
+            SELECTOR_NAMES,
+            accesses=accesses,
+            seed=seed,
+            composite="gs_berti_cplx",
+        )
+        rows[suite_name] = {
+            s: geomean(r[s] for r in suite_rows.values()) for s in SELECTOR_NAMES
+        }
+    rows["Geomean"] = {
+        s: geomean([rows["SPEC CPU2006"][s], rows["SPEC CPU2017"][s]])
+        for s in SELECTOR_NAMES
+    }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 11 — GS+Berti+CPLX composite, geomean speedups")
+    for suite, row in rows.items():
+        print(f"  {suite}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Fig. 12: Alecto-scheduled composites vs non-composite prefetchers.
+
+Section VI-C compares the two Alecto composites against standalone PMP and
+Berti (the state-of-the-art single spatial prefetchers); composites win.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import geomean, speedup_suite
+from repro.workloads.spec06 import spec06_memory_intensive
+from repro.workloads.spec17 import spec17_memory_intensive
+
+_CONFIGS = (
+    ("PMP", "pmp_only", "gs_cs_pmp"),
+    ("Berti", "berti_only", "gs_cs_pmp"),
+    ("Alecto (GS+CS+PMP)", "alecto", "gs_cs_pmp"),
+    ("Alecto (GS+Berti+CPLX)", "alecto", "gs_berti_cplx"),
+)
+
+
+def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Geomean speedups per suite for each configuration."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for suite_name, profiles in (
+        ("SPEC CPU2006", spec06_memory_intensive()),
+        ("SPEC CPU2017", spec17_memory_intensive()),
+    ):
+        row: Dict[str, float] = {}
+        for label, selector_name, composite in _CONFIGS:
+            suite_rows = speedup_suite(
+                profiles,
+                [selector_name],
+                accesses=accesses,
+                seed=seed,
+                composite=composite,
+            )
+            row[label] = geomean(r[selector_name] for r in suite_rows.values())
+        rows[suite_name] = row
+    rows["Geomean"] = {
+        label: geomean(
+            [rows["SPEC CPU2006"][label], rows["SPEC CPU2017"][label]]
+        )
+        for label, _, _ in _CONFIGS
+    }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 12 — composite (Alecto) vs non-composite prefetchers")
+    for suite, row in rows.items():
+        print(f"  {suite}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Fig. 13: temporal prefetching under different allocation policies.
+
+Section VI-D / Fig. 7: an L1 composite (GS+CS+PMP) plus an L2 temporal
+prefetcher with on-chip metadata.  Speedup is IPC with the temporal
+prefetcher enabled divided by IPC with only the L1 composite, per the
+paper's methodology.  Three policies:
+
+- **Bandit** — temporal trained on the whole L2 access stream (demands
+  plus L1 prefetch requests); only the degree is controlled.
+- **Triangel** — same stream, but a sampling classifier excludes
+  non-temporal and rare-recurrence PCs.
+- **Alecto** — temporal receives only the demand requests its Allocation
+  Table routes to it (Section IV-F).
+
+Both Alecto and Bandit use a 1 MB LLC and a 1 MB metadata table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import SystemConfig
+from repro.experiments.common import geomean, make_selector
+from repro.sim import simulate
+from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+#: (label, temporal-config selector, L1-composite-only selector)
+POLICIES = (
+    ("bandit", "bandit6", "bandit6"),
+    ("triangel", "triangel", "ipcp"),
+    ("alecto", "alecto", "alecto"),
+)
+
+#: The paper's metadata byte budgets are divided by this factor to match
+#: the scaled trace lengths / working sets (see temporal_suite docstring);
+#: results are reported against the paper's labels.
+METADATA_SCALE = 8
+
+
+def temporal_config() -> SystemConfig:
+    """Scaled Section V-C configuration.
+
+    The paper uses a 1 MB LLC with 100M-instruction windows; our traces
+    are ~3 orders of magnitude shorter, so the LLC is scaled to 512 KB
+    (and the L2 to 128 KB) to preserve the working-set-vs-capacity
+    relationships.  Metadata sizes are NOT scaled — the Fig. 14 sweep uses
+    the paper's byte budgets directly.
+    """
+    from dataclasses import replace
+
+    from repro.common.config import CacheConfig
+
+    base = SystemConfig()
+    return replace(
+        base,
+        l2=CacheConfig(size_bytes=128 * 1024, ways=8, latency=15, mshrs=32),
+        llc_size_per_core=512 * 1024,
+    )
+
+
+def run(
+    accesses: int = 30000,
+    seed: int = 1,
+    metadata_bytes: int = 1024 * 1024,
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark temporal-prefetching speedups plus a Geomean row."""
+    config = temporal_config()
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, profile in TEMPORAL_PROFILES.items():
+        trace = profile.generate(accesses, seed=seed)
+        row: Dict[str, float] = {}
+        for label, with_tp, without_tp in POLICIES:
+            base = simulate(
+                trace, make_selector(without_tp), config=config, name=name
+            )
+            full = simulate(
+                trace,
+                make_selector(
+                    with_tp,
+                    with_temporal=True,
+                    temporal_bytes=metadata_bytes // METADATA_SCALE,
+                ),
+                config=config,
+                name=name,
+            )
+            row[label] = full.ipc / base.ipc if base.ipc else 0.0
+        rows[name] = row
+    rows["Geomean"] = {
+        label: geomean(rows[b][label] for b in TEMPORAL_PROFILES)
+        for label, _, _ in POLICIES
+    }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 13 — temporal prefetching speedup by allocation policy")
+    for name, row in rows.items():
+        print(f"  {name:<14}" + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

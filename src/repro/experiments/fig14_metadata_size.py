@@ -1,0 +1,68 @@
+"""Fig. 14: temporal-prefetching speedup vs metadata table size.
+
+Bandit trains the temporal metadata with the whole L2 stream and thrashes
+small tables; Alecto's demand allocation keeps only metadata that earns
+its keep, so it reaches Bandit's 1 MB performance with a fraction of the
+budget ("to achieve the same performance as Bandit with a 1MB metadata
+table, Alecto only requires less than 256KB").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import geomean, make_selector
+from repro.experiments.fig13_temporal import METADATA_SCALE, temporal_config
+from repro.sim import simulate
+from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+KB = 1024
+SIZES = (128 * KB, 256 * KB, 512 * KB, 1024 * KB)
+
+
+def run(accesses: int = 15000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Geomean speedup per metadata size for Bandit and Alecto.
+
+    Returns:
+        ``{"128KB": {"bandit": x, "alecto": y}, ...}``.
+    """
+    config = temporal_config()
+    rows: Dict[str, Dict[str, float]] = {}
+    for size in SIZES:
+        label = f"{size // KB}KB"
+        per_policy: Dict[str, float] = {}
+        for policy, with_tp, without_tp in (
+            ("bandit", "bandit6", "bandit6"),
+            ("alecto", "alecto", "alecto"),
+        ):
+            speedups = []
+            for name, profile in TEMPORAL_PROFILES.items():
+                trace = profile.generate(accesses, seed=seed)
+                base = simulate(
+                    trace, make_selector(without_tp), config=config, name=name
+                )
+                full = simulate(
+                    trace,
+                    make_selector(
+                        with_tp,
+                        with_temporal=True,
+                        temporal_bytes=size // METADATA_SCALE,
+                    ),
+                    config=config,
+                    name=name,
+                )
+                speedups.append(full.ipc / base.ipc if base.ipc else 0.0)
+            per_policy[policy] = geomean(speedups)
+        rows[label] = per_policy
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 14 — geomean speedup vs temporal metadata size")
+    for size, row in rows.items():
+        print(f"  {size:>6}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

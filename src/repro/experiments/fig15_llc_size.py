@@ -1,0 +1,42 @@
+"""Fig. 15: sensitivity to LLC size (0.5 / 1 / 2 / 4 MB per core).
+
+Larger LLCs absorb more misses and shrink prefetching's headroom, but the
+selector ordering must hold at every size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import SystemConfig
+from repro.experiments.common import SELECTOR_NAMES, geomean, speedup_suite
+from repro.workloads.spec06 import spec06_memory_intensive
+
+MB = 1 << 20
+SIZES = (MB // 2, MB, 2 * MB, 4 * MB)
+
+
+def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Geomean speedup per LLC size per selector."""
+    profiles = spec06_memory_intensive()
+    rows: Dict[str, Dict[str, float]] = {}
+    for size in SIZES:
+        config = SystemConfig().with_llc_size(size)
+        suite = speedup_suite(
+            profiles, SELECTOR_NAMES, accesses=accesses, seed=seed, config=config
+        )
+        rows[f"{size / MB:g}MB"] = {
+            s: geomean(r[s] for r in suite.values()) for s in SELECTOR_NAMES
+        }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 15 — geomean speedup vs LLC size")
+    for size, row in rows.items():
+        print(f"  {size:>6}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Fig. 16: sensitivity to DRAM bandwidth (DDR3-1600 vs DDR4-2400).
+
+Higher bandwidth rewards aggressive-but-accurate prefetching; Alecto must
+stay on top under both configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400
+from repro.experiments.common import SELECTOR_NAMES, geomean, speedup_suite
+from repro.workloads.spec06 import spec06_memory_intensive
+
+
+def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Geomean speedup per DRAM configuration per selector."""
+    profiles = spec06_memory_intensive()
+    rows: Dict[str, Dict[str, float]] = {}
+    for dram in (ddr3_1600(), ddr4_2400()):
+        config = SystemConfig().with_dram(dram)
+        suite = speedup_suite(
+            profiles, SELECTOR_NAMES, accesses=accesses, seed=seed, config=config
+        )
+        rows[dram.name] = {
+            s: geomean(r[s] for r in suite.values()) for s in SELECTOR_NAMES
+        }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 16 — geomean speedup vs DRAM bandwidth")
+    for name, row in rows.items():
+        print(f"  {name}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Fig. 17: eight-core performance on SPEC06 / SPEC17 / PARSEC / Ligra.
+
+Heterogeneous memory-intensive SPEC mixes plus parallel PARSEC/Ligra
+workloads share the LLC and DRAM channels; the gap between Alecto and the
+coarse-grained schemes widens under contention (Section VI-G).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import multicore_config
+from repro.experiments.common import SELECTOR_NAMES, geomean, make_selector
+from repro.sim import simulate_multicore
+from repro.workloads.mixes import multicore_workloads
+
+
+def run(
+    cores: int = 8,
+    accesses_per_core: int = 4000,
+    seed: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Weighted speedup over no prefetching per workload group.
+
+    Returns:
+        ``{group: {selector: weighted_speedup}}`` plus a Geomean row.
+    """
+    config = multicore_config(cores)
+    groups = multicore_workloads(cores, accesses_per_core, seed=seed)
+    rows: Dict[str, Dict[str, float]] = {}
+    for group, traces in groups.items():
+        baseline = simulate_multicore(
+            traces, lambda core_id: None, config=config, name=f"{group}/base"
+        )
+        row: Dict[str, float] = {}
+        for selector_name in SELECTOR_NAMES:
+            result = simulate_multicore(
+                traces,
+                lambda core_id: make_selector(selector_name),
+                config=config,
+                name=f"{group}/{selector_name}",
+            )
+            row[selector_name] = result.weighted_speedup(baseline)
+        rows[group] = row
+    rows["Geomean"] = {
+        s: geomean(rows[g][s] for g in groups) for s in SELECTOR_NAMES
+    }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 17 — eight-core weighted speedup over no prefetching")
+    for group, row in rows.items():
+        print(f"  {group:<8}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Fig. 20 / Section VII-C: DDRA vs perceptron prefetch filtering (PPF).
+
+IPCP schedules the composite; PPF filters its output at two thresholds
+(aggressive and conservative).  PPF raises accuracy but discards useful
+prefetches (the paper's GemsFDTD example loses half its coverage), so
+Alecto's input-side allocation wins on memory-intensive workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import geomean, speedup_suite
+from repro.workloads.spec06 import spec06_memory_intensive
+from repro.workloads.spec17 import spec17_memory_intensive
+
+VARIANTS = ("ppf_aggressive", "ppf_conservative", "alecto")
+
+
+def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark speedups for the PPF variants and Alecto."""
+    profiles = {}
+    profiles.update(spec06_memory_intensive())
+    profiles.update(spec17_memory_intensive())
+    rows = speedup_suite(profiles, VARIANTS, accesses=accesses, seed=seed)
+    rows["Geomean"] = {
+        v: geomean(rows[b][v] for b in rows if b != "Geomean") for v in VARIANTS
+    }
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Fig. 20 — Alecto vs IPCP+PPF")
+    for name, row in rows.items():
+        print(f"  {name:<16}" + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Section VI-A: CSR-style per-workload tuning of Alecto.
+
+The paper notes mcf and omnetpp "benefit from PMP's aggressive
+prefetching instructed by Bandit", and shows that lowering PMP's
+Deficiency Boundary and fixing its degree to 6 closes the gap to Bandit6
+to under 1% — demonstrating that Alecto exposes Control-and-Status-
+Register-style knobs for workload-specific tuning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import make_selector
+from repro.selection.alecto import AlectoConfig
+from repro.sim import simulate
+from repro.workloads.spec06 import SPEC06_PROFILES
+
+BENCHMARKS = ("mcf", "omnetpp")
+
+#: The tuned configuration: PMP never hard-blocked, fixed degree 6.
+TUNED_CONFIG = AlectoConfig(
+    db_overrides=(("pmp", 0.0),),
+    degree_overrides=(("pmp", 6),),
+)
+
+
+def run(accesses: int = 15000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+    """Speedups of Bandit6 / default Alecto / tuned Alecto on mcf+omnetpp."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in BENCHMARKS:
+        trace = SPEC06_PROFILES[name].generate(accesses, seed=seed)
+        baseline = simulate(trace, None, name=name)
+        row: Dict[str, float] = {}
+        for label, selector in (
+            ("bandit6", make_selector("bandit6")),
+            ("alecto", make_selector("alecto")),
+            ("alecto_tuned", make_selector("alecto", alecto_config=TUNED_CONFIG)),
+        ):
+            result = simulate(trace, selector, name=name)
+            row[label] = result.ipc / baseline.ipc if baseline.ipc else 0.0
+        rows[name] = row
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Sec. VI-A — CSR tuning of Alecto on PMP-favoured workloads")
+    for name, row in rows.items():
+        gap = row["bandit6"] - row["alecto_tuned"]
+        print(
+            f"  {name}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items())
+            + f"  (tuned gap to Bandit6: {gap:+.3f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

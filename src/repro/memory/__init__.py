@@ -1,0 +1,25 @@
+"""Memory-system substrate: caches, DRAM, and the three-level hierarchy.
+
+This package is the stand-in for the gem5 memory system used by the paper
+(Table I): private L1D and L2, a shared LLC sized per core, and a DRAM
+model with channel-level bandwidth queueing.  It tracks everything the
+evaluation needs — per-level hit/miss statistics, in-flight prefetch fills
+(for timeliness classification), and the fate of every prefetched line
+(for accuracy / overprediction accounting).
+"""
+
+from repro.memory.cache import Cache, CacheStats, EvictionInfo, PrefetchRecord
+from repro.memory.dram import DRAM, DRAMStats
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy, PrefetchLedger
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "DRAM",
+    "DRAMStats",
+    "EvictionInfo",
+    "MemoryHierarchy",
+    "PrefetchLedger",
+    "PrefetchRecord",
+]

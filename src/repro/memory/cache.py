@@ -1,0 +1,228 @@
+"""A set-associative, LRU, write-allocate cache model.
+
+The model is timing-approximate rather than event-driven: each resident
+line carries a ``ready_cycle`` so that a demand access arriving while a
+fill (typically a prefetch) is still in flight observes the *remaining*
+fill latency.  That is exactly the distinction the paper draws between
+"covered, timely" and "covered, untimely" prefetches (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PrefetchRecord:
+    """Provenance of a prefetched line, kept until first demand use.
+
+    Attributes:
+        prefetcher: name of the prefetcher that issued the request.
+        pc: PC of the triggering demand access.
+        issue_cycle: cycle the prefetch was issued.
+        ready_cycle: cycle the fill completes.
+        core_id: issuing core.
+        line: target cache-line address.
+    """
+
+    prefetcher: str
+    pc: int
+    issue_cycle: int
+    ready_cycle: int
+    core_id: int = 0
+    line: int = 0
+
+
+@dataclass
+class _Line:
+    tag: int
+    last_use: int = 0
+    ready_cycle: int = 0
+    dirty: bool = False
+    prefetch: Optional[PrefetchRecord] = None
+
+
+@dataclass
+class CacheStats:
+    """Per-cache hit/miss and prefetch-outcome statistics."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits_timely: int = 0
+    prefetch_hits_untimely: int = 0
+    prefetched_evicted_unused: int = 0
+
+    @property
+    def demand_hit_rate(self) -> float:
+        if not self.demand_accesses:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+
+@dataclass
+class EvictionInfo:
+    """Describes a line displaced from the cache."""
+
+    line: int
+    dirty: bool
+    prefetch: Optional[PrefetchRecord]
+
+    @property
+    def was_unused_prefetch(self) -> bool:
+        return self.prefetch is not None
+
+
+class Cache:
+    """One cache level.
+
+    Args:
+        name: label for statistics ("l1d", "l2", "llc").
+        num_sets: number of sets.
+        ways: associativity.
+        latency: round-trip hit latency in cycles.
+        mshrs: number of miss-status holding registers; bounds the number of
+            in-flight fills the level accepts (prefetches past the bound are
+            dropped by the hierarchy).
+    """
+
+    def __init__(self, name: str, num_sets: int, ways: int, latency: int, mshrs: int):
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.name = name
+        self.num_sets = num_sets
+        self.ways = ways
+        self.latency = latency
+        self.mshrs = mshrs
+        self.stats = CacheStats()
+        self._sets: Dict[int, List[_Line]] = {}
+        self._clock = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def _find(self, line: int) -> Optional[_Line]:
+        for entry in self._sets.get(self._index(line), []):
+            if entry.tag == line:
+                return entry
+        return None
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    def in_flight_fills(self, cycle: int) -> int:
+        """Number of resident lines whose fill has not yet completed."""
+        count = 0
+        for entries in self._sets.values():
+            for entry in entries:
+                if entry.ready_cycle > cycle:
+                    count += 1
+        return count
+
+    # -- operations ----------------------------------------------------------
+
+    def probe(self, line: int) -> bool:
+        """Tag check with no side effects."""
+        return self._find(line) is not None
+
+    def demand_access(
+        self, line: int, cycle: int, is_write: bool = False
+    ) -> Tuple[bool, int, Optional[PrefetchRecord], bool]:
+        """Access ``line`` on behalf of a demand request.
+
+        Returns:
+            ``(hit, extra_wait, prefetch_record, timely)`` where ``hit`` is
+            the tag-check outcome, ``extra_wait`` is any residual in-flight
+            fill latency beyond the nominal hit latency, and
+            ``prefetch_record``/``timely`` describe the first demand use of
+            a prefetched line (record is None on ordinary hits).
+        """
+        self._clock += 1
+        self.stats.demand_accesses += 1
+        entry = self._find(line)
+        if entry is None:
+            self.stats.demand_misses += 1
+            return False, 0, None, False
+        self.stats.demand_hits += 1
+        entry.last_use = self._clock
+        if is_write:
+            entry.dirty = True
+        extra_wait = max(0, entry.ready_cycle - cycle)
+        record = entry.prefetch
+        timely = extra_wait == 0
+        if record is not None:
+            # First demand use consumes the prefetch provenance.
+            entry.prefetch = None
+            if timely:
+                self.stats.prefetch_hits_timely += 1
+            else:
+                self.stats.prefetch_hits_untimely += 1
+        return True, extra_wait, record, timely
+
+    def fill(
+        self,
+        line: int,
+        cycle: int,
+        ready_cycle: int,
+        prefetch: Optional[PrefetchRecord] = None,
+        is_write: bool = False,
+    ) -> Optional[EvictionInfo]:
+        """Install ``line``, evicting the LRU way if the set is full.
+
+        Returns:
+            Information about the displaced line, or None.
+        """
+        self._clock += 1
+        entry = self._find(line)
+        if entry is not None:
+            # Refill of a resident line (e.g. prefetch raced a demand fill):
+            # keep the earlier ready time, never downgrade to prefetch-only.
+            entry.ready_cycle = min(entry.ready_cycle, ready_cycle)
+            if is_write:
+                entry.dirty = True
+            return None
+        if prefetch is not None:
+            self.stats.prefetch_fills += 1
+        entries = self._sets.setdefault(self._index(line), [])
+        evicted = None
+        if len(entries) >= self.ways:
+            victim = min(entries, key=lambda e: e.last_use)
+            entries.remove(victim)
+            evicted = EvictionInfo(
+                line=victim.tag, dirty=victim.dirty, prefetch=victim.prefetch
+            )
+            if victim.prefetch is not None:
+                self.stats.prefetched_evicted_unused += 1
+        entries.append(
+            _Line(
+                tag=line,
+                last_use=self._clock,
+                ready_cycle=ready_cycle,
+                dirty=is_write,
+                prefetch=prefetch,
+            )
+        )
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident.  Returns True when removed."""
+        entries = self._sets.get(self._index(line), [])
+        for entry in entries:
+            if entry.tag == line:
+                entries.remove(entry)
+                return True
+        return False
+
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache(name={self.name!r}, sets={self.num_sets}, "
+            f"ways={self.ways}, latency={self.latency})"
+        )

@@ -1,0 +1,127 @@
+"""Bandwidth-contended DRAM model.
+
+The paper's sensitivity studies (Fig. 16, Fig. 17) hinge on main-memory
+bandwidth: aggressive, inaccurate prefetching saturates the channels and
+slows every core down.  We model each channel as a pipeline that can accept
+one 64-byte line every ``1 / lines_per_cycle_per_channel`` cycles, with
+per-bank busy windows on top.  A request arriving while its channel (or
+bank) is busy queues behind it, so sustained over-subscription shows up as
+growing access latency — the first-order effect that separates Alecto from
+degree-cranking schemes like Bandit6 under contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    """Aggregate DRAM traffic statistics."""
+
+    reads: int = 0
+    prefetch_reads: int = 0
+    total_queue_delay: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        total = self.reads + self.prefetch_reads
+        return self.total_queue_delay / total if total else 0.0
+
+
+class DRAM:
+    """Main memory with channel/bank busy-time queueing.
+
+    Args:
+        config: channel/rank/bank geometry and transfer rate.
+    """
+
+    # A DRAM row (page) covers this many consecutive lines; accesses to the
+    # open row are cheaper than row misses.
+    ROW_LINES = 32
+    ROW_HIT_DISCOUNT = 25
+    BANK_BUSY_CYCLES = 12
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+        self.stats = DRAMStats()
+        # Demand-priority scheduling: real controllers serve demand reads
+        # ahead of queued prefetches, so prefetch bursts must not inflate
+        # demand queueing.  Demands queue only behind other demands
+        # (`_demand_free`); prefetches queue behind *all* traffic
+        # (`_channel_free`).
+        self._channel_free = [0.0] * config.channels
+        self._demand_free = [0.0] * config.channels
+        num_banks = config.channels * config.ranks_per_channel * config.banks_per_rank
+        # Same priority split at bank granularity: demands only wait for
+        # bank time reserved by other demands.
+        self._bank_free = [0.0] * num_banks
+        self._bank_free_demand = [0.0] * num_banks
+        self._bank_open_row = [-1] * num_banks
+        self._service_cycles = 1.0 / config.lines_per_cycle_per_channel
+
+    def _channel_of(self, line: int) -> int:
+        # XOR-fold higher address bits into the channel selector so that
+        # strided streams spread across channels (real controllers hash
+        # channel bits for exactly this reason).
+        return (line ^ (line >> 5) ^ (line >> 11)) % self.config.channels
+
+    def _bank_of(self, line: int) -> int:
+        return (line // self.ROW_LINES) % len(self._bank_free)
+
+    def access(self, line: int, cycle: int, is_prefetch: bool = False) -> int:
+        """Issue a line read at ``cycle``; returns total latency in cycles.
+
+        The latency is ``base_latency`` plus row-buffer effects plus any
+        queueing delay behind earlier requests on the same channel or bank.
+        """
+        channel = self._channel_of(line)
+        bank = self._bank_of(line)
+        row = line // self.ROW_LINES
+
+        if is_prefetch:
+            # Prefetches wait behind everything already scheduled.
+            start = max(
+                float(cycle), self._channel_free[channel], self._bank_free[bank]
+            )
+        else:
+            # Demands bypass queued prefetches (demand-priority
+            # scheduling); they wait only for other demands.
+            start = max(
+                float(cycle),
+                self._demand_free[channel],
+                self._bank_free_demand[bank],
+            )
+        queue_delay = start - cycle
+
+        if self._bank_open_row[bank] == row:
+            self.stats.row_hits += 1
+            service_latency = self.config.base_latency - self.ROW_HIT_DISCOUNT
+        else:
+            self.stats.row_misses += 1
+            service_latency = self.config.base_latency
+            self._bank_open_row[bank] = row
+
+        finish = start + self._service_cycles
+        self._channel_free[channel] = max(self._channel_free[channel], finish)
+        self._bank_free[bank] = max(
+            self._bank_free[bank], start + self.BANK_BUSY_CYCLES
+        )
+        if not is_prefetch:
+            self._demand_free[channel] = finish
+            self._bank_free_demand[bank] = start + self.BANK_BUSY_CYCLES
+
+        if is_prefetch:
+            self.stats.prefetch_reads += 1
+        else:
+            self.stats.reads += 1
+        self.stats.total_queue_delay += int(queue_delay)
+        return int(queue_delay + service_latency)
+
+    @property
+    def total_reads(self) -> int:
+        return self.stats.reads + self.stats.prefetch_reads

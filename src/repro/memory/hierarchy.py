@@ -1,0 +1,310 @@
+"""Three-level memory hierarchy with prefetch-outcome tracking.
+
+Structure follows paper Table I: private L1D and L2 per core, a shared LLC
+sized per core, and a common DRAM.  Prefetches fill into the L1 (or into
+the L2, for Alecto's "next level" overflow lines, Section IV-B), carry an
+in-flight ``ready_cycle``, and have their eventual fate (used timely, used
+late, evicted unused) reported to a :class:`PrefetchLedger` and to optional
+callbacks consumed by the selection algorithms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.config import SystemConfig
+from repro.common.types import PrefetchCandidate
+from repro.memory.cache import Cache, EvictionInfo, PrefetchRecord
+from repro.memory.dram import DRAM
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access walking the hierarchy."""
+
+    latency: int
+    hit_level: str  # "l1", "l2", "llc", "dram"
+    prefetch_record: Optional[PrefetchRecord] = None
+    prefetch_timely: bool = False
+
+    @property
+    def was_covered_by_prefetch(self) -> bool:
+        return self.prefetch_record is not None
+
+
+@dataclass
+class PrefetchLedger:
+    """Per-prefetcher accounting of issued prefetches and their fates.
+
+    This feeds the Fig. 10 metric breakdown and the accuracy numbers used
+    throughout Section VI.
+    """
+
+    issued: Dict[str, int] = field(default_factory=dict)
+    used_timely: Dict[str, int] = field(default_factory=dict)
+    used_untimely: Dict[str, int] = field(default_factory=dict)
+    evicted_unused: Dict[str, int] = field(default_factory=dict)
+    dropped: Dict[str, int] = field(default_factory=dict)
+
+    def _bump(self, bucket: Dict[str, int], prefetcher: str) -> None:
+        bucket[prefetcher] = bucket.get(prefetcher, 0) + 1
+
+    def record_issue(self, prefetcher: str) -> None:
+        self._bump(self.issued, prefetcher)
+
+    def record_use(self, prefetcher: str, timely: bool) -> None:
+        if timely:
+            self._bump(self.used_timely, prefetcher)
+        else:
+            self._bump(self.used_untimely, prefetcher)
+
+    def record_eviction(self, prefetcher: str) -> None:
+        self._bump(self.evicted_unused, prefetcher)
+
+    def record_drop(self, prefetcher: str) -> None:
+        self._bump(self.dropped, prefetcher)
+
+    # -- aggregates ----------------------------------------------------------
+
+    def total_issued(self) -> int:
+        return sum(self.issued.values())
+
+    def total_useful(self) -> int:
+        return sum(self.used_timely.values()) + sum(self.used_untimely.values())
+
+    def accuracy(self, prefetcher: Optional[str] = None) -> float:
+        """Useful / issued, overall or for one prefetcher."""
+        if prefetcher is None:
+            issued = self.total_issued()
+            useful = self.total_useful()
+        else:
+            issued = self.issued.get(prefetcher, 0)
+            useful = self.used_timely.get(prefetcher, 0) + self.used_untimely.get(
+                prefetcher, 0
+            )
+        return useful / issued if issued else 0.0
+
+
+class SharedMemory:
+    """LLC + DRAM shared by all cores of a multi-core system."""
+
+    def __init__(self, config: SystemConfig):
+        llc = config.llc
+        self.llc = Cache(
+            name="llc",
+            num_sets=llc.num_sets,
+            ways=llc.ways,
+            latency=llc.latency,
+            mshrs=llc.mshrs,
+        )
+        self.dram = DRAM(config.dram)
+
+
+class MemoryHierarchy:
+    """Private L1D/L2 plus a (possibly shared) LLC and DRAM.
+
+    Args:
+        config: system parameters.
+        core_id: owning core.
+        shared: LLC/DRAM shared across cores; a private instance is created
+            when omitted (single-core use).
+        on_prefetch_used: callback ``(record, timely)`` fired on the first
+            demand use of a prefetched line.
+        on_prefetch_evicted: callback ``(record)`` fired when a prefetched
+            line is displaced before any demand use.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        core_id: int = 0,
+        shared: Optional[SharedMemory] = None,
+        on_prefetch_used: Optional[Callable[[PrefetchRecord, bool], None]] = None,
+        on_prefetch_evicted: Optional[Callable[[PrefetchRecord], None]] = None,
+    ):
+        self.config = config
+        self.core_id = core_id
+        self.l1 = Cache(
+            name="l1d",
+            num_sets=config.l1d.num_sets,
+            ways=config.l1d.ways,
+            latency=config.l1d.latency,
+            mshrs=config.l1d.mshrs,
+        )
+        self.l2 = Cache(
+            name="l2",
+            num_sets=config.l2.num_sets,
+            ways=config.l2.ways,
+            latency=config.l2.latency,
+            mshrs=config.l2.mshrs,
+        )
+        self.shared = shared if shared is not None else SharedMemory(config)
+        self.ledger = PrefetchLedger()
+        self.on_prefetch_used = on_prefetch_used
+        self.on_prefetch_evicted = on_prefetch_evicted
+        # Outstanding prefetch fills, kept as a heap of ready cycles so the
+        # MSHR occupancy check is O(log n) instead of a cache scan.
+        self._outstanding_prefetches: List[int] = []
+        # The prefetch queue (Fig. 3): candidates arriving while the MSHRs
+        # are busy wait here and issue as fills complete.
+        self.prefetch_queue_depth = 32
+        self._prefetch_queue: List[PrefetchCandidate] = []
+
+    @property
+    def llc(self) -> Cache:
+        return self.shared.llc
+
+    @property
+    def dram(self) -> DRAM:
+        return self.shared.dram
+
+    # -- internal helpers ------------------------------------------------------
+
+    def _note_eviction(self, evicted: Optional[EvictionInfo]) -> None:
+        if evicted is None or evicted.prefetch is None:
+            return
+        record = evicted.prefetch
+        self.ledger.record_eviction(record.prefetcher)
+        if self.on_prefetch_evicted is not None:
+            self.on_prefetch_evicted(record)
+
+    def _note_use(self, record: Optional[PrefetchRecord], timely: bool) -> None:
+        if record is None:
+            return
+        self.ledger.record_use(record.prefetcher, timely)
+        if self.on_prefetch_used is not None:
+            self.on_prefetch_used(record, timely)
+
+    def _drain_outstanding(self, cycle: int) -> None:
+        heap = self._outstanding_prefetches
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
+
+    def outstanding_prefetches(self, cycle: int) -> int:
+        """Number of prefetch fills still in flight at ``cycle``."""
+        self._drain_outstanding(cycle)
+        return len(self._outstanding_prefetches)
+
+    # -- demand path ------------------------------------------------------------
+
+    def demand_access(self, line: int, cycle: int, is_write: bool = False) -> AccessResult:
+        """Walk the hierarchy for a demand request; fills all levels on miss."""
+        self._drain_prefetch_queue(cycle)
+        hit, wait, record, timely = self.l1.demand_access(line, cycle, is_write)
+        if hit:
+            self._note_use(record, timely)
+            return AccessResult(
+                latency=self.l1.latency + wait,
+                hit_level="l1",
+                prefetch_record=record,
+                prefetch_timely=timely,
+            )
+
+        latency = self.l1.latency
+        hit, wait, record, timely = self.l2.demand_access(line, cycle, is_write)
+        if hit:
+            latency += self.l2.latency + wait
+            self._note_use(record, timely)
+            self._note_eviction(
+                self.l1.fill(line, cycle, ready_cycle=cycle + latency)
+            )
+            return AccessResult(
+                latency=latency,
+                hit_level="l2",
+                prefetch_record=record,
+                prefetch_timely=timely,
+            )
+
+        hit, wait, record, timely = self.llc.demand_access(line, cycle, is_write)
+        if hit:
+            latency += self.llc.latency + wait
+            self._note_use(record, timely)
+            ready = cycle + latency
+            self._note_eviction(self.l2.fill(line, cycle, ready_cycle=ready))
+            self._note_eviction(self.l1.fill(line, cycle, ready_cycle=ready))
+            return AccessResult(
+                latency=latency,
+                hit_level="llc",
+                prefetch_record=record,
+                prefetch_timely=timely,
+            )
+
+        latency += self.llc.latency + self.dram.access(line, cycle, is_prefetch=False)
+        ready = cycle + latency
+        self._note_eviction(self.llc.fill(line, cycle, ready_cycle=ready))
+        self._note_eviction(self.l2.fill(line, cycle, ready_cycle=ready))
+        self._note_eviction(self.l1.fill(line, cycle, ready_cycle=ready))
+        return AccessResult(latency=latency, hit_level="dram")
+
+    # -- prefetch path ------------------------------------------------------------
+
+    def _drain_prefetch_queue(self, cycle: int) -> None:
+        """Issue queued prefetches for which an MSHR has freed up."""
+        while self._prefetch_queue:
+            self._drain_outstanding(cycle)
+            if len(self._outstanding_prefetches) >= self.l1.mshrs:
+                return
+            self._issue_now(self._prefetch_queue.pop(0), cycle)
+
+    def issue_prefetch(self, candidate: PrefetchCandidate, cycle: int) -> bool:
+        """Issue ``candidate``; returns False when it was dropped.
+
+        Drops happen when the target line is already resident at the fill
+        level (redundant) or when both the MSHRs and the prefetch queue are
+        full.  Candidates arriving while the MSHRs are busy wait in the
+        prefetch queue and issue as fills complete.
+        """
+        if self.l1.probe(candidate.line) or (
+            candidate.to_next_level and self.l2.probe(candidate.line)
+        ):
+            self.ledger.record_drop(candidate.prefetcher)
+            return False
+        self._drain_outstanding(cycle)
+        if len(self._outstanding_prefetches) >= self.l1.mshrs:
+            if len(self._prefetch_queue) >= self.prefetch_queue_depth:
+                self.ledger.record_drop(candidate.prefetcher)
+                return False
+            self._prefetch_queue.append(candidate)
+            return True
+        return self._issue_now(candidate, cycle)
+
+    def _issue_now(self, candidate: PrefetchCandidate, cycle: int) -> bool:
+        """Send an admitted candidate into the hierarchy."""
+        fill_l1 = not candidate.to_next_level
+        # Locate the line to price the fill.
+        if self.l2.probe(candidate.line):
+            latency = self.l2.latency
+        elif self.llc.probe(candidate.line):
+            latency = self.l2.latency + self.llc.latency
+        else:
+            dram_latency = self.dram.access(candidate.line, cycle, is_prefetch=True)
+            latency = self.l2.latency + self.llc.latency + dram_latency
+
+        ready = cycle + latency
+        record = PrefetchRecord(
+            prefetcher=candidate.prefetcher,
+            pc=candidate.pc,
+            issue_cycle=cycle,
+            ready_cycle=ready,
+            core_id=candidate.core_id,
+            line=candidate.line,
+        )
+        candidate.issue_cycle = cycle
+        self.ledger.record_issue(candidate.prefetcher)
+        heapq.heappush(self._outstanding_prefetches, ready)
+
+        if fill_l1:
+            self._note_eviction(
+                self.l1.fill(candidate.line, cycle, ready_cycle=ready, prefetch=record)
+            )
+            # The fill passes through the L2 (mostly-inclusive hierarchy),
+            # so an early prefetch evicted from the small L1 before use
+            # still serves the later demand from the L2.
+            self._note_eviction(self.l2.fill(candidate.line, cycle, ready_cycle=ready))
+        else:
+            self._note_eviction(
+                self.l2.fill(candidate.line, cycle, ready_cycle=ready, prefetch=record)
+            )
+        return True

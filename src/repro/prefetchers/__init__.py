@@ -1,0 +1,57 @@
+"""Cache prefetchers scheduled by the selection algorithms.
+
+The paper evaluates composite prefetchers built from: a GS-style stream
+prefetcher and CS-style stride prefetcher (both from IPCP), the PMP
+spatial prefetcher, plus Berti and CPLX for the diversity study
+(Section VI-B), and a Triangel-style on-chip temporal prefetcher for
+Section VI-D.  All are reimplemented here on the shared
+:class:`~repro.common.tables.SetAssociativeTable` so their table misses
+and training occurrences are measured uniformly.
+"""
+
+from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.bop import BOPPrefetcher
+from repro.prefetchers.cplx import CplxPrefetcher
+from repro.prefetchers.pmp import PMPPrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.stream import StreamPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.temporal import TemporalPrefetcher
+
+
+def make_composite(kind: str = "gs_cs_pmp"):
+    """Build one of the paper's composite prefetcher sets.
+
+    Args:
+        kind: ``"gs_cs_pmp"`` (the default composite of Sections
+            VI-A..VI-G), ``"gs_berti_cplx"`` (the diversity composite of
+            Section VI-B), or ``"gs_bop_spp"`` (an extension composite from
+            the lineage prefetchers the paper cites, for generality
+            studies beyond the published ones).
+
+    Returns:
+        A list of fresh prefetcher instances in priority order
+        (stream > stride/Berti > spatial), matching IPCP's static priority.
+    """
+    if kind == "gs_cs_pmp":
+        return [StreamPrefetcher(), StridePrefetcher(), PMPPrefetcher()]
+    if kind == "gs_berti_cplx":
+        return [StreamPrefetcher(), BertiPrefetcher(), CplxPrefetcher()]
+    if kind == "gs_bop_spp":
+        return [StreamPrefetcher(), BOPPrefetcher(), SPPPrefetcher()]
+    raise ValueError(f"unknown composite kind: {kind!r}")
+
+
+__all__ = [
+    "BOPPrefetcher",
+    "BertiPrefetcher",
+    "CplxPrefetcher",
+    "PMPPrefetcher",
+    "Prefetcher",
+    "SPPPrefetcher",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "TemporalPrefetcher",
+    "make_composite",
+]

@@ -1,0 +1,102 @@
+"""The prefetcher interface all concrete prefetchers implement."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.common.tables import SetAssociativeTable, TableStats
+from repro.common.types import DemandAccess, PrefetchCandidate
+
+
+class Prefetcher(abc.ABC):
+    """A hardware cache prefetcher.
+
+    Training and prediction are deliberately fused in one call — the paper
+    observes that "the generation of prefetching requests is inherently
+    linked to the training process" (Section I), which is exactly why
+    controlling *training* (demand request allocation) controls output.
+
+    Attributes:
+        name: stable identifier used in ledgers and reports.
+        is_temporal: True for temporal prefetchers; Alecto's event-①
+            exception (Section IV-F) treats these specially.
+        fills_next_level: True when the prefetcher resides at the next
+            cache level (the L2 temporal prefetcher of Section V-C), so
+            its fills land there rather than in the L1.
+        max_degree: hard cap on the degree a selector may grant (the
+            temporal prefetcher is limited to one prefetch per training
+            occurrence in the Section V-C methodology).
+    """
+
+    name: str = "prefetcher"
+    is_temporal: bool = False
+    fills_next_level: bool = False
+    max_degree = None  # type: int | None
+
+    def __init__(self) -> None:
+        self.training_occurrences = 0
+
+    @abc.abstractmethod
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        """Update internal tables for ``access``; return predicted lines.
+
+        Returns at most ``degree`` cache-line addresses, nearest first.
+        """
+
+    def train(self, access: DemandAccess, degree: int) -> List[PrefetchCandidate]:
+        """Train on a demand request and emit prefetch candidates.
+
+        Args:
+            access: the allocated demand request.
+            degree: maximum number of prefetches to emit; a degree of zero
+                still trains the tables (Bandit's "off" arms suppress
+                output, not training).
+        """
+        self.training_occurrences += 1
+        if self.max_degree is not None:
+            degree = min(degree, self.max_degree)
+        lines = self._train(access, degree)
+        confidence = self.prediction_confidence()
+        return [
+            PrefetchCandidate(
+                line=line,
+                prefetcher=self.name,
+                pc=access.pc,
+                to_next_level=self.fills_next_level,
+                confidence=confidence,
+                core_id=access.core_id,
+            )
+            for line in lines[: max(0, degree)]
+        ]
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        """Non-destructive pattern-match probe used by DOL's coordinator.
+
+        Default: claim everything (a greedy prefetcher).  Subclasses check
+        their tables without training.
+        """
+        return True
+
+    def prediction_confidence(self) -> float:
+        """Confidence of the most recent prediction, in [0, 1]."""
+        return 1.0
+
+    @abc.abstractmethod
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        """Internal tables, for uniform miss/storage accounting."""
+
+    @property
+    def table_stats(self) -> TableStats:
+        """Merged statistics over all internal tables."""
+        merged = TableStats()
+        for table in self.tables():
+            merged = merged.merge(table.stats)
+        return merged
+
+    @property
+    def storage_bits(self) -> int:
+        return sum(table.storage_bits for table in self.tables())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,115 @@
+"""Berti-style local-delta prefetcher (MICRO'22).
+
+Berti selects, per IP, the delta(s) that would have produced *timely and
+accurate* prefetches, by replaying each new access against a short history
+of that IP's recent accesses.  Only deltas whose hit ratio clears a
+coverage threshold are used, which is why Berti is accurate and
+conservative — the property Section VI-B leans on ("Berti, known for its
+accuracy and less aggressive prefetching behavior, is less likely to cause
+cache pollution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import DemandAccess
+from repro.prefetchers.base import Prefetcher
+
+_HISTORY_DEPTH = 8
+_EVALUATION_PERIOD = 16
+_COVERAGE_THRESHOLD = 0.60
+_MAX_ACTIVE_DELTAS = 4
+
+
+@dataclass
+class _BertiEntry:
+    history: List[int] = field(default_factory=list)  # recent lines, newest last
+    delta_scores: Dict[int, int] = field(default_factory=dict)
+    trains_since_evaluation: int = 0
+    active_deltas: List[int] = field(default_factory=list)
+    active_ratio: float = 0.0
+
+
+class BertiPrefetcher(Prefetcher):
+    """Per-IP timely-delta prefetcher."""
+
+    name = "berti"
+
+    def __init__(self, ip_entries: int = 64):
+        super().__init__()
+        self._ip_table: SetAssociativeTable = SetAssociativeTable(
+            ip_entries, ways=4, name="berti_ip", entry_bits=256
+        )
+        self._last_confidence = 0.0
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._ip_table,)
+
+    def prediction_confidence(self) -> float:
+        return self._last_confidence
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        entry = self._ip_table.peek(access.pc)
+        return entry is not None and bool(entry.active_deltas)
+
+    def _evaluate(self, entry: _BertiEntry) -> None:
+        """Promote deltas whose observed coverage clears the threshold."""
+        total = entry.trains_since_evaluation
+        if total <= 0:
+            return
+        scored = sorted(
+            entry.delta_scores.items(), key=lambda item: item[1], reverse=True
+        )
+        entry.active_deltas = [
+            delta
+            for delta, score in scored[:_MAX_ACTIVE_DELTAS]
+            if score / total >= _COVERAGE_THRESHOLD and delta != 0
+        ]
+        if entry.active_deltas:
+            best = entry.delta_scores[entry.active_deltas[0]]
+            entry.active_ratio = min(1.0, best / total)
+        else:
+            entry.active_ratio = 0.0
+        entry.delta_scores.clear()
+        entry.trains_since_evaluation = 0
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        line = access.line
+        entry = self._ip_table.lookup(access.pc)
+        if entry is None:
+            entry = _BertiEntry()
+            self._ip_table.insert(access.pc, entry)
+
+        # Score every delta that would have predicted this access from the
+        # IP's recent history (Berti's "local deltas").
+        for past_line in entry.history:
+            delta = line - past_line
+            if delta != 0:
+                entry.delta_scores[delta] = entry.delta_scores.get(delta, 0) + 1
+
+        entry.history.append(line)
+        if len(entry.history) > _HISTORY_DEPTH:
+            entry.history.pop(0)
+
+        entry.trains_since_evaluation += 1
+        if entry.trains_since_evaluation >= _EVALUATION_PERIOD:
+            self._evaluate(entry)
+
+        if not entry.active_deltas or degree <= 0:
+            self._last_confidence = 0.0
+            return []
+        self._last_confidence = entry.active_ratio
+        lines: List[int] = []
+        for delta in entry.active_deltas:
+            # Stack the best delta to reach ``degree`` if it is alone.
+            lines.append(line + delta)
+            if len(lines) >= degree:
+                break
+        step = 2
+        while len(lines) < degree and entry.active_deltas:
+            lines.append(line + entry.active_deltas[0] * step)
+            step += 1
+        return lines[:degree]

@@ -1,0 +1,86 @@
+"""Best-Offset Prefetcher (Michaud, HPCA'16) — Berti's published lineage.
+
+BOP learns a single global best offset by round-robin testing a fixed
+candidate list: each test checks whether (current line - candidate
+offset) was recently accessed — i.e. whether a prefetch at that offset
+would have been timely.  The candidate whose score first saturates (or
+the best at the end of a learning round) becomes the active offset.
+
+Included as an extension prefetcher: Section VI-B argues Alecto can
+schedule arbitrary prefetcher mixes, and BOP is the classic conservative
+offset prefetcher to test that claim with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import DemandAccess
+from repro.prefetchers.base import Prefetcher
+
+#: Michaud's offset list, truncated to the small positive offsets that
+#: matter at L1 scale.
+_CANDIDATE_OFFSETS = (1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30)
+_SCORE_MAX = 31
+_ROUND_MAX = 100
+_BAD_SCORE = 1
+
+
+class BOPPrefetcher(Prefetcher):
+    """Global best-offset prefetcher with a recent-requests table."""
+
+    name = "bop"
+
+    def __init__(self, rr_entries: int = 256):
+        super().__init__()
+        self._recent: SetAssociativeTable = SetAssociativeTable(
+            rr_entries, ways=8, name="bop_rr", entry_bits=12
+        )
+        self._scores = {offset: 0 for offset in _CANDIDATE_OFFSETS}
+        self._test_index = 0
+        self._round = 0
+        self.best_offset = 1
+        self._active = True
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._recent,)
+
+    def prediction_confidence(self) -> float:
+        if not self._active:
+            return 0.0
+        return min(1.0, self._scores.get(self.best_offset, 0) / _SCORE_MAX)
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        return self._active
+
+    def _finish_round(self) -> None:
+        best = max(self._scores, key=self._scores.get)
+        best_score = self._scores[best]
+        self.best_offset = best
+        # BOP turns itself off when no offset scores above the bad
+        # threshold — the workload has no offset structure.
+        self._active = best_score > _BAD_SCORE
+        self._scores = {offset: 0 for offset in _CANDIDATE_OFFSETS}
+        self._round = 0
+
+    def _learn(self, line: int) -> None:
+        offset = _CANDIDATE_OFFSETS[self._test_index]
+        self._test_index = (self._test_index + 1) % len(_CANDIDATE_OFFSETS)
+        if self._recent.lookup(line - offset) is not None:
+            self._scores[offset] += 1
+            if self._scores[offset] >= _SCORE_MAX:
+                self._finish_round()
+                return
+        if self._test_index == 0:
+            self._round += 1
+            if self._round >= _ROUND_MAX:
+                self._finish_round()
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        line = access.line
+        self._learn(line)
+        self._recent.insert(line, True)
+        if not self._active or degree <= 0:
+            return []
+        return [line + self.best_offset * (i + 1) for i in range(degree)]

@@ -1,0 +1,128 @@
+"""CPLX-style complex-stride prefetcher (IPCP's CPLX class, VLDP lineage).
+
+Tracks per-IP delta history and predicts the *next* delta from a
+signature-indexed delta prediction table, so repeating non-constant stride
+sequences such as (+1, +1, +1, +4) — the motivating example of
+Section II-A — are predicted exactly where a constant-stride prefetcher
+keeps mispredicting the +4 step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.common.counters import SaturatingCounter
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import DemandAccess
+from repro.prefetchers.base import Prefetcher
+
+_HISTORY_LENGTH = 3
+_ISSUE_CONFIDENCE = 2
+_SIGNATURE_BITS = 12
+
+
+def _signature(history: Tuple[int, ...]) -> int:
+    """Hash a delta history into a table signature (SPP-style shift-XOR)."""
+    sig = 0
+    for delta in history:
+        sig = ((sig << 3) ^ (delta & 0x3F) ^ ((delta >> 6) & 0x3F)) & (
+            (1 << _SIGNATURE_BITS) - 1
+        )
+    return sig
+
+
+@dataclass
+class _IPEntry:
+    last_line: int
+    history: Tuple[int, ...] = field(default_factory=tuple)
+
+
+@dataclass
+class _DeltaEntry:
+    delta: int
+    confidence: SaturatingCounter = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.confidence is None:
+            self.confidence = SaturatingCounter(1, 0, 3)
+
+
+class CplxPrefetcher(Prefetcher):
+    """Signature-based next-delta predictor with chained lookahead."""
+
+    name = "cplx"
+
+    def __init__(self, ip_entries: int = 64, dpt_entries: int = 128):
+        super().__init__()
+        self._ip_table: SetAssociativeTable = SetAssociativeTable(
+            ip_entries, ways=4, name="cplx_ip", entry_bits=96
+        )
+        self._dpt: SetAssociativeTable = SetAssociativeTable(
+            dpt_entries, ways=4, name="cplx_dpt", entry_bits=16
+        )
+        self._last_confidence = 0.0
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._ip_table, self._dpt)
+
+    def prediction_confidence(self) -> float:
+        return self._last_confidence
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        entry = self._ip_table.peek(access.pc)
+        if entry is None or len(entry.history) < _HISTORY_LENGTH:
+            return False
+        predicted = self._dpt.peek(_signature(entry.history))
+        return predicted is not None and predicted.confidence.value >= _ISSUE_CONFIDENCE
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        line = access.line
+        entry = self._ip_table.lookup(access.pc)
+        if entry is None:
+            self._ip_table.insert(access.pc, _IPEntry(last_line=line))
+            self._last_confidence = 0.0
+            return []
+
+        delta = line - entry.last_line
+        entry.last_line = line
+        if delta == 0:
+            self._last_confidence = 0.0
+            return []
+
+        # Learn: previous history should have predicted this delta.
+        if len(entry.history) == _HISTORY_LENGTH:
+            sig = _signature(entry.history)
+            learned = self._dpt.lookup(sig)
+            if learned is None:
+                self._dpt.insert(sig, _DeltaEntry(delta=delta))
+            elif learned.delta == delta:
+                learned.confidence.increment()
+            else:
+                learned.confidence.decrement()
+                if learned.confidence.saturated_low:
+                    learned.delta = delta
+                    learned.confidence.reset(1)
+
+        entry.history = (entry.history + (delta,))[-_HISTORY_LENGTH:]
+        if len(entry.history) < _HISTORY_LENGTH or degree <= 0:
+            self._last_confidence = 0.0
+            return []
+
+        # Predict: walk the delta chain up to ``degree`` steps ahead.
+        lines: List[int] = []
+        history = entry.history
+        current = line
+        confidence_floor = 1.0
+        for _ in range(degree):
+            predicted = self._dpt.lookup(_signature(history))
+            if predicted is None or predicted.confidence.value < _ISSUE_CONFIDENCE:
+                break
+            confidence_floor = min(
+                confidence_floor, predicted.confidence.value / 3.0
+            )
+            current += predicted.delta
+            lines.append(current)
+            history = (history + (predicted.delta,))[-_HISTORY_LENGTH:]
+        self._last_confidence = confidence_floor if lines else 0.0
+        return lines

@@ -1,0 +1,137 @@
+"""Signature Path Prefetcher (Kim et al., MICRO'16) — referenced in
+Section II-A as the spatial prefetcher that should own PC 0x30b00.
+
+SPP keeps a per-page signature (compressed delta history), a signature
+pattern table mapping signatures to candidate next deltas with
+occurrence counters, and walks the *signature path* speculatively:
+each predicted delta advances the signature, and the walk continues
+while the compounded path confidence stays above a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import REGION_LINES, DemandAccess
+from repro.prefetchers.base import Prefetcher
+
+_SIGNATURE_BITS = 12
+_COUNTER_MAX = 15
+_PATH_CONFIDENCE_THRESHOLD = 0.30
+
+
+def _advance_signature(signature: int, delta: int) -> int:
+    return ((signature << 3) ^ (delta & 0x7F)) & ((1 << _SIGNATURE_BITS) - 1)
+
+
+@dataclass
+class _PageEntry:
+    signature: int = 0
+    last_offset: int = -1
+
+
+@dataclass
+class _PatternEntry:
+    # delta -> occurrence counter.
+    deltas: Dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    def update(self, delta: int) -> None:
+        self.deltas[delta] = min(_COUNTER_MAX, self.deltas.get(delta, 0) + 1)
+        self.total = min(_COUNTER_MAX * 4, self.total + 1)
+        if self.deltas[delta] >= _COUNTER_MAX:
+            # Periodic halving keeps counters adaptive.
+            self.deltas = {d: c // 2 for d, c in self.deltas.items() if c // 2}
+            self.total //= 2
+
+    def best(self):
+        if not self.deltas or not self.total:
+            return None, 0.0
+        delta, count = max(self.deltas.items(), key=lambda item: item[1])
+        return delta, count / max(1, self.total)
+
+
+class SPPPrefetcher(Prefetcher):
+    """Signature-path prefetcher with compounded path confidence."""
+
+    name = "spp"
+
+    def __init__(self, page_entries: int = 64, pattern_entries: int = 512):
+        super().__init__()
+        self._pages: SetAssociativeTable = SetAssociativeTable(
+            page_entries, ways=4, name="spp_pages", entry_bits=32
+        )
+        self._patterns: SetAssociativeTable = SetAssociativeTable(
+            pattern_entries, ways=4, name="spp_patterns", entry_bits=64
+        )
+        self._last_confidence = 0.0
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._pages, self._patterns)
+
+    def prediction_confidence(self) -> float:
+        return self._last_confidence
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        page = self._pages.peek(access.line // REGION_LINES)
+        if page is None:
+            return False
+        pattern = self._patterns.peek(page.signature)
+        if pattern is None:
+            return False
+        _, confidence = pattern.best()
+        return confidence >= _PATH_CONFIDENCE_THRESHOLD
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        line = access.line
+        page_id = line // REGION_LINES
+        offset = line % REGION_LINES
+
+        page = self._pages.lookup(page_id)
+        if page is None:
+            page = _PageEntry(signature=0, last_offset=offset)
+            self._pages.insert(page_id, page)
+            self._last_confidence = 0.0
+            return []
+
+        delta = offset - page.last_offset
+        if delta == 0:
+            self._last_confidence = 0.0
+            return []
+        pattern = self._patterns.lookup(page.signature)
+        if pattern is None:
+            pattern = _PatternEntry()
+            self._patterns.insert(page.signature, pattern)
+        pattern.update(delta)
+
+        page.signature = _advance_signature(page.signature, delta)
+        page.last_offset = offset
+
+        if degree <= 0:
+            self._last_confidence = 0.0
+            return []
+
+        # Speculative signature-path walk.
+        lines: List[int] = []
+        signature = page.signature
+        current_offset = offset
+        path_confidence = 1.0
+        for _ in range(degree):
+            entry = self._patterns.lookup(signature)
+            if entry is None:
+                break
+            best_delta, confidence = entry.best()
+            if best_delta is None:
+                break
+            path_confidence *= confidence
+            if path_confidence < _PATH_CONFIDENCE_THRESHOLD:
+                break
+            current_offset += best_delta
+            if not 0 <= current_offset < REGION_LINES:
+                break  # SPP stops at page boundaries
+            lines.append(page_id * REGION_LINES + current_offset)
+            signature = _advance_signature(signature, best_delta)
+        self._last_confidence = path_confidence if lines else 0.0
+        return lines

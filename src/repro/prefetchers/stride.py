@@ -1,0 +1,86 @@
+"""CS-style constant-stride prefetcher (the "constant stride" class of IPCP).
+
+A 64-entry IP table (paper Table II) tracks the last line and current
+stride per PC with a 2-bit confidence counter.  Once confidence reaches
+the issue threshold, it prefetches ``degree`` strides ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.counters import SaturatingCounter
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import DemandAccess
+from repro.prefetchers.base import Prefetcher
+
+_ISSUE_CONFIDENCE = 2
+
+
+@dataclass
+class _StrideEntry:
+    last_line: int
+    stride: int = 0
+    confidence: SaturatingCounter = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.confidence is None:
+            self.confidence = SaturatingCounter(0, 0, 3)
+
+
+class StridePrefetcher(Prefetcher):
+    """Per-IP constant-stride prefetcher."""
+
+    name = "stride"
+
+    def __init__(self, ip_entries: int = 64):
+        super().__init__()
+        self._ip_table: SetAssociativeTable = SetAssociativeTable(
+            ip_entries, ways=4, name="stride_ip", entry_bits=64
+        )
+        self._last_confidence = 0.0
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._ip_table,)
+
+    def prediction_confidence(self) -> float:
+        return self._last_confidence
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        entry = self._ip_table.peek(access.pc)
+        return (
+            entry is not None
+            and entry.stride != 0
+            and entry.confidence.value >= _ISSUE_CONFIDENCE
+        )
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        line = access.line
+        entry = self._ip_table.lookup(access.pc)
+        if entry is None:
+            self._ip_table.insert(access.pc, _StrideEntry(last_line=line))
+            self._last_confidence = 0.0
+            return []
+
+        delta = line - entry.last_line
+        entry.last_line = line
+        if delta == 0:
+            # Same-line access: no stride information.
+            self._last_confidence = entry.confidence.value / 3.0
+            return []
+        if delta == entry.stride:
+            entry.confidence.increment()
+        else:
+            entry.confidence.decrement()
+            if entry.confidence.saturated_low:
+                entry.stride = delta
+        self._last_confidence = entry.confidence.value / 3.0
+
+        if (
+            entry.stride == 0
+            or entry.confidence.value < _ISSUE_CONFIDENCE
+            or degree <= 0
+        ):
+            return []
+        return [line + entry.stride * (i + 1) for i in range(degree)]

@@ -1,0 +1,124 @@
+"""Triangel-style on-chip temporal prefetcher.
+
+Temporal prefetchers replay previously observed miss sequences: a metadata
+table maps a line address to its observed successor.  Following the
+Section V-C methodology, the metadata lives on chip in a table of
+configurable byte budget (128 KB – 1 MB, carved out of LLC capacity in the
+paper), each prefetcher issues at most one prefetch per training
+occurrence (``degree`` is clamped to 1 by the experiment configuration,
+although the implementation supports chained lookahead), and a per-PC
+training unit tracks the previous address so successors are linked within
+the same instruction's stream.
+
+Capacity pressure on the metadata table is the entire story of Fig. 14:
+training the table with requests that other prefetchers already cover, or
+that never recur, evicts the metadata that would have produced useful
+temporal prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.counters import SaturatingCounter
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import DemandAccess
+from repro.prefetchers.base import Prefetcher
+
+#: Storage cost of one metadata entry: tag + successor pointer + confidence,
+#: matching Triangel's compressed Markov-table format (~12 bytes).
+METADATA_ENTRY_BYTES = 12
+
+
+@dataclass
+class _MetadataEntry:
+    successor: int
+    confidence: SaturatingCounter = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.confidence is None:
+            self.confidence = SaturatingCounter(1, 0, 3)
+
+
+@dataclass
+class _TrainingEntry:
+    last_line: int
+
+
+class TemporalPrefetcher(Prefetcher):
+    """Markov metadata-table temporal prefetcher.
+
+    Args:
+        metadata_bytes: on-chip metadata budget; 1 MB by default (the
+            Fig. 13 configuration).  Fig. 14 sweeps 128 KB – 1 MB.
+        training_entries: size of the per-PC training unit.
+    """
+
+    name = "temporal"
+    is_temporal = True
+    fills_next_level = True
+    max_degree = 1
+
+    def __init__(self, metadata_bytes: int = 1024 * 1024, training_entries: int = 64):
+        super().__init__()
+        entries = max(16, metadata_bytes // METADATA_ENTRY_BYTES)
+        ways = 16
+        entries -= entries % ways
+        self.metadata_bytes = metadata_bytes
+        self._metadata: SetAssociativeTable = SetAssociativeTable(
+            entries, ways=ways, name="temporal_metadata",
+            entry_bits=METADATA_ENTRY_BYTES * 8, replacement="random",
+        )
+        self._training_unit: SetAssociativeTable = SetAssociativeTable(
+            training_entries, ways=4, name="temporal_training", entry_bits=64
+        )
+        self._last_confidence = 0.0
+
+    def tables(self) -> Sequence[SetAssociativeTable]:
+        return (self._metadata, self._training_unit)
+
+    def prediction_confidence(self) -> float:
+        return self._last_confidence
+
+    def would_handle(self, access: DemandAccess) -> bool:
+        return self._metadata.peek(access.line) is not None
+
+    def _train(self, access: DemandAccess, degree: int) -> List[int]:
+        line = access.line
+
+        unit = self._training_unit.lookup(access.pc)
+        if unit is None:
+            self._training_unit.insert(access.pc, _TrainingEntry(last_line=line))
+        else:
+            previous = unit.last_line
+            unit.last_line = line
+            if previous != line:
+                existing = self._metadata.lookup(previous)
+                if existing is None:
+                    self._metadata.insert(previous, _MetadataEntry(successor=line))
+                elif existing.successor == line:
+                    existing.confidence.increment()
+                else:
+                    existing.confidence.decrement()
+                    if existing.confidence.saturated_low:
+                        existing.successor = line
+                        existing.confidence.reset(1)
+
+        if degree <= 0:
+            self._last_confidence = 0.0
+            return []
+
+        # Predict by walking the successor chain.
+        lines: List[int] = []
+        current = line
+        weakest = 1.0
+        for _ in range(degree):
+            entry = self._metadata.lookup(current)
+            if entry is None or entry.confidence.value < 1:
+                break
+            weakest = min(weakest, entry.confidence.value / 3.0)
+            current = entry.successor
+            lines.append(current)
+        self._last_confidence = weakest if lines else 0.0
+        return lines

@@ -1,0 +1,41 @@
+"""Prefetcher selection / demand-allocation algorithms.
+
+This package contains every scheme the paper compares (Fig. 3):
+
+- :class:`~repro.selection.ipcp.IPCPSelection` — train-all, static output
+  priority (Fig. 3b);
+- :class:`~repro.selection.dol.DOLSelection` — sequential allocation with
+  static priority (Fig. 3a);
+- :class:`~repro.selection.bandit.BanditSelection` — the Micro-Armed-Bandit
+  RL scheme controlling per-prefetcher degrees (Fig. 3c), plus the
+  extended-action variant of Section VI-H;
+- :class:`~repro.selection.ppf.PPFSelection` — IPCP plus a perceptron
+  prefetch filter (Section VII-C);
+- :class:`~repro.selection.triangel.TriangelSelection` — Triangel-style
+  training filter for temporal prefetching (Section VI-D);
+- :class:`~repro.selection.alecto.AlectoSelection` — the paper's
+  contribution (Fig. 3d).
+"""
+
+from repro.selection.alecto import AlectoConfig, AlectoSelection
+from repro.selection.bandit import BanditSelection, ExtendedBanditSelection
+from repro.selection.base import AllocationDecision, SelectionAlgorithm
+from repro.selection.dol import DOLSelection
+from repro.selection.filters import RecentRequestFilter
+from repro.selection.ipcp import IPCPSelection
+from repro.selection.ppf import PPFSelection
+from repro.selection.triangel import TriangelSelection
+
+__all__ = [
+    "AlectoConfig",
+    "AlectoSelection",
+    "AllocationDecision",
+    "BanditSelection",
+    "DOLSelection",
+    "ExtendedBanditSelection",
+    "IPCPSelection",
+    "PPFSelection",
+    "RecentRequestFilter",
+    "SelectionAlgorithm",
+    "TriangelSelection",
+]

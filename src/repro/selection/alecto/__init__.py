@@ -1,0 +1,40 @@
+"""Alecto: prefetcher selection integrated with dynamic request allocation.
+
+The paper's contribution (Sections III–IV).  Three hardware structures:
+
+- :class:`~repro.selection.alecto.allocation_table.AllocationTable` —
+  PC-indexed per-prefetcher state machine (UI / IA_m / IB_n, Fig. 5);
+- :class:`~repro.selection.alecto.sample_table.SampleTable` — PC-indexed
+  issued/confirmed counters plus the Demand and Dead counters;
+- :class:`~repro.selection.alecto.sandbox_table.SandboxTable` —
+  address-indexed record of recent prefetches with folded-PC tags; doubles
+  as the prefetch filter (Section IV-D).
+
+:class:`~repro.selection.alecto.selection.AlectoSelection` wires them into
+the selection protocol, and :mod:`~repro.selection.alecto.storage`
+reproduces the Table III storage accounting.
+"""
+
+from repro.selection.alecto.allocation_table import AllocationTable
+from repro.selection.alecto.sample_table import SampleTable
+from repro.selection.alecto.sandbox_table import SandboxTable
+from repro.selection.alecto.selection import AlectoConfig, AlectoSelection
+from repro.selection.alecto.states import PrefetcherState, StateKind
+from repro.selection.alecto.storage import (
+    alecto_storage_bits,
+    alecto_storage_bits_excluding_sandbox,
+    bandit_storage_bits,
+)
+
+__all__ = [
+    "AlectoConfig",
+    "AlectoSelection",
+    "AllocationTable",
+    "PrefetcherState",
+    "SampleTable",
+    "SandboxTable",
+    "StateKind",
+    "alecto_storage_bits",
+    "alecto_storage_bits_excluding_sandbox",
+    "bandit_storage_bits",
+]

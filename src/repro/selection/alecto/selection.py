@@ -1,0 +1,221 @@
+"""AlectoSelection: the full framework wired into the selection protocol.
+
+Process (Fig. 4): a demand request is sent simultaneously to the
+Allocation Table (step 1, producing the allocation identifier, step 2) and
+to the Sandbox Table (step 4, confirming earlier prefetches, step 5).
+Selected prefetchers train and emit candidates (step 3); the Sandbox Table
+filters duplicates and routes survivors to the prefetch queue (step 6).
+
+Degree policy (Section IV-B): a UI prefetcher receives the conservative
+degree ``c``; an IA_m prefetcher receives ``c + m + 1``, with the first
+``c`` lines filled into the prefetcher's own cache level and the remaining
+``m + 1`` sent to the next level.  IB prefetchers receive nothing — no
+identifier is created for them, so their tables are never touched by the
+request (the mechanism behind Fig. 1's table-miss reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.prefetchers.base import Prefetcher
+from repro.selection.alecto.allocation_table import AllocationTable
+from repro.selection.alecto.sample_table import SampleTable
+from repro.selection.alecto.sandbox_table import SandboxTable
+from repro.selection.alecto.storage import alecto_storage_bits
+from repro.selection.base import AllocationDecision, SelectionAlgorithm, dedupe_by_line
+
+
+@dataclass(frozen=True)
+class AlectoConfig:
+    """Tunable parameters (defaults from Section V-B).
+
+    Attributes:
+        conservative_degree: c, degree granted in the UI state (3).
+        max_aggressive_level: M, deepest IA sub-state (5).
+        block_epochs: N, hard-block duration in epochs (8).
+        proficiency_boundary: PB (0.75).
+        deficiency_boundary: DB (0.05).
+        epoch_demands: demand accesses per accuracy epoch (100).
+        dead_threshold: Dead Counter threshold (150).
+        allocation_entries / sample_entries / sandbox_entries: table sizes
+            (Table III: 64 / 64 / 512).
+        fixed_degree: when set, IA prefetchers always receive this degree
+            instead of c + m + 1 — the "Alecto_fix" ablation of
+            Section VII-A that isolates allocation from degree adjustment.
+        db_overrides: per-prefetcher (name, DB) pairs — the CSR-style
+            tuning of Section VI-A ("we lowered the DB for PMP").
+        degree_overrides: per-prefetcher (name, degree) pairs forcing a
+            fixed degree for that prefetcher whenever it is allocated
+            ("fixed PMP's prefetching degree in Alecto to 6").
+    """
+
+    conservative_degree: int = 3
+    max_aggressive_level: int = 5
+    block_epochs: int = 8
+    proficiency_boundary: float = 0.75
+    deficiency_boundary: float = 0.05
+    epoch_demands: int = 100
+    dead_threshold: int = 150
+    allocation_entries: int = 64
+    sample_entries: int = 64
+    sandbox_entries: int = 512
+    min_issued_for_accuracy: int = 4
+    fixed_degree: Optional[int] = None
+    db_overrides: tuple = ()
+    degree_overrides: tuple = ()
+
+
+class AlectoSelection(SelectionAlgorithm):
+    """The paper's prefetcher selection framework."""
+
+    name = "alecto"
+
+    def __init__(
+        self,
+        prefetchers: Sequence[Prefetcher],
+        config: Optional[AlectoConfig] = None,
+    ):
+        super().__init__(prefetchers)
+        self.config = config or AlectoConfig()
+        cfg = self.config
+        db_map = dict(cfg.db_overrides)
+        self._degree_overrides = dict(cfg.degree_overrides)
+        unknown = (set(db_map) | set(self._degree_overrides)) - {
+            p.name for p in self.prefetchers
+        }
+        if unknown:
+            raise ValueError(f"overrides for unknown prefetchers: {sorted(unknown)}")
+        self.allocation_table = AllocationTable(
+            num_prefetchers=len(self.prefetchers),
+            temporal_flags=[p.is_temporal for p in self.prefetchers],
+            num_entries=cfg.allocation_entries,
+            proficiency_boundary=cfg.proficiency_boundary,
+            deficiency_boundary=cfg.deficiency_boundary,
+            max_aggressive_level=cfg.max_aggressive_level,
+            block_epochs=cfg.block_epochs,
+            min_issued_for_accuracy=cfg.min_issued_for_accuracy,
+            deficiency_boundaries=[
+                db_map.get(p.name, cfg.deficiency_boundary)
+                for p in self.prefetchers
+            ],
+        )
+        self.sample_table = SampleTable(
+            num_prefetchers=len(self.prefetchers),
+            num_entries=cfg.sample_entries,
+            epoch_demands=cfg.epoch_demands,
+            dead_threshold=cfg.dead_threshold,
+        )
+        self.sandbox_table = SandboxTable(
+            num_prefetchers=len(self.prefetchers),
+            num_entries=cfg.sandbox_entries,
+        )
+        self._index_of = {p.name: i for i, p in enumerate(self.prefetchers)}
+        self.epochs_completed = 0
+        self.deadlock_resets = 0
+
+    # -- protocol -----------------------------------------------------------------
+
+    def observe_demand(self, access: DemandAccess) -> None:
+        """Steps 4/5: confirm earlier prefetches hit by this demand."""
+        for index in self.sandbox_table.confirm(access.line, access.pc):
+            self.sample_table.note_confirmed(access.pc, index)
+
+    def allocate(self, access: DemandAccess) -> List[AllocationDecision]:
+        """Steps 1/2: produce identifiers from the Allocation Table."""
+        entry = self.allocation_table.lookup(access.pc)
+        cfg = self.config
+        decisions: List[AllocationDecision] = []
+        for index, state in enumerate(entry.states):
+            if not state.receives_requests:
+                continue
+            override = self._degree_overrides.get(self.prefetchers[index].name)
+            if override is not None:
+                degree = override
+                next_level_from = None
+            elif state.is_aggressive:
+                if cfg.fixed_degree is not None:
+                    degree = cfg.fixed_degree
+                    next_level_from = None
+                else:
+                    degree = cfg.conservative_degree + state.level + 1
+                    next_level_from = cfg.conservative_degree
+            else:  # UI
+                degree = cfg.conservative_degree
+                next_level_from = None
+            decisions.append(
+                AllocationDecision(
+                    prefetcher=self.prefetchers[index],
+                    degree=degree,
+                    next_level_from=next_level_from,
+                )
+            )
+
+        # Epoch bookkeeping happens on the demand path (Demand Counter).
+        finished = self.sample_table.note_demand(access.pc)
+        if finished is not None:
+            accuracies = [
+                finished.accuracy(i, cfg.min_issued_for_accuracy)
+                for i in range(len(self.prefetchers))
+            ]
+            self.allocation_table.epoch_update(access.pc, accuracies)
+            finished.reset_epoch()
+            self.epochs_completed += 1
+        return decisions
+
+    def filter_prefetches(
+        self, candidates: List[PrefetchCandidate], access: DemandAccess
+    ) -> List[PrefetchCandidate]:
+        """Step 6: Sandbox filtering, plus next-level annotation."""
+        deduped = dedupe_by_line(candidates, [p.name for p in self.prefetchers])
+        survivors: List[PrefetchCandidate] = []
+        per_prefetcher_rank: dict = {}
+        for candidate in deduped:
+            if self.sandbox_table.is_duplicate(candidate.line):
+                continue
+            rank = per_prefetcher_rank.get(candidate.prefetcher, 0)
+            per_prefetcher_rank[candidate.prefetcher] = rank + 1
+            state = self._state_of(access.pc, candidate.prefetcher)
+            if (
+                state is not None
+                and state.is_aggressive
+                and self.config.fixed_degree is None
+                and rank >= self.config.conservative_degree
+            ):
+                candidate.to_next_level = True
+            survivors.append(candidate)
+        return survivors
+
+    def post_issue(
+        self, access: DemandAccess, issued: List[PrefetchCandidate]
+    ) -> None:
+        """Step 3 feedback: update Sandbox and Sample tables."""
+        for candidate in issued:
+            index = self._index_of[candidate.prefetcher]
+            self.sandbox_table.record_issue(candidate.line, access.pc, index)
+            self.sample_table.note_issued(access.pc, index)
+
+        # Dead-counter deadlock breaking (Section IV-C): only meaningful
+        # when the PC claims an aggressive prefetcher yet none produces.
+        entry = self.allocation_table.peek(access.pc)
+        if entry is not None and entry.any_aggressive():
+            fired = self.sample_table.note_prediction_outcome(
+                access.pc, produced_prefetch=bool(issued)
+            )
+            if fired:
+                self.allocation_table.reset_states(access.pc)
+                self.deadlock_resets += 1
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _state_of(self, pc: int, prefetcher_name: str):
+        entry = self.allocation_table.peek(pc)
+        if entry is None:
+            return None
+        return entry.states[self._index_of[prefetcher_name]]
+
+    @property
+    def storage_bits(self) -> int:
+        return alecto_storage_bits(len(self.prefetchers))

@@ -1,0 +1,71 @@
+"""Per-prefetcher states of the Allocation Table (paper Fig. 5).
+
+Every (PC, prefetcher) pair is in one of three state kinds:
+
+- ``UI`` (Un-Identified): suitability unknown; the prefetcher receives
+  demand requests at the conservative degree.
+- ``IA`` (Identified and Aggressive): efficient; receives requests at an
+  elevated degree.  Sub-states ``IA_0 .. IA_M`` — higher means a larger
+  degree.
+- ``IB`` (Identified and Blocked): unsuitable; receives *no* requests.
+  Sub-states ``IB_-N .. IB_0`` — more negative means blocked longer; the
+  level rises by one per epoch ("cooling down") until ``IB_0``, where the
+  prefetcher waits for a reassessment opportunity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class StateKind(enum.Enum):
+    UI = "UI"
+    IA = "IA"
+    IB = "IB"
+
+
+@dataclass
+class PrefetcherState:
+    """State of one prefetcher for one memory access instruction."""
+
+    kind: StateKind = StateKind.UI
+    level: int = 0  # IA: m in [0, M]; IB: n in [-N, 0]; UI: unused
+
+    @classmethod
+    def ui(cls) -> "PrefetcherState":
+        return cls(kind=StateKind.UI, level=0)
+
+    @classmethod
+    def ia(cls, m: int = 0) -> "PrefetcherState":
+        if m < 0:
+            raise ValueError("IA level must be >= 0")
+        return cls(kind=StateKind.IA, level=m)
+
+    @classmethod
+    def ib(cls, n: int = 0) -> "PrefetcherState":
+        if n > 0:
+            raise ValueError("IB level must be <= 0")
+        return cls(kind=StateKind.IB, level=n)
+
+    @property
+    def is_ui(self) -> bool:
+        return self.kind is StateKind.UI
+
+    @property
+    def is_aggressive(self) -> bool:
+        return self.kind is StateKind.IA
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.kind is StateKind.IB
+
+    @property
+    def receives_requests(self) -> bool:
+        """Blocked prefetchers get no demand requests (Section IV-E)."""
+        return self.kind is not StateKind.IB
+
+    def __repr__(self) -> str:
+        if self.kind is StateKind.UI:
+            return "UI"
+        return f"{self.kind.value}_{self.level}"

@@ -1,0 +1,70 @@
+"""Storage-overhead accounting reproducing paper Table III and Section VI-H.
+
+Table III (P = number of prefetchers):
+
+=================  =======  ==========================  ==================
+Structure          Entries  Entry components            Storage (bits)
+=================  =======  ==========================  ==================
+Allocation Table   64       valid(1) + tag(9) + 4P      640 + 256 P
+Sample Table       64       valid(1) + tag(9) + 16P
+                            + deads(7) + demands(8)     1600 + 1024 P
+Sandbox Table      512      tag(6) + P valid bits       3072 + 512 P
+=================  =======  ==========================  ==================
+
+Overall: ``5312 + 1792 P`` bits (~1.30 KB at P = 3); excluding the Sandbox
+Table (which replaces the prefetch filter every system needs anyway):
+``2240 + 1280 P`` bits (~760 B at P = 3).
+
+Bandit stores 8 bytes per arm with ``#arm = #actions ** P``; extending it
+to Alecto's M + 3 degree values yields ``8 * (M+3)^P`` bytes = 4 KB at
+M = 5, P = 3 — 5.4x Alecto (Section VI-H).
+"""
+
+from __future__ import annotations
+
+ALLOCATION_ENTRIES = 64
+SAMPLE_ENTRIES = 64
+SANDBOX_ENTRIES = 512
+
+
+def allocation_table_bits(num_prefetchers: int) -> int:
+    """Allocation Table storage: 640 + 256 P bits."""
+    return ALLOCATION_ENTRIES * (1 + 9 + 4 * num_prefetchers)
+
+
+def sample_table_bits(num_prefetchers: int) -> int:
+    """Sample Table storage: 1600 + 1024 P bits."""
+    return SAMPLE_ENTRIES * (1 + 9 + 8 * num_prefetchers + 8 * num_prefetchers + 7 + 8)
+
+
+def sandbox_table_bits(num_prefetchers: int) -> int:
+    """Sandbox Table storage: 3072 + 512 P bits."""
+    return SANDBOX_ENTRIES * (6 + num_prefetchers)
+
+
+def alecto_storage_bits(num_prefetchers: int) -> int:
+    """Total Alecto storage: 5312 + 1792 P bits."""
+    return (
+        allocation_table_bits(num_prefetchers)
+        + sample_table_bits(num_prefetchers)
+        + sandbox_table_bits(num_prefetchers)
+    )
+
+
+def alecto_storage_bits_excluding_sandbox(num_prefetchers: int) -> int:
+    """Alecto storage without the (dual-purpose) Sandbox Table:
+    2240 + 1280 P bits."""
+    return allocation_table_bits(num_prefetchers) + sample_table_bits(
+        num_prefetchers
+    )
+
+
+def bandit_storage_bits(num_actions: int, num_prefetchers: int) -> int:
+    """Bandit arm storage: 8 bytes x #actions^P (Section VI-H)."""
+    arms = num_actions ** num_prefetchers
+    return 8 * 8 * arms
+
+
+def extended_bandit_storage_bits(max_boost: int, num_prefetchers: int) -> int:
+    """Bandit extended to Alecto's M + 3 degree values."""
+    return bandit_storage_bits(max_boost + 3, num_prefetchers)

@@ -1,0 +1,199 @@
+"""Micro-Armed-Bandit selection (Gerogiannis & Torrellas, MICRO'23).
+
+Fig. 3(c): an online multi-armed bandit picks a *degree vector* for the
+whole prefetcher ensemble; the reward is the number of committed
+instructions observed over a sampling epoch.  Every prefetcher still
+trains on every demand request — the bandit only shapes outputs, which is
+the first limitation the paper targets.
+
+Per Section V-B, each prefetcher's degree is restricted to {0, X}; with
+three prefetchers this yields 2^3 = 8 arms (Bandit3: X=3, Bandit6: X=6).
+Section VI-H extends the action space to the M+3 degree values Alecto can
+express, giving (M+3)^P arms and demonstrating the storage/convergence
+blowup (:class:`ExtendedBanditSelection`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.prefetchers.base import Prefetcher
+from repro.selection.base import AllocationDecision, SelectionAlgorithm, dedupe_by_line
+from repro.selection.filters import RecentRequestFilter
+
+#: Storage cost per arm in bits (8 bytes per arm, Section VI-H).
+ARM_STORAGE_BITS = 64
+
+
+class BanditSelection(SelectionAlgorithm):
+    """Epsilon-greedy multi-armed bandit over degree vectors.
+
+    Args:
+        prefetchers: composite prefetcher set.
+        degree: the non-zero degree value X ({0, X} per prefetcher).
+        epoch_accesses: demand accesses per decision epoch.
+        epsilon: initial exploration probability (decays multiplicatively).
+        seed: RNG seed for reproducible arm exploration.
+        train_on_prefetches: when True, issued prefetch addresses also
+            train the prefetchers (the Fig. 7(a) temporal configuration
+            where the L2 temporal prefetcher observes L1 prefetch fills).
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        prefetchers: Sequence[Prefetcher],
+        degree: int = 6,
+        epoch_accesses: int = 400,
+        epsilon: float = 0.10,
+        epsilon_decay: float = 0.97,
+        epsilon_floor: float = 0.03,
+        seed: int = 7,
+        train_on_prefetches: bool = False,
+        arms: Sequence[Tuple[int, ...]] = None,
+    ):
+        super().__init__(prefetchers)
+        self.degree = degree
+        self.epoch_accesses = epoch_accesses
+        self.epsilon = epsilon
+        self.epsilon_decay = epsilon_decay
+        self.epsilon_floor = epsilon_floor
+        self.train_on_prefetches = train_on_prefetches
+        self._rng = random.Random(seed)
+        if arms is None:
+            arms = list(itertools.product((0, degree), repeat=len(self.prefetchers)))
+        self.arms: List[Tuple[int, ...]] = list(arms)
+        self._arm_value: Dict[Tuple[int, ...], float] = {}
+        self._arm_pulls: Dict[Tuple[int, ...], int] = {}
+        # Start fully on: all prefetchers at degree X.
+        self._current_arm = self.arms[-1]
+        self._accesses_in_epoch = 0
+        self._last_instructions = 0
+        self._last_cycles = 0.0
+        self._pending_reward = False
+        self._filter = RecentRequestFilter()
+        self._priority = [p.name for p in self.prefetchers]
+
+    # -- bandit core -----------------------------------------------------------
+
+    def _select_arm(self) -> Tuple[int, ...]:
+        if self._rng.random() < self.epsilon or not self._arm_value:
+            return self._rng.choice(self.arms)
+        return max(
+            self.arms,
+            key=lambda arm: self._arm_value.get(arm, float("inf")),
+        )
+
+    def _reward_arm(self, arm: Tuple[int, ...], reward: float) -> None:
+        pulls = self._arm_pulls.get(arm, 0) + 1
+        self._arm_pulls[arm] = pulls
+        previous = self._arm_value.get(arm, 0.0)
+        # Incremental mean with a mild recency bias for non-stationarity.
+        step = max(1.0 / pulls, 0.1)
+        self._arm_value[arm] = previous + step * (reward - previous)
+
+    def performance_sample(self, instructions: int, cycles: float) -> None:
+        """Committed-instruction feedback from the core (the reward)."""
+        if not self._pending_reward:
+            self._last_instructions = instructions
+            self._last_cycles = cycles
+            return
+        delta_cycles = cycles - self._last_cycles
+        if delta_cycles > 0:
+            reward = (instructions - self._last_instructions) / delta_cycles
+            self._reward_arm(self._current_arm, reward)
+        self._last_instructions = instructions
+        self._last_cycles = cycles
+        self._current_arm = self._select_arm()
+        self.epsilon = max(self.epsilon_floor, self.epsilon * self.epsilon_decay)
+        self._pending_reward = False
+
+    # -- selection protocol -------------------------------------------------------
+
+    def allocate(self, access: DemandAccess) -> List[AllocationDecision]:
+        self._accesses_in_epoch += 1
+        if self._accesses_in_epoch >= self.epoch_accesses:
+            self._accesses_in_epoch = 0
+            self._pending_reward = True
+        return [
+            AllocationDecision(prefetcher=p, degree=arm_degree)
+            for p, arm_degree in zip(self.prefetchers, self._current_arm)
+        ]
+
+    def filter_prefetches(
+        self, candidates: List[PrefetchCandidate], access: DemandAccess
+    ) -> List[PrefetchCandidate]:
+        deduped = dedupe_by_line(candidates, self._priority)
+        return self._filter.admit(deduped)
+
+    def post_issue(
+        self, access: DemandAccess, issued: List[PrefetchCandidate]
+    ) -> None:
+        if not self.train_on_prefetches or not issued:
+            return
+        # Fig. 7(a)/(b): temporal prefetchers at L2 observe the L2 access
+        # stream, which includes L1 prefetch requests.
+        for prefetcher in self.prefetchers:
+            if not prefetcher.is_temporal:
+                continue
+            for candidate in issued:
+                if candidate.prefetcher == prefetcher.name:
+                    continue
+                shadow = DemandAccess(
+                    pc=candidate.pc,
+                    address=candidate.line << 6,
+                    core_id=access.core_id,
+                    timestamp=access.timestamp,
+                )
+                prefetcher.train(shadow, degree=0)
+
+    @property
+    def needs_reward(self) -> bool:
+        return self._pending_reward
+
+    @property
+    def storage_bits(self) -> int:
+        return len(self.arms) * ARM_STORAGE_BITS + self._filter.storage_bits
+
+
+def make_bandit3(prefetchers: Sequence[Prefetcher], **kwargs) -> BanditSelection:
+    """Bandit with X = 3 (the paper's Bandit3)."""
+    bandit = BanditSelection(prefetchers, degree=3, **kwargs)
+    bandit.name = "bandit3"
+    return bandit
+
+
+def make_bandit6(prefetchers: Sequence[Prefetcher], **kwargs) -> BanditSelection:
+    """Bandit with X = 6 (the paper's Bandit6)."""
+    bandit = BanditSelection(prefetchers, degree=6, **kwargs)
+    bandit.name = "bandit6"
+    return bandit
+
+
+class ExtendedBanditSelection(BanditSelection):
+    """Bandit with Alecto's full degree alphabet: (M+3)^P arms.
+
+    Section VI-H: degrees per prefetcher take the M+3 values
+    {0, c, c+1, ..., c+M+1}; with P = 3 and M = 5 this is 512 arms / 4 KB
+    of arm storage, and the bandit "struggles to converge when too many
+    actions are considered".
+    """
+
+    name = "bandit_extended"
+
+    def __init__(
+        self,
+        prefetchers: Sequence[Prefetcher],
+        conservative_degree: int = 3,
+        max_boost: int = 5,
+        **kwargs,
+    ):
+        degrees = (0,) + tuple(
+            conservative_degree + i for i in range(max_boost + 2)
+        )
+        arms = list(itertools.product(degrees, repeat=len(prefetchers)))
+        super().__init__(prefetchers, arms=arms, **kwargs)

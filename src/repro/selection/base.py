@@ -1,0 +1,137 @@
+"""Interface every selection algorithm implements, and shared plumbing.
+
+The simulator drives a selector through a fixed per-demand-request
+protocol mirroring the paper's Fig. 4 data flow:
+
+1. ``observe_demand(access)`` — the request is visible to bookkeeping
+   structures (Alecto's Sandbox/Sample tables) before any allocation.
+2. ``allocate(access)`` — decide which prefetchers receive the request for
+   training and at what degree.
+3. The simulator trains the chosen prefetchers and collects candidates.
+4. ``filter_prefetches(candidates, access)`` — dedupe / filter / annotate
+   the batch; what survives is issued to the hierarchy.
+5. ``post_issue(access, issued)`` — feedback on what was actually issued.
+
+Asynchronous events arrive via ``observe_prefetch_used`` /
+``observe_prefetch_evicted`` (first demand hit on, or unused eviction of,
+a prefetched line) and ``performance_sample`` (committed-instruction
+reward for RL schemes).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.memory.cache import PrefetchRecord
+from repro.prefetchers.base import Prefetcher
+
+
+@dataclass
+class AllocationDecision:
+    """One prefetcher's share of a demand request."""
+
+    prefetcher: Prefetcher
+    degree: int
+    #: Candidates at position >= this index fill the next cache level
+    #: (None means all fill the prefetcher's own level).
+    next_level_from: Optional[int] = None
+
+
+class SelectionAlgorithm(abc.ABC):
+    """Base class for prefetcher selection algorithms."""
+
+    name: str = "selection"
+
+    def __init__(self, prefetchers: Sequence[Prefetcher]):
+        if not prefetchers:
+            raise ValueError("at least one prefetcher is required")
+        self.prefetchers = list(prefetchers)
+        self._by_name: Dict[str, Prefetcher] = {p.name: p for p in prefetchers}
+        if len(self._by_name) != len(self.prefetchers):
+            raise ValueError("prefetcher names must be unique")
+
+    def prefetcher(self, name: str) -> Prefetcher:
+        return self._by_name[name]
+
+    # -- protocol ----------------------------------------------------------
+
+    def observe_demand(self, access: DemandAccess) -> None:
+        """Step 1: the demand request becomes visible to bookkeeping."""
+
+    @abc.abstractmethod
+    def allocate(self, access: DemandAccess) -> List[AllocationDecision]:
+        """Step 2: choose the prefetchers that receive this request."""
+
+    def filter_prefetches(
+        self, candidates: List[PrefetchCandidate], access: DemandAccess
+    ) -> List[PrefetchCandidate]:
+        """Step 4: final filtering of the candidate batch (default: pass)."""
+        return candidates
+
+    def post_issue(
+        self, access: DemandAccess, issued: List[PrefetchCandidate]
+    ) -> None:
+        """Step 5: observe what was actually issued."""
+
+    # -- asynchronous feedback ----------------------------------------------
+
+    def observe_prefetch_used(self, record: PrefetchRecord, timely: bool) -> None:
+        """A prefetched line received its first demand hit."""
+
+    def observe_prefetch_evicted(self, record: PrefetchRecord) -> None:
+        """A prefetched line was evicted before any demand use."""
+
+    def performance_sample(self, instructions: int, cycles: float) -> None:
+        """Periodic committed-instruction sample (reward for RL schemes)."""
+
+    @property
+    def needs_reward(self) -> bool:
+        """True when the selector wants a performance sample this cycle."""
+        return False
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def storage_bits(self) -> int:
+        """Metadata storage of the selection mechanism itself (not the
+        prefetcher tables)."""
+        return 0
+
+    @property
+    def training_occurrences(self) -> Dict[str, int]:
+        """Per-prefetcher training counts (Fig. 18)."""
+        return {p.name: p.training_occurrences for p in self.prefetchers}
+
+    @property
+    def table_misses(self) -> int:
+        """Total prefetcher-table misses across scheduled prefetchers (Fig. 1)."""
+        return sum(p.table_stats.misses for p in self.prefetchers)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.prefetchers)
+        return f"{type(self).__name__}(prefetchers=[{names}])"
+
+
+def dedupe_by_line(
+    candidates: List[PrefetchCandidate], priority: Sequence[str]
+) -> List[PrefetchCandidate]:
+    """Keep one candidate per target line, preferring earlier ``priority``.
+
+    Used by IPCP's output MUX and by the generic batch dedupe of every
+    selector (two prefetchers proposing the same line must not issue two
+    fills).
+    """
+    rank = {name: i for i, name in enumerate(priority)}
+    best: Dict[int, PrefetchCandidate] = {}
+    for candidate in candidates:
+        current = best.get(candidate.line)
+        if current is None or rank.get(candidate.prefetcher, len(rank)) < rank.get(
+            current.prefetcher, len(rank)
+        ):
+            best[candidate.line] = candidate
+    # Preserve original order of the survivors.
+    survivors = set(id(c) for c in best.values())
+    return [c for c in candidates if id(c) in survivors]

@@ -1,0 +1,40 @@
+"""Generic duplicate-prefetch filter.
+
+Section V-B: "Considering Alecto naturally has a prefetch filter, we
+additionally add a prefetch filter for other configurations to better
+reflect real-world conditions."  This is that filter: a 512-entry table of
+recently issued prefetch lines; a candidate matching a live entry is
+dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.tables import SetAssociativeTable
+from repro.common.types import PrefetchCandidate
+
+
+class RecentRequestFilter:
+    """Drops prefetch candidates whose line was issued recently."""
+
+    def __init__(self, entries: int = 512, ways: int = 8):
+        self._table: SetAssociativeTable = SetAssociativeTable(
+            entries, ways=ways, name="prefetch_filter", entry_bits=7
+        )
+        self.dropped = 0
+
+    def admit(self, candidates: List[PrefetchCandidate]) -> List[PrefetchCandidate]:
+        """Return the candidates that survive filtering, recording the rest."""
+        admitted: List[PrefetchCandidate] = []
+        for candidate in candidates:
+            if self._table.peek(candidate.line) is not None:
+                self.dropped += 1
+                continue
+            self._table.insert(candidate.line, True)
+            admitted.append(candidate)
+        return admitted
+
+    @property
+    def storage_bits(self) -> int:
+        return self._table.storage_bits

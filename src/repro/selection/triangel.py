@@ -1,0 +1,169 @@
+"""Triangel-style training filter for temporal prefetching (ISCA'24).
+
+Fig. 7(b): the L1 composite runs under IPCP; the L2 temporal prefetcher
+observes the L2 access stream (L1 demand misses *and* L1 prefetch
+requests), but a per-PC classifier decides which of those accesses may
+train the temporal metadata table.  The classifier reproduces Triangel's
+two published filters —
+
+- **non-temporal PCs**: a sampling unit estimates, per PC, how often its
+  addresses recur; PCs that never revisit addresses are excluded;
+- **rare-recurrence PCs**: PCs whose estimated reuse distance exceeds the
+  metadata capacity are excluded, since their metadata would be evicted
+  before the next recurrence;
+
+— and also its published *limitation* (Section IV-F): it has no mechanism
+to exclude PCs already handled by non-temporal prefetchers, so recurring
+spatial/stream traffic still consumes metadata capacity.  The bookkeeping
+cost models Triangel's >17 KB sampler storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.prefetchers.base import Prefetcher
+from repro.selection.base import AllocationDecision, SelectionAlgorithm
+from repro.selection.ipcp import IPCPSelection
+
+_SAMPLE_CAPACITY = 1024
+_SAMPLE_RATE = 8
+_CLASSIFY_AFTER = 128
+_TEMPORAL_RATIO = 0.04
+
+
+@dataclass
+class _PCSample:
+    """Long-horizon reuse sampler for one PC.
+
+    Every ``_SAMPLE_RATE``-th address is remembered (reservoir of
+    ``_SAMPLE_CAPACITY``), so recurrence at reuse distances up to
+    ``_SAMPLE_RATE * _SAMPLE_CAPACITY`` accesses is detectable — the
+    long-range detection Triangel's metadata-reuse sampling provides.
+    """
+
+    observations: int = 0
+    recurrences: int = 0
+    recent: Set[int] = field(default_factory=set)
+    recent_order: List[int] = field(default_factory=list)
+    allowed: bool = True  # optimistic until classified
+
+    def observe(self, line: int) -> None:
+        self.observations += 1
+        if line in self.recent:
+            self.recurrences += 1
+        if self.observations % _SAMPLE_RATE == 0:
+            if line not in self.recent:
+                self.recent.add(line)
+                self.recent_order.append(line)
+                if len(self.recent_order) > _SAMPLE_CAPACITY:
+                    evicted = self.recent_order.pop(0)
+                    self.recent.discard(evicted)
+
+    @property
+    def recurrence_ratio(self) -> float:
+        return self.recurrences / self.observations if self.observations else 0.0
+
+
+class TriangelSelection(SelectionAlgorithm):
+    """IPCP for the composite + sampled per-PC temporal training filter.
+
+    Args:
+        prefetchers: composite set; exactly one must have
+            ``is_temporal = True``.
+        degree: degree for the non-temporal composite (via IPCP).
+        temporal_degree: degree for the temporal prefetcher (1 in the
+            Section V-C methodology).
+    """
+
+    name = "triangel"
+
+    #: Triangel's sampler storage per the paper: "> 17KB".
+    SAMPLER_STORAGE_BITS = 17 * 1024 * 8
+
+    def __init__(
+        self,
+        prefetchers: Sequence[Prefetcher],
+        degree: int = 3,
+        temporal_degree: int = 1,
+    ):
+        super().__init__(prefetchers)
+        temporals = [p for p in self.prefetchers if p.is_temporal]
+        if len(temporals) != 1:
+            raise ValueError("TriangelSelection requires exactly one temporal prefetcher")
+        self.temporal = temporals[0]
+        self.non_temporal = [p for p in self.prefetchers if not p.is_temporal]
+        self._ipcp = IPCPSelection(self.non_temporal, degree=degree)
+        self.temporal_degree = temporal_degree
+        self._samples = {}
+        self._accesses = 0
+
+    def _sample_for(self, pc: int) -> _PCSample:
+        sample = self._samples.get(pc)
+        if sample is None:
+            sample = _PCSample()
+            self._samples[pc] = sample
+        return sample
+
+    def _classify(self, sample: _PCSample) -> None:
+        if sample.observations < _CLASSIFY_AFTER:
+            return
+        # Non-temporal and rare-recurrence PCs fail the same test here: a
+        # PC whose addresses never reappear within the sampler's horizon
+        # (which tracks the metadata table's retention) trains metadata
+        # that will be evicted before it is ever useful.
+        sample.allowed = sample.recurrence_ratio >= _TEMPORAL_RATIO
+
+    def allocate(self, access: DemandAccess) -> List[AllocationDecision]:
+        self._accesses += 1
+        decisions = self._ipcp.allocate(access)
+        sample = self._sample_for(access.pc)
+        sample.observe(access.line)
+        self._classify(sample)
+        if sample.allowed:
+            decisions.append(
+                AllocationDecision(
+                    prefetcher=self.temporal,
+                    degree=self.temporal_degree,
+                    next_level_from=0,
+                )
+            )
+        return decisions
+
+    def filter_prefetches(
+        self, candidates: List[PrefetchCandidate], access: DemandAccess
+    ) -> List[PrefetchCandidate]:
+        temporal_candidates = [
+            c for c in candidates if c.prefetcher == self.temporal.name
+        ]
+        for candidate in temporal_candidates:
+            candidate.to_next_level = True
+        composite = [c for c in candidates if c.prefetcher != self.temporal.name]
+        survivors = self._ipcp.filter_prefetches(composite, access)
+        return survivors + temporal_candidates
+
+    def post_issue(
+        self, access: DemandAccess, issued: List[PrefetchCandidate]
+    ) -> None:
+        # The temporal prefetcher observes the L2 access stream, which
+        # includes L1 prefetch traffic (Fig. 7(b)) — Triangel does not
+        # filter addresses already covered by the L1 composite.
+        for candidate in issued:
+            if candidate.prefetcher == self.temporal.name:
+                continue
+            sample = self._sample_for(candidate.pc)
+            if not sample.allowed:
+                continue
+            shadow = DemandAccess(
+                pc=candidate.pc,
+                address=candidate.line << 6,
+                core_id=access.core_id,
+                timestamp=access.timestamp,
+            )
+            self.temporal.train(shadow, degree=0)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.SAMPLER_STORAGE_BITS + self._ipcp.storage_bits

@@ -1,0 +1,28 @@
+"""Simulation harness: wires cores, hierarchy, selectors and prefetchers.
+
+:func:`~repro.sim.simulator.simulate` runs one trace on one core;
+:func:`~repro.sim.simulator.simulate_multicore` runs per-core traces
+against a shared LLC and DRAM (cycle-ordered interleaving).  Results carry
+everything the paper's evaluation section reports: IPC, the Fig. 10 metric
+breakdown, table misses (Fig. 1), training occurrences (Fig. 18), and the
+energy model outputs (Section VI-I).
+"""
+
+from repro.sim.energy import EnergyModel, EnergyReport
+from repro.sim.metrics import PrefetchMetrics
+from repro.sim.simulator import (
+    MulticoreResult,
+    SimulationResult,
+    simulate,
+    simulate_multicore,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "MulticoreResult",
+    "PrefetchMetrics",
+    "SimulationResult",
+    "simulate",
+    "simulate_multicore",
+]

@@ -1,0 +1,70 @@
+"""Prefetcher quality metrics (the Fig. 10 breakdown).
+
+The paper reports four stacked quantities per selection algorithm:
+covered misses with timely prefetches, covered misses with untimely
+prefetches, uncovered misses, and overpredicted prefetches.  The first
+three are normalised against the total baseline misses (they sum to 1);
+overprediction is reported on the same scale (it can exceed 1 for very
+inaccurate configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PrefetchMetrics:
+    """Counts of prefetch outcomes for one simulation."""
+
+    covered_timely: int = 0
+    covered_untimely: int = 0
+    uncovered: int = 0
+    overpredicted: int = 0
+    issued: int = 0
+
+    @property
+    def total_misses(self) -> int:
+        """Baseline miss count: covered plus uncovered."""
+        return self.covered_timely + self.covered_untimely + self.uncovered
+
+    @property
+    def useful(self) -> int:
+        return self.covered_timely + self.covered_untimely
+
+    @property
+    def accuracy(self) -> float:
+        """Useful prefetches / issued prefetches."""
+        return self.useful / self.issued if self.issued else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of baseline misses eliminated by prefetching."""
+        total = self.total_misses
+        return self.useful / total if total else 0.0
+
+    @property
+    def timeliness(self) -> float:
+        """Fraction of useful prefetches that completed in time."""
+        useful = self.useful
+        return self.covered_timely / useful if useful else 0.0
+
+    def normalized(self) -> dict:
+        """The Fig. 10 stacked-bar values, normalised to baseline misses."""
+        total = self.total_misses or 1
+        return {
+            "covered_timely": self.covered_timely / total,
+            "covered_untimely": self.covered_untimely / total,
+            "uncovered": self.uncovered / total,
+            "overprediction": self.overpredicted / total,
+        }
+
+    def merge(self, other: "PrefetchMetrics") -> "PrefetchMetrics":
+        """Combine two runs (used by multi-core and suite aggregation)."""
+        return PrefetchMetrics(
+            covered_timely=self.covered_timely + other.covered_timely,
+            covered_untimely=self.covered_untimely + other.covered_untimely,
+            uncovered=self.uncovered + other.uncovered,
+            overpredicted=self.overpredicted + other.overpredicted,
+            issued=self.issued + other.issued,
+        )

@@ -1,0 +1,291 @@
+"""The simulation loops: single-core and multi-core.
+
+Per demand request the loop follows the paper's Fig. 4 data flow:
+
+1. the core retires the preceding non-memory instructions;
+2. the demand request walks the hierarchy (timing) and is shown to the
+   selector's bookkeeping (``observe_demand``);
+3. the selector allocates the request to prefetchers (``allocate``) which
+   train and emit candidates;
+4. the selector filters the candidate batch (``filter_prefetches``);
+5. survivors are issued into the hierarchy and reported back
+   (``post_issue``).
+
+The multi-core loop keeps cores cycle-ordered (always stepping the core
+with the smallest local clock), so contention on the shared LLC and DRAM
+is resolved in approximate global time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SystemConfig
+from repro.common.types import AccessType, DemandAccess, PrefetchCandidate
+from repro.cpu.core import CoreModel, CoreStats
+from repro.cpu.trace import TraceRecord
+from repro.memory.hierarchy import MemoryHierarchy, SharedMemory
+from repro.selection.base import SelectionAlgorithm
+from repro.sim.energy import EnergyModel, EnergyReport
+from repro.sim.metrics import PrefetchMetrics
+
+#: Prefetches per prefetcher per access that may fill the L1; deeper ones
+#: fill the L2 (bounding L1 pollution, as IPCP and Alecto both do).
+L1_FILL_DEPTH = 4
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports."""
+
+    name: str
+    selector_name: str
+    core: CoreStats
+    metrics: PrefetchMetrics
+    table_misses: int
+    table_lookups: int
+    training_occurrences: Dict[str, int]
+    issued_by_prefetcher: Dict[str, int]
+    useful_by_prefetcher: Dict[str, int]
+    energy: EnergyReport
+    l1_hit_rate: float
+    dram_reads: int
+    dram_prefetch_reads: int
+    selector_storage_bits: int
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+
+@dataclass
+class MulticoreResult:
+    """Per-core results of a multi-core simulation."""
+
+    cores: List[SimulationResult]
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.core.instructions for r in self.cores)
+
+    @property
+    def max_cycles(self) -> float:
+        return max(r.core.cycles for r in self.cores)
+
+    def weighted_speedup(self, baseline: "MulticoreResult") -> float:
+        """Mean per-core IPC ratio against a baseline run."""
+        ratios = [
+            mine.ipc / base.ipc
+            for mine, base in zip(self.cores, baseline.cores)
+            if base.ipc > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+
+class _CoreContext:
+    """One core's engine: trace cursor + core model + hierarchy + selector."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Sequence[TraceRecord],
+        config: SystemConfig,
+        selector: Optional[SelectionAlgorithm],
+        shared: Optional[SharedMemory],
+    ):
+        self.core_id = core_id
+        self.trace = trace
+        self.position = 0
+        self.core = CoreModel(config)
+        self.selector = selector
+        self.metrics = PrefetchMetrics()
+        self.hierarchy = MemoryHierarchy(
+            config,
+            core_id=core_id,
+            shared=shared,
+            on_prefetch_used=self._on_prefetch_used,
+            on_prefetch_evicted=self._on_prefetch_evicted,
+        )
+
+    # -- prefetch-outcome callbacks ------------------------------------------
+
+    def _on_prefetch_used(self, record, timely: bool) -> None:
+        if timely:
+            self.metrics.covered_timely += 1
+        else:
+            self.metrics.covered_untimely += 1
+        if self.selector is not None:
+            self.selector.observe_prefetch_used(record, timely)
+
+    def _on_prefetch_evicted(self, record) -> None:
+        self.metrics.overpredicted += 1
+        if self.selector is not None:
+            self.selector.observe_prefetch_evicted(record)
+
+    # -- stepping ----------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.trace)
+
+    def step(self) -> None:
+        """Execute the next trace record."""
+        record = self.trace[self.position]
+        self.position += 1
+        core = self.core
+        core.advance(record.nonmem_before)
+        cycle = core.cycle
+        access = DemandAccess(
+            pc=record.pc,
+            address=record.address,
+            access_type=record.access_type,
+            core_id=self.core_id,
+            timestamp=self.position,
+        )
+        is_write = record.access_type is AccessType.STORE
+        result = self.hierarchy.demand_access(access.line, cycle, is_write)
+        if result.hit_level != "l1" and not result.was_covered_by_prefetch:
+            self.metrics.uncovered += 1
+        core.memory_access(
+            result.latency,
+            is_load=record.access_type is AccessType.LOAD,
+            dependent=record.dependent,
+        )
+
+        selector = self.selector
+        if selector is None:
+            return
+        selector.observe_demand(access)
+        candidates: List[PrefetchCandidate] = []
+        for decision in selector.allocate(access):
+            produced = decision.prefetcher.train(access, decision.degree)
+            if decision.next_level_from is not None:
+                for candidate in produced[decision.next_level_from:]:
+                    candidate.to_next_level = True
+            candidates.extend(produced)
+        final = selector.filter_prefetches(candidates, access)
+        # Deep prefetches land in the L2 to bound L1 pollution: every
+        # candidate past the first L1_FILL_DEPTH per prefetcher fills the
+        # next level (Alecto's own c / m+1 split may mark earlier ones).
+        fill_rank: Dict[str, int] = {}
+        for candidate in final:
+            rank = fill_rank.get(candidate.prefetcher, 0)
+            fill_rank[candidate.prefetcher] = rank + 1
+            if rank >= L1_FILL_DEPTH:
+                candidate.to_next_level = True
+            if self.hierarchy.issue_prefetch(candidate, cycle):
+                self.metrics.issued += 1
+        selector.post_issue(access, final)
+        if selector.needs_reward:
+            selector.performance_sample(core.stats.instructions, core.stats.cycles)
+
+    def finish(self) -> None:
+        self.core.drain()
+
+    def result(self, name: str, config: SystemConfig) -> SimulationResult:
+        selector = self.selector
+        prefetchers = selector.prefetchers if selector is not None else []
+        table_misses = sum(p.table_stats.misses for p in prefetchers)
+        table_lookups = sum(p.table_stats.lookups for p in prefetchers)
+        ledger = self.hierarchy.ledger
+        useful = {
+            name_: ledger.used_timely.get(name_, 0)
+            + ledger.used_untimely.get(name_, 0)
+            for name_ in ledger.issued
+        }
+        l1 = self.hierarchy.l1.stats
+        l2 = self.hierarchy.l2.stats
+        llc = self.hierarchy.llc.stats
+        energy = EnergyModel(config).report(
+            l1_accesses=l1.demand_accesses + l1.prefetch_fills,
+            l2_accesses=l2.demand_accesses + l2.prefetch_fills,
+            llc_accesses=llc.demand_accesses,
+            dram_reads=self.hierarchy.dram.total_reads,
+            prefetchers=prefetchers,
+            selector_storage_bits=(
+                selector.storage_bits if selector is not None else 0
+            ),
+            selector_accesses=self.position,
+        )
+        return SimulationResult(
+            name=name,
+            selector_name=selector.name if selector is not None else "none",
+            core=self.core.stats,
+            metrics=self.metrics,
+            table_misses=table_misses,
+            table_lookups=table_lookups,
+            training_occurrences=(
+                dict(selector.training_occurrences) if selector is not None else {}
+            ),
+            issued_by_prefetcher=dict(ledger.issued),
+            useful_by_prefetcher=useful,
+            energy=energy,
+            l1_hit_rate=l1.demand_hit_rate,
+            dram_reads=self.hierarchy.dram.stats.reads,
+            dram_prefetch_reads=self.hierarchy.dram.stats.prefetch_reads,
+            selector_storage_bits=(
+                selector.storage_bits if selector is not None else 0
+            ),
+        )
+
+
+def simulate(
+    trace: Sequence[TraceRecord],
+    selector: Optional[SelectionAlgorithm] = None,
+    config: Optional[SystemConfig] = None,
+    name: str = "run",
+) -> SimulationResult:
+    """Run one trace on a single core.
+
+    Args:
+        trace: the committed-instruction trace.
+        selector: selection algorithm owning the prefetchers; None means
+            the no-prefetching baseline.
+        config: system parameters (Table I defaults when omitted).
+        name: label copied into the result.
+    """
+    config = config or SystemConfig()
+    context = _CoreContext(0, trace, config, selector, shared=None)
+    while not context.done:
+        context.step()
+    context.finish()
+    return context.result(name, config)
+
+
+def simulate_multicore(
+    traces: Sequence[Sequence[TraceRecord]],
+    selector_factory,
+    config: Optional[SystemConfig] = None,
+    name: str = "run",
+) -> MulticoreResult:
+    """Run per-core traces against a shared LLC and DRAM.
+
+    Args:
+        traces: one trace per core.
+        selector_factory: callable ``(core_id) -> SelectionAlgorithm or
+            None``; each core gets private prefetchers/selector state.
+        config: system parameters; ``cores`` must match ``len(traces)``.
+    """
+    config = config or SystemConfig(cores=len(traces))
+    if config.cores != len(traces):
+        raise ValueError(
+            f"config.cores ({config.cores}) != number of traces ({len(traces)})"
+        )
+    shared = SharedMemory(config)
+    contexts = [
+        _CoreContext(core_id, trace, config, selector_factory(core_id), shared)
+        for core_id, trace in enumerate(traces)
+    ]
+    active = [c for c in contexts if not c.done]
+    while active:
+        # Step the core with the smallest local clock so shared-resource
+        # contention is resolved in approximate global cycle order.
+        context = min(active, key=lambda c: c.core.stats.cycles)
+        context.step()
+        if context.done:
+            context.finish()
+            active.remove(context)
+    return MulticoreResult(
+        cores=[c.result(f"{name}/core{c.core_id}", config) for c in contexts]
+    )

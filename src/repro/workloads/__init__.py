@@ -1,0 +1,49 @@
+"""Synthetic workloads standing in for SPEC06 / SPEC17 / PARSEC / Ligra.
+
+The paper's argument is about matching memory-access *patterns* to
+prefetchers, so each named benchmark is modelled as a deterministic
+mixture of the pattern generators in :mod:`repro.workloads.patterns`
+(stream, stride, delta-sequence, spatial, temporal, pointer-chase,
+random noise), with a memory intensity and footprint chosen to match the
+benchmark's published character.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.workloads.ligra import LIGRA_PROFILES
+from repro.workloads.parsec import PARSEC_PROFILES
+from repro.workloads.profiles import BenchmarkProfile, PatternSpec
+from repro.workloads.spec06 import SPEC06_PROFILES, spec06_memory_intensive
+from repro.workloads.spec17 import SPEC17_PROFILES, spec17_memory_intensive
+from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+ALL_SUITES = {
+    "spec06": SPEC06_PROFILES,
+    "spec17": SPEC17_PROFILES,
+    "parsec": PARSEC_PROFILES,
+    "ligra": LIGRA_PROFILES,
+}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name across all suites."""
+    for suite in ALL_SUITES.values():
+        if name in suite:
+            return suite[name]
+    if name in TEMPORAL_PROFILES:
+        return TEMPORAL_PROFILES[name]
+    raise KeyError(f"unknown benchmark: {name!r}")
+
+
+__all__ = [
+    "ALL_SUITES",
+    "BenchmarkProfile",
+    "LIGRA_PROFILES",
+    "PARSEC_PROFILES",
+    "PatternSpec",
+    "SPEC06_PROFILES",
+    "SPEC17_PROFILES",
+    "TEMPORAL_PROFILES",
+    "get_profile",
+    "spec06_memory_intensive",
+    "spec17_memory_intensive",
+]

@@ -1,0 +1,60 @@
+"""Ligra graph-processing profiles (rMatGraph-style inputs, Fig. 17).
+
+Graph kernels mix a streaming frontier/offset scan with irregular
+neighbour-array gathers: heavy on random and temporal traffic, with a
+streaming backbone — the canonical hard case for spatial prefetchers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+def _mk(name, mem_ratio, patterns):
+    return profile(
+        name=name,
+        suite="ligra",
+        memory_intensive=True,
+        mem_ratio=mem_ratio,
+        patterns=patterns,
+        store_ratio=0.15,
+    )
+
+
+LIGRA_PROFILES = {
+    p.name: p
+    for p in [
+        _mk("bfs", 0.22, [
+            (0.35, "stream", {"footprint": 32 * MB, "run_length": 400, "copies": 2}),
+            (0.40, "random", {"footprint": 4 * MB, "pc_count": 16}),
+            (0.25, "temporal", {"sequence_length": 5000, "footprint": 64 * MB}),
+        ]),
+        _mk("bc", 0.22, [
+            (0.30, "stream", {"footprint": 32 * MB, "run_length": 400, "copies": 2}),
+            (0.45, "random", {"footprint": 4 * MB, "pc_count": 24}),
+            (0.25, "temporal", {"sequence_length": 6000, "footprint": 64 * MB}),
+        ]),
+        _mk("pagerank", 0.25, [
+            (0.45, "stream", {"footprint": 64 * MB, "run_length": 1200, "copies": 3}),
+            (0.35, "random", {"footprint": 4 * MB, "pc_count": 16}),
+            (0.20, "temporal", {"sequence_length": 8000, "footprint": 64 * MB}),
+        ]),
+        _mk("components", 0.22, [
+            (0.35, "stream", {"footprint": 32 * MB, "run_length": 600, "copies": 2}),
+            (0.40, "random", {"footprint": 4 * MB, "pc_count": 16}),
+            (0.25, "temporal", {"sequence_length": 5000, "footprint": 64 * MB}),
+        ]),
+        _mk("radii", 0.22, [
+            (0.30, "stream", {"footprint": 32 * MB, "run_length": 500, "copies": 2}),
+            (0.45, "random", {"footprint": 4 * MB, "pc_count": 20}),
+            (0.25, "temporal", {"sequence_length": 5500, "footprint": 64 * MB}),
+        ]),
+        _mk("triangle", 0.22, [
+            (0.40, "stream", {"footprint": 32 * MB, "run_length": 800, "copies": 3}),
+            (0.40, "random", {"footprint": 4 * MB, "pc_count": 16}),
+            (0.20, "pointer_chase", {"nodes": 1 << 15}),
+        ]),
+    ]
+}

@@ -1,0 +1,68 @@
+"""PARSEC 3.0 region-of-interest profiles for the multi-core evaluation.
+
+Used in the eight-core Fig. 17 experiment: all cores run the same parallel
+workload (we model each thread as an independent instance of the profile
+with a different seed, approximating the data-parallel ROI behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+def _mk(name, mem_ratio, patterns, store_ratio=0.25):
+    return profile(
+        name=name,
+        suite="parsec",
+        memory_intensive=True,
+        mem_ratio=mem_ratio,
+        patterns=patterns,
+        store_ratio=store_ratio,
+    )
+
+
+PARSEC_PROFILES = {
+    p.name: p
+    for p in [
+        _mk("blackscholes", 0.22, [
+            (0.70, "stream", {"footprint": 16 * MB, "run_length": 600, "copies": 2}),
+            (0.30, "stride", {"stride": 320, "footprint": 16 * MB}),
+        ]),
+        _mk("bodytrack", 0.25, [
+            (0.40, "spatial", {"offsets": (0, 1, 2, 5, 6), "footprint": 16 * MB}),
+            (0.35, "stride", {"stride": 128, "footprint": 16 * MB, "copies": 2}),
+            (0.25, "random", {"footprint": 8 * MB, "pc_count": 12}),
+        ]),
+        _mk("canneal", 0.25, [
+            (0.50, "pointer_chase", {"nodes": 1 << 16}),
+            (0.25, "temporal", {"sequence_length": 4000, "footprint": 32 * MB}),
+            (0.25, "random", {"footprint": 32 * MB, "pc_count": 24}),
+        ]),
+        _mk("dedup", 0.30, [
+            (0.40, "stream", {"footprint": 32 * MB, "run_length": 800, "copies": 2}),
+            (0.30, "temporal", {"sequence_length": 2500, "footprint": 16 * MB}),
+            (0.30, "random", {"footprint": 16 * MB, "pc_count": 16}),
+        ]),
+        _mk("ferret", 0.28, [
+            (0.40, "stride", {"stride": 192, "footprint": 16 * MB, "copies": 2}),
+            (0.30, "spatial", {"offsets": (0, 2, 3, 6, 9), "footprint": 16 * MB}),
+            (0.30, "random", {"footprint": 8 * MB, "pc_count": 16}),
+        ]),
+        _mk("fluidanimate", 0.22, [
+            (0.45, "stream", {"footprint": 32 * MB, "run_length": 500, "copies": 3}),
+            (0.35, "stride", {"stride": 256, "footprint": 32 * MB, "copies": 2}),
+            (0.20, "random", {"footprint": 8 * MB, "pc_count": 8}),
+        ]),
+        _mk("streamcluster", 0.25, [
+            (0.70, "stream", {"footprint": 64 * MB, "run_length": 1500, "copies": 3}),
+            (0.20, "stride", {"stride": 512, "footprint": 64 * MB}),
+            (0.10, "random", {"footprint": 16 * MB, "pc_count": 4}),
+        ]),
+        _mk("swaptions", 0.18, [
+            (0.60, "stride", {"stride": 64, "footprint": 2 * MB, "copies": 2}),
+            (0.40, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+    ]
+}

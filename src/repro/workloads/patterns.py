@@ -1,0 +1,343 @@
+"""Memory access pattern generators.
+
+Each pattern is an infinite deterministic stream of (address, dependent)
+pairs for one PC, covering the taxonomy the paper builds on
+(Section I / Fig. 6): stream, stride, complex delta sequences, spatial
+region footprints, temporal recurrences, pointer chasing, and
+non-recurrent random noise.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Tuple
+
+LINE = 64
+REGION = 4096
+
+
+class Pattern(abc.ABC):
+    """An infinite per-PC access stream.
+
+    Args:
+        pc: program counter of the generating instruction.
+        rng: private random source (already seeded by the profile).
+    """
+
+    def __init__(self, pc: int, rng: random.Random):
+        self.pc = pc
+        self.rng = rng
+
+    @abc.abstractmethod
+    def next_address(self) -> Tuple[int, bool]:
+        """Return ``(byte_address, dependent)`` for the next access."""
+
+
+class StreamPattern(Pattern):
+    """Ascending (or descending) sequential element accesses.
+
+    Walks ``element_bytes``-sized elements, so each 64-byte line receives
+    several accesses before the stream advances to the next line (real
+    streaming code touches every element).  Runs of ``run_length`` *lines*,
+    then a jump to a fresh location in the footprint — the shape GS-style
+    stream prefetchers own.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        footprint: int = 64 << 20,
+        run_length: int = 512,
+        direction: int = 1,
+        base: int = 0,
+        element_bytes: int = 8,
+    ):
+        super().__init__(pc, rng)
+        if element_bytes <= 0 or element_bytes > LINE:
+            raise ValueError("element_bytes must be in (0, 64]")
+        self.footprint = footprint
+        self.run_length = run_length
+        self.direction = direction
+        self.base = base
+        self.element_bytes = element_bytes
+        self._position = rng.randrange(footprint // LINE) * LINE
+        self._remaining = run_length * (LINE // element_bytes)
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._remaining <= 0:
+            self._position = self.rng.randrange(self.footprint // LINE) * LINE
+            self._remaining = self.run_length * (LINE // self.element_bytes)
+        address = self.base + self._position % self.footprint
+        self._position += self.direction * self.element_bytes
+        self._remaining -= 1
+        return address, False
+
+
+class StridePattern(Pattern):
+    """Constant-stride accesses (stride may span multiple lines).
+
+    ``dwell`` models structure-of-records code: each strided position
+    receives ``dwell`` accesses at small intra-record offsets before the
+    stride advances (A[i].x, A[i].y, ... then i += stride).
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        stride: int = 256,
+        footprint: int = 64 << 20,
+        run_length: int = 1024,
+        base: int = 0,
+        dwell: int = 1,
+    ):
+        super().__init__(pc, rng)
+        if stride == 0:
+            raise ValueError("stride must be non-zero")
+        if dwell < 1:
+            raise ValueError("dwell must be >= 1")
+        self.stride = stride
+        self.footprint = footprint
+        self.run_length = run_length
+        self.base = base
+        self.dwell = dwell
+        self._position = self._aligned_start()
+        self._remaining = run_length
+        self._dwell_index = 0
+
+    def _aligned_start(self) -> int:
+        # Records are stride-aligned (as real arrays of structs are), so
+        # the dwell accesses stay within the record's first line.
+        slots = max(1, self.footprint // abs(self.stride))
+        return self.rng.randrange(slots) * abs(self.stride)
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._remaining <= 0:
+            self._position = self._aligned_start()
+            self._remaining = self.run_length
+        offset = (self._dwell_index * 8) % LINE
+        address = self.base + (self._position + offset) % self.footprint
+        self._dwell_index += 1
+        if self._dwell_index >= self.dwell:
+            self._dwell_index = 0
+            self._position += self.stride
+            self._remaining -= 1
+        return address, False
+
+
+class DeltaSequencePattern(Pattern):
+    """Repeating non-constant delta sequence, e.g. (+1, +1, +1, +4) lines.
+
+    The Section II-A example that defeats a constant-stride prefetcher but
+    is exactly predictable by CPLX-style delta-history prediction.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        deltas: Tuple[int, ...] = (1, 1, 1, 4),
+        footprint: int = 64 << 20,
+        base: int = 0,
+    ):
+        super().__init__(pc, rng)
+        if not deltas:
+            raise ValueError("deltas must be non-empty")
+        self.deltas = deltas
+        self.footprint = footprint
+        self.base = base
+        self._position = rng.randrange(footprint // LINE) * LINE
+        self._index = 0
+
+    def next_address(self) -> Tuple[int, bool]:
+        address = self.base + self._position % self.footprint
+        self._position += self.deltas[self._index] * LINE
+        self._index = (self._index + 1) % len(self.deltas)
+        return address, False
+
+
+class SpatialPattern(Pattern):
+    """Fixed intra-region footprint replayed across many 4 KB regions.
+
+    Each visited region is touched at the same line offsets (relative to
+    the trigger offset), in order — the structure PMP/SMS-style spatial
+    prefetchers learn and replay.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        offsets: Tuple[int, ...] = (0, 2, 3, 7, 9, 12, 13, 21),
+        footprint: int = 64 << 20,
+        base: int = 0,
+        sequential_regions: bool = False,
+        dwell: int = 4,
+    ):
+        super().__init__(pc, rng)
+        if not offsets:
+            raise ValueError("offsets must be non-empty")
+        if dwell < 1:
+            raise ValueError("dwell must be >= 1")
+        self.offsets = offsets
+        self.footprint = footprint
+        self.base = base
+        self.sequential_regions = sequential_regions
+        self.dwell = dwell
+        self._num_regions = max(1, footprint // REGION)
+        self._region = rng.randrange(self._num_regions)
+        self._index = 0
+        self._dwell_index = 0
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._index >= len(self.offsets):
+            self._index = 0
+            if self.sequential_regions:
+                self._region = (self._region + 1) % self._num_regions
+            else:
+                self._region = self.rng.randrange(self._num_regions)
+        offset = self.offsets[self._index]
+        element = (self._dwell_index * 8) % LINE
+        self._dwell_index += 1
+        if self._dwell_index >= self.dwell:
+            self._dwell_index = 0
+            self._index += 1
+        address = (
+            self.base
+            + self._region * REGION
+            + (offset % (REGION // LINE)) * LINE
+            + element
+        )
+        return address, False
+
+
+class TemporalPattern(Pattern):
+    """A fixed irregular address sequence replayed cyclically.
+
+    The recurrence structure temporal prefetchers exist for: deltas are
+    irregular (no stream/stride/spatial structure) but the *sequence*
+    repeats, so a Markov metadata table predicts it once trained.
+    ``sequence_length`` controls the reuse distance — long sequences
+    stress metadata capacity (the Fig. 14 story).
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        sequence_length: int = 4096,
+        footprint: int = 64 << 20,
+        base: int = 0,
+        noise: float = 0.0,
+        dwell: int = 2,
+    ):
+        super().__init__(pc, rng)
+        if sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        if dwell < 1:
+            raise ValueError("dwell must be >= 1")
+        lines = footprint // LINE
+        self.base = base
+        self.noise = noise
+        self.footprint = footprint
+        self.dwell = dwell
+        self._sequence: List[int] = [
+            rng.randrange(lines) * LINE for _ in range(sequence_length)
+        ]
+        self._index = rng.randrange(sequence_length)
+        self._dwell_index = 0
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self.noise and self.rng.random() < self.noise:
+            return self.base + self.rng.randrange(self.footprint // LINE) * LINE, False
+        element = (self._dwell_index * 8) % LINE
+        self._dwell_index += 1
+        address = self.base + self._sequence[self._index] + element
+        if self._dwell_index >= self.dwell:
+            self._dwell_index = 0
+            self._index = (self._index + 1) % len(self._sequence)
+        return address, False
+
+
+class PointerChasePattern(Pattern):
+    """Walk of a random permutation cycle; every access is dependent.
+
+    Serialised misses (no MLP) with a repeating visit order: the
+    latency-bound shape of mcf/astar that only temporal prefetching can
+    cover.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        nodes: int = 1 << 15,
+        base: int = 0,
+        node_bytes: int = 64,
+    ):
+        super().__init__(pc, rng)
+        if nodes < 2:
+            raise ValueError("need at least two nodes")
+        order = list(range(nodes))
+        rng.shuffle(order)
+        self._next = [0] * nodes
+        for i in range(nodes):
+            self._next[order[i]] = order[(i + 1) % nodes]
+        self.base = base
+        self.node_bytes = node_bytes
+        self._current = order[0]
+
+    def next_address(self) -> Tuple[int, bool]:
+        address = self.base + self._current * self.node_bytes
+        self._current = self._next[self._current]
+        return address, True
+
+
+class RandomPattern(Pattern):
+    """Uniform random accesses over the footprint: unprefetchable noise.
+
+    ``pc_count`` rotates the generating PC so the noise also pressures
+    PC-indexed tables — the conflict traffic behind Fig. 1.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        footprint: int = 64 << 20,
+        base: int = 0,
+        pc_count: int = 1,
+    ):
+        super().__init__(pc, rng)
+        self.footprint = footprint
+        self.base = base
+        self.pc_count = max(1, pc_count)
+        self._pc_base = pc
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self.pc_count > 1:
+            self.pc = self._pc_base + self.rng.randrange(self.pc_count) * 4
+        return self.base + self.rng.randrange(self.footprint // LINE) * LINE, False
+
+
+#: Registry used by the declarative profile specs.
+PATTERN_KINDS = {
+    "stream": StreamPattern,
+    "stride": StridePattern,
+    "delta_sequence": DeltaSequencePattern,
+    "spatial": SpatialPattern,
+    "temporal": TemporalPattern,
+    "pointer_chase": PointerChasePattern,
+    "random": RandomPattern,
+}
+
+
+def make_pattern(kind: str, pc: int, rng: random.Random, **kwargs) -> Pattern:
+    """Instantiate a pattern by registry name."""
+    try:
+        cls = PATTERN_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown pattern kind: {kind!r}") from None
+    return cls(pc, rng, **kwargs)

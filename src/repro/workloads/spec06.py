@@ -1,0 +1,201 @@
+"""SPEC CPU2006 benchmark profiles.
+
+Pattern mixtures follow each benchmark's published memory-behaviour
+characterisation (streaming vs strided vs irregular/pointer-heavy), with
+footprints sized well beyond the 2 MB LLC for the memory-intensive group
+(the 18 benchmarks inside the dotted box of Fig. 8) and cache-resident
+footprints for the compute-bound group.  Recipe conventions:
+
+- streams walk 8-byte elements (8 accesses per 64-byte line);
+- strided patterns use line-multiple strides with a ``dwell`` of several
+  field accesses per record;
+- random noise uses a small footprint (LLC-resident: it pressures the
+  PC-indexed prefetcher tables without flooding DRAM) and rotates PCs;
+- irregular benchmarks mix temporal recurrences and pointer chasing.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def _mk(name, memory_intensive, mem_ratio, patterns, store_ratio=0.25):
+    return profile(
+        name=name,
+        suite="spec06",
+        memory_intensive=memory_intensive,
+        mem_ratio=mem_ratio,
+        patterns=patterns,
+        store_ratio=store_ratio,
+    )
+
+
+SPEC06_PROFILES = {
+    p.name: p
+    for p in [
+        # ---- memory intensive ------------------------------------------------
+        _mk("astar", True, 0.30, [
+            (0.40, "pointer_chase", {"nodes": 1 << 16}),
+            (0.30, "temporal", {"sequence_length": 3000, "footprint": 32 * MB}),
+            (0.15, "stream", {"footprint": 16 * MB, "run_length": 300}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 16}),
+        ]),
+        _mk("bwaves", True, 0.35, [
+            (0.50, "stream", {"footprint": 64 * MB, "run_length": 800, "copies": 4}),
+            (0.35, "stride", {"stride": 320, "footprint": 64 * MB, "dwell": 4, "copies": 3}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+        _mk("bzip2", True, 0.28, [
+            (0.40, "stride", {"stride": 128, "footprint": 16 * MB, "dwell": 4, "copies": 2}),
+            (0.30, "stream", {"footprint": 16 * MB, "run_length": 300}),
+            (0.30, "random", {"footprint": 4 * MB, "pc_count": 24}),
+        ]),
+        _mk("cactusADM", True, 0.32, [
+            (0.55, "stride", {"stride": 832, "footprint": 64 * MB, "dwell": 4, "copies": 4}),
+            (0.30, "stream", {"footprint": 64 * MB, "run_length": 600, "copies": 2}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 12}),
+        ]),
+        _mk("gcc", True, 0.25, [
+            (0.30, "stride", {"stride": 64, "footprint": 8 * MB, "dwell": 2, "copies": 2}),
+            (0.25, "temporal", {"sequence_length": 2500, "footprint": 16 * MB}),
+            (0.20, "spatial", {"offsets": (0, 1, 2, 4, 8), "footprint": 16 * MB}),
+            (0.25, "random", {"footprint": 4 * MB, "pc_count": 32}),
+        ]),
+        # The Fig. 2 benchmark: interleaved stream and spatial PCs.
+        _mk("GemsFDTD", True, 0.35, [
+            (0.35, "stream", {"footprint": 64 * MB, "run_length": 700, "copies": 3}),
+            (0.35, "spatial", {
+                "offsets": (0, 3, 4, 7, 11, 15, 18, 24),
+                "footprint": 64 * MB,
+                "sequential_regions": True,
+                "copies": 2,
+            }),
+            (0.20, "stride", {"stride": 448, "footprint": 64 * MB, "dwell": 4, "copies": 2}),
+            (0.10, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+        _mk("gromacs", True, 0.22, [
+            (0.45, "stride", {"stride": 192, "footprint": 8 * MB, "dwell": 4, "copies": 3}),
+            (0.30, "stream", {"footprint": 8 * MB, "run_length": 200}),
+            (0.25, "random", {"footprint": 2 * MB, "pc_count": 16}),
+        ]),
+        _mk("hmmer", True, 0.28, [
+            (0.60, "stride", {"stride": 64, "footprint": 8 * MB, "dwell": 2, "copies": 3}),
+            (0.25, "stream", {"footprint": 8 * MB, "run_length": 400}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+        _mk("lbm", True, 0.40, [
+            (0.65, "stream", {"footprint": 128 * MB, "run_length": 2000, "copies": 4}),
+            (0.25, "stride", {"stride": 1280, "footprint": 128 * MB, "dwell": 4, "copies": 2}),
+            (0.10, "random", {"footprint": 2 * MB, "pc_count": 4}),
+        ], store_ratio=0.40),
+        _mk("leslie3d", True, 0.35, [
+            (0.50, "stream", {"footprint": 64 * MB, "run_length": 900, "copies": 3}),
+            (0.35, "stride", {"stride": 256, "footprint": 64 * MB, "dwell": 4, "copies": 3}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+        _mk("libquantum", True, 0.40, [
+            (0.90, "stream", {"footprint": 64 * MB, "run_length": 4000, "copies": 2}),
+            (0.10, "stride", {"stride": 128, "footprint": 64 * MB, "dwell": 2}),
+        ]),
+        _mk("mcf", True, 0.40, [
+            (0.40, "pointer_chase", {"nodes": 1 << 17}),
+            (0.30, "temporal", {"sequence_length": 6000, "footprint": 64 * MB}),
+            (0.15, "spatial", {"offsets": (0, 1, 2, 3), "footprint": 32 * MB}),
+            (0.15, "random", {"footprint": 4 * MB, "pc_count": 24}),
+        ]),
+        _mk("milc", True, 0.35, [
+            (0.45, "stride", {"stride": 576, "footprint": 64 * MB, "dwell": 4, "copies": 4}),
+            (0.30, "spatial", {"offsets": (0, 1, 2, 3, 8, 9, 10, 11), "footprint": 64 * MB}),
+            (0.25, "stream", {"footprint": 64 * MB, "run_length": 500}),
+        ]),
+        _mk("omnetpp", True, 0.32, [
+            (0.40, "temporal", {"sequence_length": 5000, "footprint": 32 * MB, "noise": 0.05}),
+            (0.25, "pointer_chase", {"nodes": 1 << 15}),
+            (0.15, "spatial", {"offsets": (0, 1, 3, 4), "footprint": 16 * MB}),
+            (0.20, "random", {"footprint": 4 * MB, "pc_count": 32}),
+        ]),
+        _mk("soplex", True, 0.32, [
+            (0.35, "stride", {"stride": 64, "footprint": 32 * MB, "dwell": 2, "copies": 3}),
+            (0.30, "temporal", {"sequence_length": 3500, "footprint": 32 * MB}),
+            (0.20, "spatial", {"offsets": (0, 2, 5, 6, 9, 13), "footprint": 32 * MB}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 16}),
+        ]),
+        _mk("sphinx3", True, 0.30, [
+            (0.40, "spatial", {"offsets": (0, 1, 3, 4, 6, 10, 12), "footprint": 32 * MB, "copies": 2}),
+            (0.30, "stream", {"footprint": 32 * MB, "run_length": 350, "copies": 2}),
+            (0.15, "temporal", {"sequence_length": 2000, "footprint": 16 * MB}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 12}),
+        ]),
+        _mk("xalancbmk", True, 0.30, [
+            (0.40, "temporal", {"sequence_length": 4500, "footprint": 32 * MB, "noise": 0.05}),
+            (0.20, "pointer_chase", {"nodes": 1 << 14}),
+            (0.10, "stream", {"footprint": 8 * MB, "run_length": 150}),
+            (0.30, "random", {"footprint": 4 * MB, "pc_count": 32}),
+        ]),
+        _mk("zeusmp", True, 0.35, [
+            (0.55, "stride", {"stride": 704, "footprint": 64 * MB, "dwell": 4, "copies": 4}),
+            (0.30, "stream", {"footprint": 64 * MB, "run_length": 600, "copies": 2}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+        # ---- compute bound ----------------------------------------------------
+        _mk("calculix", False, 0.15, [
+            (0.60, "stride", {"stride": 64, "footprint": 512 * KB, "dwell": 2, "copies": 2}),
+            (0.40, "random", {"footprint": 512 * KB, "pc_count": 8}),
+        ]),
+        _mk("dealII", False, 0.18, [
+            (0.50, "stride", {"stride": 128, "footprint": MB, "dwell": 4, "copies": 2}),
+            (0.30, "temporal", {"sequence_length": 800, "footprint": MB}),
+            (0.20, "random", {"footprint": MB, "pc_count": 8}),
+        ]),
+        _mk("gamess", False, 0.12, [
+            (0.70, "stride", {"stride": 64, "footprint": 256 * KB, "dwell": 2, "copies": 2}),
+            (0.30, "random", {"footprint": 256 * KB, "pc_count": 4}),
+        ]),
+        _mk("gobmk", False, 0.15, [
+            (0.40, "temporal", {"sequence_length": 600, "footprint": MB}),
+            (0.30, "stride", {"stride": 64, "footprint": MB, "dwell": 2}),
+            (0.30, "random", {"footprint": MB, "pc_count": 16}),
+        ]),
+        _mk("h264ref", False, 0.18, [
+            (0.50, "spatial", {"offsets": (0, 1, 2, 3, 4, 5), "footprint": 2 * MB}),
+            (0.30, "stream", {"footprint": 2 * MB, "run_length": 100}),
+            (0.20, "random", {"footprint": MB, "pc_count": 8}),
+        ]),
+        _mk("namd", False, 0.15, [
+            (0.60, "stride", {"stride": 192, "footprint": MB, "dwell": 4, "copies": 2}),
+            (0.40, "random", {"footprint": MB, "pc_count": 8}),
+        ]),
+        _mk("perlbench", False, 0.18, [
+            (0.40, "temporal", {"sequence_length": 700, "footprint": 2 * MB}),
+            (0.30, "pointer_chase", {"nodes": 1 << 10}),
+            (0.30, "random", {"footprint": MB, "pc_count": 16}),
+        ]),
+        _mk("povray", False, 0.12, [
+            (0.50, "stride", {"stride": 64, "footprint": 512 * KB, "dwell": 2}),
+            (0.50, "random", {"footprint": 512 * KB, "pc_count": 8}),
+        ]),
+        _mk("sjeng", False, 0.14, [
+            (0.50, "random", {"footprint": 2 * MB, "pc_count": 16}),
+            (0.50, "temporal", {"sequence_length": 500, "footprint": MB}),
+        ]),
+        _mk("tonto", False, 0.13, [
+            (0.60, "stride", {"stride": 128, "footprint": 512 * KB, "dwell": 4, "copies": 2}),
+            (0.40, "random", {"footprint": 512 * KB, "pc_count": 8}),
+        ]),
+        _mk("wrf", False, 0.20, [
+            (0.45, "stream", {"footprint": 4 * MB, "run_length": 250, "copies": 2}),
+            (0.35, "stride", {"stride": 256, "footprint": 4 * MB, "dwell": 4}),
+            (0.20, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+    ]
+}
+
+
+def spec06_memory_intensive():
+    """The 18 memory-intensive SPEC06 benchmarks (Fig. 8's dotted box)."""
+    return {
+        name: prof for name, prof in SPEC06_PROFILES.items() if prof.memory_intensive
+    }

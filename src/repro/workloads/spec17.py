@@ -1,0 +1,138 @@
+"""SPEC CPU2017 benchmark profiles (Fig. 9 set).
+
+Names carry the ``_17`` suffix used in the paper's memory-intensive plots
+where they collide with SPEC06 names.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def _mk(name, memory_intensive, mem_ratio, patterns, store_ratio=0.25):
+    return profile(
+        name=name,
+        suite="spec17",
+        memory_intensive=memory_intensive,
+        mem_ratio=mem_ratio,
+        patterns=patterns,
+        store_ratio=store_ratio,
+    )
+
+
+SPEC17_PROFILES = {
+    p.name: p
+    for p in [
+        # ---- memory intensive ------------------------------------------------
+        _mk("bwaves_17", True, 0.42, [
+            (0.55, "stream", {"footprint": 96 * MB, "run_length": 1000, "copies": 4}),
+            (0.30, "stride", {"stride": 320, "footprint": 96 * MB, "copies": 3}),
+            (0.15, "random", {"footprint": 32 * MB, "pc_count": 8}),
+        ]),
+        _mk("cactuBSSN_17", True, 0.38, [
+            (0.50, "stride", {"stride": 896, "footprint": 64 * MB, "copies": 4}),
+            (0.30, "spatial", {"offsets": (0, 1, 4, 5, 8, 9), "footprint": 64 * MB}),
+            (0.20, "stream", {"footprint": 64 * MB, "run_length": 400}),
+        ]),
+        _mk("cam4_17", True, 0.33, [
+            (0.40, "stride", {"stride": 256, "footprint": 32 * MB, "copies": 3}),
+            (0.30, "stream", {"footprint": 32 * MB, "run_length": 300, "copies": 2}),
+            (0.30, "random", {"footprint": 16 * MB, "pc_count": 24}),
+        ]),
+        _mk("fotonik3d_17", True, 0.42, [
+            (0.60, "stream", {"footprint": 96 * MB, "run_length": 1500, "copies": 3}),
+            (0.25, "stride", {"stride": 512, "footprint": 96 * MB, "copies": 2}),
+            (0.15, "random", {"footprint": 32 * MB, "pc_count": 8}),
+        ]),
+        _mk("gcc_17", True, 0.28, [
+            (0.30, "stride", {"stride": 64, "footprint": 8 * MB, "copies": 2}),
+            (0.25, "temporal", {"sequence_length": 2800, "footprint": 16 * MB}),
+            (0.20, "spatial", {"offsets": (0, 1, 2, 4, 9), "footprint": 16 * MB}),
+            (0.25, "random", {"footprint": 16 * MB, "pc_count": 32}),
+        ]),
+        _mk("lbm_17", True, 0.46, [
+            (0.65, "stream", {"footprint": 128 * MB, "run_length": 2500, "copies": 4}),
+            (0.25, "stride", {"stride": 1280, "footprint": 128 * MB, "copies": 2}),
+            (0.10, "random", {"footprint": 32 * MB, "pc_count": 4}),
+        ], store_ratio=0.40),
+        _mk("mcf_17", True, 0.44, [
+            (0.45, "pointer_chase", {"nodes": 1 << 17}),
+            (0.30, "temporal", {"sequence_length": 7000, "footprint": 64 * MB}),
+            (0.25, "random", {"footprint": 64 * MB, "pc_count": 24}),
+        ]),
+        _mk("omnetpp_17", True, 0.35, [
+            (0.40, "temporal", {"sequence_length": 5500, "footprint": 32 * MB, "noise": 0.05}),
+            (0.30, "pointer_chase", {"nodes": 1 << 15}),
+            (0.30, "random", {"footprint": 32 * MB, "pc_count": 32}),
+        ]),
+        _mk("roms_17", True, 0.40, [
+            (0.55, "stream", {"footprint": 64 * MB, "run_length": 900, "copies": 3}),
+            (0.30, "stride", {"stride": 384, "footprint": 64 * MB, "copies": 3}),
+            (0.15, "random", {"footprint": 16 * MB, "pc_count": 8}),
+        ]),
+        _mk("xalancbmk_17", True, 0.32, [
+            (0.40, "temporal", {"sequence_length": 4800, "footprint": 32 * MB, "noise": 0.05}),
+            (0.25, "pointer_chase", {"nodes": 1 << 14}),
+            (0.35, "random", {"footprint": 32 * MB, "pc_count": 32}),
+        ]),
+        _mk("xz_17", True, 0.30, [
+            (0.35, "stride", {"stride": 128, "footprint": 32 * MB, "copies": 2}),
+            (0.30, "random", {"footprint": 32 * MB, "pc_count": 24}),
+            (0.35, "temporal", {"sequence_length": 3000, "footprint": 32 * MB}),
+        ]),
+        # ---- compute bound ----------------------------------------------------
+        _mk("blender_17", False, 0.16, [
+            (0.45, "stride", {"stride": 128, "footprint": 2 * MB, "copies": 2}),
+            (0.30, "spatial", {"offsets": (0, 1, 2, 3), "footprint": 2 * MB}),
+            (0.25, "random", {"footprint": MB, "pc_count": 12}),
+        ]),
+        _mk("deepsjeng_17", False, 0.15, [
+            (0.50, "random", {"footprint": 2 * MB, "pc_count": 16}),
+            (0.50, "temporal", {"sequence_length": 600, "footprint": MB}),
+        ]),
+        _mk("exchange2_17", False, 0.08, [
+            (0.70, "stride", {"stride": 64, "footprint": 128 * KB}),
+            (0.30, "random", {"footprint": 128 * KB, "pc_count": 4}),
+        ]),
+        _mk("imagick_17", False, 0.15, [
+            (0.60, "stream", {"footprint": 2 * MB, "run_length": 200, "copies": 2}),
+            (0.40, "stride", {"stride": 64, "footprint": 2 * MB}),
+        ]),
+        _mk("leela_17", False, 0.14, [
+            (0.50, "temporal", {"sequence_length": 500, "footprint": MB}),
+            (0.50, "random", {"footprint": MB, "pc_count": 12}),
+        ]),
+        _mk("nab_17", False, 0.16, [
+            (0.60, "stride", {"stride": 192, "footprint": MB, "copies": 2}),
+            (0.40, "random", {"footprint": MB, "pc_count": 8}),
+        ]),
+        _mk("namd_17", False, 0.15, [
+            (0.60, "stride", {"stride": 192, "footprint": MB, "copies": 2}),
+            (0.40, "random", {"footprint": MB, "pc_count": 8}),
+        ]),
+        _mk("parest_17", False, 0.18, [
+            (0.50, "stride", {"stride": 128, "footprint": 2 * MB, "copies": 2}),
+            (0.30, "temporal", {"sequence_length": 900, "footprint": 2 * MB}),
+            (0.20, "random", {"footprint": MB, "pc_count": 8}),
+        ]),
+        _mk("perlbench_17", False, 0.18, [
+            (0.40, "temporal", {"sequence_length": 800, "footprint": 2 * MB}),
+            (0.30, "pointer_chase", {"nodes": 1 << 10}),
+            (0.30, "random", {"footprint": MB, "pc_count": 16}),
+        ]),
+        _mk("povray_17", False, 0.12, [
+            (0.50, "stride", {"stride": 64, "footprint": 512 * KB}),
+            (0.50, "random", {"footprint": 512 * KB, "pc_count": 8}),
+        ]),
+    ]
+}
+
+
+def spec17_memory_intensive():
+    """The 11 memory-intensive SPEC17 benchmarks (Fig. 9's dotted box)."""
+    return {
+        name: prof for name, prof in SPEC17_PROFILES.items() if prof.memory_intensive
+    }

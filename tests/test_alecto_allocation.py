@@ -1,0 +1,165 @@
+"""Tests for the Allocation Table state machine (paper Fig. 5).
+
+Each test drives one labelled transition event with explicit accuracy
+vectors (index 0 = stream-like, 1 = stride-like, 2 = spatial-like unless
+stated otherwise).
+"""
+
+import pytest
+
+from repro.selection.alecto.allocation_table import AllocationTable
+from repro.selection.alecto.states import PrefetcherState, StateKind
+
+
+def make_table(temporal=(False, False, False), **kwargs):
+    return AllocationTable(
+        num_prefetchers=len(temporal), temporal_flags=list(temporal), **kwargs
+    )
+
+
+PC = 0x400
+
+
+class TestLookup:
+    def test_fresh_entry_all_ui(self):
+        table = make_table()
+        entry = table.lookup(PC)
+        assert all(state.is_ui for state in entry.states)
+
+    def test_lookup_is_stable(self):
+        table = make_table()
+        entry = table.lookup(PC)
+        entry.states[0] = PrefetcherState.ia(2)
+        assert table.lookup(PC).states[0].is_aggressive
+
+    def test_reset_states(self):
+        table = make_table()
+        table.lookup(PC).states[1] = PrefetcherState.ib(-3)
+        table.reset_states(PC)
+        assert all(state.is_ui for state in table.lookup(PC).states)
+
+    def test_invalid_flags_length(self):
+        with pytest.raises(ValueError):
+            AllocationTable(num_prefetchers=3, temporal_flags=[False])
+
+    def test_invalid_boundaries(self):
+        with pytest.raises(ValueError):
+            make_table(proficiency_boundary=0.1, deficiency_boundary=0.5)
+
+
+class TestEvent1Promotion:
+    def test_qualifier_promoted_rest_blocked(self):
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [0.9, 0.3, None])
+        states = table.lookup(PC).states
+        assert repr(states[0]) == "IA_0"
+        assert repr(states[1]) == "IB_0"
+        assert repr(states[2]) == "IB_0"
+
+    def test_multiple_qualifiers_all_promoted(self):
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [0.9, 0.8, 0.1])
+        states = table.lookup(PC).states
+        assert states[0].is_aggressive and states[1].is_aggressive
+        assert states[2].is_blocked
+
+    def test_temporal_exception_demotes_temporal(self):
+        # Section IV-F: when a non-temporal and a temporal prefetcher both
+        # qualify, promote the non-temporal one and block the temporal.
+        table = make_table(temporal=(False, False, True))
+        table.lookup(PC)
+        table.epoch_update(PC, [0.9, 0.2, 0.95])
+        states = table.lookup(PC).states
+        assert states[0].is_aggressive
+        assert states[2].is_blocked
+
+    def test_temporal_alone_still_promoted(self):
+        table = make_table(temporal=(False, False, True))
+        table.lookup(PC)
+        table.epoch_update(PC, [0.2, 0.2, 0.95])
+        assert table.lookup(PC).states[2].is_aggressive
+
+
+class TestEvent3HardBlock:
+    def test_deficient_ui_blocked_for_n_epochs(self):
+        table = make_table(block_epochs=8)
+        table.lookup(PC)
+        table.epoch_update(PC, [0.01, None, None])
+        assert repr(table.lookup(PC).states[0]) == "IB_-8"
+
+    def test_unknown_accuracy_stays_ui(self):
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [None, None, None])
+        assert all(state.is_ui for state in table.lookup(PC).states)
+
+    def test_mediocre_accuracy_stays_ui(self):
+        # Between DB and PB with no event-1 trigger: undecided.
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [0.4, None, None])
+        assert table.lookup(PC).states[0].is_ui
+
+
+class TestEvent4DegreeAdjustment:
+    def test_sustained_accuracy_ramps_degree(self):
+        table = make_table(max_aggressive_level=5)
+        table.lookup(PC)
+        for _ in range(8):
+            table.epoch_update(PC, [0.9, 0.1, 0.1])
+        state = table.lookup(PC).states[0]
+        assert state.is_aggressive and state.level == 5  # capped at M
+
+    def test_accuracy_dip_steps_down(self):
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [0.9, 0.1, 0.1])
+        table.epoch_update(PC, [0.9, None, None])  # IA_1
+        table.epoch_update(PC, [0.5, None, None])  # dip -> IA_0
+        state = table.lookup(PC).states[0]
+        assert state.is_aggressive and state.level == 0
+
+
+class TestEvent2Demotion:
+    def test_ia0_dip_returns_to_ui(self):
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [0.9, 0.1, 0.1])  # IA_0 + blocks
+        table.epoch_update(PC, [0.5, None, None])  # event 2: back to UI
+        assert table.lookup(PC).states[0].is_ui
+
+    def test_reassessment_unblocks_ib0_when_no_ia(self):
+        table = make_table()
+        table.lookup(PC)
+        table.epoch_update(PC, [0.9, 0.1, 0.1])
+        table.epoch_update(PC, [0.5, None, None])
+        # No prefetcher is aggressive any more: IB_0 entries return to UI.
+        states = table.lookup(PC).states
+        assert states[1].is_ui and states[2].is_ui
+
+
+class TestIBCooling:
+    def test_block_cools_one_level_per_epoch(self):
+        table = make_table(block_epochs=8)
+        table.lookup(PC)
+        table.epoch_update(PC, [0.01, None, None])  # -> IB_-8
+        for expected in (-7, -6, -5):
+            table.epoch_update(PC, [None, None, None])
+            assert table.lookup(PC).states[0].level == expected
+
+    def test_cooled_block_waits_at_ib0_while_ia_exists(self):
+        table = make_table(block_epochs=2)
+        table.lookup(PC)
+        table.epoch_update(PC, [0.01, 0.9, None])  # 0 blocked hard, 1 -> IA
+        for _ in range(5):
+            table.epoch_update(PC, [None, 0.9, None])
+        states = table.lookup(PC).states
+        assert states[0].is_blocked and states[0].level == 0
+        assert states[1].is_aggressive
+
+    def test_missing_entry_update_is_noop(self):
+        table = make_table()
+        table.epoch_update(0x9999, [0.9, 0.9, 0.9])  # never looked up
+        assert table.peek(0x9999) is None

@@ -1,0 +1,66 @@
+"""Tests for the Section VI-A CSR-style per-prefetcher overrides."""
+
+import pytest
+
+from repro.common.types import DemandAccess
+from repro.prefetchers import make_composite
+from repro.selection.alecto import AlectoConfig, AlectoSelection
+from repro.selection.alecto.allocation_table import AllocationTable
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+class TestDegreeOverrides:
+    def test_override_applies_in_ui(self):
+        config = AlectoConfig(degree_overrides=(("pmp", 6),))
+        selector = AlectoSelection(make_composite(), config)
+        decisions = selector.allocate(access(0))
+        degrees = {d.prefetcher.name: d.degree for d in decisions}
+        assert degrees["pmp"] == 6
+        assert degrees["stride"] == config.conservative_degree
+
+    def test_override_applies_in_ia(self):
+        from repro.selection.alecto.states import PrefetcherState
+
+        config = AlectoConfig(degree_overrides=(("pmp", 6),))
+        selector = AlectoSelection(make_composite(), config)
+        entry = selector.allocation_table.lookup(0x400)
+        entry.states[2] = PrefetcherState.ia(5)
+        decisions = selector.allocate(access(0))
+        degrees = {d.prefetcher.name: d.degree for d in decisions}
+        assert degrees["pmp"] == 6  # not c + m + 1
+
+    def test_unknown_override_rejected(self):
+        config = AlectoConfig(degree_overrides=(("nonesuch", 6),))
+        with pytest.raises(ValueError):
+            AlectoSelection(make_composite(), config)
+
+
+class TestDBOverrides:
+    def test_zero_db_prevents_hard_block(self):
+        table = AllocationTable(
+            num_prefetchers=2,
+            temporal_flags=[False, False],
+            deficiency_boundaries=[0.05, 0.0],
+        )
+        table.lookup(0x400)
+        table.epoch_update(0x400, [0.01, 0.01])
+        states = table.lookup(0x400).states
+        assert states[0].is_blocked  # default DB blocks
+        assert states[1].is_ui  # overridden DB=0 never blocks
+
+    def test_override_length_checked(self):
+        with pytest.raises(ValueError):
+            AllocationTable(
+                num_prefetchers=3,
+                temporal_flags=[False] * 3,
+                deficiency_boundaries=[0.05],
+            )
+
+    def test_selection_wires_db_override(self):
+        config = AlectoConfig(db_overrides=(("pmp", 0.0),))
+        selector = AlectoSelection(make_composite(), config)
+        assert selector.allocation_table.deficiency_boundaries[2] == 0.0
+        assert selector.allocation_table.deficiency_boundaries[0] == 0.05

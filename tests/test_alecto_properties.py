@@ -1,0 +1,112 @@
+"""Property-based tests on Alecto's state machine invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.selection.alecto.allocation_table import AllocationTable
+from repro.selection.alecto.states import StateKind
+
+PC = 0x400
+
+accuracy_strategy = st.one_of(
+    st.none(), st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+)
+
+
+def make_table(temporal_last=False):
+    return AllocationTable(
+        num_prefetchers=3,
+        temporal_flags=[False, False, temporal_last],
+    )
+
+
+@settings(max_examples=60)
+@given(epochs=st.lists(st.tuples(accuracy_strategy, accuracy_strategy, accuracy_strategy), max_size=25))
+def test_states_always_valid(epochs):
+    """After any epoch history, every state is structurally valid."""
+    table = make_table()
+    table.lookup(PC)
+    for accuracies in epochs:
+        table.epoch_update(PC, list(accuracies))
+    entry = table.peek(PC)
+    for state in entry.states:
+        if state.kind is StateKind.IA:
+            assert 0 <= state.level <= table.max_aggressive_level
+        elif state.kind is StateKind.IB:
+            assert -table.block_epochs <= state.level <= 0
+        else:
+            assert state.level == 0
+
+
+@settings(max_examples=60)
+@given(epochs=st.lists(st.tuples(accuracy_strategy, accuracy_strategy, accuracy_strategy), min_size=1, max_size=25))
+def test_perfect_prefetcher_never_blocked(epochs):
+    """A prefetcher with accuracy 1.0 every epoch must never be blocked."""
+    table = make_table()
+    table.lookup(PC)
+    for accuracies in epochs:
+        forced = [1.0, accuracies[1], accuracies[2]]
+        table.epoch_update(PC, forced)
+        assert not table.peek(PC).states[0].is_blocked
+
+
+@settings(max_examples=60)
+@given(
+    epochs=st.lists(
+        st.tuples(accuracy_strategy, accuracy_strategy, accuracy_strategy),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_hopeless_prefetcher_never_aggressive(epochs):
+    """A prefetcher with accuracy 0.0 every epoch must never reach IA."""
+    table = make_table()
+    table.lookup(PC)
+    for accuracies in epochs:
+        forced = [0.0, accuracies[1], accuracies[2]]
+        table.epoch_update(PC, forced)
+        assert not table.peek(PC).states[0].is_aggressive
+
+
+@settings(max_examples=40)
+@given(
+    data=st.lists(
+        st.tuples(accuracy_strategy, accuracy_strategy, accuracy_strategy),
+        max_size=20,
+    )
+)
+def test_temporal_never_promoted_alongside_nontemporal(data):
+    """Whenever the temporal prefetcher is in IA, no epoch promoted it
+    together with a qualifying non-temporal prefetcher (Section IV-F)."""
+    table = make_table(temporal_last=True)
+    table.lookup(PC)
+    for accuracies in data:
+        before = [s.kind for s in table.peek(PC).states]
+        table.epoch_update(PC, list(accuracies))
+        after = table.peek(PC).states
+        temporal_promoted = (
+            before[2] is StateKind.UI and after[2].kind is StateKind.IA
+        )
+        if temporal_promoted:
+            # The same event-1 must not have promoted a non-temporal
+            # prefetcher out of UI.
+            for i in (0, 1):
+                promoted = before[i] is StateKind.UI and after[i].kind is StateKind.IA
+                assert not promoted
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 2**31))
+def test_blocked_state_is_temporary(seed):
+    """An IB_-N prefetcher left alone always cools back to UI
+    eventually — blocking is 'for a limited duration' (Section IV-A)."""
+    import random
+
+    rng = random.Random(seed)
+    table = make_table()
+    table.lookup(PC)
+    table.epoch_update(PC, [0.0, None, None])  # hard block index 0
+    assert table.peek(PC).states[0].is_blocked
+    for _ in range(table.block_epochs + 2):
+        table.epoch_update(PC, [None, None, None])
+    assert table.peek(PC).states[0].is_ui

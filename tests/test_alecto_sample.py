@@ -1,0 +1,101 @@
+"""Tests for the Sample Table (issued/confirmed counters, epochs, Dead Counter)."""
+
+import pytest
+
+from repro.selection.alecto.sample_table import SampleTable
+
+PC = 0x400
+
+
+def make_table(**kwargs):
+    return SampleTable(num_prefetchers=3, **kwargs)
+
+
+class TestCounters:
+    def test_issue_and_confirm(self):
+        table = make_table()
+        table.note_issued(PC, 0, count=3)
+        table.note_confirmed(PC, 0)
+        entry = table.peek(PC)
+        assert entry.issued[0] == 3
+        assert entry.confirmed[0] == 1
+
+    def test_counters_cap_at_255(self):
+        table = make_table()
+        table.note_issued(PC, 1, count=500)
+        assert table.peek(PC).issued[1] == 255
+
+    def test_accuracy(self):
+        table = make_table()
+        table.note_issued(PC, 0, count=10)
+        for _ in range(8):
+            table.note_confirmed(PC, 0)
+        assert table.peek(PC).accuracy(0, min_issued=4) == pytest.approx(0.8)
+
+    def test_accuracy_none_below_min_issued(self):
+        table = make_table()
+        table.note_issued(PC, 0, count=2)
+        assert table.peek(PC).accuracy(0, min_issued=4) is None
+
+    def test_accuracy_clamped_to_one(self):
+        table = make_table()
+        table.note_issued(PC, 0, count=4)
+        for _ in range(10):
+            table.note_confirmed(PC, 0)
+        assert table.peek(PC).accuracy(0, min_issued=4) == 1.0
+
+
+class TestEpochs:
+    def test_epoch_fires_at_threshold(self):
+        table = make_table(epoch_demands=5)
+        for _ in range(4):
+            assert table.note_demand(PC) is None
+        assert table.note_demand(PC) is not None
+
+    def test_reset_epoch_clears_counters_not_dead(self):
+        table = make_table(epoch_demands=5)
+        table.note_issued(PC, 0, count=3)
+        entry = table.entry_for(PC)
+        entry.dead_counter.increment(10)
+        entry.reset_epoch()
+        assert entry.issued[0] == 0
+        assert entry.demand_counter == 0
+        assert entry.dead_counter.value == 10
+
+    def test_per_pc_epochs_independent(self):
+        table = make_table(epoch_demands=3)
+        table.note_demand(PC)
+        table.note_demand(PC)
+        assert table.note_demand(0x900) is None
+        assert table.note_demand(PC) is not None
+
+
+class TestDeadCounter:
+    def test_fires_after_sustained_silence(self):
+        table = make_table(dead_threshold=10)
+        fired = [table.note_prediction_outcome(PC, produced_prefetch=False) for _ in range(10)]
+        assert fired[-1]
+        assert not any(fired[:-1])
+
+    def test_resets_after_firing(self):
+        table = make_table(dead_threshold=5)
+        for _ in range(5):
+            table.note_prediction_outcome(PC, produced_prefetch=False)
+        assert table.peek(PC).dead_counter.value == 0
+
+    def test_success_pays_down_bursts(self):
+        # One produced prefetch absorbs DEAD_REWARD silent predictions, so
+        # burst prefetchers (PMP) never look dead.
+        table = make_table(dead_threshold=100)
+        for _ in range(50):
+            for _ in range(SampleTable.DEAD_REWARD):
+                assert not table.note_prediction_outcome(PC, produced_prefetch=False)
+            table.note_prediction_outcome(PC, produced_prefetch=True)
+        assert table.peek(PC).dead_counter.value < 100
+
+
+class TestStorage:
+    def test_storage_bits_formula(self):
+        # 64 x (1 + 9 + 16P + 7 + 8) = 1600 + 1024P (Table III).
+        table = make_table()
+        assert table.storage_bits == 1600 + 1024 * 3

@@ -1,0 +1,72 @@
+"""Tests for the Sandbox Table (recording, confirmation, filtering)."""
+
+from repro.selection.alecto.sandbox_table import SandboxTable
+
+PC = 0x400
+
+
+def make_table(**kwargs):
+    return SandboxTable(num_prefetchers=3, **kwargs)
+
+
+class TestRecording:
+    def test_record_and_confirm(self):
+        table = make_table()
+        table.record_issue(line=100, pc=PC, prefetcher_index=1)
+        assert table.confirm(line=100, pc=PC) == [1]
+
+    def test_confirmation_is_one_shot(self):
+        table = make_table()
+        table.record_issue(100, PC, 1)
+        table.confirm(100, PC)
+        assert table.confirm(100, PC) == []
+
+    def test_multiple_prefetchers_confirmed_together(self):
+        table = make_table()
+        table.record_issue(100, PC, 0)
+        table.record_issue(100, PC, 2)
+        assert table.confirm(100, PC) == [0, 2]
+
+    def test_wrong_pc_not_confirmed(self):
+        table = make_table()
+        table.record_issue(100, PC, 1)
+        # A PC with a different fold must not confirm.
+        other = PC ^ 0x1  # differs in the low tag bits
+        assert table.confirm(100, other) == []
+
+    def test_unknown_line_not_confirmed(self):
+        assert make_table().confirm(line=5, pc=PC) == []
+
+
+class TestFiltering:
+    def test_duplicate_detected(self):
+        table = make_table()
+        table.record_issue(100, PC, 0)
+        assert table.is_duplicate(100)
+        assert table.duplicates_filtered == 1
+
+    def test_fresh_line_not_duplicate(self):
+        table = make_table()
+        assert not table.is_duplicate(100)
+
+    def test_contains(self):
+        table = make_table()
+        table.record_issue(100, PC, 0)
+        assert 100 in table
+        assert 101 not in table
+
+    def test_capacity_eviction(self):
+        table = make_table(num_entries=16, ways=2)
+        for line in range(100):
+            table.record_issue(line, PC, 0)
+        live = sum(1 for line in range(100) if line in table)
+        assert live <= 16
+
+
+class TestStorage:
+    def test_storage_bits_formula(self):
+        # 512 x (6 + P) = 3072 + 512P (Table III).
+        assert make_table().storage_bits == 3072 + 512 * 3
+
+    def test_pc_tag_is_six_bits(self):
+        assert 0 <= SandboxTable.pc_tag(0xDEADBEEF) < 64

@@ -1,0 +1,44 @@
+"""Tests for the UI / IA / IB state representation."""
+
+import pytest
+
+from repro.selection.alecto.states import PrefetcherState, StateKind
+
+
+class TestConstruction:
+    def test_ui(self):
+        state = PrefetcherState.ui()
+        assert state.is_ui
+        assert state.receives_requests
+        assert repr(state) == "UI"
+
+    def test_ia(self):
+        state = PrefetcherState.ia(3)
+        assert state.is_aggressive
+        assert state.level == 3
+        assert state.receives_requests
+        assert repr(state) == "IA_3"
+
+    def test_ib(self):
+        state = PrefetcherState.ib(-5)
+        assert state.is_blocked
+        assert state.level == -5
+        assert not state.receives_requests
+        assert repr(state) == "IB_-5"
+
+    def test_ia_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PrefetcherState.ia(-1)
+
+    def test_ib_rejects_positive(self):
+        with pytest.raises(ValueError):
+            PrefetcherState.ib(1)
+
+    def test_kind_enum(self):
+        assert PrefetcherState.ui().kind is StateKind.UI
+        assert PrefetcherState.ia().kind is StateKind.IA
+        assert PrefetcherState.ib().kind is StateKind.IB
+
+    def test_exactly_one_predicate_true(self):
+        for state in (PrefetcherState.ui(), PrefetcherState.ia(2), PrefetcherState.ib(-1)):
+            assert [state.is_ui, state.is_aggressive, state.is_blocked].count(True) == 1

@@ -1,0 +1,69 @@
+"""Tests reproducing the Table III storage formulae exactly."""
+
+import pytest
+
+from repro.selection.alecto.storage import (
+    alecto_storage_bits,
+    alecto_storage_bits_excluding_sandbox,
+    allocation_table_bits,
+    bandit_storage_bits,
+    extended_bandit_storage_bits,
+    sample_table_bits,
+    sandbox_table_bits,
+)
+
+
+class TestTable3Formulae:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_allocation_table(self, p):
+        assert allocation_table_bits(p) == 640 + 256 * p
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_sample_table(self, p):
+        assert sample_table_bits(p) == 1600 + 1024 * p
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_sandbox_table(self, p):
+        assert sandbox_table_bits(p) == 3072 + 512 * p
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_total(self, p):
+        assert alecto_storage_bits(p) == 5312 + 1792 * p
+
+    def test_paper_headline_numbers_at_p3(self):
+        total = alecto_storage_bits(3)
+        assert total == 5312 + 1792 * 3
+        assert total / 8 / 1024 == pytest.approx(1.30, abs=0.02)  # ~1.30 KB
+        no_sandbox = alecto_storage_bits_excluding_sandbox(3)
+        assert no_sandbox == 2240 + 1280 * 3
+        assert no_sandbox / 8 == pytest.approx(760, abs=10)  # ~760 B
+
+    def test_linear_scaling(self):
+        deltas = [
+            alecto_storage_bits(p + 1) - alecto_storage_bits(p) for p in range(1, 6)
+        ]
+        assert len(set(deltas)) == 1  # perfectly linear in P
+
+
+class TestBanditComparison:
+    def test_bandit_base(self):
+        # 8 bytes x #actions^P.
+        assert bandit_storage_bits(2, 3) == 8 * 8 * 8
+
+    def test_extended_bandit_is_4kb(self):
+        # (M+3)^P with M=5, P=3 -> 8^3 arms -> 4 KB.
+        bits = extended_bandit_storage_bits(5, 3)
+        assert bits == 8 * 8 * 512
+        assert bits / 8 / 1024 == pytest.approx(4.0)
+
+    def test_extended_bandit_vs_alecto_ratio(self):
+        # Paper: "5.4 times more than Alecto's storage requirements" —
+        # against Alecto excluding the dual-purpose Sandbox Table (760 B).
+        ratio = extended_bandit_storage_bits(5, 3) / alecto_storage_bits_excluding_sandbox(3)
+        assert ratio == pytest.approx(5.4, abs=0.1)
+
+    def test_exponential_vs_linear_growth(self):
+        # Adding prefetchers: Bandit grows exponentially, Alecto linearly.
+        bandit_growth = bandit_storage_bits(8, 4) / bandit_storage_bits(8, 3)
+        alecto_growth = alecto_storage_bits(4) / alecto_storage_bits(3)
+        assert bandit_growth > alecto_growth

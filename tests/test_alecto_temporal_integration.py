@@ -1,0 +1,77 @@
+"""Integration tests for Alecto managing a temporal prefetcher (Sec. IV-F).
+
+The paper's Fig. 6 taxonomy: Alecto should funnel only frequent-recurrence
+temporal PCs into the temporal prefetcher's metadata table — non-temporal
+PCs and PCs already covered by non-temporal prefetchers get filtered by
+events 3 and 1 respectively.
+"""
+
+import pytest
+
+from repro.prefetchers import TemporalPrefetcher, make_composite
+from repro.selection import AlectoSelection
+from repro.selection.bandit import BanditSelection
+from repro.sim import simulate
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+def temporal_workload():
+    """Temporal recurrence + stream + noise: the Fig. 6 population."""
+    return profile("fig6", "test", True, 0.3, [
+        (0.40, "temporal", {"sequence_length": 900, "footprint": 16 * MB, "dwell": 1}),
+        (0.35, "stream", {"footprint": 16 * MB, "run_length": 500}),
+        (0.25, "random", {"footprint": 2 * MB, "pc_count": 12}),
+    ])
+
+
+def run_with(selector_cls, trace, **kwargs):
+    prefetchers = make_composite() + [TemporalPrefetcher(metadata_bytes=64 * 1024)]
+    if selector_cls is BanditSelection:
+        selector = BanditSelection(prefetchers, train_on_prefetches=True, **kwargs)
+    else:
+        selector = selector_cls(prefetchers, **kwargs)
+    result = simulate(trace, selector)
+    return selector, result
+
+
+class TestMetadataFiltering:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        trace = temporal_workload().generate(12000, seed=3)
+        alecto, alecto_result = run_with(AlectoSelection, trace)
+        bandit, bandit_result = run_with(BanditSelection, trace)
+        return alecto, alecto_result, bandit, bandit_result
+
+    def test_alecto_trains_temporal_less(self, runs):
+        alecto, _, bandit, _ = runs
+        assert (
+            alecto.prefetcher("temporal").training_occurrences
+            < bandit.prefetcher("temporal").training_occurrences
+        )
+
+    def test_alecto_temporal_usefulness_not_worse(self, runs):
+        _, alecto_result, _, bandit_result = runs
+        alecto_useful = alecto_result.useful_by_prefetcher.get("temporal", 0)
+        bandit_useful = bandit_result.useful_by_prefetcher.get("temporal", 0)
+        # Less training must not mean fewer useful temporal prefetches.
+        assert alecto_useful >= 0.7 * bandit_useful
+
+    def test_metadata_pressure_reduced(self, runs):
+        alecto, _, bandit, _ = runs
+        alecto_evictions = alecto.prefetcher("temporal")._metadata.stats.evictions
+        bandit_evictions = bandit.prefetcher("temporal")._metadata.stats.evictions
+        assert alecto_evictions < bandit_evictions
+
+    def test_temporal_blocked_on_stream_pcs(self, runs):
+        alecto, _, _, _ = runs
+        # At least one PC should have the temporal prefetcher blocked
+        # while a non-temporal prefetcher is aggressive (event-1 filter).
+        found = False
+        for _, entry in alecto.allocation_table._table.items():
+            temporal_state = entry.states[3]
+            others_aggressive = any(s.is_aggressive for s in entry.states[:3])
+            if others_aggressive and temporal_state.is_blocked:
+                found = True
+        assert found

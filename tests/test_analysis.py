@@ -1,0 +1,72 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    relative_improvement,
+    rows_to_csv,
+    rows_to_markdown,
+    speedup_statistics,
+)
+
+ROWS = {
+    "bench_a": {"ipcp": 1.1, "alecto": 1.3},
+    "bench_b": {"ipcp": 1.0, "alecto": 1.2},
+    "Geomean": {"ipcp": 1.05, "alecto": 1.25},
+}
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        text = rows_to_csv(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,ipcp,alecto"
+        assert lines[1].startswith("bench_a,1.1,1.3")
+
+    def test_empty(self):
+        assert rows_to_csv({}) == ""
+
+    def test_missing_cells_blank(self):
+        text = rows_to_csv({"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "1.0," in text or ",2.0" in text
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = rows_to_markdown(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| name |")
+        assert lines[1].startswith("|---")
+        assert "| bench_a | 1.100 | 1.300 |" in text
+
+    def test_empty(self):
+        assert rows_to_markdown({}) == "(empty)"
+
+
+class TestStatistics:
+    def test_basic(self):
+        stats = speedup_statistics([1.0, 2.0, 4.0])
+        assert stats["count"] == 3
+        assert stats["geomean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["median"] == 2.0
+
+    def test_wins_losses(self):
+        stats = speedup_statistics([0.9, 1.1, 1.2])
+        assert stats["wins"] == 2
+        assert stats["losses"] == 1
+
+    def test_empty(self):
+        assert speedup_statistics([]) == {"count": 0}
+
+
+class TestRelativeImprovement:
+    def test_per_row(self):
+        improvements = relative_improvement(ROWS, "alecto", "ipcp")
+        assert improvements["bench_a"] == pytest.approx(1.3 / 1.1 - 1)
+        assert "Geomean" not in improvements  # skipped by default
+
+    def test_custom_skip(self):
+        improvements = relative_improvement(ROWS, "alecto", "ipcp", skip=())
+        assert "Geomean" in improvements

@@ -1,0 +1,128 @@
+"""Tests for the Micro-Armed-Bandit selection scheme."""
+
+import itertools
+
+import pytest
+
+from repro.common.types import DemandAccess
+from repro.prefetchers import make_composite
+from repro.selection.bandit import (
+    ARM_STORAGE_BITS,
+    BanditSelection,
+    ExtendedBanditSelection,
+    make_bandit3,
+    make_bandit6,
+)
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+class TestArms:
+    def test_default_arm_space(self):
+        bandit = BanditSelection(make_composite(), degree=6)
+        assert len(bandit.arms) == 8
+        assert (0, 0, 0) in bandit.arms
+        assert (6, 6, 6) in bandit.arms
+
+    def test_bandit3_and_6_factories(self):
+        assert make_bandit3(make_composite()).degree == 3
+        b6 = make_bandit6(make_composite())
+        assert b6.degree == 6
+        assert b6.name == "bandit6"
+
+    def test_extended_bandit_arm_space(self):
+        # (M+3)^P with M=5, P=3 -> 512 arms over degrees {0,3..9}.
+        bandit = ExtendedBanditSelection(make_composite())
+        assert len(bandit.arms) == 512
+        degrees = {d for arm in bandit.arms for d in arm}
+        assert degrees == {0, 3, 4, 5, 6, 7, 8, 9}
+
+    def test_storage_scales_with_arms(self):
+        b = BanditSelection(make_composite())
+        e = ExtendedBanditSelection(make_composite())
+        assert e.storage_bits - e._filter.storage_bits == 512 * ARM_STORAGE_BITS
+        assert e.storage_bits > b.storage_bits
+
+    def test_starts_all_on(self):
+        bandit = BanditSelection(make_composite(), degree=6)
+        decisions = bandit.allocate(access(0))
+        assert [d.degree for d in decisions] == [6, 6, 6]
+
+
+class TestLearning:
+    def test_reward_updates_arm_value(self):
+        bandit = BanditSelection(make_composite(), epoch_accesses=2, seed=1)
+        bandit.allocate(access(0))
+        bandit.allocate(access(1))
+        assert bandit.needs_reward
+        bandit.performance_sample(instructions=1000, cycles=500.0)
+        assert not bandit.needs_reward
+        assert bandit._arm_value  # some arm has a recorded value
+
+    def test_greedy_converges_to_best_arm(self):
+        bandit = BanditSelection(
+            make_composite(), degree=6, epoch_accesses=1,
+            epsilon=0.0, epsilon_floor=0.0, seed=3,
+        )
+        # Reward arm (0, 6, 0) heavily, others weakly.
+        instructions, cycles = 0, 0.0
+        for _ in range(200):
+            bandit.allocate(access(0))
+            reward = 5.0 if bandit._current_arm == (0, 6, 0) else 1.0
+            instructions += int(1000 * reward)
+            cycles += 1000.0
+            bandit.performance_sample(instructions, cycles)
+        values = bandit._arm_value
+        assert max(values, key=values.get) == (0, 6, 0)
+
+    def test_epsilon_decays_to_floor(self):
+        bandit = BanditSelection(
+            make_composite(), epoch_accesses=1, epsilon=0.5,
+            epsilon_decay=0.5, epsilon_floor=0.1,
+        )
+        instructions = 0
+        for i in range(20):
+            bandit.allocate(access(i))
+            instructions += 100
+            bandit.performance_sample(instructions, float(i + 1) * 100)
+        assert bandit.epsilon == pytest.approx(0.1)
+
+    def test_degree_zero_arm_trains_but_silences(self):
+        bandit = BanditSelection(make_composite(), arms=[(0, 0, 0)], epsilon=0.0)
+        bandit._current_arm = (0, 0, 0)
+        decisions = bandit.allocate(access(0))
+        produced = []
+        for d in decisions:
+            produced.extend(d.prefetcher.train(access(0), d.degree))
+        assert produced == []
+        assert all(p.training_occurrences == 1 for p in bandit.prefetchers)
+
+
+class TestTemporalShadowTraining:
+    def test_prefetch_traffic_trains_temporal(self):
+        from repro.prefetchers.temporal import TemporalPrefetcher
+
+        prefetchers = make_composite() + [TemporalPrefetcher(metadata_bytes=32 * 1024)]
+        bandit = BanditSelection(prefetchers, train_on_prefetches=True)
+        temporal = bandit.prefetcher("temporal")
+        before = temporal.training_occurrences
+        from repro.common.types import PrefetchCandidate
+
+        issued = [PrefetchCandidate(line=5, prefetcher="stream", pc=0x400)]
+        bandit.post_issue(access(0), issued)
+        assert temporal.training_occurrences == before + 1
+
+    def test_temporal_own_output_not_self_training(self):
+        from repro.prefetchers.temporal import TemporalPrefetcher
+
+        prefetchers = make_composite() + [TemporalPrefetcher(metadata_bytes=32 * 1024)]
+        bandit = BanditSelection(prefetchers, train_on_prefetches=True)
+        temporal = bandit.prefetcher("temporal")
+        before = temporal.training_occurrences
+        from repro.common.types import PrefetchCandidate
+
+        issued = [PrefetchCandidate(line=5, prefetcher="temporal", pc=0x400)]
+        bandit.post_issue(access(0), issued)
+        assert temporal.training_occurrences == before

@@ -1,0 +1,144 @@
+"""Tests for the cache model: hits, LRU, in-flight fills, prefetch records."""
+
+import pytest
+
+from repro.memory.cache import Cache, PrefetchRecord
+
+
+def make_cache(sets=4, ways=2, latency=4, mshrs=16):
+    return Cache("test", num_sets=sets, ways=ways, latency=latency, mshrs=mshrs)
+
+
+def record(line=0, issue=0, ready=0):
+    return PrefetchRecord(
+        prefetcher="stride", pc=0x400, issue_cycle=issue, ready_cycle=ready, line=line
+    )
+
+
+class TestBasicOperation:
+    def test_cold_miss(self):
+        cache = make_cache()
+        hit, wait, rec, timely = cache.demand_access(1, cycle=0)
+        assert not hit
+        assert cache.stats.demand_misses == 1
+
+    def test_fill_then_hit(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0)
+        hit, wait, rec, timely = cache.demand_access(1, cycle=10)
+        assert hit
+        assert wait == 0
+        assert rec is None
+
+    def test_probe_no_side_effects(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0)
+        assert cache.probe(1)
+        assert not cache.probe(2)
+        assert cache.stats.demand_accesses == 0
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0)
+        assert cache.invalidate(1)
+        assert not cache.probe(1)
+
+    def test_write_marks_dirty(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.fill(0, cycle=0, ready_cycle=0, is_write=True)
+        evicted = cache.fill(1, cycle=1, ready_cycle=1)
+        assert evicted is not None
+        assert evicted.dirty
+
+
+class TestInFlightFills:
+    def test_demand_waits_for_in_flight_fill(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=100)
+        hit, wait, rec, timely = cache.demand_access(1, cycle=40)
+        assert hit
+        assert wait == 60
+
+    def test_completed_fill_no_wait(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=100)
+        hit, wait, _, _ = cache.demand_access(1, cycle=150)
+        assert wait == 0
+
+    def test_refill_keeps_earlier_ready_cycle(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=50)
+        cache.fill(1, cycle=10, ready_cycle=300)
+        _, wait, _, _ = cache.demand_access(1, cycle=60)
+        assert wait == 0
+
+
+class TestPrefetchTracking:
+    def test_timely_prefetch_hit(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=10, prefetch=record(line=1, ready=10))
+        hit, wait, rec, timely = cache.demand_access(1, cycle=50)
+        assert hit and timely
+        assert rec is not None and rec.prefetcher == "stride"
+        assert cache.stats.prefetch_hits_timely == 1
+
+    def test_untimely_prefetch_hit(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=100, prefetch=record(line=1, ready=100))
+        hit, wait, rec, timely = cache.demand_access(1, cycle=20)
+        assert hit and not timely
+        assert wait == 80
+        assert cache.stats.prefetch_hits_untimely == 1
+
+    def test_first_use_consumes_record(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0, prefetch=record(line=1))
+        _, _, first, _ = cache.demand_access(1, cycle=10)
+        _, _, second, _ = cache.demand_access(1, cycle=20)
+        assert first is not None
+        assert second is None
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.fill(0, cycle=0, ready_cycle=0, prefetch=record(line=0))
+        evicted = cache.fill(1, cycle=1, ready_cycle=1)
+        assert evicted.was_unused_prefetch
+        assert cache.stats.prefetched_evicted_unused == 1
+
+    def test_used_prefetch_eviction_not_counted(self):
+        cache = make_cache(sets=1, ways=1)
+        cache.fill(0, cycle=0, ready_cycle=0, prefetch=record(line=0))
+        cache.demand_access(0, cycle=5)
+        evicted = cache.fill(1, cycle=6, ready_cycle=6)
+        assert not evicted.was_unused_prefetch
+        assert cache.stats.prefetched_evicted_unused == 0
+
+
+class TestEvictionPolicy:
+    def test_lru_victim(self):
+        cache = make_cache(sets=1, ways=2)
+        cache.fill(0, cycle=0, ready_cycle=0)
+        cache.fill(1, cycle=1, ready_cycle=1)
+        cache.demand_access(0, cycle=2)  # touch 0 -> 1 becomes LRU
+        evicted = cache.fill(2, cycle=3, ready_cycle=3)
+        assert evicted.line == 1
+
+    def test_occupancy_bounded(self):
+        cache = make_cache(sets=2, ways=2)
+        for line in range(50):
+            cache.fill(line, cycle=line, ready_cycle=line)
+        assert cache.occupancy() <= 4
+
+    def test_capacity_lines(self):
+        assert make_cache(sets=4, ways=2).capacity_lines == 8
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("bad", num_sets=0, ways=2, latency=1, mshrs=1)
+
+    def test_hit_rate_stat(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0)
+        cache.demand_access(1, cycle=1)
+        cache.demand_access(2, cycle=2)
+        assert cache.stats.demand_hit_rate == pytest.approx(0.5)

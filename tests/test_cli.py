@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "mcf"])
+        assert args.benchmark == "mcf"
+        assert args.selector == "alecto"
+        assert args.accesses == 15000
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_all_experiment_modules_importable(self):
+        import importlib
+
+        for module_name in EXPERIMENTS.values():
+            module = importlib.import_module(module_name)
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "spec06" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "libquantum", "--accesses", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_run_baseline_only(self, capsys):
+        assert main(["run", "povray", "--selector", "none", "--accesses", "800"]) == 0
+        assert "ipc" in capsys.readouterr().out
+
+    def test_compare_small(self, capsys):
+        assert main([
+            "compare", "libquantum", "--accesses", "1200",
+            "--selectors", "ipcp", "alecto",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ipcp" in out and "alecto" in out

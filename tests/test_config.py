@@ -1,0 +1,85 @@
+"""Tests for the Table-I system configuration."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    SystemConfig,
+    ddr3_1600,
+    ddr4_2400,
+    multicore_config,
+)
+
+
+class TestCacheConfig:
+    def test_table1_l1_geometry(self):
+        l1 = SystemConfig().l1d
+        assert l1.size_bytes == 32 * 1024
+        assert l1.ways == 8
+        assert l1.num_lines == 512
+        assert l1.num_sets == 64
+        assert l1.latency == 4
+
+    def test_table1_l2_geometry(self):
+        l2 = SystemConfig().l2
+        assert l2.size_bytes == 256 * 1024
+        assert l2.latency == 15
+
+    def test_llc_scales_with_cores(self):
+        assert SystemConfig(cores=1).llc.size_bytes == 2 * 1024 * 1024
+        assert SystemConfig(cores=8).llc.size_bytes == 16 * 1024 * 1024
+
+    def test_llc_latency(self):
+        assert SystemConfig().llc.latency == 35
+
+
+class TestDRAMConfig:
+    def test_ddr4_faster_than_ddr3(self):
+        assert (
+            ddr4_2400().lines_per_cycle_per_channel
+            > ddr3_1600().lines_per_cycle_per_channel
+        )
+
+    def test_bandwidth_ratio(self):
+        ratio = (
+            ddr4_2400().lines_per_cycle_per_channel
+            / ddr3_1600().lines_per_cycle_per_channel
+        )
+        assert ratio == pytest.approx(2400 / 1600)
+
+    def test_channels_scale_total_bandwidth(self):
+        assert ddr4_2400(channels=4).total_lines_per_cycle == pytest.approx(
+            4 * ddr4_2400(channels=1).lines_per_cycle_per_channel
+        )
+
+    def test_single_channel_single_rank(self):
+        assert ddr4_2400(channels=1).ranks_per_channel == 1
+
+    def test_multi_channel_dual_rank(self):
+        assert ddr4_2400(channels=4).ranks_per_channel == 2
+
+
+class TestSystemConfig:
+    def test_with_llc_size(self):
+        config = SystemConfig().with_llc_size(512 * 1024)
+        assert config.llc.size_bytes == 512 * 1024
+        # Original untouched (frozen dataclass semantics).
+        assert SystemConfig().llc.size_bytes == 2 * 1024 * 1024
+
+    def test_with_dram(self):
+        config = SystemConfig().with_dram(ddr3_1600())
+        assert config.dram.name == "DDR3-1600"
+
+    def test_multicore_config_channels(self):
+        assert multicore_config(8).dram.channels == 4
+        assert multicore_config(2).dram.channels == 1
+        assert multicore_config(1).dram.channels == 1
+
+    def test_multicore_config_cores(self):
+        assert multicore_config(8).cores == 8
+
+    def test_rob_and_widths(self):
+        config = SystemConfig()
+        assert config.rob_entries == 256
+        assert config.issue_width == 6
+        assert config.commit_width == 4

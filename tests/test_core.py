@@ -1,0 +1,108 @@
+"""Tests for the ROB/MLP core timing model."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.cpu.core import CoreModel
+
+
+def make_core(**overrides):
+    return CoreModel(SystemConfig(**overrides))
+
+
+class TestNonMemory:
+    def test_issue_width_throughput(self):
+        core = make_core()
+        core.advance(600)
+        assert core.stats.cycles == pytest.approx(100.0)
+        assert core.stats.instructions == 600
+
+    def test_ipc_without_misses(self):
+        core = make_core()
+        core.advance(6000)
+        assert core.stats.ipc == pytest.approx(6.0)
+
+
+class TestMemoryAccesses:
+    def test_hit_is_pipeline_hidden(self):
+        core = make_core()
+        core.memory_access(latency=4)
+        core.drain()
+        assert core.stats.cycles == pytest.approx(1 / 6)
+
+    def test_single_miss_costs_latency_on_drain(self):
+        core = make_core()
+        core.memory_access(latency=200)
+        core.drain()
+        assert core.stats.cycles >= 200
+
+    def test_independent_misses_overlap(self):
+        core = make_core()
+        for _ in range(8):
+            core.memory_access(latency=200)
+        core.drain()
+        # Eight overlapping misses complete in ~one latency, not eight.
+        assert core.stats.cycles < 2 * 200
+
+    def test_dependent_misses_serialize(self):
+        core = make_core()
+        for _ in range(8):
+            core.memory_access(latency=200, dependent=True)
+        core.drain()
+        assert core.stats.cycles >= 7 * 200
+
+    def test_store_does_not_block(self):
+        core = make_core()
+        core.memory_access(latency=200, is_load=False)
+        core.drain()
+        assert core.stats.cycles < 10
+        assert core.stats.stores == 1
+
+    def test_load_store_counters(self):
+        core = make_core()
+        core.memory_access(latency=4, is_load=True)
+        core.memory_access(latency=4, is_load=False)
+        assert core.stats.loads == 1
+        assert core.stats.stores == 1
+
+
+class TestStructuralLimits:
+    def test_rob_fill_stalls(self):
+        core = make_core()
+        core.memory_access(latency=10_000)
+        # Issue far more instructions than the ROB can hold behind the miss.
+        core.advance(1000)
+        assert core.stats.cycles >= 10_000
+
+    def test_rob_window_allows_progress_under_miss(self):
+        core = make_core()
+        core.memory_access(latency=10_000)
+        core.advance(100)  # well within the 256-entry ROB
+        assert core.stats.cycles < 100
+
+    def test_mshr_limit_waits_for_earliest(self):
+        config_mshrs = SystemConfig().l1d.mshrs
+        core = make_core()
+        # Fill the MSHRs with long misses plus one short one.
+        for i in range(config_mshrs - 1):
+            core.memory_access(latency=5000)
+        core.memory_access(latency=50)
+        before = core.stats.cycles
+        core.memory_access(latency=5000)  # must wait for a free MSHR
+        # The wait should be bounded by the short miss, not a long one.
+        assert core.stats.cycles - before < 200
+
+    def test_stall_accounting(self):
+        core = make_core()
+        core.memory_access(latency=500, dependent=False)
+        core.memory_access(latency=500, dependent=True)
+        assert core.stats.l1_miss_stalls > 0
+
+    def test_drain_clears_all(self):
+        core = make_core()
+        for _ in range(5):
+            core.memory_access(latency=300)
+        core.drain()
+        core.advance(6)
+        # No residual misses: the advance costs exactly one cycle.
+        assert core.stats.ipc > 0

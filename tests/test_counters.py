@@ -1,0 +1,91 @@
+"""Unit and property tests for SaturatingCounter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.counters import SaturatingCounter
+
+
+class TestConstruction:
+    def test_defaults(self):
+        counter = SaturatingCounter()
+        assert counter.value == 0
+        assert counter.minimum == 0
+        assert counter.maximum == 255
+
+    def test_initial_value_clamped_high(self):
+        assert SaturatingCounter(999, 0, 7).value == 7
+
+    def test_initial_value_clamped_low(self):
+        assert SaturatingCounter(-5, 0, 7).value == 0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0, minimum=10, maximum=5)
+
+    def test_negative_range_allowed(self):
+        counter = SaturatingCounter(-3, minimum=-8, maximum=0)
+        assert counter.value == -3
+
+
+class TestIncrementDecrement:
+    def test_increment_returns_new_value(self):
+        counter = SaturatingCounter(1, 0, 3)
+        assert counter.increment() == 2
+
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(3, 0, 3)
+        assert counter.increment() == 3
+        assert counter.saturated_high
+
+    def test_decrement_saturates(self):
+        counter = SaturatingCounter(0, 0, 3)
+        assert counter.decrement() == 0
+        assert counter.saturated_low
+
+    def test_increment_by_amount(self):
+        counter = SaturatingCounter(0, 0, 10)
+        assert counter.increment(4) == 4
+
+    def test_decrement_by_amount_clamps(self):
+        counter = SaturatingCounter(5, 0, 10)
+        assert counter.decrement(100) == 0
+
+    def test_reset(self):
+        counter = SaturatingCounter(5, 0, 10)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_reset_to_value_clamps(self):
+        counter = SaturatingCounter(0, 0, 10)
+        counter.reset(42)
+        assert counter.value == 10
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(7, 0, 10)) == 7
+
+    def test_repr_mentions_value(self):
+        assert "7" in repr(SaturatingCounter(7, 0, 10))
+
+
+@given(
+    start=st.integers(-300, 300),
+    steps=st.lists(st.sampled_from(["inc", "dec"]), max_size=60),
+)
+def test_value_always_within_bounds(start, steps):
+    counter = SaturatingCounter(start, minimum=-8, maximum=8)
+    for step in steps:
+        if step == "inc":
+            counter.increment()
+        else:
+            counter.decrement()
+        assert -8 <= counter.value <= 8
+
+
+@given(amount=st.integers(0, 1000))
+def test_increment_then_decrement_round_trip_when_unsaturated(amount):
+    counter = SaturatingCounter(0, 0, 10**9)
+    counter.increment(amount)
+    counter.decrement(amount)
+    assert counter.value == 0

@@ -1,0 +1,110 @@
+"""Tests for the DRAM bandwidth/queueing model."""
+
+import pytest
+
+from repro.common.config import ddr3_1600, ddr4_2400
+from repro.memory.dram import DRAM
+
+
+class TestLatency:
+    def test_idle_access_near_base_latency(self):
+        dram = DRAM(ddr4_2400())
+        latency = dram.access(line=0, cycle=0)
+        assert latency >= dram.config.base_latency - DRAM.ROW_HIT_DISCOUNT
+        assert latency <= dram.config.base_latency
+
+    def test_row_hit_cheaper_than_row_miss(self):
+        dram = DRAM(ddr4_2400())
+        first = dram.access(line=0, cycle=0)
+        # Same row, long after the bank frees up.
+        second = dram.access(line=1, cycle=10_000)
+        assert second < first
+
+    def test_row_stats(self):
+        dram = DRAM(ddr4_2400())
+        dram.access(line=0, cycle=0)
+        dram.access(line=1, cycle=1000)
+        dram.access(line=DRAM.ROW_LINES * 999, cycle=2000)
+        assert dram.stats.row_hits == 1
+        assert dram.stats.row_misses == 2
+
+
+class TestQueueing:
+    def test_burst_queues(self):
+        dram = DRAM(ddr4_2400(channels=1))
+        latencies = [
+            dram.access(line=i * DRAM.ROW_LINES * 7, cycle=0) for i in range(20)
+        ]
+        assert latencies[-1] > latencies[0]
+        assert dram.stats.total_queue_delay > 0
+
+    def test_spread_requests_do_not_queue(self):
+        dram = DRAM(ddr4_2400())
+        latencies = [
+            dram.access(line=i * DRAM.ROW_LINES * 7, cycle=i * 1000)
+            for i in range(10)
+        ]
+        assert max(latencies) - min(latencies) <= DRAM.ROW_HIT_DISCOUNT
+
+    def test_more_channels_less_queueing(self):
+        def total_delay(channels):
+            dram = DRAM(ddr4_2400(channels=channels))
+            for i in range(64):
+                dram.access(line=i * DRAM.ROW_LINES * 3, cycle=0)
+            return dram.stats.total_queue_delay
+
+        assert total_delay(4) < total_delay(1)
+
+    def test_ddr4_faster_under_load_than_ddr3(self):
+        def last_latency(config):
+            dram = DRAM(config)
+            latency = 0
+            for i in range(64):
+                latency = dram.access(line=i * DRAM.ROW_LINES * 3, cycle=0)
+            return latency
+
+        assert last_latency(ddr4_2400()) < last_latency(ddr3_1600())
+
+
+class TestDemandPriority:
+    def test_prefetch_burst_does_not_delay_demands(self):
+        """Demand-priority scheduling: a burst of queued prefetches must
+        not inflate a following demand's queue delay."""
+        quiet = DRAM(ddr4_2400())
+        demand_alone = quiet.access(line=10**6, cycle=0, is_prefetch=False)
+
+        busy = DRAM(ddr4_2400())
+        for i in range(32):
+            busy.access(line=i * DRAM.ROW_LINES * 3, cycle=0, is_prefetch=True)
+        demand_after_burst = busy.access(line=10**6, cycle=0, is_prefetch=False)
+        assert demand_after_burst <= demand_alone + DRAM.BANK_BUSY_CYCLES
+
+    def test_prefetches_queue_behind_demands(self):
+        dram = DRAM(ddr4_2400())
+        for i in range(32):
+            dram.access(line=i * DRAM.ROW_LINES * 3, cycle=0, is_prefetch=False)
+        prefetch = dram.access(line=10**6, cycle=0, is_prefetch=True)
+        quiet = DRAM(ddr4_2400()).access(line=10**6, cycle=0, is_prefetch=True)
+        assert prefetch > quiet
+
+    def test_demands_queue_behind_demands(self):
+        dram = DRAM(ddr4_2400())
+        latencies = [
+            dram.access(line=i * DRAM.ROW_LINES * 3, cycle=0, is_prefetch=False)
+            for i in range(32)
+        ]
+        assert latencies[-1] > latencies[0]
+
+
+class TestAccounting:
+    def test_read_classification(self):
+        dram = DRAM(ddr4_2400())
+        dram.access(0, 0, is_prefetch=False)
+        dram.access(64, 0, is_prefetch=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.prefetch_reads == 1
+        assert dram.total_reads == 2
+
+    def test_mean_queue_delay_zero_when_empty(self):
+        dram = DRAM(ddr4_2400())
+        assert dram.stats.mean_queue_delay == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the CACTI-style energy model."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.prefetchers.stride import StridePrefetcher
+from repro.sim.energy import DRAM_LINE_PJ, EnergyModel, EnergyReport, sram_access_energy_pj
+
+
+class TestAccessEnergy:
+    def test_anchor_value(self):
+        assert sram_access_energy_pj(32 * 1024 * 8) == pytest.approx(10.0)
+
+    def test_sqrt_scaling(self):
+        small = sram_access_energy_pj(32 * 1024 * 8)
+        large = sram_access_energy_pj(4 * 32 * 1024 * 8)
+        assert large == pytest.approx(2 * small)
+
+    def test_zero_bits(self):
+        assert sram_access_energy_pj(0) == 0.0
+
+
+class TestReport:
+    def test_hierarchy_energy_sums_components(self):
+        report = EnergyReport(
+            l1_pj=1, l2_pj=2, llc_pj=3, dram_pj=4,
+            prefetcher_tables_pj=5, selector_pj=6,
+        )
+        assert report.hierarchy_pj == 21
+
+    def test_model_counts_accesses(self):
+        model = EnergyModel(SystemConfig())
+        report = model.report(
+            l1_accesses=100, l2_accesses=10, llc_accesses=5,
+            dram_reads=2, prefetchers=[],
+        )
+        assert report.l1_pj == pytest.approx(100 * 10.0)
+        assert report.dram_pj == pytest.approx(2 * DRAM_LINE_PJ)
+
+    def test_prefetcher_energy_from_table_traffic(self):
+        model = EnergyModel(SystemConfig())
+        prefetcher = StridePrefetcher()
+        from repro.common.types import DemandAccess
+
+        for i in range(20):
+            prefetcher.train(DemandAccess(pc=0x400, address=i * 64), degree=0)
+        report = model.report(0, 0, 0, 0, prefetchers=[prefetcher])
+        assert report.prefetcher_tables_pj > 0
+        assert "stride" in report.per_prefetcher_pj
+
+    def test_untrained_prefetcher_zero_energy(self):
+        model = EnergyModel(SystemConfig())
+        report = model.report(0, 0, 0, 0, prefetchers=[StridePrefetcher()])
+        assert report.prefetcher_tables_pj == 0.0
+
+    def test_selector_energy(self):
+        model = EnergyModel(SystemConfig())
+        with_selector = model.report(
+            0, 0, 0, 0, prefetchers=[],
+            selector_storage_bits=8192, selector_accesses=1000,
+        )
+        assert with_selector.selector_pj > 0

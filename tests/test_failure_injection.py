@@ -1,0 +1,117 @@
+"""Failure-injection and edge-case tests across the stack.
+
+These exercise the degenerate conditions a downstream user will hit:
+empty traces, zero-degree selectors, hostile access patterns, pathological
+table pressure, and mid-run pattern changes (the Dead Counter's reason to
+exist).
+"""
+
+import pytest
+
+from repro.common.types import AccessType, DemandAccess
+from repro.cpu.trace import TraceRecord
+from repro.prefetchers import make_composite
+from repro.selection import AlectoConfig, AlectoSelection, IPCPSelection
+from repro.sim import simulate
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+class TestDegenerateInputs:
+    def test_empty_trace(self):
+        result = simulate([], AlectoSelection(make_composite()))
+        assert result.core.instructions == 0
+        assert result.ipc == 0.0
+
+    def test_single_record_trace(self):
+        trace = [TraceRecord(pc=0x400, address=64)]
+        result = simulate(trace, AlectoSelection(make_composite()))
+        assert result.core.instructions == trace[0].instructions
+
+    def test_all_stores_trace(self):
+        trace = [
+            TraceRecord(pc=0x400, address=i * 64, access_type=AccessType.STORE)
+            for i in range(200)
+        ]
+        result = simulate(trace, AlectoSelection(make_composite()))
+        assert result.core.stores == 200
+        assert result.ipc > 0
+
+    def test_same_address_forever(self):
+        trace = [TraceRecord(pc=0x400, address=64) for _ in range(500)]
+        result = simulate(trace, AlectoSelection(make_composite()))
+        assert result.l1_hit_rate > 0.99
+
+    def test_zero_degree_everywhere(self):
+        config = AlectoConfig(conservative_degree=0, fixed_degree=0)
+        trace = [TraceRecord(pc=0x400, address=i * 64) for i in range(300)]
+        result = simulate(trace, AlectoSelection(make_composite(), config))
+        assert result.metrics.issued == 0
+
+
+class TestHostilePatterns:
+    def test_pattern_change_mid_run_recovers(self):
+        """A PC that flips from stream to random must not keep its
+        aggressive state forever (Dead Counter, Section IV-C)."""
+        import random
+
+        rng = random.Random(7)
+        stream_part = [
+            TraceRecord(pc=0x400, address=i * 64, nonmem_before=2)
+            for i in range(4000)
+        ]
+        random_part = [
+            TraceRecord(
+                pc=0x400, address=rng.randrange(1 << 26) * 64, nonmem_before=2
+            )
+            for _ in range(4000)
+        ]
+        selector = AlectoSelection(make_composite())
+        simulate(stream_part + random_part, selector)
+        entry = selector.allocation_table.peek(0x400)
+        # After the random phase no prefetcher should still be deep-IA
+        # with the stream-era confidence.
+        assert not any(
+            state.is_aggressive and state.level >= 4 for state in entry.states
+        )
+
+    def test_massive_pc_churn(self):
+        """Thousands of distinct PCs must not crash or grow unbounded."""
+        trace = [
+            TraceRecord(pc=0x400000 + i * 4, address=(i * 97) % (1 << 20) * 64)
+            for i in range(5000)
+        ]
+        selector = AlectoSelection(make_composite())
+        result = simulate(trace, selector)
+        assert len(selector.allocation_table._table) <= 64
+
+    def test_adversarial_alias_pressure(self):
+        """PCs that alias into the same allocation set still make progress."""
+        trace = []
+        for i in range(3000):
+            pc = 0x400000 + (i % 8) * 64 * 0x1000  # same low index bits
+            trace.append(TraceRecord(pc=pc, address=(i * 7) * 64))
+        result = simulate(trace, AlectoSelection(make_composite()))
+        assert result.ipc > 0
+
+
+class TestSelectorRobustness:
+    def test_ipcp_with_one_prefetcher(self):
+        from repro.prefetchers.stride import StridePrefetcher
+
+        trace = [TraceRecord(pc=0x400, address=i * 448) for i in range(500)]
+        result = simulate(trace, IPCPSelection([StridePrefetcher()]))
+        assert result.metrics.issued > 0
+
+    def test_results_independent_of_prior_runs(self):
+        prof = profile("iso", "t", True, 0.3, [
+            (1.0, "stream", {"footprint": 8 * MB, "run_length": 300}),
+        ])
+        trace = prof.generate(2000, seed=1)
+        first = simulate(trace, AlectoSelection(make_composite()))
+        # Interleave an unrelated run.
+        other = prof.generate(2000, seed=9)
+        simulate(other, AlectoSelection(make_composite()))
+        second = simulate(trace, AlectoSelection(make_composite()))
+        assert first.ipc == second.ipc

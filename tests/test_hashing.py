@@ -1,0 +1,65 @@
+"""Unit and property tests for the PC-folding hashes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import fold_pc, index_hash
+
+
+class TestFoldPC:
+    def test_small_pc_is_identity(self):
+        assert fold_pc(0x2A, output_bits=8) == 0x2A
+
+    def test_zero(self):
+        assert fold_pc(0, output_bits=6) == 0
+
+    def test_folding_xors_segments(self):
+        # 12-bit input folded to 6 bits: high segment XOR low segment.
+        pc = (0b101010 << 6) | 0b010101
+        assert fold_pc(pc, output_bits=6, input_bits=12) == 0b101010 ^ 0b010101
+
+    def test_output_within_range(self):
+        for pc in (0x400000, 0xDEADBEEF, (1 << 48) - 1):
+            assert 0 <= fold_pc(pc, output_bits=6) < 64
+
+    def test_invalid_output_bits(self):
+        with pytest.raises(ValueError):
+            fold_pc(0x1234, output_bits=0)
+
+    def test_deterministic(self):
+        assert fold_pc(0x30B00, 10) == fold_pc(0x30B00, 10)
+
+    def test_input_bits_mask(self):
+        # Bits above input_bits must not influence the result.
+        assert fold_pc(0x12345, 8, input_bits=16) == fold_pc(
+            0x12345 | (0xFF << 16), 8, input_bits=16
+        )
+
+
+class TestIndexHash:
+    def test_range(self):
+        for key in range(1000):
+            assert 0 <= index_hash(key, 64) < 64
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            index_hash(5, 0)
+
+    def test_strided_keys_spread(self):
+        # Keys with a constant stride should not all land in one bucket.
+        buckets = {index_hash(0x400000 + i * 0x1000, 16) for i in range(64)}
+        assert len(buckets) > 4
+
+    def test_deterministic(self):
+        assert index_hash(12345, 97) == index_hash(12345, 97)
+
+
+@given(pc=st.integers(0, 2**60), bits=st.integers(1, 24))
+def test_fold_pc_in_range_property(pc, bits):
+    assert 0 <= fold_pc(pc, bits) < (1 << bits)
+
+
+@given(key=st.integers(-(2**40), 2**63), entries=st.integers(1, 10_000))
+def test_index_hash_in_range_property(key, entries):
+    assert 0 <= index_hash(key, entries) < entries

@@ -1,0 +1,92 @@
+"""Integration tests: the paper's headline behaviours on small workloads.
+
+These assert the *mechanisms*, not exact numbers: Alecto blocks junk
+prefetchers per PC, reduces table misses and training occurrences versus
+train-all allocation, and sustains higher prefetch accuracy.
+"""
+
+import pytest
+
+from repro.prefetchers import make_composite
+from repro.selection import AlectoSelection, IPCPSelection
+from repro.selection.bandit import make_bandit6
+from repro.sim import simulate
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+def mixed_profile():
+    """Stream + stride + spatial + noise: every prefetcher has a niche."""
+    return profile("mixed", "test", True, 0.3, [
+        (0.30, "stream", {"footprint": 32 * MB, "run_length": 700}),
+        (0.25, "stride", {"stride": 448, "footprint": 32 * MB, "dwell": 4}),
+        (0.25, "spatial", {
+            "offsets": (0, 3, 4, 7, 11, 15), "footprint": 32 * MB,
+            "sequential_regions": True,
+        }),
+        (0.20, "random", {"footprint": 2 * MB, "pc_count": 24}),
+    ])
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = mixed_profile().generate(12000, seed=5)
+    return {
+        "baseline": simulate(trace, None),
+        "ipcp": simulate(trace, IPCPSelection(make_composite())),
+        "bandit6": simulate(trace, make_bandit6(make_composite())),
+        "alecto": simulate(trace, AlectoSelection(make_composite())),
+    }
+
+
+class TestFig1Mechanism:
+    def test_alecto_reduces_table_misses(self, runs):
+        assert runs["alecto"].table_misses < runs["ipcp"].table_misses
+
+    def test_alecto_reduces_training_occurrences(self, runs):
+        alecto = sum(runs["alecto"].training_occurrences.values())
+        ipcp = sum(runs["ipcp"].training_occurrences.values())
+        assert alecto < 0.8 * ipcp
+
+
+class TestFig10Mechanism:
+    def test_alecto_accuracy_leads(self, runs):
+        assert runs["alecto"].metrics.accuracy > runs["ipcp"].metrics.accuracy
+
+    def test_alecto_coverage_not_sacrificed(self, runs):
+        assert runs["alecto"].metrics.coverage >= 0.8 * runs["ipcp"].metrics.coverage
+
+    def test_everyone_speeds_up_mixed_workload(self, runs):
+        base = runs["baseline"].ipc
+        assert runs["alecto"].ipc > base
+        assert runs["bandit6"].ipc > base
+
+
+class TestStateConvergence:
+    def test_junk_prefetchers_blocked_per_pc(self):
+        trace = mixed_profile().generate(12000, seed=5)
+        selector = AlectoSelection(make_composite())
+        simulate(trace, selector)
+        blocked_states = 0
+        aggressive_states = 0
+        for _, entry in selector.allocation_table._table.items():
+            for state in entry.states:
+                blocked_states += state.is_blocked
+                aggressive_states += state.is_aggressive
+        assert aggressive_states > 0
+        assert blocked_states > 0
+
+    def test_epochs_completed(self):
+        trace = mixed_profile().generate(12000, seed=5)
+        selector = AlectoSelection(make_composite())
+        simulate(trace, selector)
+        assert selector.epochs_completed > 10
+
+
+class TestEnergyMechanism:
+    def test_alecto_prefetcher_energy_below_bandit(self, runs):
+        assert (
+            runs["alecto"].energy.prefetcher_tables_pj
+            < runs["bandit6"].energy.prefetcher_tables_pj
+        )

@@ -1,0 +1,51 @@
+"""Tests for the PrefetchLedger accounting."""
+
+import pytest
+
+from repro.memory.hierarchy import PrefetchLedger
+
+
+class TestLedger:
+    def test_issue_and_accuracy(self):
+        ledger = PrefetchLedger()
+        for _ in range(4):
+            ledger.record_issue("stride")
+        ledger.record_use("stride", timely=True)
+        ledger.record_use("stride", timely=False)
+        assert ledger.accuracy("stride") == pytest.approx(0.5)
+
+    def test_overall_accuracy(self):
+        ledger = PrefetchLedger()
+        ledger.record_issue("a")
+        ledger.record_issue("b")
+        ledger.record_use("a", timely=True)
+        assert ledger.accuracy() == pytest.approx(0.5)
+
+    def test_accuracy_no_issues(self):
+        assert PrefetchLedger().accuracy() == 0.0
+        assert PrefetchLedger().accuracy("ghost") == 0.0
+
+    def test_totals(self):
+        ledger = PrefetchLedger()
+        ledger.record_issue("a")
+        ledger.record_issue("a")
+        ledger.record_use("a", timely=True)
+        ledger.record_use("a", timely=False)
+        assert ledger.total_issued() == 2
+        assert ledger.total_useful() == 2
+
+    def test_eviction_and_drop_buckets(self):
+        ledger = PrefetchLedger()
+        ledger.record_eviction("a")
+        ledger.record_drop("a")
+        ledger.record_drop("a")
+        assert ledger.evicted_unused["a"] == 1
+        assert ledger.dropped["a"] == 2
+
+    def test_timely_untimely_split(self):
+        ledger = PrefetchLedger()
+        ledger.record_use("a", timely=True)
+        ledger.record_use("a", timely=True)
+        ledger.record_use("a", timely=False)
+        assert ledger.used_timely["a"] == 2
+        assert ledger.used_untimely["a"] == 1

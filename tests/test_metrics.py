@@ -1,0 +1,64 @@
+"""Tests for the Fig. 10 prefetch metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import PrefetchMetrics
+
+
+class TestDerivedMetrics:
+    def test_accuracy(self):
+        m = PrefetchMetrics(covered_timely=6, covered_untimely=2, issued=10)
+        assert m.accuracy == pytest.approx(0.8)
+
+    def test_coverage(self):
+        m = PrefetchMetrics(covered_timely=3, covered_untimely=1, uncovered=4)
+        assert m.coverage == pytest.approx(0.5)
+
+    def test_timeliness(self):
+        m = PrefetchMetrics(covered_timely=3, covered_untimely=1)
+        assert m.timeliness == pytest.approx(0.75)
+
+    def test_zero_denominators(self):
+        m = PrefetchMetrics()
+        assert m.accuracy == 0.0
+        assert m.coverage == 0.0
+        assert m.timeliness == 0.0
+
+    def test_normalized_sums_to_one_without_overprediction(self):
+        m = PrefetchMetrics(
+            covered_timely=2, covered_untimely=3, uncovered=5, overpredicted=4
+        )
+        n = m.normalized()
+        assert n["covered_timely"] + n["covered_untimely"] + n["uncovered"] == (
+            pytest.approx(1.0)
+        )
+        assert n["overprediction"] == pytest.approx(0.4)
+
+    def test_merge(self):
+        a = PrefetchMetrics(covered_timely=1, uncovered=2, issued=3)
+        b = PrefetchMetrics(covered_untimely=4, overpredicted=5, issued=6)
+        merged = a.merge(b)
+        assert merged.covered_timely == 1
+        assert merged.covered_untimely == 4
+        assert merged.uncovered == 2
+        assert merged.overpredicted == 5
+        assert merged.issued == 9
+
+
+@given(
+    ct=st.integers(0, 1000),
+    cu=st.integers(0, 1000),
+    unc=st.integers(0, 1000),
+    op=st.integers(0, 1000),
+    issued=st.integers(0, 5000),
+)
+def test_metric_bounds(ct, cu, unc, op, issued):
+    m = PrefetchMetrics(
+        covered_timely=ct, covered_untimely=cu, uncovered=unc,
+        overpredicted=op, issued=max(issued, ct + cu),
+    )
+    assert 0.0 <= m.coverage <= 1.0
+    assert 0.0 <= m.timeliness <= 1.0
+    assert 0.0 <= m.accuracy <= 1.0

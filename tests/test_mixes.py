@@ -1,0 +1,49 @@
+"""Tests for the multi-core workload mixes."""
+
+from repro.workloads.mixes import (
+    heterogeneous_mix,
+    homogeneous_mix,
+    multicore_workloads,
+)
+from repro.workloads.spec06 import SPEC06_PROFILES
+
+
+class TestHomogeneous:
+    def test_shape(self):
+        traces = homogeneous_mix(SPEC06_PROFILES["milc"], cores=4, accesses_per_core=100)
+        assert len(traces) == 4
+        assert all(len(t) == 100 for t in traces)
+
+    def test_per_core_seeds_differ(self):
+        traces = homogeneous_mix(SPEC06_PROFILES["milc"], cores=2, accesses_per_core=200)
+        assert traces[0] != traces[1]
+
+    def test_deterministic(self):
+        a = homogeneous_mix(SPEC06_PROFILES["milc"], 2, 100, seed=5)
+        b = homogeneous_mix(SPEC06_PROFILES["milc"], 2, 100, seed=5)
+        assert a == b
+
+
+class TestHeterogeneous:
+    def test_shape(self):
+        profiles = list(SPEC06_PROFILES.values())[:5]
+        traces = heterogeneous_mix(profiles, cores=8, accesses_per_core=50)
+        assert len(traces) == 8
+
+    def test_deterministic_choice(self):
+        profiles = list(SPEC06_PROFILES.values())[:5]
+        a = heterogeneous_mix(profiles, 4, 50, seed=2)
+        b = heterogeneous_mix(profiles, 4, 50, seed=2)
+        assert a == b
+
+
+class TestFig17Groups:
+    def test_group_names(self):
+        groups = multicore_workloads(cores=2, accesses_per_core=50)
+        assert set(groups) == {"spec06", "spec17", "parsec", "ligra"}
+
+    def test_group_shapes(self):
+        groups = multicore_workloads(cores=2, accesses_per_core=50)
+        for traces in groups.values():
+            assert len(traces) == 2
+            assert all(len(t) == 50 for t in traces)

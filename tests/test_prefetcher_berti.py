@@ -1,0 +1,76 @@
+"""Tests for the Berti-style local-delta prefetcher."""
+
+from repro.common.types import DemandAccess
+from repro.prefetchers.berti import BertiPrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+class TestDeltaSelection:
+    def test_dominant_delta_promoted(self):
+        pf = BertiPrefetcher()
+        produced = []
+        for i in range(40):
+            produced = pf.train(access(i * 3), degree=1)
+        assert produced
+        # All observed local deltas are multiples of 3; Berti prefers the
+        # larger (more timely) ones.
+        delta = produced[0].line - 39 * 3
+        assert delta > 0 and delta % 3 == 0
+
+    def test_no_issue_before_evaluation(self):
+        pf = BertiPrefetcher()
+        produced = []
+        for i in range(8):  # below the evaluation period
+            produced = pf.train(access(i * 3), degree=2)
+        assert produced == []
+
+    def test_degree_stacks_best_delta(self):
+        pf = BertiPrefetcher()
+        produced = []
+        for i in range(40):
+            produced = pf.train(access(i * 3), degree=3)
+        lines = [c.line for c in produced]
+        last = 39 * 3
+        assert len(lines) == 3
+        assert all(line > last and (line - last) % 3 == 0 for line in lines)
+
+    def test_random_stream_stays_quiet(self):
+        import random
+
+        rng = random.Random(9)
+        pf = BertiPrefetcher()
+        produced = []
+        for _ in range(80):
+            produced = pf.train(access(rng.randrange(10**6)), degree=2)
+        assert produced == []
+
+    def test_confidence_reflects_ratio(self):
+        pf = BertiPrefetcher()
+        for i in range(40):
+            pf.train(access(i * 3), degree=1)
+        assert pf.prediction_confidence() > 0.5
+
+
+class TestWouldHandle:
+    def test_active_pc_claimed(self):
+        pf = BertiPrefetcher()
+        for i in range(40):
+            pf.train(access(i * 3), degree=0)
+        assert pf.would_handle(access(0))
+
+    def test_inactive_pc_not_claimed(self):
+        assert not BertiPrefetcher().would_handle(access(0, pc=0x90))
+
+
+class TestAccounting:
+    def test_single_table(self):
+        assert len(BertiPrefetcher().tables()) == 1
+
+    def test_training_occurrences(self):
+        pf = BertiPrefetcher()
+        for i in range(5):
+            pf.train(access(i), degree=0)
+        assert pf.training_occurrences == 5

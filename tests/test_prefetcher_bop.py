@@ -1,0 +1,63 @@
+"""Tests for the Best-Offset prefetcher extension."""
+
+from repro.common.types import DemandAccess
+from repro.prefetchers.bop import _CANDIDATE_OFFSETS, BOPPrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+class TestOffsetLearning:
+    def test_learns_constant_offset(self):
+        pf = BOPPrefetcher()
+        produced = []
+        for i in range(600):
+            produced = pf.train(access(i * 4), degree=1)
+        assert pf.best_offset == 4
+        assert produced and produced[0].line == 599 * 4 + 4
+
+    def test_learns_unit_offset_for_streams(self):
+        pf = BOPPrefetcher()
+        for i in range(600):
+            pf.train(access(i), degree=0)
+        assert pf.best_offset in (1, 2, 3)  # small offsets all score
+
+    def test_turns_off_on_random(self):
+        import random
+
+        rng = random.Random(5)
+        pf = BOPPrefetcher()
+        produced = []
+        # Enough rounds for scoring to conclude nothing works.
+        for _ in range(_CANDIDATE_OFFSETS[-1] * 400):
+            produced = pf.train(access(rng.randrange(1 << 24)), degree=1)
+            if not pf._active:
+                break
+        assert not pf._active
+        assert produced == [] or pf.train(access(0), degree=1) == []
+
+    def test_degree_multiplies_offset(self):
+        pf = BOPPrefetcher()
+        produced = []
+        for i in range(600):
+            produced = pf.train(access(i * 4), degree=3)
+        last = 599 * 4
+        assert [c.line for c in produced] == [last + 4, last + 8, last + 12]
+
+
+class TestInterface:
+    def test_would_handle_tracks_active_flag(self):
+        pf = BOPPrefetcher()
+        assert pf.would_handle(access(0))
+        pf._active = False
+        assert not pf.would_handle(access(0))
+
+    def test_confidence_bounds(self):
+        pf = BOPPrefetcher()
+        for i in range(100):
+            pf.train(access(i), degree=0)
+        assert 0.0 <= pf.prediction_confidence() <= 1.0
+
+    def test_single_table(self):
+        assert len(BOPPrefetcher().tables()) == 1

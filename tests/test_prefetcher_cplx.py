@@ -1,0 +1,73 @@
+"""Tests for the CPLX-style complex-stride prefetcher."""
+
+from repro.common.types import DemandAccess
+from repro.prefetchers.cplx import CplxPrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def drive(pf, deltas, laps, degree=0, pc=0x400):
+    """Feed a repeating delta sequence; returns the final train() output."""
+    line = 0
+    produced = []
+    for _ in range(laps):
+        for delta in deltas:
+            produced = pf.train(access(line, pc), degree=degree)
+            line += delta
+    return produced, line
+
+
+class TestDeltaSequences:
+    def test_motivating_sequence_predicted(self):
+        # The Section II-A example: (+1, +1, +1, +4) defeats constant
+        # stride but is exactly predictable from delta history.
+        pf = CplxPrefetcher()
+        produced, line = drive(pf, (1, 1, 1, 4), laps=12, degree=1)
+        assert produced, "CPLX should predict the repeating sequence"
+
+    def test_chain_lookahead(self):
+        pf = CplxPrefetcher()
+        produced, line = drive(pf, (2, 3), laps=20, degree=4)
+        assert len(produced) >= 2
+        deltas = [produced[0].line - (line - 3)] + [
+            b.line - a.line for a, b in zip(produced, produced[1:])
+        ]
+        assert set(deltas) <= {2, 3}
+
+    def test_constant_stride_also_handled(self):
+        pf = CplxPrefetcher()
+        produced, line = drive(pf, (5,), laps=12, degree=2)
+        assert [c.line for c in produced] == [line - 5 + 5, line - 5 + 10]
+
+    def test_random_deltas_not_predicted(self):
+        import random
+
+        rng = random.Random(3)
+        pf = CplxPrefetcher()
+        line = 0
+        produced = []
+        for _ in range(60):
+            produced = pf.train(access(line), degree=2)
+            line += rng.randrange(1, 1000)
+        assert produced == []
+
+
+class TestWouldHandle:
+    def test_trained_sequence_claimed(self):
+        pf = CplxPrefetcher()
+        drive(pf, (1, 1, 1, 4), laps=12)
+        assert pf.would_handle(access(99999))
+        # A PC with no history is not claimed.
+        assert not pf.would_handle(access(0, pc=0x900))
+
+
+class TestAccounting:
+    def test_two_tables(self):
+        assert len(CplxPrefetcher().tables()) == 2
+
+    def test_training_counted(self):
+        pf = CplxPrefetcher()
+        drive(pf, (1, 2), laps=5)
+        assert pf.training_occurrences == 10

@@ -1,0 +1,81 @@
+"""Tests for the PMP-style spatial bit-pattern prefetcher."""
+
+from repro.common.types import REGION_LINES, DemandAccess
+from repro.prefetchers.pmp import PMPPrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def visit_regions(pf, offsets, regions, pc=0x400, degree=0):
+    """Visit each region touching ``offsets``; returns trigger outputs."""
+    trigger_outputs = []
+    for region in regions:
+        base = region * REGION_LINES
+        for index, offset in enumerate(offsets):
+            produced = pf.train(access(base + offset, pc), degree=degree)
+            if index == 0:
+                trigger_outputs.append(produced)
+    return trigger_outputs
+
+
+class TestPatternLearning:
+    def test_learned_pattern_replayed_on_trigger(self):
+        pf = PMPPrefetcher(at_entries=2)  # small AT -> fast retirement
+        offsets = (0, 3, 7, 11)
+        outputs = visit_regions(pf, offsets, regions=range(100, 120), degree=8)
+        final = outputs[-1]
+        assert final, "pattern should be learned and replayed"
+        base = 119 * REGION_LINES
+        predicted = {c.line - base for c in final}
+        assert predicted <= {3, 7, 11}
+        assert len(predicted) >= 2
+
+    def test_pattern_relative_to_trigger_offset(self):
+        pf = PMPPrefetcher(at_entries=2)
+        offsets = (5, 8, 12)
+        outputs = visit_regions(pf, offsets, regions=range(200, 220), degree=8)
+        base = 219 * REGION_LINES
+        predicted = {c.line - base for c in outputs[-1]}
+        assert predicted <= {8, 12}
+
+    def test_single_line_regions_learn_nothing(self):
+        pf = PMPPrefetcher(at_entries=2)
+        outputs = visit_regions(pf, (0,), regions=range(300, 330), degree=8)
+        assert all(not out for out in outputs)
+
+    def test_degree_caps_replay(self):
+        pf = PMPPrefetcher(at_entries=2)
+        offsets = tuple(range(0, 32, 2))
+        outputs = visit_regions(pf, offsets, regions=range(400, 430), degree=3)
+        assert len(outputs[-1]) <= 3
+
+    def test_nearest_offsets_first(self):
+        pf = PMPPrefetcher(at_entries=2)
+        offsets = (0, 2, 30)
+        outputs = visit_regions(pf, offsets, regions=range(500, 530), degree=1)
+        base = 529 * REGION_LINES
+        assert outputs[-1][0].line - base == 2
+
+
+class TestWouldHandle:
+    def test_known_pattern_claimed(self):
+        pf = PMPPrefetcher(at_entries=2)
+        visit_regions(pf, (0, 3, 7), regions=range(600, 630))
+        assert pf.would_handle(access(999 * REGION_LINES))
+
+    def test_unknown_pc_not_claimed(self):
+        pf = PMPPrefetcher()
+        assert not pf.would_handle(access(0, pc=0x900))
+
+
+class TestAccounting:
+    def test_tables(self):
+        assert len(PMPPrefetcher().tables()) == 2
+
+    def test_non_trigger_accesses_accumulate_only(self):
+        pf = PMPPrefetcher()
+        pf.train(access(0), degree=8)
+        produced = pf.train(access(1), degree=8)
+        assert produced == []

@@ -1,0 +1,79 @@
+"""Tests for the GS-style stream prefetcher."""
+
+from repro.common.types import DemandAccess
+from repro.prefetchers.stream import StreamPrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def train_stream(prefetcher, pc, start, count, degree=0):
+    """Feed a perfect ascending stream; returns the last train() result."""
+    result = []
+    for i in range(count):
+        result = prefetcher.train(access(start + i, pc), degree=degree)
+    return result
+
+
+class TestClassification:
+    def test_dense_stream_classified(self):
+        pf = StreamPrefetcher()
+        candidates = train_stream(pf, 0x400, 0, 32, degree=4)
+        assert candidates, "a 32-line dense run should be classified as stream"
+
+    def test_sparse_strided_not_classified(self):
+        pf = StreamPrefetcher()
+        produced = []
+        for i in range(40):
+            produced = pf.train(access(i * 13), degree=4)
+        assert produced == []
+
+    def test_prefetches_follow_direction(self):
+        pf = StreamPrefetcher()
+        candidates = train_stream(pf, 0x400, 0, 32, degree=3)
+        current = 31
+        lines = [c.line for c in candidates]
+        assert lines == [current + 1, current + 2, current + 3]
+
+    def test_descending_stream(self):
+        pf = StreamPrefetcher()
+        produced = []
+        for i in range(32):
+            produced = pf.train(access(1000 - i), degree=2)
+        assert produced and all(c.line < 1000 - 31 for c in produced)
+
+    def test_degree_zero_trains_without_output(self):
+        pf = StreamPrefetcher()
+        candidates = train_stream(pf, 0x400, 0, 32, degree=0)
+        assert candidates == []
+        assert pf.training_occurrences == 32
+
+
+class TestWouldHandle:
+    def test_region_claim(self):
+        pf = StreamPrefetcher()
+        train_stream(pf, 0x400, 0, 8)
+        # Another PC touching the same active dense region is claimed
+        # (DOL-style coarse claiming).
+        assert pf.would_handle(access(6, pc=0x999))
+
+    def test_unknown_pc_and_region_not_claimed(self):
+        pf = StreamPrefetcher()
+        assert not pf.would_handle(access(12345))
+
+
+class TestAccounting:
+    def test_tables_reported(self):
+        pf = StreamPrefetcher()
+        assert len(pf.tables()) == 2
+
+    def test_table_stats_accumulate(self):
+        pf = StreamPrefetcher()
+        train_stream(pf, 0x400, 0, 10)
+        assert pf.table_stats.lookups > 0
+
+    def test_confidence_in_unit_range(self):
+        pf = StreamPrefetcher()
+        train_stream(pf, 0x400, 0, 32, degree=2)
+        assert 0.0 <= pf.prediction_confidence() <= 1.0

@@ -1,0 +1,77 @@
+"""Tests for the CS-style stride prefetcher."""
+
+from repro.common.types import DemandAccess
+from repro.prefetchers.stride import StridePrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def train_strided(pf, stride, count, pc=0x400, degree=0, start=0):
+    result = []
+    for i in range(count):
+        result = pf.train(access(start + i * stride, pc), degree=degree)
+    return result
+
+
+class TestLearning:
+    def test_constant_stride_predicted(self):
+        pf = StridePrefetcher()
+        candidates = train_strided(pf, stride=7, count=6, degree=3)
+        last = 5 * 7
+        assert [c.line for c in candidates] == [last + 7, last + 14, last + 21]
+
+    def test_needs_confidence_before_issuing(self):
+        pf = StridePrefetcher()
+        assert train_strided(pf, stride=7, count=2, degree=3) == []
+
+    def test_negative_stride(self):
+        pf = StridePrefetcher()
+        candidates = train_strided(pf, stride=-3, count=6, degree=2, start=100)
+        last = 100 - 5 * 3
+        assert [c.line for c in candidates] == [last - 3, last - 6]
+
+    def test_same_line_access_ignored(self):
+        pf = StridePrefetcher()
+        train_strided(pf, stride=7, count=5)
+        before = pf.prediction_confidence()
+        pf.train(access(4 * 7), degree=3)  # repeat the same line
+        assert pf.prediction_confidence() == before
+
+    def test_stride_change_resets_eventually(self):
+        pf = StridePrefetcher()
+        train_strided(pf, stride=7, count=8)
+        produced = []
+        for i in range(10):
+            produced = pf.train(access(1000 + i * 11), degree=2)
+        assert produced and (produced[0].line - (1000 + 9 * 11)) == 11
+
+    def test_per_pc_isolation(self):
+        pf = StridePrefetcher()
+        train_strided(pf, stride=7, count=6, pc=0x400, degree=2)
+        candidates = train_strided(pf, stride=5, count=6, pc=0x500, degree=2, start=5000)
+        last = 5000 + 5 * 5
+        assert candidates[0].line == last + 5
+
+
+class TestWouldHandle:
+    def test_confident_pc_claimed(self):
+        pf = StridePrefetcher()
+        train_strided(pf, stride=7, count=6)
+        assert pf.would_handle(access(100))
+
+    def test_unknown_pc_not_claimed(self):
+        pf = StridePrefetcher()
+        assert not pf.would_handle(access(1, pc=0x777))
+
+
+class TestCapacity:
+    def test_table_evictions_under_pc_pressure(self):
+        pf = StridePrefetcher(ip_entries=64)
+        for pc in range(200):
+            pf.train(access(pc * 100, pc=0x400000 + pc * 0x10), degree=0)
+        assert pf.table_stats.evictions > 0
+
+    def test_storage_bits_positive(self):
+        assert StridePrefetcher().storage_bits > 0

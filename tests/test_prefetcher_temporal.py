@@ -1,0 +1,89 @@
+"""Tests for the Triangel-style temporal prefetcher."""
+
+from repro.common.types import DemandAccess
+from repro.prefetchers.temporal import METADATA_ENTRY_BYTES, TemporalPrefetcher
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def replay(pf, sequence, laps, degree=1, pc=0x400):
+    produced = []
+    for _ in range(laps):
+        for line in sequence:
+            produced = pf.train(access(line, pc), degree=degree)
+    return produced
+
+
+class TestMarkovPrediction:
+    def test_successor_predicted_on_second_lap(self):
+        pf = TemporalPrefetcher(metadata_bytes=64 * 1024)
+        sequence = [10, 500, 3, 999, 42]
+        replay(pf, sequence, laps=1)
+        produced = pf.train(access(10), degree=1)
+        assert [c.line for c in produced] == [500]
+
+    def test_degree_clamped_to_one(self):
+        pf = TemporalPrefetcher(metadata_bytes=64 * 1024)
+        replay(pf, [1, 2, 3, 4], laps=2)
+        produced = pf.train(access(1), degree=5)
+        assert len(produced) <= 1
+
+    def test_candidates_target_next_level(self):
+        pf = TemporalPrefetcher(metadata_bytes=64 * 1024)
+        replay(pf, [1, 2, 3], laps=2)
+        produced = pf.train(access(1), degree=1)
+        assert produced and produced[0].to_next_level
+
+    def test_per_pc_training_units(self):
+        pf = TemporalPrefetcher(metadata_bytes=64 * 1024)
+        # Two PCs with interleaved but distinct sequences.
+        pf.train(access(1, pc=0xA), degree=0)
+        pf.train(access(100, pc=0xB), degree=0)
+        pf.train(access(2, pc=0xA), degree=0)
+        pf.train(access(200, pc=0xB), degree=0)
+        assert [c.line for c in pf.train(access(1, pc=0xA), degree=1)] == [2]
+
+    def test_successor_update_on_conflict(self):
+        pf = TemporalPrefetcher(metadata_bytes=64 * 1024)
+        replay(pf, [1, 2], laps=3)
+        # Re-train the successor of 1 to be 9, repeatedly.
+        for _ in range(5):
+            pf.train(access(1), degree=0)
+            pf.train(access(9), degree=0)
+        produced = pf.train(access(1), degree=1)
+        assert produced and produced[0].line == 9
+
+
+class TestCapacity:
+    def test_metadata_entries_scale_with_budget(self):
+        small = TemporalPrefetcher(metadata_bytes=128 * 1024)
+        large = TemporalPrefetcher(metadata_bytes=1024 * 1024)
+        assert large._metadata.num_entries > small._metadata.num_entries
+        expected = 1024 * 1024 // METADATA_ENTRY_BYTES
+        assert abs(large._metadata.num_entries - expected) < 32
+
+    def test_small_table_thrashes_long_sequence(self):
+        pf = TemporalPrefetcher(metadata_bytes=4 * 1024)  # ~340 entries
+        sequence = list(range(0, 4000, 2))  # 2000 distinct lines
+        replay(pf, sequence, laps=2)
+        stats = pf._metadata.stats
+        assert stats.evictions > 0
+
+    def test_flag_attributes(self):
+        pf = TemporalPrefetcher()
+        assert pf.is_temporal
+        assert pf.fills_next_level
+        assert pf.max_degree == 1
+
+
+class TestWouldHandle:
+    def test_known_line_claimed(self):
+        pf = TemporalPrefetcher(metadata_bytes=64 * 1024)
+        replay(pf, [1, 2, 3], laps=2)
+        assert pf.would_handle(access(2))
+
+    def test_unknown_line_not_claimed(self):
+        pf = TemporalPrefetcher()
+        assert not pf.would_handle(access(12345))

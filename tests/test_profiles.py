@@ -1,0 +1,113 @@
+"""Tests for benchmark profiles and suite definitions."""
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.workloads import ALL_SUITES, get_profile
+from repro.workloads.ligra import LIGRA_PROFILES
+from repro.workloads.parsec import PARSEC_PROFILES
+from repro.workloads.profiles import profile
+from repro.workloads.spec06 import SPEC06_PROFILES, spec06_memory_intensive
+from repro.workloads.spec17 import SPEC17_PROFILES, spec17_memory_intensive
+from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+
+class TestSuiteCompleteness:
+    def test_spec06_has_29_benchmarks(self):
+        assert len(SPEC06_PROFILES) == 29
+
+    def test_spec06_memory_intensive_is_18(self):
+        # The dotted box of Fig. 8.
+        assert len(spec06_memory_intensive()) == 18
+
+    def test_spec17_has_21_benchmarks(self):
+        assert len(SPEC17_PROFILES) == 21
+
+    def test_spec17_memory_intensive_is_11(self):
+        assert len(spec17_memory_intensive()) == 11
+
+    def test_parsec_has_8(self):
+        assert len(PARSEC_PROFILES) == 8
+
+    def test_ligra_has_6(self):
+        assert len(LIGRA_PROFILES) == 6
+
+    def test_temporal_suite_matches_fig13(self):
+        assert set(TEMPORAL_PROFILES) == {
+            "astar_lakes", "gcc_166", "mcf", "omnetpp",
+            "soplex", "sphinx3", "xalancbmk",
+        }
+
+    def test_fig2_benchmark_present(self):
+        gems = SPEC06_PROFILES["GemsFDTD"]
+        kinds = {spec.kind for spec in gems.patterns}
+        assert {"stream", "spatial"} <= kinds  # the interleaved Fig. 2 mix
+
+    def test_lookup_across_suites(self):
+        assert get_profile("mcf").suite in ("spec06", "temporal")
+        assert get_profile("pagerank").suite == "ligra"
+        with pytest.raises(KeyError):
+            get_profile("not_a_benchmark")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        prof = SPEC06_PROFILES["milc"]
+        assert prof.generate(500, seed=3) == prof.generate(500, seed=3)
+
+    def test_seeds_differ(self):
+        prof = SPEC06_PROFILES["milc"]
+        assert prof.generate(500, seed=3) != prof.generate(500, seed=4)
+
+    def test_length(self):
+        assert len(SPEC06_PROFILES["gcc"].generate(123, seed=0)) == 123
+
+    def test_mem_ratio_respected(self):
+        prof = SPEC06_PROFILES["lbm"]  # mem_ratio 0.40
+        trace = prof.generate(4000, seed=1)
+        instructions = sum(r.instructions for r in trace)
+        observed = len(trace) / instructions
+        assert observed == pytest.approx(prof.mem_ratio, rel=0.2)
+
+    def test_store_ratio_respected(self):
+        prof = SPEC06_PROFILES["lbm"]  # store_ratio 0.40
+        trace = prof.generate(4000, seed=1)
+        stores = sum(1 for r in trace if r.access_type is AccessType.STORE)
+        assert stores / len(trace) == pytest.approx(0.40, abs=0.05)
+
+    def test_pointer_chase_records_dependent(self):
+        trace = get_profile("mcf").generate(3000, seed=1)
+        assert any(r.dependent for r in trace)
+
+    def test_pattern_address_spaces_disjoint(self):
+        # Each pattern instance gets its own 4 GB address window.
+        prof = profile("two", "x", True, 0.3, [
+            (0.5, "stream", {"footprint": 1 << 20}),
+            (0.5, "random", {"footprint": 1 << 20}),
+        ])
+        trace = prof.generate(2000, seed=1)
+        by_pc = {}
+        for r in trace:
+            by_pc.setdefault(r.pc, set()).add(r.address >> 32)
+        windows = [w for ws in by_pc.values() for w in ws]
+        assert len(set(windows)) >= 2
+
+    def test_compute_profiles_have_small_footprints(self):
+        prof = SPEC06_PROFILES["povray"]
+        trace = prof.generate(2000, seed=1)
+        lines = {r.address & 0xFFFFFFFF for r in trace}
+        assert max(lines) < 1 << 22  # within each 4 MB window
+
+
+class TestSuiteMetadata:
+    def test_all_suites_registry(self):
+        assert set(ALL_SUITES) == {"spec06", "spec17", "parsec", "ligra"}
+
+    def test_memory_intensive_flags(self):
+        assert SPEC06_PROFILES["mcf"].memory_intensive
+        assert not SPEC06_PROFILES["povray"].memory_intensive
+
+    def test_profile_names_match_keys(self):
+        for suite in ALL_SUITES.values():
+            for name, prof in suite.items():
+                assert prof.name == name

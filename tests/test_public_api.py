@@ -1,0 +1,77 @@
+"""Contract tests on the public API surface.
+
+A downstream user should be able to rely on the names re-exported from
+the package roots; these tests pin that surface.
+"""
+
+import inspect
+
+import repro
+import repro.common
+import repro.memory
+import repro.prefetchers
+import repro.selection
+import repro.sim
+import repro.workloads
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_simulate_signature(self):
+        parameters = inspect.signature(repro.simulate).parameters
+        assert list(parameters) == ["trace", "selector", "config", "name"]
+
+
+class TestSubpackageExports:
+    def test_common(self):
+        for name in repro.common.__all__:
+            assert getattr(repro.common, name, None) is not None, name
+
+    def test_memory(self):
+        for name in repro.memory.__all__:
+            assert getattr(repro.memory, name, None) is not None, name
+
+    def test_prefetchers(self):
+        for name in repro.prefetchers.__all__:
+            assert getattr(repro.prefetchers, name, None) is not None, name
+
+    def test_selection(self):
+        for name in repro.selection.__all__:
+            assert getattr(repro.selection, name, None) is not None, name
+
+    def test_sim(self):
+        for name in repro.sim.__all__:
+            assert getattr(repro.sim, name, None) is not None, name
+
+    def test_workloads(self):
+        for name in repro.workloads.__all__:
+            assert getattr(repro.workloads, name, None) is not None, name
+
+
+class TestDocstrings:
+    def test_public_modules_documented(self):
+        import pkgutil
+
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = __import__(module_info.name, fromlist=["_"])
+            assert module.__doc__, f"{module_info.name} lacks a module docstring"
+
+    def test_prefetchers_documented(self):
+        from repro.prefetchers.base import Prefetcher
+
+        for cls in Prefetcher.__subclasses__():
+            assert cls.__doc__, cls
+
+    def test_selectors_documented(self):
+        from repro.selection.base import SelectionAlgorithm
+
+        for cls in SelectionAlgorithm.__subclasses__():
+            assert cls.__doc__, cls

@@ -1,0 +1,128 @@
+"""Tests for the selection base plumbing and IPCP / DOL selectors."""
+
+import pytest
+
+from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.prefetchers import make_composite
+from repro.prefetchers.stride import StridePrefetcher
+from repro.selection.base import SelectionAlgorithm, dedupe_by_line
+from repro.selection.dol import DOLSelection
+from repro.selection.filters import RecentRequestFilter
+from repro.selection.ipcp import IPCPSelection
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def candidate(line, prefetcher):
+    return PrefetchCandidate(line=line, prefetcher=prefetcher, pc=0x400)
+
+
+class TestDedupe:
+    def test_keeps_higher_priority(self):
+        batch = [candidate(5, "stride"), candidate(5, "stream")]
+        kept = dedupe_by_line(batch, ["stream", "stride"])
+        assert len(kept) == 1
+        assert kept[0].prefetcher == "stream"
+
+    def test_distinct_lines_untouched(self):
+        batch = [candidate(5, "a"), candidate(6, "b")]
+        assert len(dedupe_by_line(batch, ["a", "b"])) == 2
+
+    def test_unknown_prefetcher_lowest_priority(self):
+        batch = [candidate(5, "mystery"), candidate(5, "stream")]
+        kept = dedupe_by_line(batch, ["stream"])
+        assert kept[0].prefetcher == "stream"
+
+    def test_preserves_order(self):
+        batch = [candidate(7, "a"), candidate(5, "a"), candidate(6, "a")]
+        kept = dedupe_by_line(batch, ["a"])
+        assert [c.line for c in kept] == [7, 5, 6]
+
+
+class TestRecentRequestFilter:
+    def test_drops_repeat(self):
+        filt = RecentRequestFilter(entries=16, ways=4)
+        first = filt.admit([candidate(5, "a")])
+        second = filt.admit([candidate(5, "a")])
+        assert first and not second
+        assert filt.dropped == 1
+
+    def test_within_batch_dedupe(self):
+        filt = RecentRequestFilter()
+        kept = filt.admit([candidate(5, "a"), candidate(5, "b")])
+        assert len(kept) == 1
+
+
+class TestSelectionBase:
+    def test_requires_prefetchers(self):
+        class Dummy(SelectionAlgorithm):
+            def allocate(self, access):
+                return []
+
+        with pytest.raises(ValueError):
+            Dummy([])
+
+    def test_duplicate_names_rejected(self):
+        class Dummy(SelectionAlgorithm):
+            def allocate(self, access):
+                return []
+
+        with pytest.raises(ValueError):
+            Dummy([StridePrefetcher(), StridePrefetcher()])
+
+    def test_training_occurrences_exposed(self):
+        selector = IPCPSelection(make_composite())
+        for d in selector.allocate(access(0)):
+            d.prefetcher.train(access(0), d.degree)
+        assert sum(selector.training_occurrences.values()) == 3
+
+
+class TestIPCP:
+    def test_allocates_everything(self):
+        selector = IPCPSelection(make_composite(), degree=4)
+        decisions = selector.allocate(access(0))
+        assert len(decisions) == 3
+        assert all(d.degree == 4 for d in decisions)
+
+    def test_output_mux_prefers_priority(self):
+        selector = IPCPSelection(make_composite())
+        batch = [candidate(5, "pmp"), candidate(9, "stream")]
+        kept = selector.filter_prefetches(batch, access(0))
+        assert all(c.prefetcher == "stream" for c in kept)
+
+    def test_lower_priority_passes_when_alone(self):
+        selector = IPCPSelection(make_composite())
+        kept = selector.filter_prefetches([candidate(5, "pmp")], access(0))
+        assert kept and kept[0].prefetcher == "pmp"
+
+    def test_storage_is_filter_only(self):
+        assert IPCPSelection(make_composite()).storage_bits > 0
+
+
+class TestDOL:
+    def test_unclaimed_request_walks_all(self):
+        selector = DOLSelection(make_composite())
+        decisions = selector.allocate(access(0))
+        assert [d.prefetcher.name for d in decisions] == ["stream", "stride", "pmp"]
+
+    def test_claiming_prefetcher_stops_walk(self):
+        selector = DOLSelection(make_composite())
+        stride = selector.prefetcher("stride")
+        # Teach stride a confident pattern for this PC.
+        for i in range(6):
+            stride.train(access(i * 7), degree=0)
+        decisions = selector.allocate(access(100))
+        names = [d.prefetcher.name for d in decisions]
+        assert names == ["stream", "stride"]  # pmp never sees it
+
+    def test_pass_through_trains_earlier_tables(self):
+        # The paper's DOL critique: a request destined for P3 leaves
+        # traces in P1 and P2 tables on the way through.
+        selector = DOLSelection(make_composite())
+        decisions = selector.allocate(access(0))
+        for d in decisions:
+            d.prefetcher.train(access(0), d.degree)
+        assert selector.prefetcher("stream").training_occurrences == 1
+        assert selector.prefetcher("stride").training_occurrences == 1

@@ -1,0 +1,82 @@
+"""Cross-selector protocol conformance tests.
+
+Every selection algorithm must obey the simulator's five-step protocol,
+regardless of its internals.  These tests run the same scripted access
+sequence through each selector and assert structural invariants — no
+selector may emit duplicate lines in one batch, allocate to prefetchers
+it does not own, or crash on feedback for unknown records.
+"""
+
+import pytest
+
+from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.memory.cache import PrefetchRecord
+from repro.prefetchers import TemporalPrefetcher, make_composite
+from repro.selection import (
+    AlectoSelection,
+    DOLSelection,
+    IPCPSelection,
+    PPFSelection,
+    TriangelSelection,
+)
+from repro.selection.bandit import BanditSelection
+
+
+def all_selectors():
+    yield "ipcp", IPCPSelection(make_composite())
+    yield "dol", DOLSelection(make_composite())
+    yield "bandit", BanditSelection(make_composite())
+    yield "alecto", AlectoSelection(make_composite())
+    yield "ppf", PPFSelection(make_composite())
+    yield "triangel", TriangelSelection(
+        make_composite() + [TemporalPrefetcher(metadata_bytes=16 * 1024)]
+    )
+
+
+def access(i):
+    return DemandAccess(pc=0x400 + (i % 4) * 0x100, address=(i * 3) * 64)
+
+
+@pytest.mark.parametrize("name,selector", list(all_selectors()), ids=lambda v: v if isinstance(v, str) else "")
+class TestProtocolConformance:
+    def test_allocations_use_owned_prefetchers(self, name, selector):
+        owned = set(selector.prefetchers)
+        for i in range(50):
+            for decision in selector.allocate(access(i)):
+                assert decision.prefetcher in owned
+                assert decision.degree >= 0
+
+    def test_filter_never_duplicates_lines(self, name, selector):
+        for i in range(100):
+            acc = access(i)
+            selector.observe_demand(acc)
+            candidates = []
+            for decision in selector.allocate(acc):
+                candidates.extend(
+                    decision.prefetcher.train(acc, decision.degree)
+                )
+            final = selector.filter_prefetches(candidates, acc)
+            lines = [c.line for c in final]
+            assert len(lines) == len(set(lines)), name
+            selector.post_issue(acc, final)
+
+    def test_feedback_for_unknown_records_is_safe(self, name, selector):
+        record = PrefetchRecord(
+            prefetcher="stride", pc=0x999, issue_cycle=0, ready_cycle=0, line=12345
+        )
+        selector.observe_prefetch_used(record, timely=True)
+        selector.observe_prefetch_evicted(record)
+
+    def test_performance_sample_is_safe(self, name, selector):
+        selector.performance_sample(instructions=1000, cycles=500.0)
+
+    def test_storage_bits_nonnegative(self, name, selector):
+        assert selector.storage_bits >= 0
+
+    def test_training_occurrence_accounting(self, name, selector):
+        before = dict(selector.training_occurrences)
+        acc = access(0)
+        for decision in selector.allocate(acc):
+            decision.prefetcher.train(acc, decision.degree)
+        after = selector.training_occurrences
+        assert sum(after.values()) >= sum(before.values())

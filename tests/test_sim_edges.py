@@ -1,0 +1,69 @@
+"""Edge-case tests for simulation results and shared-resource wiring."""
+
+import pytest
+
+from repro.common.config import SystemConfig, multicore_config
+from repro.cpu.trace import TraceRecord
+from repro.prefetchers import make_composite
+from repro.selection import AlectoSelection
+from repro.sim import simulate, simulate_multicore
+from repro.sim.simulator import MulticoreResult
+
+
+def short_trace(pc=0x400, n=50):
+    return [TraceRecord(pc=pc, address=i * 64) for i in range(n)]
+
+
+class TestSimulationResult:
+    def test_result_fields_populated(self):
+        result = simulate(short_trace(), AlectoSelection(make_composite()))
+        assert result.selector_name == "alecto"
+        assert result.selector_storage_bits > 0
+        assert result.l1_hit_rate >= 0.0
+        assert result.table_lookups >= result.table_misses
+
+    def test_baseline_has_no_prefetch_state(self):
+        result = simulate(short_trace(), None)
+        assert result.training_occurrences == {}
+        assert result.issued_by_prefetcher == {}
+        assert result.metrics.issued == 0
+
+    def test_name_propagates(self):
+        result = simulate(short_trace(), None, name="tagged")
+        assert result.name == "tagged"
+
+
+class TestMulticoreEdges:
+    def test_single_core_multicore_equivalence(self):
+        """A 1-core multicore run must match the single-core simulator."""
+        trace = short_trace(n=300)
+        single = simulate(trace, None, config=SystemConfig(cores=1))
+        multi = simulate_multicore(
+            [trace], lambda c: None, config=SystemConfig(cores=1)
+        )
+        assert multi.cores[0].ipc == pytest.approx(single.ipc)
+
+    def test_uneven_trace_lengths(self):
+        traces = [short_trace(n=10), short_trace(pc=0x500, n=200)]
+        result = simulate_multicore(
+            traces, lambda c: None, config=multicore_config(2)
+        )
+        assert result.cores[0].core.instructions < result.cores[1].core.instructions
+
+    def test_weighted_speedup_empty(self):
+        empty = MulticoreResult(cores=[])
+        assert empty.weighted_speedup(empty) == 0.0
+
+    def test_selector_factory_receives_core_ids(self):
+        seen = []
+
+        def factory(core_id):
+            seen.append(core_id)
+            return None
+
+        simulate_multicore(
+            [short_trace(n=5), short_trace(n=5)],
+            factory,
+            config=multicore_config(2),
+        )
+        assert seen == [0, 1]

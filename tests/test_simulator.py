@@ -1,0 +1,109 @@
+"""Tests for the single- and multi-core simulation loops."""
+
+import pytest
+
+from repro.common.config import SystemConfig, multicore_config
+from repro.prefetchers import make_composite
+from repro.selection import AlectoSelection, IPCPSelection
+from repro.sim import simulate, simulate_multicore
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+
+def stream_profile(name="streamy", mem_ratio=0.3):
+    return profile(name, "test", True, mem_ratio, [
+        (0.9, "stream", {"footprint": 32 * MB, "run_length": 800}),
+        (0.1, "random", {"footprint": MB, "pc_count": 4}),
+    ])
+
+
+class TestSingleCore:
+    def test_baseline_run_reports_ipc(self):
+        trace = stream_profile().generate(2000, seed=1)
+        result = simulate(trace, None)
+        assert result.ipc > 0
+        assert result.core.instructions == sum(r.instructions for r in trace)
+        assert result.selector_name == "none"
+
+    def test_prefetching_beats_baseline_on_streams(self):
+        trace = stream_profile().generate(6000, seed=1)
+        base = simulate(trace, None)
+        result = simulate(trace, AlectoSelection(make_composite()))
+        assert result.ipc > base.ipc
+
+    def test_deterministic(self):
+        trace = stream_profile().generate(2000, seed=1)
+        a = simulate(trace, AlectoSelection(make_composite()))
+        b = simulate(trace, AlectoSelection(make_composite()))
+        assert a.ipc == b.ipc
+        assert a.metrics.issued == b.metrics.issued
+
+    def test_metrics_populated(self):
+        trace = stream_profile().generate(4000, seed=1)
+        result = simulate(trace, IPCPSelection(make_composite()))
+        m = result.metrics
+        assert m.issued > 0
+        assert m.covered_timely + m.covered_untimely > 0
+        assert result.table_misses > 0
+        assert sum(result.training_occurrences.values()) > 0
+
+    def test_energy_report_present(self):
+        trace = stream_profile().generate(1000, seed=1)
+        result = simulate(trace, IPCPSelection(make_composite()))
+        assert result.energy.hierarchy_pj > 0
+
+    def test_fresh_selector_required_per_run(self):
+        # Reusing a selector across traces keeps state; a fresh one must
+        # still produce identical results for identical traces.
+        trace = stream_profile().generate(1500, seed=2)
+        first = simulate(trace, AlectoSelection(make_composite()))
+        second = simulate(trace, AlectoSelection(make_composite()))
+        assert first.issued_by_prefetcher == second.issued_by_prefetcher
+
+
+class TestMulticore:
+    def test_core_count_checked(self):
+        traces = [stream_profile().generate(100, seed=s) for s in range(2)]
+        with pytest.raises(ValueError):
+            simulate_multicore(traces, lambda c: None, config=SystemConfig(cores=4))
+
+    def test_per_core_results(self):
+        traces = [stream_profile().generate(800, seed=s) for s in range(2)]
+        result = simulate_multicore(
+            traces, lambda c: None, config=multicore_config(2)
+        )
+        assert len(result.cores) == 2
+        assert all(r.ipc > 0 for r in result.cores)
+
+    def test_weighted_speedup_identity(self):
+        traces = [stream_profile().generate(500, seed=s) for s in range(2)]
+        base = simulate_multicore(traces, lambda c: None, config=multicore_config(2))
+        again = simulate_multicore(traces, lambda c: None, config=multicore_config(2))
+        assert again.weighted_speedup(base) == pytest.approx(1.0)
+
+    def test_prefetching_helps_multicore(self):
+        traces = [stream_profile().generate(2500, seed=s) for s in range(2)]
+        config = multicore_config(2)
+        base = simulate_multicore(traces, lambda c: None, config=config)
+        pf = simulate_multicore(
+            traces,
+            lambda c: AlectoSelection(make_composite()),
+            config=config,
+        )
+        assert pf.weighted_speedup(base) > 1.0
+
+    def test_contention_slows_cores_down(self):
+        # The same trace runs slower per-core when seven bandwidth-hungry
+        # neighbours share the memory system.
+        solo_trace = stream_profile().generate(1200, seed=9)
+        solo = simulate(solo_trace, None, config=SystemConfig())
+        traces = [stream_profile().generate(1200, seed=9 + s) for s in range(8)]
+        crowd = simulate_multicore(traces, lambda c: None, config=multicore_config(8))
+        assert crowd.cores[0].ipc < solo.ipc
+
+    def test_total_instructions(self):
+        traces = [stream_profile().generate(300, seed=s) for s in range(2)]
+        result = simulate_multicore(traces, lambda c: None, config=multicore_config(2))
+        expected = sum(sum(r.instructions for r in t) for t in traces)
+        assert result.total_instructions == expected

@@ -1,0 +1,84 @@
+"""Property-based tests on Alecto's bookkeeping tables and batch dedupe."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import PrefetchCandidate
+from repro.selection.alecto.sample_table import SampleTable
+from repro.selection.alecto.sandbox_table import SandboxTable
+from repro.selection.base import dedupe_by_line
+
+
+@settings(max_examples=50)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["issue", "confirm", "demand"]),
+            st.integers(0, 8),     # pc selector
+            st.integers(0, 2),     # prefetcher index
+        ),
+        max_size=200,
+    )
+)
+def test_sample_table_counters_bounded(operations):
+    table = SampleTable(num_prefetchers=3, epoch_demands=10)
+    for op, pc_sel, index in operations:
+        pc = 0x400 + pc_sel * 0x100
+        if op == "issue":
+            table.note_issued(pc, index, count=3)
+        elif op == "confirm":
+            table.note_confirmed(pc, index)
+        else:
+            finished = table.note_demand(pc)
+            if finished is not None:
+                finished.reset_epoch()
+    for _, entry in table._table.items():
+        assert all(0 <= v <= 255 for v in entry.issued)
+        assert all(0 <= v <= 255 for v in entry.confirmed)
+        assert 0 <= entry.demand_counter < 10
+
+
+@settings(max_examples=50)
+@given(
+    issues=st.lists(
+        st.tuples(st.integers(0, 300), st.integers(0, 2)), max_size=150
+    ),
+    probes=st.lists(st.integers(0, 300), max_size=50),
+)
+def test_sandbox_confirm_at_most_once_per_issue(issues, probes):
+    """Total confirmations can never exceed total recorded issues."""
+    table = SandboxTable(num_prefetchers=3, num_entries=64, ways=8)
+    pc = 0x400
+    recorded = 0
+    for line, index in issues:
+        table.record_issue(line, pc, index)
+        recorded += 1
+    confirmed = 0
+    for line in probes + probes:  # repeated probes must not double-count
+        confirmed += len(table.confirm(line, pc))
+    assert confirmed <= recorded
+
+
+@settings(max_examples=60)
+@given(
+    lines=st.lists(st.integers(0, 40), min_size=0, max_size=60),
+    prefetcher_picks=st.lists(st.sampled_from(["a", "b", "c"]), min_size=0, max_size=60),
+)
+def test_dedupe_by_line_properties(lines, prefetcher_picks):
+    n = min(len(lines), len(prefetcher_picks))
+    batch = [
+        PrefetchCandidate(line=lines[i], prefetcher=prefetcher_picks[i], pc=0x400)
+        for i in range(n)
+    ]
+    kept = dedupe_by_line(batch, ["a", "b", "c"])
+    kept_lines = [c.line for c in kept]
+    # One candidate per line, no invented candidates, priority respected.
+    assert len(kept_lines) == len(set(kept_lines))
+    assert set(kept_lines) == set(lines[:n])
+    by_line = {}
+    for candidate in batch:
+        by_line.setdefault(candidate.line, set()).add(candidate.prefetcher)
+    rank = {"a": 0, "b": 1, "c": 2}
+    for candidate in kept:
+        best = min(by_line[candidate.line], key=rank.get)
+        assert candidate.prefetcher == best

@@ -1,0 +1,167 @@
+"""Unit and property tests for the generic set-associative table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.tables import SetAssociativeTable, TableStats
+
+
+class TestConstruction:
+    def test_geometry(self):
+        table = SetAssociativeTable(64, ways=4)
+        assert table.num_sets == 16
+        assert table.num_entries == 64
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTable(10, ways=4)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTable(0)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTable(16, ways=4, replacement="fifo")
+
+    def test_storage_bits(self):
+        table = SetAssociativeTable(64, ways=4, entry_bits=16)
+        assert table.storage_bits == 64 * 16
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        table = SetAssociativeTable(16, ways=4)
+        assert table.lookup(1) is None
+        table.insert(1, "a")
+        assert table.lookup(1) == "a"
+        assert table.stats.misses == 1
+        assert table.stats.hits == 1
+
+    def test_insert_overwrites(self):
+        table = SetAssociativeTable(16, ways=4)
+        table.insert(1, "a")
+        table.insert(1, "b")
+        assert table.peek(1) == "b"
+        assert len(table) == 1
+
+    def test_peek_does_not_count(self):
+        table = SetAssociativeTable(16, ways=4)
+        table.insert(1, "a")
+        table.peek(1)
+        table.peek(2)
+        assert table.stats.lookups == 0
+
+    def test_contains(self):
+        table = SetAssociativeTable(16, ways=4)
+        table.insert(5, "x")
+        assert 5 in table
+        assert 6 not in table
+
+    def test_get_or_insert(self):
+        table = SetAssociativeTable(16, ways=4)
+        value = table.get_or_insert(3, list)
+        value.append(1)
+        assert table.peek(3) == [1]
+        assert table.get_or_insert(3, list) == [1]
+
+    def test_invalidate(self):
+        table = SetAssociativeTable(16, ways=4)
+        table.insert(1, "a")
+        assert table.invalidate(1)
+        assert not table.invalidate(1)
+        assert table.peek(1) is None
+
+    def test_clear_preserves_stats(self):
+        table = SetAssociativeTable(16, ways=4)
+        table.insert(1, "a")
+        table.lookup(1)
+        table.clear()
+        assert len(table) == 0
+        assert table.stats.hits == 1
+
+    def test_items_iterates_pairs(self):
+        table = SetAssociativeTable(16, ways=4)
+        table.insert(1, "a")
+        table.insert(2, "b")
+        assert dict(table.items()) == {1: "a", 2: "b"}
+
+
+class TestEviction:
+    def test_lru_eviction_within_set(self):
+        # Fully associative single set: fill it, touch the first entry,
+        # insert one more -> the untouched second entry is the victim.
+        table = SetAssociativeTable(2, ways=2)
+        table.insert(0, "a")
+        table.insert(1, "b")
+        table.lookup(0)
+        evicted = table.insert(2, "c")
+        assert evicted == (1, "b")
+        assert table.stats.evictions == 1
+
+    def test_occupancy_never_exceeds_capacity(self):
+        table = SetAssociativeTable(8, ways=2)
+        for key in range(100):
+            table.insert(key, key)
+        assert len(table) <= 8
+
+    def test_random_replacement_is_deterministic_per_seed(self):
+        def fill(seed):
+            table = SetAssociativeTable(4, ways=4, replacement="random", seed=seed)
+            for key in range(50):
+                table.insert(key, key)
+            return sorted(k for k, _ in table.items())
+
+        assert fill(7) == fill(7)
+
+    def test_random_replacement_cyclic_stream_gets_hits(self):
+        # The motivating property: under a cyclic reference stream larger
+        # than capacity, LRU yields ~zero hits while random keeps some.
+        cycle = list(range(64)) * 6
+        lru = SetAssociativeTable(32, ways=32, replacement="lru")
+        rnd = SetAssociativeTable(32, ways=32, replacement="random")
+        for table in (lru, rnd):
+            for key in cycle:
+                if table.lookup(key) is None:
+                    table.insert(key, key)
+        assert lru.stats.hits == 0
+        assert rnd.stats.hits > 0
+
+
+class TestStats:
+    def test_merge(self):
+        a = TableStats(lookups=10, hits=6, misses=4, insertions=2, evictions=1)
+        b = TableStats(lookups=5, hits=1, misses=4, insertions=3, evictions=2)
+        merged = a.merge(b)
+        assert merged.lookups == 15
+        assert merged.hits == 7
+        assert merged.misses == 8
+        assert merged.insertions == 5
+        assert merged.evictions == 3
+
+    def test_hit_rate(self):
+        stats = TableStats(lookups=10, hits=4)
+        assert stats.hit_rate == pytest.approx(0.4)
+
+    def test_hit_rate_empty(self):
+        assert TableStats().hit_rate == 0.0
+
+
+@settings(max_examples=50)
+@given(
+    keys=st.lists(st.integers(0, 500), min_size=1, max_size=300),
+    ways=st.sampled_from([1, 2, 4, 8]),
+)
+def test_table_invariants(keys, ways):
+    table = SetAssociativeTable(32, ways=ways)
+    for key in keys:
+        table.lookup(key)
+        table.insert(key, key * 2)
+    # Capacity invariant.
+    assert len(table) <= 32
+    # Accounting invariant.
+    assert table.stats.hits + table.stats.misses == table.stats.lookups
+    # Every resident value matches its key.
+    for key, value in table.items():
+        assert value == key * 2

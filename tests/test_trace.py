@@ -1,0 +1,36 @@
+"""Tests for trace records and interleaving."""
+
+from repro.common.types import AccessType
+from repro.cpu.trace import TraceRecord, interleave_traces
+
+
+class TestTraceRecord:
+    def test_instructions_counts_self(self):
+        record = TraceRecord(pc=1, address=2, nonmem_before=5)
+        assert record.instructions == 6
+
+    def test_defaults(self):
+        record = TraceRecord(pc=1, address=2)
+        assert record.access_type is AccessType.LOAD
+        assert not record.dependent
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        a = [TraceRecord(pc=0, address=i) for i in range(2)]
+        b = [TraceRecord(pc=1, address=i) for i in range(2)]
+        order = [(core, r.pc) for core, r in interleave_traces([a, b])]
+        assert order == [(0, 0), (1, 1), (0, 0), (1, 1)]
+
+    def test_uneven_lengths(self):
+        a = [TraceRecord(pc=0, address=i) for i in range(3)]
+        b = [TraceRecord(pc=1, address=0)]
+        cores = [core for core, _ in interleave_traces([a, b])]
+        assert cores == [0, 1, 0, 0]
+
+    def test_empty_traces(self):
+        assert list(interleave_traces([[], []])) == []
+
+    def test_single_core(self):
+        a = [TraceRecord(pc=0, address=i) for i in range(3)]
+        assert len(list(interleave_traces([a]))) == 3

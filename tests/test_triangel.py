@@ -1,0 +1,79 @@
+"""Tests for the Triangel-style temporal training filter."""
+
+import pytest
+
+from repro.common.types import DemandAccess
+from repro.prefetchers import make_composite
+from repro.prefetchers.temporal import TemporalPrefetcher
+from repro.selection.triangel import _CLASSIFY_AFTER, TriangelSelection
+
+
+def access(line, pc=0x400):
+    return DemandAccess(pc=pc, address=line * 64)
+
+
+def make_triangel(**kwargs):
+    prefetchers = make_composite() + [TemporalPrefetcher(metadata_bytes=64 * 1024)]
+    return TriangelSelection(prefetchers, **kwargs)
+
+
+class TestConstruction:
+    def test_requires_exactly_one_temporal(self):
+        with pytest.raises(ValueError):
+            TriangelSelection(make_composite())
+
+    def test_storage_includes_sampler(self):
+        assert make_triangel().storage_bits >= TriangelSelection.SAMPLER_STORAGE_BITS
+
+
+class TestClassification:
+    def test_recurring_pc_allowed(self):
+        selector = make_triangel()
+        temporal = selector.temporal
+        sequence = list(range(100))  # period 100 < sampler horizon
+        for lap in range(6):
+            for line in sequence:
+                decisions = selector.allocate(access(line))
+        names = [d.prefetcher.name for d in selector.allocate(access(0))]
+        assert "temporal" in names
+
+    def test_non_recurring_pc_filtered(self):
+        selector = make_triangel()
+        for line in range(_CLASSIFY_AFTER * 4):  # pure stream, never recurs
+            selector.allocate(access(line))
+        names = [d.prefetcher.name for d in selector.allocate(access(10**6))]
+        assert "temporal" not in names
+
+    def test_rare_recurrence_filtered(self):
+        selector = make_triangel()
+        # Period far beyond the sampler horizon.
+        period = 50_000
+        for i in range(_CLASSIFY_AFTER * 3):
+            selector.allocate(access((i * 997) % period))
+        names = [d.prefetcher.name for d in selector.allocate(access(0))]
+        assert "temporal" not in names
+
+    def test_optimistic_before_classification(self):
+        selector = make_triangel()
+        names = [d.prefetcher.name for d in selector.allocate(access(0))]
+        assert "temporal" in names  # allowed until proven otherwise
+
+
+class TestTemporalRouting:
+    def test_temporal_candidates_marked_next_level(self):
+        from repro.common.types import PrefetchCandidate
+
+        selector = make_triangel()
+        batch = [PrefetchCandidate(line=5, prefetcher="temporal", pc=0x400)]
+        kept = selector.filter_prefetches(batch, access(0))
+        assert kept and kept[0].to_next_level
+
+    def test_l1_prefetch_traffic_trains_temporal(self):
+        from repro.common.types import PrefetchCandidate
+
+        selector = make_triangel()
+        temporal = selector.temporal
+        before = temporal.training_occurrences
+        issued = [PrefetchCandidate(line=5, prefetcher="stream", pc=0x400)]
+        selector.post_issue(access(0), issued)
+        assert temporal.training_occurrences == before + 1
