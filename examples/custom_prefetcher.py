@@ -1,17 +1,26 @@
-"""Extending the library: write a prefetcher and schedule it with Alecto.
+"""Extending the library: register a prefetcher and schedule it with Alecto.
 
 Implements a trivial next-N-line prefetcher against the public
-:class:`repro.prefetchers.Prefetcher` interface and lets Alecto decide,
-per PC, whether it deserves demand requests — next-line prefetching is
-great on streams and junk on everything else, so Alecto's Allocation
-Table should promote it on stream PCs and block it on random PCs.
+:class:`repro.prefetchers.Prefetcher` interface, registers it (plus a
+composite containing it) with :mod:`repro.registry`, and lets Alecto
+decide, per PC, whether it deserves demand requests — next-line
+prefetching is great on streams and junk on everything else, so Alecto's
+Allocation Table should promote it on stream PCs and block it on random
+PCs.  Once registered, the new composite works everywhere a composite
+name does: ``build_selector``, ``make_selector``, ``speedup_suite``, and
+the ``repro`` CLI.
 
 Run:  python examples/custom_prefetcher.py
 """
 
 from typing import List, Sequence
 
-from repro import AlectoSelection, simulate
+from repro import (
+    build_selector,
+    register_composite,
+    register_prefetcher,
+    simulate,
+)
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers import Prefetcher, StridePrefetcher
@@ -20,6 +29,7 @@ from repro.workloads.profiles import profile
 MB = 1 << 20
 
 
+@register_prefetcher("nextline")
 class NextLinePrefetcher(Prefetcher):
     """Always prefetches the next ``degree`` sequential lines."""
 
@@ -40,6 +50,11 @@ class NextLinePrefetcher(Prefetcher):
         return (self._table,)
 
 
+@register_composite("nextline_cs")
+def nextline_composite():
+    return [NextLinePrefetcher(), StridePrefetcher()]
+
+
 def main() -> None:
     workload = profile("stream_plus_noise", "example", True, 0.3, [
         (0.6, "stream", {"footprint": 32 * MB, "run_length": 800}),
@@ -48,7 +63,7 @@ def main() -> None:
     trace = workload.generate(15_000, seed=1)
 
     baseline = simulate(trace, None)
-    selector = AlectoSelection([NextLinePrefetcher(), StridePrefetcher()])
+    selector = build_selector("alecto", composite="nextline_cs")
     result = simulate(trace, selector)
 
     print(f"speedup over no prefetching: {result.ipc / baseline.ipc:.3f}x")

@@ -5,19 +5,35 @@ Improves Prefetching Efficiency" — Li, Zhang, Ren, Xie.
 
 Public API tour:
 
+- :mod:`repro.registry` — decorator-based registries for prefetchers,
+  composites, selectors, and experiments; :func:`build_selector` turns a
+  declarative spec (``"alecto:fixed_degree=6"``) into a ready selector;
 - :func:`repro.sim.simulate` / :func:`repro.sim.simulate_multicore` — run
   traces through the Table-I memory hierarchy;
-- :func:`repro.prefetchers.make_composite` — build the paper's composite
-  prefetcher sets;
+- :func:`repro.prefetchers.make_composite` — build the registered
+  composite prefetcher sets;
 - :class:`repro.selection.AlectoSelection` and the baseline selectors
   (:class:`~repro.selection.IPCPSelection`,
   :class:`~repro.selection.DOLSelection`,
   :class:`~repro.selection.BanditSelection`, ...);
 - :mod:`repro.workloads` — synthetic SPEC/PARSEC/Ligra benchmark profiles;
-- :mod:`repro.experiments` — one module per paper figure/table.
+- :mod:`repro.experiments` — one registered
+  :class:`~repro.experiments.runner.Experiment` per paper figure/table,
+  returning structured :class:`~repro.experiments.runner.ExperimentResult`
+  records; :class:`~repro.experiments.runner.SuiteRunner` fans suites out
+  over a process pool.
 """
 
 from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400, multicore_config
+from repro.registry import (
+    build_composite,
+    build_prefetcher,
+    build_selector,
+    register_composite,
+    register_experiment,
+    register_prefetcher,
+    register_selector,
+)
 from repro.prefetchers import make_composite
 from repro.selection import (
     AlectoConfig,
@@ -29,7 +45,7 @@ from repro.selection import (
 from repro.sim import simulate, simulate_multicore
 from repro.workloads import get_profile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlectoConfig",
@@ -39,11 +55,18 @@ __all__ = [
     "IPCPSelection",
     "SystemConfig",
     "__version__",
+    "build_composite",
+    "build_prefetcher",
+    "build_selector",
     "ddr3_1600",
     "ddr4_2400",
     "get_profile",
     "make_composite",
     "multicore_config",
+    "register_composite",
+    "register_experiment",
+    "register_prefetcher",
+    "register_selector",
     "simulate",
     "simulate_multicore",
 ]

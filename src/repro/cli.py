@@ -4,61 +4,77 @@ Commands:
 
 - ``run``: simulate one benchmark under one selector and print metrics.
 - ``compare``: run several selectors on one benchmark.
-- ``experiment``: regenerate a paper figure/table by name.
-- ``list``: show available benchmarks, selectors, and experiments.
+- ``experiment``: regenerate paper figures/tables by name (or ``--all``),
+  optionally in parallel (``--jobs``) and with structured JSON output
+  (``--json``).
+- ``list``: show available benchmarks, selectors, composites, and
+  experiments — all driven by registry introspection
+  (:mod:`repro.registry`), so newly registered components appear
+  automatically.
+
+Selectors are given as registry *specs*: a name, optionally with
+declarative parameters, e.g. ``--selector alecto:fixed_degree=6``.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 from typing import List, Optional
 
-EXPERIMENTS = {
-    "fig01": "repro.experiments.fig01_table_misses",
-    "fig08": "repro.experiments.fig08_spec06",
-    "fig09": "repro.experiments.fig09_spec17",
-    "fig10": "repro.experiments.fig10_metrics",
-    "fig11": "repro.experiments.fig11_diverse",
-    "fig12": "repro.experiments.fig12_noncomposite",
-    "fig13": "repro.experiments.fig13_temporal",
-    "fig14": "repro.experiments.fig14_metadata_size",
-    "fig15": "repro.experiments.fig15_llc_size",
-    "fig16": "repro.experiments.fig16_bandwidth",
-    "fig17": "repro.experiments.fig17_multicore",
-    "fig18": "repro.experiments.fig18_energy",
-    "fig19": "repro.experiments.fig19_ablation",
-    "fig20": "repro.experiments.fig20_ppf",
-    "table3": "repro.experiments.table3_storage",
-    "sec6a": "repro.experiments.sec6a_csr_tuning",
-    "sec6h": "repro.experiments.sec6h_extended_bandit",
-    "sec7b": "repro.experiments.sec7b_degree_study",
-    "abl_boundaries": "repro.experiments.ablation_boundaries",
-    "abl_epoch": "repro.experiments.ablation_epoch",
-    "abl_sandbox": "repro.experiments.ablation_sandbox",
-}
 
-SELECTORS = (
-    "ipcp", "dol", "bandit3", "bandit6", "alecto", "alecto_fix",
-    "ppf_aggressive", "ppf_conservative", "bandit_ext",
-)
+def _system_config(name: str):
+    """Resolve a named system configuration preset (None = Table I)."""
+    from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400
+
+    if name == "default":
+        return None
+    if name == "ddr3_1600":
+        return SystemConfig().with_dram(ddr3_1600())
+    if name == "ddr4_2400":
+        return SystemConfig().with_dram(ddr4_2400())
+    if name == "temporal":
+        from repro.experiments.fig13_temporal import temporal_config
+
+        return temporal_config()
+    raise ValueError(f"unknown config preset: {name!r}")
+
+
+CONFIG_PRESETS = ("default", "ddr3_1600", "ddr4_2400", "temporal")
+
+
+class _SelectorSpecError(Exception):
+    """A selector spec the user typed could not be built."""
+
+
+def _build_selector(args: argparse.Namespace, spec: str):
+    from repro.registry import build_selector
+
+    try:
+        return build_selector(
+            spec,
+            composite=args.composite,
+            with_temporal=args.with_temporal,
+            temporal_bytes=args.temporal_bytes,
+        )
+    except (ValueError, TypeError) as exc:
+        # Replaces the old argparse choices-validation: bad names, bad
+        # spec syntax, and bad parameters exit cleanly, not via traceback.
+        raise _SelectorSpecError(f"selector {spec!r}: {exc}") from exc
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.common import make_selector
     from repro.sim import simulate
     from repro.workloads import get_profile
 
+    config = _system_config(args.config)
     profile = get_profile(args.benchmark)
     trace = profile.generate(args.accesses, seed=args.seed)
-    baseline = simulate(trace, None, name=args.benchmark)
+    baseline = simulate(trace, None, config=config, name=args.benchmark)
     selector = (
-        make_selector(args.selector, composite=args.composite)
-        if args.selector != "none"
-        else None
+        _build_selector(args, args.selector) if args.selector != "none" else None
     )
-    result = simulate(trace, selector, name=args.benchmark)
+    result = simulate(trace, selector, config=config, name=args.benchmark)
     print(f"benchmark: {args.benchmark} ({args.accesses} accesses)")
     print(f"selector:  {args.selector}")
     print(f"ipc:       {result.ipc:.4f}")
@@ -72,20 +88,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.experiments.common import make_selector
     from repro.sim import simulate
     from repro.workloads import get_profile
 
+    config = _system_config(args.config)
     profile = get_profile(args.benchmark)
     trace = profile.generate(args.accesses, seed=args.seed)
-    baseline = simulate(trace, None, name=args.benchmark)
+    baseline = simulate(trace, None, config=config, name=args.benchmark)
     print(f"{args.benchmark}: baseline ipc {baseline.ipc:.4f}")
-    for name in args.selectors:
+    for spec in args.selectors:
         result = simulate(
-            trace, make_selector(name, composite=args.composite), name=args.benchmark
+            trace, _build_selector(args, spec), config=config, name=args.benchmark
         )
         print(
-            f"  {name:<16} speedup {result.ipc / baseline.ipc:.3f}  "
+            f"  {spec:<16} speedup {result.ipc / baseline.ipc:.3f}  "
             f"acc {result.metrics.accuracy:.2f}  "
             f"cov {result.metrics.coverage:.2f}"
         )
@@ -93,21 +109,121 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    module = importlib.import_module(EXPERIMENTS[args.name])
-    module.main()
+    from repro.experiments.runner import (
+        SuiteRunner,
+        render_result,
+        write_results_json,
+    )
+    from repro.registry import list_experiments
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.all and args.names:
+        print(
+            "give experiment names or --all, not both", file=sys.stderr
+        )
+        return 2
+    if args.all:
+        names = list_experiments()
+    elif args.names:
+        names = args.names
+        known = set(list_experiments())
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            print(
+                f"unknown experiment(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        print("specify experiment names or --all", file=sys.stderr)
+        return 2
+
+    overrides = {}
+    if args.accesses is not None:
+        overrides["accesses"] = args.accesses
+        overrides["accesses_per_core"] = args.accesses
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+
+    if args.jobs > 1 and len(names) == 1:
+        from repro.registry import get_experiment
+
+        if "jobs" not in get_experiment(names[0]).params:
+            print(
+                f"note: experiment {names[0]!r} does not support cell-level "
+                "parallelism; running serially",
+                file=sys.stderr,
+            )
+
+    runner = SuiteRunner(jobs=args.jobs)
+    results = runner.run_experiments(names, fast=args.fast, overrides=overrides)
+    for result in results:
+        print(render_result(result))
+        print()
+    if args.json:
+        write_results_json(results, args.json)
+        print(f"wrote {len(results)} result(s) to {args.json}", file=sys.stderr)
     return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.registry import (
+        EXPERIMENTS,
+        SELECTORS,
+        list_composites,
+        list_experiments,
+        list_prefetchers,
+        list_selectors,
+    )
     from repro.workloads import ALL_SUITES
     from repro.workloads.temporal_suite import TEMPORAL_PROFILES
 
-    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
-    print("selectors:  ", ", ".join(SELECTORS))
+    print("experiments:", ", ".join(list_experiments()))
+    if args.verbose:
+        for name in list_experiments():
+            print(f"  {name:<16} {EXPERIMENTS.get(name).title}")
+    print("selectors:  ", ", ".join(list_selectors()))
+    if args.verbose:
+        for name in list_selectors():
+            doc = SELECTORS.metadata(name).get("doc", "")
+            print(f"  {name:<16} {doc}")
+    print("composites: ", ", ".join(list_composites()))
+    print("prefetchers:", ", ".join(list_prefetchers()))
+    print("configs:    ", ", ".join(CONFIG_PRESETS))
     for suite, profiles in ALL_SUITES.items():
         print(f"{suite}: {', '.join(sorted(profiles))}")
     print(f"temporal: {', '.join(sorted(TEMPORAL_PROFILES))}")
     return 0
+
+
+def _add_selector_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--composite",
+        default="gs_cs_pmp",
+        help="composite prefetcher set (see `repro list`)",
+    )
+    parser.add_argument(
+        "--with-temporal",
+        action="store_true",
+        help="append an L2 temporal prefetcher (Fig. 13 setups)",
+    )
+    parser.add_argument(
+        "--temporal-bytes",
+        type=int,
+        default=1024 * 1024,
+        help="temporal metadata budget in bytes",
+    )
+    parser.add_argument(
+        "--config",
+        default="default",
+        choices=CONFIG_PRESETS,
+        help="system configuration preset",
+    )
+    parser.add_argument("--accesses", type=int, default=15000)
+    parser.add_argument("--seed", type=int, default=1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,10 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one benchmark under one selector")
     run.add_argument("benchmark")
-    run.add_argument("--selector", default="alecto", choices=SELECTORS + ("none",))
-    run.add_argument("--composite", default="gs_cs_pmp")
-    run.add_argument("--accesses", type=int, default=15000)
-    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--selector",
+        default="alecto",
+        help="selector spec, e.g. alecto, bandit6, alecto:fixed_degree=6, "
+        "or none (see `repro list`)",
+    )
+    _add_selector_options(run)
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser("compare", help="compare selectors on one benchmark")
@@ -130,23 +249,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--selectors", nargs="+",
         default=["ipcp", "dol", "bandit3", "bandit6", "alecto"],
     )
-    compare.add_argument("--composite", default="gs_cs_pmp")
-    compare.add_argument("--accesses", type=int, default=15000)
-    compare.add_argument("--seed", type=int, default=1)
+    _add_selector_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
-    experiment = sub.add_parser("experiment", help="regenerate a paper figure")
-    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment = sub.add_parser(
+        "experiment", help="regenerate paper figures/tables"
+    )
+    experiment.add_argument(
+        "names", nargs="*", help="experiment names (see `repro list`)"
+    )
+    experiment.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (parallel across experiments, or across "
+        "suite cells for a single experiment)",
+    )
+    experiment.add_argument(
+        "--json", metavar="PATH",
+        help="write structured ExperimentResult records to PATH",
+    )
+    experiment.add_argument(
+        "--fast", action="store_true",
+        help="reduced-scale smoke run (each experiment's fast_params)",
+    )
+    experiment.add_argument(
+        "--accesses", type=int, default=None,
+        help="override trace length for experiments that declare it",
+    )
+    experiment.add_argument(
+        "--seed", type=int, default=None,
+        help="override the trace seed for experiments that declare it",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     lister = sub.add_parser("list", help="list benchmarks/selectors/experiments")
+    lister.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="include titles and descriptions",
+    )
     lister.set_defaults(func=_cmd_list)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except _SelectorSpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -8,6 +8,33 @@ generate a final, compacted hash value".
 
 from __future__ import annotations
 
+import hashlib
+from typing import Union
+
+
+def stable_hash(data: Union[str, bytes], bits: int = 64) -> int:
+    """Process-stable hash of a string or bytes key.
+
+    Unlike the built-in ``hash``, which is salted per interpreter process
+    (``PYTHONHASHSEED``), this is deterministic across runs and across the
+    worker processes of a :class:`~repro.experiments.runner.SuiteRunner`
+    pool — trace generation seeds with it so the same benchmark name
+    always yields the same access stream.
+
+    Args:
+        data: the key to hash.
+        bits: width of the result; must be in ``(0, 64]``.
+
+    Returns:
+        An integer in ``[0, 2**bits)``.
+    """
+    if not 0 < bits <= 64:
+        raise ValueError("bits must be in (0, 64]")
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "little") & ((1 << bits) - 1)
+
 
 def fold_pc(pc: int, output_bits: int, input_bits: int = 48) -> int:
     """Fold ``pc`` down to ``output_bits`` by XOR-ing equal-width segments.

@@ -14,6 +14,8 @@ from repro.experiments.common import geomean, make_selector
 from repro.selection.alecto import AlectoConfig
 from repro.sim import simulate
 from repro.workloads.spec06 import spec06_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 #: A representative subset keeps the sweep tractable.
 BENCHMARKS = ("bwaves", "GemsFDTD", "milc", "sphinx3", "bzip2", "libquantum")
@@ -22,6 +24,15 @@ PB_VALUES = (0.5, 0.65, 0.75, 0.85, 0.95)
 DB_VALUES = (0.0, 0.05, 0.20, 0.40)
 
 
+@register_experiment(
+    "abl_boundaries",
+    title="Ablation — PB/DB boundary sensitivity (geomean speedup)",
+    paper=(
+        "No paper counterpart: the PB=0.75 / DB=0.05 operating point "
+        "should sit on a plateau."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(accesses: int = 10000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Geomean speedup per boundary setting.
 
@@ -61,11 +72,7 @@ def run(accesses: int = 10000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return {"PB": pb_rows, "DB": db_rows}
 
 
-def main() -> None:
-    rows = run()
-    print("Ablation — PB/DB boundary sensitivity (geomean speedup)")
-    for knob, values in rows.items():
-        print(f"  {knob}: " + "  ".join(f"{k}={v:.3f}" for k, v in values.items()))
+main = experiment_main("abl_boundaries")
 
 
 if __name__ == "__main__":

@@ -13,11 +13,22 @@ from repro.experiments.common import geomean, make_selector
 from repro.selection.alecto import AlectoConfig
 from repro.sim import simulate
 from repro.workloads.spec06 import spec06_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 BENCHMARKS = ("bwaves", "GemsFDTD", "milc", "sphinx3", "bzip2", "libquantum")
 EPOCHS = (25, 50, 100, 200, 400)
 
 
+@register_experiment(
+    "abl_epoch",
+    title="Ablation — accuracy epoch length (geomean speedup)",
+    paper=(
+        "No paper counterpart: 100-demand epochs (Section IV-A) "
+        "should sit on a plateau."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(accesses: int = 10000, seed: int = 1) -> Dict[str, float]:
     """Geomean speedup per epoch length."""
     profiles = {
@@ -43,11 +54,7 @@ def run(accesses: int = 10000, seed: int = 1) -> Dict[str, float]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Ablation — accuracy epoch length (geomean speedup)")
-    for label, value in rows.items():
-        print(f"  {label}: {value:.3f}")
+main = experiment_main("abl_epoch")
 
 
 if __name__ == "__main__":

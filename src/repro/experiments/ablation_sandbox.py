@@ -14,11 +14,22 @@ from repro.experiments.common import geomean, make_selector
 from repro.selection.alecto import AlectoConfig
 from repro.sim import simulate
 from repro.workloads.spec06 import spec06_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 BENCHMARKS = ("bwaves", "GemsFDTD", "milc", "sphinx3", "bzip2", "libquantum")
 SIZES = (64, 128, 256, 512, 1024)
 
 
+@register_experiment(
+    "abl_sandbox",
+    title="Ablation — Sandbox Table capacity (geomean speedup)",
+    paper=(
+        "No paper counterpart: the 512-entry Sandbox Table should sit "
+        "on a plateau."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(accesses: int = 10000, seed: int = 1) -> Dict[str, float]:
     """Geomean speedup per sandbox capacity."""
     profiles = {
@@ -44,11 +55,7 @@ def run(accesses: int = 10000, seed: int = 1) -> Dict[str, float]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Ablation — Sandbox Table capacity (geomean speedup)")
-    for label, value in rows.items():
-        print(f"  {label}: {value:.3f}")
+main = experiment_main("abl_sandbox")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Shared experiment machinery: selector registry and suite runners."""
+"""Shared experiment machinery: selector construction and suite runners."""
 
 from __future__ import annotations
 
@@ -6,17 +6,8 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.prefetchers import TemporalPrefetcher, make_composite
-from repro.selection import (
-    AlectoConfig,
-    AlectoSelection,
-    BanditSelection,
-    DOLSelection,
-    IPCPSelection,
-    PPFSelection,
-    TriangelSelection,
-)
-from repro.selection.bandit import ExtendedBanditSelection
+from repro.registry import build_selector
+from repro.selection import AlectoConfig
 from repro.sim import SimulationResult, simulate
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -31,63 +22,31 @@ def make_selector(
     temporal_bytes: int = 1024 * 1024,
     alecto_config: Optional[AlectoConfig] = None,
 ):
-    """Build a fresh selector (with fresh prefetchers) by registry name.
+    """Build a fresh selector (with fresh prefetchers) by registry spec.
+
+    Thin wrapper over :func:`repro.registry.build_selector`; kept as the
+    historical entry point for experiments and examples.
 
     Args:
-        name: one of ``ipcp``, ``dol``, ``bandit3``, ``bandit6``,
-            ``bandit_ext``, ``alecto``, ``alecto_fix``, ``ppf_aggressive``,
-            ``ppf_conservative``, ``triangel``, or a single-prefetcher name
-            (``pmp_only`` / ``berti_only``) for the Fig. 12 comparison.
+        name: a registered selector name — ``ipcp``, ``dol``, ``bandit3``,
+            ``bandit6``, ``bandit_ext``, ``alecto``, ``alecto_fix``,
+            ``ppf_aggressive``, ``ppf_conservative``, ``triangel``, or a
+            single-prefetcher baseline (``pmp_only`` / ``berti_only``) —
+            optionally with declarative parameters appended, e.g.
+            ``"alecto:fixed_degree=6"`` (see
+            :func:`repro.registry.parse_spec`).
         composite: which composite prefetcher set to schedule.
         with_temporal: append an L2 temporal prefetcher (Fig. 13 setups).
         temporal_bytes: temporal metadata budget.
         alecto_config: overrides for Alecto variants.
     """
-    prefetchers = make_composite(composite)
-    if with_temporal:
-        prefetchers.append(TemporalPrefetcher(metadata_bytes=temporal_bytes))
-
-    if name == "ipcp":
-        return IPCPSelection(prefetchers)
-    if name == "dol":
-        return DOLSelection(prefetchers)
-    if name in ("bandit3", "bandit6"):
-        degree = 3 if name == "bandit3" else 6
-        selector = BanditSelection(
-            prefetchers, degree=degree, train_on_prefetches=with_temporal
-        )
-        selector.name = name
-        return selector
-    if name == "bandit_ext":
-        return ExtendedBanditSelection(prefetchers)
-    if name == "alecto":
-        return AlectoSelection(prefetchers, alecto_config)
-    if name == "alecto_fix":
-        config = alecto_config or AlectoConfig(fixed_degree=6)
-        selector = AlectoSelection(prefetchers, config)
-        selector.name = "alecto_fix"
-        return selector
-    if name == "ppf_aggressive":
-        selector = PPFSelection(prefetchers, threshold=8)
-        selector.name = "ppf_aggressive"
-        return selector
-    if name == "ppf_conservative":
-        selector = PPFSelection(prefetchers, threshold=-4)
-        selector.name = "ppf_conservative"
-        return selector
-    if name == "triangel":
-        if not with_temporal:
-            raise ValueError("triangel requires with_temporal=True")
-        return TriangelSelection(prefetchers)
-    if name == "pmp_only":
-        from repro.prefetchers import PMPPrefetcher
-
-        return IPCPSelection([PMPPrefetcher()], degree=6)
-    if name == "berti_only":
-        from repro.prefetchers import BertiPrefetcher
-
-        return IPCPSelection([BertiPrefetcher()], degree=6)
-    raise ValueError(f"unknown selector: {name!r}")
+    return build_selector(
+        name,
+        composite=composite,
+        with_temporal=with_temporal,
+        temporal_bytes=temporal_bytes,
+        alecto_config=alecto_config,
+    )
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -122,13 +81,28 @@ def speedup_suite(
     accesses: int = 15000,
     seed: int = 1,
     config: Optional[SystemConfig] = None,
+    jobs: int = 1,
     **selector_kwargs,
 ) -> Dict[str, Dict[str, float]]:
     """Speedup over no-prefetching for every (benchmark, selector) pair.
 
     Returns ``{benchmark: {selector: speedup}}``; traces are generated once
     per benchmark so every selector sees the identical access stream.
+    ``jobs > 1`` fans the independent (benchmark, selector) cells out over
+    a process pool (:class:`repro.experiments.runner.SuiteRunner`); the
+    rows are numerically identical to the serial run.
     """
+    if jobs > 1:
+        from repro.experiments.runner import SuiteRunner
+
+        return SuiteRunner(jobs=jobs).speedup_suite(
+            profiles,
+            selector_names,
+            accesses=accesses,
+            seed=seed,
+            config=config,
+            **selector_kwargs,
+        )
     rows: Dict[str, Dict[str, float]] = {}
     for name, profile in profiles.items():
         trace = profile.generate(accesses, seed=seed)

@@ -13,8 +13,19 @@ from typing import Dict
 from repro.experiments.common import run_benchmark
 from repro.workloads.spec06 import SPEC06_PROFILES
 from repro.workloads.spec17 import SPEC17_PROFILES
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "fig01",
+    title="Fig. 1 — prefetcher table misses (thousands)",
+    paper=(
+        "DDRA significantly reduces prefetcher-table conflicts vs "
+        "train-all allocation on SPEC06 and SPEC17."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(accesses: int = 10000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Total prefetcher-table misses (thousands) per suite.
 
@@ -38,16 +49,7 @@ def run(accesses: int = 10000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 1 — prefetcher table misses (thousands)")
-    for suite, row in rows.items():
-        reduction = 100.0 * (1 - row["with_ddra"] / row["without_ddra"])
-        print(
-            f"  {suite}: without DDRA = {row['without_ddra']:.1f}k, "
-            f"Alecto (DDRA) = {row['with_ddra']:.1f}k "
-            f"({reduction:.0f}% fewer)"
-        )
+main = experiment_main("fig01")
 
 
 if __name__ == "__main__":

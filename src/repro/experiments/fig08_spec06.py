@@ -12,27 +12,40 @@ from typing import Dict
 from repro.experiments.common import (
     SELECTOR_NAMES,
     add_geomean_rows,
-    format_table,
     speedup_suite,
 )
 from repro.workloads.spec06 import SPEC06_PROFILES, spec06_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "fig08",
+    title="Fig. 8 — SPEC06 IPC speedup over no prefetching",
+    paper=(
+        "Alecto beats IPCP by 8.14%, DOL by 8.04%, Bandit3 by 4.77%, "
+        "Bandit6 by 3.20% (geomean); mcf/omnetpp favour Bandit's "
+        "aggressive PMP."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(
-    accesses: int = 15000, seed: int = 1, memory_intensive_only: bool = False
+    accesses: int = 15000,
+    seed: int = 1,
+    memory_intensive_only: bool = False,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Per-benchmark speedups plus Geomean-Mem / Geomean-All rows."""
     profiles = (
         spec06_memory_intensive() if memory_intensive_only else SPEC06_PROFILES
     )
-    rows = speedup_suite(profiles, SELECTOR_NAMES, accesses=accesses, seed=seed)
+    rows = speedup_suite(
+        profiles, SELECTOR_NAMES, accesses=accesses, seed=seed, jobs=jobs
+    )
     return add_geomean_rows(rows, SPEC06_PROFILES)
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 8 — SPEC06 IPC speedup over no prefetching")
-    print(format_table(rows))
+main = experiment_main("fig08")
 
 
 if __name__ == "__main__":

@@ -7,27 +7,39 @@ from typing import Dict
 from repro.experiments.common import (
     SELECTOR_NAMES,
     add_geomean_rows,
-    format_table,
     speedup_suite,
 )
 from repro.workloads.spec17 import SPEC17_PROFILES, spec17_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "fig09",
+    title="Fig. 9 — SPEC17 IPC speedup over no prefetching",
+    paper=(
+        "Alecto beats IPCP by 5.47%, DOL by 5.65%, Bandit3 by 3.67%, "
+        "Bandit6 by 2.32% (geomean)."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(
-    accesses: int = 15000, seed: int = 1, memory_intensive_only: bool = False
+    accesses: int = 15000,
+    seed: int = 1,
+    memory_intensive_only: bool = False,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Per-benchmark speedups plus Geomean-Mem / Geomean-All rows."""
     profiles = (
         spec17_memory_intensive() if memory_intensive_only else SPEC17_PROFILES
     )
-    rows = speedup_suite(profiles, SELECTOR_NAMES, accesses=accesses, seed=seed)
+    rows = speedup_suite(
+        profiles, SELECTOR_NAMES, accesses=accesses, seed=seed, jobs=jobs
+    )
     return add_geomean_rows(rows, SPEC17_PROFILES)
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 9 — SPEC17 IPC speedup over no prefetching")
-    print(format_table(rows))
+main = experiment_main("fig09")
 
 
 if __name__ == "__main__":

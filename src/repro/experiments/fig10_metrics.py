@@ -14,8 +14,20 @@ from repro.sim import simulate
 from repro.sim.metrics import PrefetchMetrics
 from repro.workloads.spec06 import spec06_memory_intensive
 from repro.workloads.spec17 import spec17_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "fig10",
+    title="Fig. 10 — prefetcher metrics (normalised to baseline misses)",
+    paper=(
+        "Alecto: best accuracy (0.415 covered-timely share, accuracy "
+        "+13.51% over Bandit6) without sacrificing "
+        "coverage/timeliness."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Normalised metric breakdown per selector.
 
@@ -40,28 +52,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 10 — prefetcher metrics (normalised to baseline misses)")
-    header = f"{'selector':<10}" + "".join(
-        f"{k:>18}"
-        for k in (
-            "covered_timely",
-            "covered_untimely",
-            "uncovered",
-            "overprediction",
-            "accuracy",
-            "coverage",
-        )
-    )
-    print(header)
-    for name, row in rows.items():
-        print(
-            f"{name:<10}"
-            + f"{row['covered_timely']:>18.3f}{row['covered_untimely']:>18.3f}"
-            + f"{row['uncovered']:>18.3f}{row['overprediction']:>18.3f}"
-            + f"{row['accuracy']:>18.3f}{row['coverage']:>18.3f}"
-        )
+main = experiment_main("fig10")
 
 
 if __name__ == "__main__":

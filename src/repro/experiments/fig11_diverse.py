@@ -12,9 +12,21 @@ from typing import Dict
 from repro.experiments.common import SELECTOR_NAMES, geomean, speedup_suite
 from repro.workloads.spec06 import spec06_memory_intensive
 from repro.workloads.spec17 import spec17_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
-def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+@register_experiment(
+    "fig11",
+    title="Fig. 11 — GS+Berti+CPLX composite, geomean speedups",
+    paper=(
+        "Same ordering on a different composite: Alecto over IPCP "
+        "8.52%, DOL 8.68%, Bandit3 5.02%, Bandit6 2.04%; Berti "
+        "narrows the gap."
+    ),
+    fast_params={"accesses": 800},
+)
+def run(accesses: int = 12000, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, float]]:
     """Geomean speedups per suite for the GS+Berti+CPLX composite.
 
     Returns:
@@ -32,6 +44,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
             accesses=accesses,
             seed=seed,
             composite="gs_berti_cplx",
+            jobs=jobs,
         )
         rows[suite_name] = {
             s: geomean(r[s] for r in suite_rows.values()) for s in SELECTOR_NAMES
@@ -43,11 +56,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 11 — GS+Berti+CPLX composite, geomean speedups")
-    for suite, row in rows.items():
-        print(f"  {suite}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+main = experiment_main("fig11")
 
 
 if __name__ == "__main__":

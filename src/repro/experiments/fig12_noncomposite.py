@@ -11,6 +11,8 @@ from typing import Dict
 from repro.experiments.common import geomean, speedup_suite
 from repro.workloads.spec06 import spec06_memory_intensive
 from repro.workloads.spec17 import spec17_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 _CONFIGS = (
     ("PMP", "pmp_only", "gs_cs_pmp"),
@@ -20,7 +22,16 @@ _CONFIGS = (
 )
 
 
-def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+@register_experiment(
+    "fig12",
+    title="Fig. 12 — composite (Alecto) vs non-composite prefetchers",
+    paper=(
+        "Alecto-scheduled composites beat standalone PMP "
+        "(+9.1%/+9.5%) and Berti (+7.8%/+8.3%)."
+    ),
+    fast_params={"accesses": 800},
+)
+def run(accesses: int = 12000, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, float]]:
     """Geomean speedups per suite for each configuration."""
     rows: Dict[str, Dict[str, float]] = {}
     for suite_name, profiles in (
@@ -35,6 +46,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
                 accesses=accesses,
                 seed=seed,
                 composite=composite,
+                jobs=jobs,
             )
             row[label] = geomean(r[selector_name] for r in suite_rows.values())
         rows[suite_name] = row
@@ -47,11 +59,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 12 — composite (Alecto) vs non-composite prefetchers")
-    for suite, row in rows.items():
-        print(f"  {suite}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+main = experiment_main("fig12")
 
 
 if __name__ == "__main__":

@@ -11,16 +11,32 @@ from typing import Dict
 from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400
 from repro.experiments.common import SELECTOR_NAMES, geomean, speedup_suite
 from repro.workloads.spec06 import spec06_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
-def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
+@register_experiment(
+    "fig16",
+    title="Fig. 16 — geomean speedup vs DRAM bandwidth",
+    paper=(
+        "Alecto on top for DDR3-1600 (+3.18% over Bandit6) and "
+        "DDR4-2400 (+2.76%)."
+    ),
+    fast_params={"accesses": 700},
+)
+def run(accesses: int = 12000, seed: int = 1, jobs: int = 1) -> Dict[str, Dict[str, float]]:
     """Geomean speedup per DRAM configuration per selector."""
     profiles = spec06_memory_intensive()
     rows: Dict[str, Dict[str, float]] = {}
     for dram in (ddr3_1600(), ddr4_2400()):
         config = SystemConfig().with_dram(dram)
         suite = speedup_suite(
-            profiles, SELECTOR_NAMES, accesses=accesses, seed=seed, config=config
+            profiles,
+            SELECTOR_NAMES,
+            accesses=accesses,
+            seed=seed,
+            config=config,
+            jobs=jobs,
         )
         rows[dram.name] = {
             s: geomean(r[s] for r in suite.values()) for s in SELECTOR_NAMES
@@ -28,11 +44,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 16 — geomean speedup vs DRAM bandwidth")
-    for name, row in rows.items():
-        print(f"  {name}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+main = experiment_main("fig16")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,19 @@ from repro.common.config import multicore_config
 from repro.experiments.common import SELECTOR_NAMES, geomean, make_selector
 from repro.sim import simulate_multicore
 from repro.workloads.mixes import multicore_workloads
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "fig17",
+    title="Fig. 17 — eight-core weighted speedup over no prefetching",
+    paper=(
+        "Alecto over IPCP 10.60%, DOL 11.52%, Bandit3 9.51%, Bandit6 "
+        "7.56%; the gap to Bandit widens with core count."
+    ),
+    fast_params={"accesses_per_core": 600},
+)
 def run(
     cores: int = 8,
     accesses_per_core: int = 4000,
@@ -48,11 +59,7 @@ def run(
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 17 — eight-core weighted speedup over no prefetching")
-    for group, row in rows.items():
-        print(f"  {group:<8}: " + "  ".join(f"{k}={v:.3f}" for k, v in row.items()))
+main = experiment_main("fig17")
 
 
 if __name__ == "__main__":

@@ -14,8 +14,19 @@ from repro.experiments.common import make_selector
 from repro.sim import simulate
 from repro.workloads.spec06 import spec06_memory_intensive
 from repro.workloads.spec17 import spec17_memory_intensive
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "fig18",
+    title="Fig. 18 / Sec. VI-I — training occurrences and energy",
+    paper=(
+        "Alecto cuts per-prefetcher training by 48% and "
+        "memory-hierarchy energy by 7% vs Bandit6."
+    ),
+    fast_params={"accesses": 800},
+)
 def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Training occurrences per prefetcher and hierarchy energy.
 
@@ -52,13 +63,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def main() -> None:
-    rows = run()
-    print("Fig. 18 / Sec. VI-I — training occurrences and energy")
-    for name, row in rows.items():
-        print(f"  {name}:")
-        for key, value in row.items():
-            print(f"    {key} = {value:.3f}")
+main = experiment_main("fig18")
 
 
 if __name__ == "__main__":

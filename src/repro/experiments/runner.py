@@ -1,0 +1,466 @@
+"""Experiment API: registered experiments, structured results, parallelism.
+
+Every paper figure/table is a registered :class:`Experiment` (see
+:func:`repro.registry.register_experiment`): a ``run()`` function with
+declared, introspectable parameters.  Invoking one returns an
+:class:`ExperimentResult` — a structured, JSON-serializable record of the
+rows plus the parameters, timing, and library version that produced them —
+instead of a bare dict, so suites of experiments can be executed, archived
+and diffed mechanically.
+
+:class:`SuiteRunner` adds process-pool parallelism at two grains:
+
+- across experiments (``run_experiments`` with several names), and
+- across the independent (benchmark, selector) cells of a speedup suite
+  (:meth:`SuiteRunner.speedup_suite`, used by
+  :func:`repro.experiments.common.speedup_suite` when ``jobs > 1``),
+
+with per-process trace caching so workers do not regenerate a benchmark's
+access stream for every cell.  Traces are seeded with a process-stable
+hash (:func:`repro.common.hashing.stable_hash`), so parallel results are
+numerically identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro import __version__
+from repro.experiments.common import format_table, make_selector
+from repro.registry import get_experiment, list_experiments
+from repro.sim import simulate
+
+#: Schema identifier embedded in every serialized result.
+RESULT_SCHEMA = "repro.experiment-result.v1"
+
+#: Environment flag set in pool workers so nested code never spawns a
+#: second process pool.
+_WORKER_ENV = "REPRO_POOL_WORKER"
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "RESULT_SCHEMA",
+    "SuiteRunner",
+    "experiment_main",
+    "render_result",
+    "run_experiments",
+    "validate_result_dict",
+    "write_results_json",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    Attributes:
+        name: registry name of the experiment (``"fig08"``).
+        title: human-readable figure/table title.
+        params: the fully-resolved parameters of this run (declared
+            defaults merged with any overrides).
+        rows: the experiment's rows — JSON-serializable nested dicts of
+            numbers, exactly what the module's ``run()`` returned.
+        elapsed_seconds: wall-clock duration of the run.
+        version: ``repro.__version__`` that produced the result.
+        schema: schema identifier (:data:`RESULT_SCHEMA`).
+    """
+
+    name: str
+    title: str
+    params: Dict[str, Any]
+    rows: Any
+    elapsed_seconds: float
+    version: str = __version__
+    schema: str = RESULT_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, suitable for ``json.dumps``."""
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "title": self.title,
+            "params": dict(self.params),
+            "rows": self.rows,
+            "elapsed_seconds": self.elapsed_seconds,
+            "version": self.version,
+        }
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), default=float, **kwargs)
+
+
+def validate_result_dict(data: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``data`` is a valid serialized result."""
+    required = {
+        "schema": str,
+        "name": str,
+        "title": str,
+        "params": dict,
+        "elapsed_seconds": (int, float),
+        "version": str,
+    }
+    for key, types in required.items():
+        if key not in data:
+            raise ValueError(f"result missing key {key!r}")
+        if not isinstance(data[key], types):
+            raise ValueError(
+                f"result key {key!r} has type {type(data[key]).__name__}, "
+                f"expected {types}"
+            )
+    if data["schema"] != RESULT_SCHEMA:
+        raise ValueError(f"unknown result schema {data['schema']!r}")
+    if "rows" not in data:
+        raise ValueError("result missing key 'rows'")
+    try:
+        json.dumps(data["rows"], default=float)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"result rows are not JSON-serializable: {exc}")
+    if data["elapsed_seconds"] < 0:
+        raise ValueError("elapsed_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper figure/table.
+
+    Attributes:
+        name: registry/CLI name.
+        title: human-readable title, printed above the rows.
+        paper: the paper's headline claim for this figure (documentation).
+        fn: the underlying ``run()`` function.
+        fast_params: reduced-scale overrides for smoke runs
+            (``--fast`` / CI / tests).
+    """
+
+    name: str
+    title: str
+    fn: Callable[..., Any]
+    paper: str = ""
+    fast_params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """Declared parameters: keyword arguments of ``fn`` with defaults."""
+        out: Dict[str, Any] = {}
+        for parameter in inspect.signature(self.fn).parameters.values():
+            if parameter.default is not inspect.Parameter.empty:
+                out[parameter.name] = parameter.default
+        return out
+
+    def accepted(self, overrides: Mapping[str, Any]) -> Dict[str, Any]:
+        """The subset of ``overrides`` this experiment declares."""
+        declared = self.params
+        return {k: v for k, v in overrides.items() if k in declared}
+
+    def run(self, **overrides: Any) -> ExperimentResult:
+        """Execute the experiment and wrap its rows in a result record."""
+        declared = self.params
+        unknown = set(overrides) - set(declared)
+        if unknown:
+            raise ValueError(
+                f"experiment {self.name!r} does not declare parameters "
+                f"{sorted(unknown)} (declared: {sorted(declared)})"
+            )
+        start = time.perf_counter()
+        rows = self.fn(**overrides)
+        elapsed = time.perf_counter() - start
+        return ExperimentResult(
+            name=self.name,
+            title=self.title,
+            params={**declared, **overrides},
+            rows=rows,
+            elapsed_seconds=elapsed,
+        )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.3f}" if abs(value) < 10000 else f"{value:,.0f}"
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Shared text rendering used by every experiment's ``main()``."""
+    lines = [result.title]
+    rows = result.rows
+    if isinstance(rows, dict) and rows:
+        values = list(rows.values())
+        if all(isinstance(v, dict) for v in values):
+            keysets = {tuple(v.keys()) for v in values}
+            if len(keysets) == 1:
+                lines.append(format_table(rows))
+            else:
+                for name, row in rows.items():
+                    cells = "  ".join(
+                        f"{k}={_format_value(v)}" for k, v in row.items()
+                    )
+                    lines.append(f"  {name}: {cells}")
+        else:
+            for name, value in rows.items():
+                lines.append(f"  {name}: {_format_value(value)}")
+    else:
+        lines.append(f"  {rows!r}")
+    return "\n".join(lines)
+
+
+def experiment_main(name: str) -> Callable[[], None]:
+    """Build the shared ``main()`` for an experiment module."""
+
+    def main() -> None:
+        result = get_experiment(name).run()
+        print(render_result(result))
+
+    main.__doc__ = f"Run the {name!r} experiment at full scale and print it."
+    return main
+
+
+# -- process-pool workers ---------------------------------------------------
+
+#: Per-process cache of generated traces, keyed by
+#: (benchmark, accesses, seed): cells of the same benchmark that land on
+#: the same worker reuse the stream instead of regenerating it.
+_TRACE_CACHE: Dict[Any, Any] = {}
+_TRACE_CACHE_LIMIT = 8
+
+#: Long-lived executors, one per worker count, tagged with the registry
+#: revision they were forked at.  Reusing the pool across SuiteRunner
+#: calls keeps the workers' trace caches warm over a whole parameter
+#: sweep (an experiment may call ``speedup_suite`` once per sweep point)
+#: and avoids repeated pool start-up; a registration made after the fork
+#: (e.g. a custom composite) bumps the revision, so the next call gets a
+#: fresh pool that can see it.  Workers are joined at interpreter exit by
+#: concurrent.futures' atexit hook.  (Under the ``spawn`` start method,
+#: components registered from unimported modules — e.g. ``__main__`` —
+#: remain invisible to workers; fan-out with custom components needs
+#: Linux/fork.)
+_POOLS: Dict[int, tuple] = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    from repro.registry import registry_revision
+
+    revision = registry_revision()
+    entry = _POOLS.get(jobs)
+    if entry is not None:
+        if entry[0] == revision:
+            return entry[1]
+        entry[1].shutdown(wait=False, cancel_futures=True)
+    pool = ProcessPoolExecutor(max_workers=jobs, initializer=_worker_init)
+    _POOLS[jobs] = (revision, pool)
+    return pool
+
+
+def _evict_pool(jobs: int) -> None:
+    """Drop a broken pool so the next call starts a fresh one."""
+    entry = _POOLS.pop(jobs, None)
+    if entry is not None:
+        entry[1].shutdown(wait=False, cancel_futures=True)
+
+
+def _worker_init() -> None:
+    os.environ[_WORKER_ENV] = "1"
+
+
+def _cached_trace(profile, accesses: int, seed: int):
+    # Key on the profile's full definition, not just its name: pool
+    # workers outlive a single suite call, and a same-named profile with
+    # different patterns (common for ad-hoc test profiles) must not be
+    # served the previous definition's trace.
+    key = (repr(profile), accesses, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        if len(_TRACE_CACHE) >= _TRACE_CACHE_LIMIT:
+            _TRACE_CACHE.clear()
+        trace = profile.generate(accesses, seed=seed)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def _cell_worker(
+    profile,
+    selector_name: Optional[str],
+    accesses: int,
+    seed: int,
+    config,
+    selector_kwargs: Dict[str, Any],
+) -> float:
+    """Simulate one (benchmark, selector) cell; returns the IPC."""
+    trace = _cached_trace(profile, accesses, seed)
+    selector = (
+        make_selector(selector_name, **selector_kwargs)
+        if selector_name is not None
+        else None
+    )
+    return simulate(trace, selector, config=config, name=profile.name).ipc
+
+
+def _experiment_worker(name: str, overrides: Dict[str, Any]) -> ExperimentResult:
+    return get_experiment(name).run(**overrides)
+
+
+class SuiteRunner:
+    """Fans independent work units out over a ``ProcessPoolExecutor``.
+
+    Args:
+        jobs: worker processes.  ``1`` (or running inside another
+            SuiteRunner worker) executes serially in-process; results are
+            numerically identical either way.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if os.environ.get(_WORKER_ENV):
+            jobs = 1  # never nest process pools
+        self.jobs = jobs
+
+    # -- (benchmark, selector) cells ---------------------------------------
+
+    def speedup_suite(
+        self,
+        profiles: Mapping[str, Any],
+        selector_names: Sequence[str],
+        accesses: int = 15000,
+        seed: int = 1,
+        config=None,
+        **selector_kwargs: Any,
+    ) -> Dict[str, Dict[str, float]]:
+        """Parallel equivalent of
+        :func:`repro.experiments.common.speedup_suite`."""
+        if self.jobs == 1:
+            from repro.experiments.common import speedup_suite
+
+            return speedup_suite(
+                profiles,
+                selector_names,
+                accesses=accesses,
+                seed=seed,
+                config=config,
+                jobs=1,
+                **selector_kwargs,
+            )
+        cells = [
+            (bench, selector)
+            for bench in profiles
+            for selector in (None, *selector_names)
+        ]
+        pool = _get_pool(self.jobs)
+        try:
+            futures = {
+                cell: pool.submit(
+                    _cell_worker,
+                    profiles[cell[0]],
+                    cell[1],
+                    accesses,
+                    seed,
+                    config,
+                    selector_kwargs,
+                )
+                for cell in cells
+            }
+            ipc = {cell: future.result() for cell, future in futures.items()}
+        except Exception:
+            _evict_pool(self.jobs)
+            raise
+        rows: Dict[str, Dict[str, float]] = {}
+        for bench in profiles:
+            baseline = ipc[(bench, None)]
+            rows[bench] = {
+                selector: (ipc[(bench, selector)] / baseline if baseline else 0.0)
+                for selector in selector_names
+            }
+        return rows
+
+    # -- whole experiments -------------------------------------------------
+
+    def run_experiments(
+        self,
+        names: Optional[Sequence[str]] = None,
+        fast: bool = False,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> List[ExperimentResult]:
+        """Run several experiments, in parallel when ``jobs > 1``.
+
+        Args:
+            names: experiment names (default: every registered experiment).
+            fast: apply each experiment's declared ``fast_params``
+                (reduced-scale smoke run).
+            overrides: parameter overrides, applied to every experiment
+                that declares the parameter (others ignore it).
+
+        Returns:
+            One :class:`ExperimentResult` per name, in input order.
+        """
+        if names is None:
+            names = list_experiments()
+        resolved: List[tuple] = []
+        for name in names:
+            experiment = get_experiment(name)
+            applied: Dict[str, Any] = {}
+            if fast:
+                applied.update(experiment.fast_params)
+            if overrides:
+                applied.update(experiment.accepted(overrides))
+            resolved.append((name, applied))
+
+        if self.jobs == 1 or len(resolved) == 1:
+            # A single experiment still profits from parallelism: forward
+            # the job count to experiments that declare a ``jobs`` param.
+            results = []
+            for name, applied in resolved:
+                experiment = get_experiment(name)
+                if self.jobs > 1 and "jobs" in experiment.params:
+                    applied = {**applied, "jobs": self.jobs}
+                results.append(experiment.run(**applied))
+            return results
+
+        pool = _get_pool(self.jobs)
+        try:
+            futures = [
+                pool.submit(_experiment_worker, name, applied)
+                for name, applied in resolved
+            ]
+            return [future.result() for future in futures]
+        except Exception:
+            _evict_pool(self.jobs)
+            raise
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    fast: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> List[ExperimentResult]:
+    """Convenience wrapper: ``SuiteRunner(jobs).run_experiments(...)``."""
+    return SuiteRunner(jobs=jobs).run_experiments(
+        names, fast=fast, overrides=overrides
+    )
+
+
+def write_results_json(
+    results: Sequence[ExperimentResult], path: str
+) -> Dict[str, Any]:
+    """Write a result collection to ``path`` and return the document.
+
+    The document carries one serialized :class:`ExperimentResult` per
+    experiment under ``"results"``.
+    """
+    document = {
+        "schema": "repro.experiment-suite.v1",
+        "version": __version__,
+        "results": [result.to_dict() for result in results],
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, default=float)
+        handle.write("\n")
+    return document

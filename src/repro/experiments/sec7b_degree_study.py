@@ -15,8 +15,19 @@ from repro.experiments.fig13_temporal import temporal_config
 from repro.sim import simulate
 from repro.workloads.spec06 import spec06_memory_intensive
 from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "sec7b",
+    title="Sec. VII-B — Alecto issue counts relative to Bandit6",
+    paper=(
+        "Alecto/Bandit6 issue ratios: stream 79%, stride 124%, "
+        "spatial 94%, temporal 156%."
+    ),
+    fast_params={"accesses": 1000},
+)
 def run(accesses: int = 12000, seed: int = 1) -> Dict[str, float]:
     """Issue-count ratios (Alecto / Bandit6) per prefetcher.
 
@@ -53,11 +64,7 @@ def run(accesses: int = 12000, seed: int = 1) -> Dict[str, float]:
     return ratios
 
 
-def main() -> None:
-    ratios = run()
-    print("Sec. VII-B — Alecto issue counts relative to Bandit6")
-    for name, ratio in ratios.items():
-        print(f"  {name}: {100 * ratio:.0f}%")
+main = experiment_main("sec7b")
 
 
 if __name__ == "__main__":

@@ -13,8 +13,19 @@ from repro.selection.alecto.storage import (
     sample_table_bits,
     sandbox_table_bits,
 )
+from repro.experiments.runner import experiment_main
+from repro.registry import register_experiment
 
 
+@register_experiment(
+    "table3",
+    title="Table III — storage overhead (P = 3)",
+    paper=(
+        "5312 + 1792 P bits total (~1.30 KB at P=3); 760 B excluding "
+        "the sandbox; extended Bandit needs 4 KB (5.4x)."
+    ),
+    fast_params={},
+)
 def run(num_prefetchers: int = 3) -> Dict[str, float]:
     """Storage accounting at P prefetchers.
 
@@ -38,21 +49,7 @@ def run(num_prefetchers: int = 3) -> Dict[str, float]:
     }
 
 
-def main() -> None:
-    row = run()
-    print("Table III — storage overhead (P = 3)")
-    print(f"  Allocation Table: {row['allocation_table_bits']} bits")
-    print(f"  Sample Table:     {row['sample_table_bits']} bits")
-    print(f"  Sandbox Table:    {row['sandbox_table_bits']} bits")
-    print(f"  Total:            {row['total_bits']} bits ({row['total_kb']:.2f} KB)")
-    print(
-        f"  Excl. sandbox:    {row['excl_sandbox_bits']} bits "
-        f"({row['excl_sandbox_bytes']:.0f} B)"
-    )
-    print(
-        f"  Extended Bandit:  {row['extended_bandit_bits']} bits "
-        f"({row['extended_bandit_vs_alecto']:.1f}x Alecto)"
-    )
+main = experiment_main("table3")
 
 
 if __name__ == "__main__":

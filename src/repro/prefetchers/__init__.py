@@ -18,29 +18,40 @@ from repro.prefetchers.spp import SPPPrefetcher
 from repro.prefetchers.stream import StreamPrefetcher
 from repro.prefetchers.stride import StridePrefetcher
 from repro.prefetchers.temporal import TemporalPrefetcher
+from repro.registry import build_composite, register_composite
+
+
+@register_composite("gs_cs_pmp", doc="GS + CS + PMP (Sections VI-A..VI-G)")
+def _gs_cs_pmp():
+    return [StreamPrefetcher(), StridePrefetcher(), PMPPrefetcher()]
+
+
+@register_composite("gs_berti_cplx", doc="GS + Berti + CPLX (Section VI-B)")
+def _gs_berti_cplx():
+    return [StreamPrefetcher(), BertiPrefetcher(), CplxPrefetcher()]
+
+
+@register_composite("gs_bop_spp", doc="GS + BOP + SPP (extension composite)")
+def _gs_bop_spp():
+    return [StreamPrefetcher(), BOPPrefetcher(), SPPPrefetcher()]
 
 
 def make_composite(kind: str = "gs_cs_pmp"):
-    """Build one of the paper's composite prefetcher sets.
+    """Build one of the registered composite prefetcher sets.
 
     Args:
-        kind: ``"gs_cs_pmp"`` (the default composite of Sections
-            VI-A..VI-G), ``"gs_berti_cplx"`` (the diversity composite of
-            Section VI-B), or ``"gs_bop_spp"`` (an extension composite from
-            the lineage prefetchers the paper cites, for generality
-            studies beyond the published ones).
+        kind: a name in :func:`repro.registry.list_composites` —
+            ``"gs_cs_pmp"`` (the default composite of Sections VI-A..VI-G),
+            ``"gs_berti_cplx"`` (the diversity composite of Section VI-B),
+            or ``"gs_bop_spp"`` (an extension composite from the lineage
+            prefetchers the paper cites).  Register more with
+            :func:`repro.registry.register_composite`.
 
     Returns:
         A list of fresh prefetcher instances in priority order
         (stream > stride/Berti > spatial), matching IPCP's static priority.
     """
-    if kind == "gs_cs_pmp":
-        return [StreamPrefetcher(), StridePrefetcher(), PMPPrefetcher()]
-    if kind == "gs_berti_cplx":
-        return [StreamPrefetcher(), BertiPrefetcher(), CplxPrefetcher()]
-    if kind == "gs_bop_spp":
-        return [StreamPrefetcher(), BOPPrefetcher(), SPPPrefetcher()]
-    raise ValueError(f"unknown composite kind: {kind!r}")
+    return build_composite(kind)
 
 
 __all__ = [

@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 _HISTORY_DEPTH = 8
 _EVALUATION_PERIOD = 16
@@ -33,6 +34,7 @@ class _BertiEntry:
     active_ratio: float = 0.0
 
 
+@register_prefetcher("berti")
 class BertiPrefetcher(Prefetcher):
     """Per-IP timely-delta prefetcher."""
 

@@ -18,6 +18,7 @@ from typing import List, Sequence
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 #: Michaud's offset list, truncated to the small positive offsets that
 #: matter at L1 scale.
@@ -27,6 +28,7 @@ _ROUND_MAX = 100
 _BAD_SCORE = 1
 
 
+@register_prefetcher("bop")
 class BOPPrefetcher(Prefetcher):
     """Global best-offset prefetcher with a recent-requests table."""
 

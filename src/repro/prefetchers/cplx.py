@@ -16,6 +16,7 @@ from repro.common.counters import SaturatingCounter
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 _HISTORY_LENGTH = 3
 _ISSUE_CONFIDENCE = 2
@@ -48,6 +49,7 @@ class _DeltaEntry:
             self.confidence = SaturatingCounter(1, 0, 3)
 
 
+@register_prefetcher("cplx")
 class CplxPrefetcher(Prefetcher):
     """Signature-based next-delta predictor with chained lookahead."""
 

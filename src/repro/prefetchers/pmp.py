@@ -17,6 +17,7 @@ from repro.common.hashing import fold_pc
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import REGION_LINES, DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 _PATTERN_SATURATION = 3
 _ISSUE_THRESHOLD = 2
@@ -60,6 +61,7 @@ class _PatternEntry:
         return sorted(chosen, key=abs)
 
 
+@register_prefetcher("pmp")
 class PMPPrefetcher(Prefetcher):
     """Spatial pattern prefetcher with pattern merging."""
 

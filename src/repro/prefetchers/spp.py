@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import REGION_LINES, DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 _SIGNATURE_BITS = 12
 _COUNTER_MAX = 15
@@ -53,6 +54,7 @@ class _PatternEntry:
         return delta, count / max(1, self.total)
 
 
+@register_prefetcher("spp")
 class SPPPrefetcher(Prefetcher):
     """Signature-path prefetcher with compounded path confidence."""
 

@@ -16,6 +16,7 @@ from repro.common.counters import SaturatingCounter
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 #: 2 KB region = 32 cache lines.
 _REGION_LINE_SHIFT = 5
@@ -47,6 +48,7 @@ class _IPEntry:
     direction: int = 1
 
 
+@register_prefetcher("stream")
 class StreamPrefetcher(Prefetcher):
     """Stream prefetcher with region-based stream confirmation."""
 

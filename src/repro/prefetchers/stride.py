@@ -14,6 +14,7 @@ from repro.common.counters import SaturatingCounter
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 _ISSUE_CONFIDENCE = 2
 
@@ -29,6 +30,7 @@ class _StrideEntry:
             self.confidence = SaturatingCounter(0, 0, 3)
 
 
+@register_prefetcher("stride")
 class StridePrefetcher(Prefetcher):
     """Per-IP constant-stride prefetcher."""
 

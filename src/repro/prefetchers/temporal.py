@@ -25,6 +25,7 @@ from repro.common.counters import SaturatingCounter
 from repro.common.tables import SetAssociativeTable
 from repro.common.types import DemandAccess
 from repro.prefetchers.base import Prefetcher
+from repro.registry import register_prefetcher
 
 #: Storage cost of one metadata entry: tag + successor pointer + confidence,
 #: matching Triangel's compressed Markov-table format (~12 bytes).
@@ -46,6 +47,7 @@ class _TrainingEntry:
     last_line: int
 
 
+@register_prefetcher("temporal")
 class TemporalPrefetcher(Prefetcher):
     """Markov metadata-table temporal prefetcher.
 

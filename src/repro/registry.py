@@ -1,0 +1,362 @@
+"""Decorator-based registries for every public extension point.
+
+The library's building blocks — prefetchers, composite prefetcher sets,
+selection algorithms, and experiments — all register themselves here, so
+lookup, listing, and construction go through one declarative API instead
+of hand-maintained if/elif chains:
+
+- :func:`register_prefetcher` / :func:`build_prefetcher` — prefetcher
+  classes by name (``"stream"``, ``"pmp"``, ...).
+- :func:`register_composite` / :func:`build_composite` — named composite
+  prefetcher sets (``"gs_cs_pmp"``, ...).
+- :func:`register_selector` / :func:`build_selector` — selection
+  algorithms, built from a *spec string* that may carry parameters, e.g.
+  ``"alecto:fixed_degree=6"`` or ``"ipcp:degree=4"``.
+- :func:`register_experiment` — paper figures/tables as
+  :class:`~repro.experiments.runner.Experiment` objects.
+
+Registration happens at import time of the defining modules; the
+registries lazily import those packages on first lookup, so importing
+``repro.registry`` alone stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "SelectorContext",
+    "build_composite",
+    "build_prefetcher",
+    "build_selector",
+    "get_experiment",
+    "list_composites",
+    "list_experiments",
+    "list_prefetchers",
+    "list_selectors",
+    "parse_spec",
+    "register_composite",
+    "register_experiment",
+    "register_prefetcher",
+    "register_selector",
+]
+
+
+#: Global revision counter, bumped on every registration across all
+#: registries.  Long-lived caches that snapshot registry state (the
+#: runner's process pools) compare it to know when to refresh.
+_REVISION = 0
+
+
+def registry_revision() -> int:
+    """Monotonic counter incremented by every registration."""
+    return _REVISION
+
+
+class Registry:
+    """A named collection of factories with decorator-based registration.
+
+    Args:
+        kind: human-readable kind used in error messages (``"selector"``).
+        loader: optional zero-argument callable importing the modules that
+            populate this registry; invoked once, on first lookup.
+    """
+
+    def __init__(self, kind: str, loader: Optional[Callable[[], None]] = None):
+        self.kind = kind
+        self._loader = loader
+        self._loaded = loader is None
+        self._loading = False
+        self._entries: Dict[str, Any] = {}
+        self._metadata: Dict[str, Dict[str, Any]] = {}
+
+    # -- population --------------------------------------------------------
+
+    def add(self, name: str, obj: Any, **metadata: Any) -> None:
+        """Register ``obj`` under ``name`` (last registration wins).
+
+        Loads the built-in modules first (outside of a load already in
+        progress), so a user registration made before the first lookup is
+        recorded *after* the built-ins and genuinely wins instead of being
+        clobbered when the lazy loader runs later.
+        """
+        global _REVISION
+        self._ensure_loaded()
+        self._entries[name] = obj
+        self._metadata[name] = metadata
+        _REVISION += 1
+
+    def register(self, name: str, **metadata: Any) -> Callable:
+        """Decorator form of :meth:`add`; returns the object unchanged."""
+
+        def decorator(obj):
+            self.add(name, obj, **metadata)
+            return obj
+
+        return decorator
+
+    # -- lookup ------------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded or self._loading:
+            return
+        # Mark loaded only on success: a failing loader (e.g. an
+        # ImportError in one registered module) re-raises on every
+        # lookup instead of leaving a silently half-populated registry.
+        # The _loading flag lets the loader's own modules call add()
+        # without re-entering.
+        self._loading = True
+        try:
+            self._loader()
+            self._loaded = True
+        finally:
+            self._loading = False
+
+    def get(self, name: str) -> Any:
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none)"
+            raise ValueError(
+                f"unknown {self.kind}: {name!r} (known: {known})"
+            ) from None
+
+    def metadata(self, name: str) -> Dict[str, Any]:
+        self._ensure_loaded()
+        if name not in self._entries:
+            self.get(name)  # raises the uniform error
+        return dict(self._metadata.get(name, {}))
+
+    def names(self) -> List[str]:
+        self._ensure_loaded()
+        return sorted(self._entries)
+
+    def registration_names(self) -> List[str]:
+        """Names in registration (insertion) order — for experiments this
+        is the paper's presentation order (see ``EXPERIMENT_MODULES``)."""
+        self._ensure_loaded()
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        status = "loaded" if self._loaded else "lazy"
+        return f"Registry(kind={self.kind!r}, {status}, {len(self._entries)} entries)"
+
+
+def _load_prefetchers() -> None:
+    import repro.prefetchers  # noqa: F401  (registration side effects)
+
+
+def _load_selectors() -> None:
+    import repro.selection  # noqa: F401
+
+
+def _load_experiments() -> None:
+    import repro.experiments
+
+    repro.experiments.load_all()
+
+
+PREFETCHERS = Registry("prefetcher", _load_prefetchers)
+COMPOSITES = Registry("composite", _load_prefetchers)
+SELECTORS = Registry("selector", _load_selectors)
+EXPERIMENTS = Registry("experiment", _load_experiments)
+
+
+def register_prefetcher(name: str, **metadata: Any) -> Callable:
+    """Class decorator registering a :class:`Prefetcher` subclass."""
+    return PREFETCHERS.register(name, **metadata)
+
+
+def register_composite(name: str, **metadata: Any) -> Callable:
+    """Decorator registering a zero-argument composite factory."""
+    return COMPOSITES.register(name, **metadata)
+
+
+def register_selector(name: str, **metadata: Any) -> Callable:
+    """Decorator registering a selector factory.
+
+    The factory is called as ``factory(prefetchers, ctx, **params)`` where
+    ``prefetchers`` is a freshly-built prefetcher list (or ``None`` when
+    registered with ``standalone=True``), ``ctx`` is a
+    :class:`SelectorContext`, and ``params`` come from the spec string.
+    """
+    return SELECTORS.register(name, **metadata)
+
+
+def register_experiment(
+    name: str,
+    *,
+    title: str,
+    paper: str = "",
+    fast_params: Optional[Dict[str, Any]] = None,
+    **metadata: Any,
+) -> Callable:
+    """Decorator turning a ``run()`` function into a registered Experiment.
+
+    Args:
+        name: CLI name (``"fig08"``).
+        title: human-readable figure/table title.
+        paper: the paper's headline claim for this figure (EXPERIMENTS.md).
+        fast_params: reduced-scale parameter overrides for smoke runs.
+    """
+
+    def decorator(fn):
+        from repro.experiments.runner import Experiment
+
+        experiment = Experiment(
+            name=name,
+            title=title,
+            paper=paper,
+            fn=fn,
+            fast_params=dict(fast_params or {}),
+        )
+        EXPERIMENTS.add(name, experiment, **metadata)
+        return fn
+
+    return decorator
+
+
+# -- declarative selector specs -------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectorContext:
+    """Cross-cutting build context handed to every selector factory."""
+
+    composite: str = "gs_cs_pmp"
+    with_temporal: bool = False
+    temporal_bytes: int = 1024 * 1024
+    alecto_config: Optional[Any] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+def _coerce(text: str) -> Any:
+    """Parse a spec parameter value into int/float/bool/None/str."""
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split ``"name:key=value,key=value"`` into name and coerced params.
+
+    >>> parse_spec("alecto:fixed_degree=6,proficiency_boundary=0.8")
+    ('alecto', {'fixed_degree': 6, 'proficiency_boundary': 0.8})
+    """
+    name, _, tail = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"empty selector name in spec {spec!r}")
+    params: Dict[str, Any] = {}
+    if tail.strip():
+        for item in tail.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"malformed parameter {item!r} in spec {spec!r} "
+                    "(expected key=value)"
+                )
+            params[key.strip()] = _coerce(value.strip())
+    return name, params
+
+
+# -- factories -------------------------------------------------------------
+
+
+def build_prefetcher(name: str, **kwargs: Any):
+    """Instantiate a registered prefetcher class by name."""
+    return PREFETCHERS.get(name)(**kwargs)
+
+
+def build_composite(name: str = "gs_cs_pmp") -> List[Any]:
+    """Build a fresh prefetcher list for a registered composite."""
+    return list(COMPOSITES.get(name)())
+
+
+def build_selector(
+    spec: str,
+    composite: str = "gs_cs_pmp",
+    with_temporal: bool = False,
+    temporal_bytes: int = 1024 * 1024,
+    alecto_config: Optional[Any] = None,
+    prefetchers: Optional[List[Any]] = None,
+    **extra: Any,
+):
+    """Build a fresh selector (with fresh prefetchers) from a spec string.
+
+    Args:
+        spec: registered selector name, optionally with parameters
+            (``"alecto:fixed_degree=6"``).
+        composite: which composite prefetcher set to schedule.
+        with_temporal: append an L2 temporal prefetcher (Fig. 13 setups).
+        temporal_bytes: temporal metadata budget.
+        alecto_config: overrides for Alecto variants.
+        prefetchers: pre-built prefetcher list (skips composite building).
+        extra: additional context forwarded to the factory via
+            ``ctx.extra``.
+    """
+    name, params = parse_spec(spec)
+    factory = SELECTORS.get(name)
+    standalone = SELECTORS.metadata(name).get("standalone", False)
+    if prefetchers is None and not standalone:
+        prefetchers = build_composite(composite)
+        if with_temporal:
+            prefetchers.append(
+                build_prefetcher("temporal", metadata_bytes=temporal_bytes)
+            )
+    ctx = SelectorContext(
+        composite=composite,
+        with_temporal=with_temporal,
+        temporal_bytes=temporal_bytes,
+        alecto_config=alecto_config,
+        extra=extra,
+    )
+    return factory(prefetchers, ctx, **params)
+
+
+def get_experiment(name: str):
+    """Look up a registered :class:`Experiment` by name."""
+    return EXPERIMENTS.get(name)
+
+
+def list_prefetchers() -> List[str]:
+    return PREFETCHERS.names()
+
+
+def list_composites() -> List[str]:
+    return COMPOSITES.names()
+
+
+def list_selectors() -> List[str]:
+    return SELECTORS.names()
+
+
+def list_experiments() -> List[str]:
+    return EXPERIMENTS.names()

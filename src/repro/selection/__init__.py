@@ -39,3 +39,26 @@ __all__ = [
     "SelectionAlgorithm",
     "TriangelSelection",
 ]
+
+# -- registry factories for single-prefetcher baselines ---------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+@register_selector(
+    "pmp_only", standalone=True, doc="standalone PMP under IPCP scheduling"
+)
+def _build_pmp_only(prefetchers, ctx, degree: int = 6):
+    from repro.registry import build_prefetcher
+
+    return IPCPSelection([build_prefetcher("pmp")], degree=degree)
+
+
+@register_selector(
+    "berti_only", standalone=True, doc="standalone Berti under IPCP scheduling"
+)
+def _build_berti_only(prefetchers, ctx, degree: int = 6):
+    from repro.registry import build_prefetcher
+
+    return IPCPSelection([build_prefetcher("berti")], degree=degree)
+

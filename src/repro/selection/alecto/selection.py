@@ -16,7 +16,7 @@ request (the mechanism behind Fig. 1's table-miss reduction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
 from repro.common.types import DemandAccess, PrefetchCandidate
@@ -219,3 +219,34 @@ class AlectoSelection(SelectionAlgorithm):
     @property
     def storage_bits(self) -> int:
         return alecto_storage_bits(len(self.prefetchers))
+
+
+# -- registry factories ----------------------------------------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+def _configure(ctx, params, **base_overrides):
+    """Merge ctx.alecto_config, registration-time and spec-string params."""
+    config = ctx.alecto_config
+    overrides = dict(base_overrides)
+    overrides.update(params)
+    if config is None:
+        config = AlectoConfig(**overrides) if overrides else None
+    elif params:
+        config = replace(config, **params)
+    return config
+
+
+@register_selector("alecto", doc="the paper's selection framework (DDRA + DDA)")
+def _build_alecto(prefetchers, ctx, **params):
+    return AlectoSelection(prefetchers, _configure(ctx, params))
+
+
+@register_selector("alecto_fix", doc="Alecto with fixed degree 6 (Sec. VII-A)")
+def _build_alecto_fix(prefetchers, ctx, **params):
+    selector = AlectoSelection(
+        prefetchers, _configure(ctx, params, fixed_degree=6)
+    )
+    selector.name = "alecto_fix"
+    return selector

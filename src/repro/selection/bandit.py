@@ -197,3 +197,27 @@ class ExtendedBanditSelection(BanditSelection):
         )
         arms = list(itertools.product(degrees, repeat=len(prefetchers)))
         super().__init__(prefetchers, arms=arms, **kwargs)
+
+
+# -- registry factories ----------------------------------------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+@register_selector("bandit3", doc="Micro-Armed Bandit, X = 3")
+def _build_bandit3(prefetchers, ctx):
+    return make_bandit3(prefetchers, train_on_prefetches=ctx.with_temporal)
+
+
+@register_selector("bandit6", doc="Micro-Armed Bandit, X = 6")
+def _build_bandit6(prefetchers, ctx):
+    return make_bandit6(prefetchers, train_on_prefetches=ctx.with_temporal)
+
+
+@register_selector("bandit_ext", doc="Bandit over Alecto's action space (Sec. VI-H)")
+def _build_bandit_ext(prefetchers, ctx, conservative_degree: int = 3, max_boost: int = 5):
+    return ExtendedBanditSelection(
+        prefetchers,
+        conservative_degree=conservative_degree,
+        max_boost=max_boost,
+    )

@@ -55,3 +55,13 @@ class DOLSelection(SelectionAlgorithm):
     @property
     def storage_bits(self) -> int:
         return self._filter.storage_bits
+
+
+# -- registry factories ----------------------------------------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+@register_selector("dol", doc="sequential allocation with static priority")
+def _build_dol(prefetchers, ctx, degree: int = 3):
+    return DOLSelection(prefetchers, degree=degree)

@@ -53,3 +53,13 @@ class IPCPSelection(SelectionAlgorithm):
     @property
     def storage_bits(self) -> int:
         return self._filter.storage_bits
+
+
+# -- registry factories ----------------------------------------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+@register_selector("ipcp", doc="train-all allocation, static output priority")
+def _build_ipcp(prefetchers, ctx, degree: int = 3):
+    return IPCPSelection(prefetchers, degree=degree)

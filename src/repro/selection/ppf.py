@@ -142,3 +142,22 @@ class PPFSelection(SelectionAlgorithm):
             self.NUM_FEATURES * _WEIGHT_TABLE_ENTRIES * weight_bits
             + self._ipcp.storage_bits
         )
+
+
+# -- registry factories ----------------------------------------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+@register_selector("ppf_aggressive", doc="IPCP + perceptron filter, low threshold")
+def _build_ppf_aggressive(prefetchers, ctx, threshold: int = 8):
+    selector = PPFSelection(prefetchers, threshold=threshold)
+    selector.name = "ppf_aggressive"
+    return selector
+
+
+@register_selector("ppf_conservative", doc="IPCP + perceptron filter, high threshold")
+def _build_ppf_conservative(prefetchers, ctx, threshold: int = -4):
+    selector = PPFSelection(prefetchers, threshold=threshold)
+    selector.name = "ppf_conservative"
+    return selector

@@ -167,3 +167,17 @@ class TriangelSelection(SelectionAlgorithm):
     @property
     def storage_bits(self) -> int:
         return self.SAMPLER_STORAGE_BITS + self._ipcp.storage_bits
+
+
+# -- registry factories ----------------------------------------------------
+
+from repro.registry import register_selector  # noqa: E402
+
+
+@register_selector("triangel", doc="Triangel-style temporal training filter")
+def _build_triangel(prefetchers, ctx, degree: int = 3, temporal_degree: int = 1):
+    if not ctx.with_temporal:
+        raise ValueError("triangel requires with_temporal=True")
+    return TriangelSelection(
+        prefetchers, degree=degree, temporal_degree=temporal_degree
+    )

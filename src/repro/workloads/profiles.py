@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.common.hashing import stable_hash
 from repro.common.types import AccessType
 from repro.cpu.trace import TraceRecord
 from repro.workloads.patterns import Pattern, make_pattern
@@ -79,8 +81,11 @@ class BenchmarkProfile:
         """Produce a deterministic trace of ``num_accesses`` records.
 
         The same (profile, num_accesses, seed, mem_ratio_scale) tuple
-        always produces an identical trace, so experiment rows are exactly
-        reproducible.
+        always produces an identical trace — across runs and across
+        processes (the RNG seeds with the process-stable
+        :func:`repro.common.hashing.stable_hash`, not the salted built-in
+        ``hash``) — so experiment rows are exactly reproducible, serial
+        or fanned out over a worker pool.
 
         Args:
             mem_ratio_scale: scales the memory intensity down (< 1 means
@@ -89,7 +94,7 @@ class BenchmarkProfile:
                 eight cores share the channels (see
                 :mod:`repro.workloads.mixes`).
         """
-        rng = random.Random((hash(self.name) & 0xFFFFFFFF) ^ seed)
+        rng = random.Random(stable_hash(self.name, bits=32) ^ seed)
         instances, weights = self._instantiate(rng)
         # Pre-compute the inter-access gap distribution from mem_ratio:
         # mean non-memory instructions per memory access.
@@ -102,9 +107,10 @@ class BenchmarkProfile:
             total += weight
             cumulative.append(total)
         gap_carry = 0.0
+        last = len(cumulative) - 1
         for _ in range(num_accesses):
             pick = rng.random() * total
-            index = _bisect(cumulative, pick)
+            index = min(bisect_left(cumulative, pick), last)
             pattern = instances[index]
             address, dependent = pattern.next_address()
             if mean_gap > 0:
@@ -130,17 +136,6 @@ class BenchmarkProfile:
                 )
             )
         return records
-
-
-def _bisect(cumulative: List[float], value: float) -> int:
-    low, high = 0, len(cumulative) - 1
-    while low < high:
-        mid = (low + high) // 2
-        if cumulative[mid] < value:
-            low = mid + 1
-        else:
-            high = mid
-    return low
 
 
 def profile(

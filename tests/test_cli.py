@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.registry import list_experiments, list_selectors
 
 
 class TestParser:
@@ -15,18 +18,44 @@ class TestParser:
         assert args.benchmark == "mcf"
         assert args.selector == "alecto"
         assert args.accesses == 15000
+        assert args.with_temporal is False
+        assert args.config == "default"
 
-    def test_experiment_names_validated(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["experiment", "fig99"])
+    def test_experiment_names_validated(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_requires_names_or_all(self, capsys):
+        assert main(["experiment"]) == 2
+
+    def test_experiment_rejects_names_with_all(self, capsys):
+        assert main(["experiment", "fig08", "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
 
     def test_all_experiment_modules_importable(self):
         import importlib
 
-        for module_name in EXPERIMENTS.values():
-            module = importlib.import_module(module_name)
+        from repro.experiments import EXPERIMENT_MODULES
+
+        for module_name in EXPERIMENT_MODULES:
+            module = importlib.import_module(f"repro.experiments.{module_name}")
             assert hasattr(module, "run")
             assert hasattr(module, "main")
+
+
+class TestRegistryDrivenLists:
+    def test_cli_offers_every_registered_experiment(self):
+        # The old hardcoded CLI list drifted from the registered modules;
+        # the registry-driven CLI cannot.
+        from repro.experiments import EXPERIMENT_MODULES
+
+        assert len(list_experiments()) == len(EXPERIMENT_MODULES)
+
+    def test_previously_missing_selectors_are_listed(self):
+        selectors = list_selectors()
+        assert "triangel" in selectors
+        assert "pmp_only" in selectors
+        assert "berti_only" in selectors
 
 
 class TestCommands:
@@ -35,6 +64,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "experiments:" in out
         assert "spec06" in out
+        assert "triangel" in out
+        assert "pmp_only" in out
+
+    def test_list_verbose(self, capsys):
+        assert main(["list", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
 
     def test_run_small(self, capsys):
         assert main(["run", "libquantum", "--accesses", "1500"]) == 0
@@ -45,6 +81,33 @@ class TestCommands:
         assert main(["run", "povray", "--selector", "none", "--accesses", "800"]) == 0
         assert "ipc" in capsys.readouterr().out
 
+    def test_unknown_selector_exits_cleanly(self, capsys):
+        assert main(["run", "mcf", "--selector", "oracle"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown selector" in err and "Traceback" not in err
+
+    def test_bad_spec_parameter_exits_cleanly(self, capsys):
+        assert main(["run", "mcf", "--selector", "alecto:bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_triangel_without_temporal_exits_cleanly(self, capsys):
+        assert main(["compare", "mcf", "--selectors", "triangel"]) == 2
+        assert "with_temporal" in capsys.readouterr().err
+
+    def test_run_selector_spec(self, capsys):
+        assert main([
+            "run", "libquantum", "--selector", "alecto:fixed_degree=6",
+            "--accesses", "800",
+        ]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_run_with_temporal_and_config(self, capsys):
+        assert main([
+            "run", "mcf", "--selector", "triangel", "--with-temporal",
+            "--config", "temporal", "--accesses", "800",
+        ]) == 0
+        assert "speedup" in capsys.readouterr().out
+
     def test_compare_small(self, capsys):
         assert main([
             "compare", "libquantum", "--accesses", "1200",
@@ -52,3 +115,17 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "ipcp" in out and "alecto" in out
+
+    def test_experiment_json(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        assert main([
+            "experiment", "table3", "--json", str(path),
+        ]) == 0
+        assert "Table III" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.experiment-suite.v1"
+        assert document["results"][0]["name"] == "table3"
+
+    def test_experiment_accesses_override(self, capsys):
+        assert main(["experiment", "abl_epoch", "--accesses", "500"]) == 0
+        assert "epoch=" in capsys.readouterr().out

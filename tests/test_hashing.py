@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.hashing import fold_pc, index_hash
+from repro.common.hashing import fold_pc, index_hash, stable_hash
 
 
 class TestFoldPC:
@@ -63,3 +63,33 @@ def test_fold_pc_in_range_property(pc, bits):
 @given(key=st.integers(-(2**40), 2**63), entries=st.integers(1, 10_000))
 def test_index_hash_in_range_property(key, entries):
     assert 0 <= index_hash(key, entries) < entries
+
+
+class TestStableHash:
+    def test_known_stable_value(self):
+        # Pinned: these values must never change across runs, processes,
+        # or Python versions — trace generation seeds with them, so a
+        # silent change here would invalidate every archived result.
+        assert stable_hash("mcf", bits=32) == 3418629330
+        assert stable_hash("mcf") == 18335318250214401234
+        assert stable_hash("mcf") != stable_hash("milc")
+
+    def test_bits_bound_result(self):
+        for bits in (1, 8, 32, 64):
+            assert 0 <= stable_hash("benchmark", bits=bits) < (1 << bits)
+
+    def test_accepts_bytes(self):
+        assert stable_hash(b"mcf") == stable_hash("mcf")
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            stable_hash("x", bits=0)
+        with pytest.raises(ValueError):
+            stable_hash("x", bits=65)
+
+    def test_differs_from_builtin_hash_semantics(self):
+        # Unlike hash(), equal inputs hash equally in *every* process;
+        # the subprocess check lives in tests/test_runner.py.
+        values = {stable_hash(f"bench{i}") for i in range(100)}
+        assert len(values) == 100
+

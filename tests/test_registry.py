@@ -1,0 +1,203 @@
+"""Tests for the decorator-based registries (repro.registry)."""
+
+import pytest
+
+from repro.registry import (
+    Registry,
+    build_composite,
+    build_prefetcher,
+    build_selector,
+    list_composites,
+    list_experiments,
+    list_prefetchers,
+    list_selectors,
+    parse_spec,
+)
+from repro.sim import simulate
+from repro.workloads.profiles import profile
+
+MB = 1 << 20
+
+#: Every selector the paper evaluates must be registered.
+EXPECTED_SELECTORS = {
+    "ipcp", "dol", "bandit3", "bandit6", "bandit_ext",
+    "alecto", "alecto_fix", "ppf_aggressive", "ppf_conservative",
+    "triangel", "pmp_only", "berti_only",
+}
+
+
+def tiny_trace(accesses=600):
+    prof = profile("reg_stream", "test", True, 0.3, [
+        (1.0, "stream", {"footprint": 8 * MB, "run_length": 400}),
+    ])
+    return prof.generate(accesses, seed=1)
+
+
+class TestRegistryClass:
+    def test_decorator_and_lookup(self):
+        registry = Registry("thing")
+
+        @registry.register("a", doc="first")
+        def build_a():
+            return "A"
+
+        assert "a" in registry
+        assert registry.get("a") is build_a
+        assert registry.metadata("a") == {"doc": "first"}
+        assert registry.names() == ["a"]
+
+    def test_unknown_name_raises_value_error(self):
+        registry = Registry("thing")
+        registry.add("known", object())
+        with pytest.raises(ValueError, match="unknown thing: 'nope'"):
+            registry.get("nope")
+
+    def test_lazy_loader_runs_once(self):
+        calls = []
+        registry = Registry("thing", loader=lambda: calls.append(1))
+        registry.names()
+        registry.names()
+        assert calls == [1]
+
+    def test_user_registration_before_first_lookup_wins(self):
+        # add() loads the built-ins first, so an override registered
+        # before any lookup is not clobbered when the lazy loader runs.
+        registry = Registry("thing", loader=lambda: registry.add("a", "builtin"))
+        registry.add("a", "user-override")
+        assert registry.get("a") == "user-override"
+
+    def test_failed_loader_retries(self):
+        calls = []
+
+        def loader():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ImportError("broken module")
+            loader_registry.add("x", "ok")
+
+        loader_registry = Registry("thing", loader=loader)
+        with pytest.raises(ImportError):
+            loader_registry.names()
+        assert loader_registry.get("x") == "ok"
+        assert calls == [1, 1]
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("alecto") == ("alecto", {})
+
+    def test_parameters_coerced(self):
+        name, params = parse_spec(
+            "alecto:fixed_degree=6,proficiency_boundary=0.8,flag=true,tag=x"
+        )
+        assert name == "alecto"
+        assert params == {
+            "fixed_degree": 6,
+            "proficiency_boundary": 0.8,
+            "flag": True,
+            "tag": "x",
+        }
+
+    def test_malformed_parameter(self):
+        with pytest.raises(ValueError, match="malformed parameter"):
+            parse_spec("alecto:fixed_degree")
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError, match="empty selector name"):
+            parse_spec(":a=1")
+
+
+class TestPopulation:
+    def test_selectors_complete(self):
+        assert EXPECTED_SELECTORS <= set(list_selectors())
+
+    def test_prefetchers_complete(self):
+        assert {
+            "stream", "stride", "pmp", "berti", "cplx", "bop", "spp",
+            "temporal",
+        } <= set(list_prefetchers())
+
+    def test_composites_complete(self):
+        assert {"gs_cs_pmp", "gs_berti_cplx", "gs_bop_spp"} <= set(
+            list_composites()
+        )
+
+    def test_experiments_complete(self):
+        from repro.experiments import EXPERIMENT_MODULES
+
+        assert len(list_experiments()) == len(EXPERIMENT_MODULES)
+
+
+class TestBuilders:
+    def test_build_prefetcher(self):
+        assert build_prefetcher("stream").name == "stream"
+        assert build_prefetcher("temporal", metadata_bytes=2048).name == "temporal"
+
+    def test_build_composite_fresh_instances(self):
+        a = build_composite("gs_cs_pmp")
+        b = build_composite("gs_cs_pmp")
+        assert [p.name for p in a] == ["stream", "stride", "pmp"]
+        assert a[0] is not b[0]
+
+    def test_unknown_composite(self):
+        with pytest.raises(ValueError):
+            build_composite("gs_everything")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SELECTORS))
+    def test_every_selector_builds_and_simulates(self, name):
+        # Triangel only exists in the with-temporal configuration.
+        with_temporal = name == "triangel"
+        selector = build_selector(
+            name, with_temporal=with_temporal, temporal_bytes=64 * 1024
+        )
+        result = simulate(tiny_trace(), selector)
+        assert result.ipc > 0
+
+    def test_spec_parameters_reach_the_selector(self):
+        selector = build_selector("alecto:fixed_degree=6")
+        assert selector.config.fixed_degree == 6
+        selector = build_selector("ipcp:degree=5")
+        assert selector.degree == 5
+
+    def test_spec_parameters_merge_with_alecto_config(self):
+        from repro.selection import AlectoConfig
+
+        selector = build_selector(
+            "alecto:fixed_degree=6",
+            alecto_config=AlectoConfig(epoch_demands=50),
+        )
+        assert selector.config.fixed_degree == 6
+        assert selector.config.epoch_demands == 50
+
+    def test_triangel_requires_temporal(self):
+        with pytest.raises(ValueError):
+            build_selector("triangel")
+
+    def test_standalone_selectors_build_their_own_prefetchers(self):
+        assert [p.name for p in build_selector("pmp_only").prefetchers] == ["pmp"]
+        assert [p.name for p in build_selector("berti_only").prefetchers] == [
+            "berti"
+        ]
+
+    def test_unknown_selector(self):
+        with pytest.raises(ValueError):
+            build_selector("oracle")
+
+
+class TestCustomRegistration:
+    def test_registered_prefetcher_buildable_via_composite(self):
+        from repro.prefetchers import StreamPrefetcher, StridePrefetcher
+        from repro.registry import COMPOSITES, register_composite
+
+        @register_composite("test_tmp_composite")
+        def _tmp():
+            return [StreamPrefetcher(), StridePrefetcher()]
+
+        try:
+            built = build_composite("test_tmp_composite")
+            assert [p.name for p in built] == ["stream", "stride"]
+            selector = build_selector("ipcp", composite="test_tmp_composite")
+            assert len(selector.prefetchers) == 2
+        finally:
+            COMPOSITES._entries.pop("test_tmp_composite")
+            COMPOSITES._metadata.pop("test_tmp_composite")
