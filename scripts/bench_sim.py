@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Time the simulation hot path and write a BENCH_<rev>.json record.
+
+Thin wrapper around :mod:`repro.sim.bench`; identical to ``repro bench``.
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/bench_sim.py [--fast] [--check BENCH_x.json]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim.bench import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout was piped to a consumer that exited early (e.g. head);
+        # not an error for a report-printing tool.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

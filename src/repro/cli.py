@@ -7,6 +7,8 @@ Commands:
 - ``experiment``: regenerate paper figures/tables by name (or ``--all``),
   optionally in parallel (``--jobs``) and with structured JSON output
   (``--json``).
+- ``bench``: time ``simulate()`` on canonical profiles and write a
+  ``BENCH_<rev>.json`` throughput record (see :mod:`repro.sim.bench`).
 - ``list``: show available benchmarks, selectors, composites, and
   experiments — all driven by registry introspection
   (:mod:`repro.registry`), so newly registered components appear
@@ -169,6 +171,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.registry import (
         EXPERIMENTS,
@@ -283,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the trace seed for experiments that declare it",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time simulate() on canonical profiles (writes BENCH_<rev>.json)",
+    )
+    from repro.sim.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     lister = sub.add_parser("list", help="list benchmarks/selectors/experiments")
     lister.add_argument(

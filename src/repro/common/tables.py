@@ -4,19 +4,36 @@ Every prefetcher's internal state (IP tables, pattern-history tables,
 temporal metadata) is built on this structure so that "prefetcher table
 misses" (paper Fig. 1) and "training occurrences" (Fig. 18) are counted
 the same way for every algorithm under comparison.
+
+Each set is an insertion-ordered ``dict`` mapping key to value.  Under LRU
+replacement the dict is kept in recency order (a touch re-inserts the entry
+at the MRU end) so lookup, LRU update and victim selection are all O(1).
+Under random replacement the dict stays in insertion order and the victim
+is drawn by position, matching the behaviour of the previous list-based
+sets exactly.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
 
-from repro.common.hashing import index_hash
-
 V = TypeVar("V")
 
+#: Sentinel distinguishing "absent" from a stored None value.
+_MISS = object()
 
-@dataclass
+# Constants of repro.common.hashing.index_hash, whose arithmetic is inlined
+# in every set-indexing method below (each train() call funnels through
+# them, and a function call per probe is measurable at that rate).  The
+# inlined copies must stay byte-for-byte equivalent to index_hash;
+# tests/test_fastpath_parity.py asserts this over random keys.
+_MASK64 = (1 << 64) - 1
+_MIX = 0xFF51AFD7ED558CCD
+
+
+@dataclass(slots=True)
 class TableStats:
     """Access statistics for one table."""
 
@@ -41,13 +58,6 @@ class TableStats:
         )
 
 
-@dataclass
-class _Way(Generic[V]):
-    key: int
-    value: V
-    last_use: int = 0
-
-
 class SetAssociativeTable(Generic[V]):
     """LRU set-associative key/value table of bounded size.
 
@@ -62,6 +72,11 @@ class SetAssociativeTable(Generic[V]):
             capacity) and is what temporal metadata tables use.
         seed: RNG seed for random replacement (kept deterministic).
     """
+
+    __slots__ = (
+        "name", "num_entries", "ways", "num_sets", "entry_bits",
+        "replacement", "stats", "_sets", "_count", "_is_lru", "_rng",
+    )
 
     def __init__(
         self,
@@ -88,36 +103,48 @@ class SetAssociativeTable(Generic[V]):
         self.entry_bits = entry_bits
         self.replacement = replacement
         self.stats = TableStats()
-        self._sets: Dict[int, list] = {}
-        self._clock = 0
-        self._rng = __import__("random").Random(seed)
+        self._sets: Dict[int, Dict[int, V]] = {}
+        self._count = 0
+        self._is_lru = replacement == "lru"
+        self._rng = random.Random(seed)
 
     # -- core operations ---------------------------------------------------
 
-    def _set_for(self, key: int) -> list:
-        index = index_hash(key, self.num_sets)
-        return self._sets.setdefault(index, [])
+    def _set_for(self, key: int) -> Dict[int, V]:
+        mixed = key & _MASK64
+        mixed = (mixed ^ (mixed >> 33)) * _MIX & _MASK64
+        index = (mixed ^ (mixed >> 33)) % self.num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = {}
+        return entries
 
     def lookup(self, key: int, update_lru: bool = True) -> Optional[V]:
         """Return the value for ``key`` or None; counts a hit or miss."""
-        self._clock += 1
-        self.stats.lookups += 1
-        ways = self._set_for(key)
-        for way in ways:
-            if way.key == key:
-                self.stats.hits += 1
-                if update_lru:
-                    way.last_use = self._clock
-                return way.value
-        self.stats.misses += 1
+        stats = self.stats
+        stats.lookups += 1
+        mixed = key & _MASK64
+        mixed = (mixed ^ (mixed >> 33)) * _MIX & _MASK64
+        entries = self._sets.get((mixed ^ (mixed >> 33)) % self.num_sets)
+        if entries is not None:
+            value = entries.get(key, _MISS)
+            if value is not _MISS:
+                stats.hits += 1
+                if update_lru and self._is_lru:
+                    del entries[key]
+                    entries[key] = value
+                return value
+        stats.misses += 1
         return None
 
     def peek(self, key: int) -> Optional[V]:
         """Return the value for ``key`` without touching statistics or LRU."""
-        for way in self._sets.get(index_hash(key, self.num_sets), []):
-            if way.key == key:
-                return way.value
-        return None
+        mixed = key & _MASK64
+        mixed = (mixed ^ (mixed >> 33)) * _MIX & _MASK64
+        entries = self._sets.get((mixed ^ (mixed >> 33)) % self.num_sets)
+        if entries is None:
+            return None
+        return entries.get(key)
 
     def insert(self, key: int, value: V) -> Optional[Tuple[int, V]]:
         """Insert or overwrite ``key``.
@@ -126,24 +153,27 @@ class SetAssociativeTable(Generic[V]):
             The evicted ``(key, value)`` pair when an LRU victim was
             displaced, else None.
         """
-        self._clock += 1
-        ways = self._set_for(key)
-        for way in ways:
-            if way.key == key:
-                way.value = value
-                way.last_use = self._clock
-                return None
+        entries = self._set_for(key)
+        if key in entries:
+            # Overwrite refreshes recency under LRU; under random
+            # replacement the slot position is what matters and it stays.
+            if self._is_lru:
+                del entries[key]
+            entries[key] = value
+            return None
         self.stats.insertions += 1
         evicted = None
-        if len(ways) >= self.ways:
-            if self.replacement == "random":
-                victim = ways[self._rng.randrange(len(ways))]
+        if len(entries) >= self.ways:
+            if self._is_lru:
+                victim_key = next(iter(entries))
             else:
-                victim = min(ways, key=lambda w: w.last_use)
-            ways.remove(victim)
-            evicted = (victim.key, victim.value)
+                keys = list(entries)
+                victim_key = keys[self._rng.randrange(len(keys))]
+            evicted = (victim_key, entries.pop(victim_key))
             self.stats.evictions += 1
-        ways.append(_Way(key=key, value=value, last_use=self._clock))
+            self._count -= 1
+        entries[key] = value
+        self._count += 1
         return evicted
 
     def get_or_insert(self, key: int, factory: Callable[[], V]) -> V:
@@ -156,30 +186,35 @@ class SetAssociativeTable(Generic[V]):
 
     def invalidate(self, key: int) -> bool:
         """Remove ``key`` if present.  Returns True when an entry was removed."""
-        ways = self._sets.get(index_hash(key, self.num_sets), [])
-        for way in ways:
-            if way.key == key:
-                ways.remove(way)
-                return True
+        mixed = key & _MASK64
+        mixed = (mixed ^ (mixed >> 33)) * _MIX & _MASK64
+        entries = self._sets.get((mixed ^ (mixed >> 33)) % self.num_sets)
+        if entries is not None and key in entries:
+            del entries[key]
+            self._count -= 1
+            return True
         return False
 
     def clear(self) -> None:
         """Drop all entries (statistics are preserved)."""
         self._sets.clear()
+        self._count = 0
 
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(ways) for ways in self._sets.values())
+        return self._count
 
     def __contains__(self, key: int) -> bool:
-        return self.peek(key) is not None
+        mixed = key & _MASK64
+        mixed = (mixed ^ (mixed >> 33)) * _MIX & _MASK64
+        entries = self._sets.get((mixed ^ (mixed >> 33)) % self.num_sets)
+        return entries is not None and key in entries
 
     def items(self):
         """Iterate over live ``(key, value)`` pairs (test/debug helper)."""
-        for ways in self._sets.values():
-            for way in ways:
-                yield way.key, way.value
+        for entries in self._sets.values():
+            yield from entries.items()
 
     @property
     def storage_bits(self) -> int:

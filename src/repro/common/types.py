@@ -37,7 +37,7 @@ class AccessType(enum.Enum):
     STORE = "store"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DemandAccess:
     """A demand request as seen by the L1 data cache.
 
@@ -51,6 +51,8 @@ class DemandAccess:
         access_type: load or store.
         core_id: issuing core (0 in single-core runs).
         timestamp: demand-access sequence number, assigned by the simulator.
+        line: cache-line address, precomputed (every prefetcher reads it).
+        region: 4 KB spatial-region address, precomputed.
     """
 
     pc: int
@@ -58,19 +60,26 @@ class DemandAccess:
     access_type: AccessType = AccessType.LOAD
     core_id: int = 0
     timestamp: int = 0
+    line: int = field(init=False)
+    region: int = field(init=False)
 
-    @property
-    def line(self) -> int:
-        """Cache-line address of this access."""
-        return line_address(self.address)
+    def __post_init__(self) -> None:
+        address = self.address
+        object.__setattr__(self, "line", address >> CACHE_LINE_SHIFT)
+        object.__setattr__(self, "region", address >> REGION_SHIFT)
 
-    @property
-    def region(self) -> int:
-        """4 KB spatial-region address of this access."""
-        return region_address(self.address)
+    # Explicit state methods: frozen+slots dataclasses do not pickle on
+    # every supported Python without them.
+    def __getstate__(self):
+        return (self.pc, self.address, self.access_type, self.core_id,
+                self.timestamp, self.line, self.region)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchCandidate:
     """A prefetch request proposed by a prefetcher before filtering.
 

@@ -18,13 +18,17 @@ from typing import Deque
 from repro.common.config import SystemConfig
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class _OutstandingMiss:
+    # eq=False: instances are compared (and removed from the deque) by
+    # identity; (completion_cycle, instruction_index) pairs are unique, so
+    # identity and value semantics coincide and identity skips a Python
+    # __eq__ call per scanned element.
     completion_cycle: float
     instruction_index: int
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Retired-instruction and cycle accounting for one core."""
 
@@ -63,8 +67,10 @@ class CoreModel:
         return int(self.stats.cycles)
 
     def _retire_completed(self) -> None:
-        while self._misses and self._misses[0].completion_cycle <= self.stats.cycles:
-            self._misses.popleft()
+        misses = self._misses
+        cycles = self.stats.cycles
+        while misses and misses[0].completion_cycle <= cycles:
+            misses.popleft()
 
     def _stall_for_oldest(self) -> None:
         """ROB-full stall: wait for the oldest (program-order) miss."""
@@ -76,30 +82,47 @@ class CoreModel:
     def _stall_for_earliest(self) -> None:
         """MSHR-full stall: MSHRs free in completion order, so wait only
         for the earliest-completing outstanding miss."""
-        earliest = min(self._misses, key=lambda m: m.completion_cycle)
-        self._misses.remove(earliest)
+        misses = self._misses
+        earliest = misses[0]
+        for miss in misses:
+            if miss.completion_cycle < earliest.completion_cycle:
+                earliest = miss
+        misses.remove(earliest)
         if earliest.completion_cycle > self.stats.cycles:
             self.stats.l1_miss_stalls += earliest.completion_cycle - self.stats.cycles
             self.stats.cycles = earliest.completion_cycle
 
     def advance(self, instructions: int) -> None:
         """Issue ``instructions`` non-memory instructions."""
+        stats = self.stats
+        misses = self._misses
+        issue_width = self.issue_width
+        if not misses:
+            # Fast path: nothing outstanding, no stalls possible.  The
+            # arithmetic must match the loop below exactly (one step of
+            # size ``instructions``).
+            if instructions > 0:
+                stats.cycles += instructions / issue_width
+                stats.instructions += instructions
+            return
         remaining = instructions
         while remaining > 0:
-            self._retire_completed()
-            if self._misses:
-                oldest = self._misses[0]
+            cycles = stats.cycles
+            while misses and misses[0].completion_cycle <= cycles:
+                misses.popleft()
+            if misses:
+                oldest = misses[0]
                 headroom = self.rob_entries - (
-                    self.stats.instructions - oldest.instruction_index
+                    stats.instructions - oldest.instruction_index
                 )
                 if headroom <= 0:
                     self._stall_for_oldest()
                     continue
-                step = min(remaining, headroom)
+                step = remaining if remaining < headroom else headroom
             else:
                 step = remaining
-            self.stats.cycles += step / self.issue_width
-            self.stats.instructions += step
+            stats.cycles += step / issue_width
+            stats.instructions += step
             remaining -= step
 
     def memory_access(
@@ -114,28 +137,35 @@ class CoreModel:
             dependent: the access waits for the previous outstanding miss
                 before issuing (pointer chase).
         """
-        if dependent and self._misses:
+        stats = self.stats
+        misses = self._misses
+        if dependent and misses:
             # Serialise behind the most recent miss.
-            newest = max(m.completion_cycle for m in self._misses)
-            if newest > self.stats.cycles:
-                self.stats.l1_miss_stalls += newest - self.stats.cycles
-                self.stats.cycles = newest
-            self._misses.clear()
-        self.advance(1)
-        if is_load:
-            self.stats.loads += 1
+            newest = max(m.completion_cycle for m in misses)
+            if newest > stats.cycles:
+                stats.l1_miss_stalls += newest - stats.cycles
+                stats.cycles = newest
+            misses.clear()
+        if misses:
+            self.advance(1)
         else:
-            self.stats.stores += 1
+            # advance(1) fast path inlined: one step, no stall possible.
+            stats.cycles += 1 / self.issue_width
+            stats.instructions += 1
+        if is_load:
+            stats.loads += 1
+        else:
+            stats.stores += 1
             return
         if latency <= self.HIT_LATENCY_THRESHOLD:
             return
         self._retire_completed()
-        while len(self._misses) >= self.max_outstanding:
+        while len(misses) >= self.max_outstanding:
             self._stall_for_earliest()
-        self._misses.append(
+        misses.append(
             _OutstandingMiss(
-                completion_cycle=self.stats.cycles + latency,
-                instruction_index=self.stats.instructions,
+                completion_cycle=stats.cycles + latency,
+                instruction_index=stats.instructions,
             )
         )
 

@@ -13,7 +13,7 @@ from typing import Iterator, List, Sequence
 from repro.common.types import AccessType
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One memory instruction in a committed-instruction trace.
 
@@ -38,6 +38,14 @@ class TraceRecord:
     def instructions(self) -> int:
         """Committed instructions this record accounts for (itself included)."""
         return self.nonmem_before + 1
+
+    def __getstate__(self):
+        return (self.pc, self.address, self.access_type,
+                self.nonmem_before, self.dependent)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
 
 
 def interleave_traces(traces: Sequence[Sequence[TraceRecord]]) -> Iterator[tuple]:

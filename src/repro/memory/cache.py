@@ -5,15 +5,21 @@ line carries a ``ready_cycle`` so that a demand access arriving while a
 fill (typically a prefetch) is still in flight observes the *remaining*
 fill latency.  That is exactly the distinction the paper draws between
 "covered, timely" and "covered, untimely" prefetches (Fig. 10).
+
+Each set is an insertion-ordered ``dict`` mapping line address to
+:class:`_Line`, kept in recency order: a hit re-inserts the entry at the
+MRU end and the LRU victim is always the first key.  Lookup, LRU update
+and victim selection are all O(1), where the previous list-based sets
+paid an O(ways) tag scan plus an O(ways) ``min()`` per eviction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchRecord:
     """Provenance of a prefetched line, kept until first demand use.
 
@@ -34,16 +40,14 @@ class PrefetchRecord:
     line: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
-    tag: int
-    last_use: int = 0
     ready_cycle: int = 0
     dirty: bool = False
     prefetch: Optional[PrefetchRecord] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache hit/miss and prefetch-outcome statistics."""
 
@@ -62,7 +66,7 @@ class CacheStats:
         return self.demand_hits / self.demand_accesses
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictionInfo:
     """Describes a line displaced from the cache."""
 
@@ -88,6 +92,11 @@ class Cache:
             dropped by the hierarchy).
     """
 
+    __slots__ = (
+        "name", "num_sets", "ways", "latency", "mshrs", "stats",
+        "_sets", "_resident",
+    )
+
     def __init__(self, name: str, num_sets: int, ways: int, latency: int, mshrs: int):
         if num_sets <= 0 or ways <= 0:
             raise ValueError("num_sets and ways must be positive")
@@ -97,38 +106,29 @@ class Cache:
         self.latency = latency
         self.mshrs = mshrs
         self.stats = CacheStats()
-        self._sets: Dict[int, List[_Line]] = {}
-        self._clock = 0
+        # set index -> {line address -> _Line}, each inner dict in LRU->MRU
+        # recency order.
+        self._sets: Dict[int, Dict[int, _Line]] = {}
+        self._resident = 0
 
     # -- helpers -------------------------------------------------------------
 
-    def _index(self, line: int) -> int:
-        return line % self.num_sets
-
     def _find(self, line: int) -> Optional[_Line]:
-        for entry in self._sets.get(self._index(line), []):
-            if entry.tag == line:
-                return entry
-        return None
+        entries = self._sets.get(line % self.num_sets)
+        if entries is None:
+            return None
+        return entries.get(line)
 
     @property
     def capacity_lines(self) -> int:
         return self.num_sets * self.ways
 
-    def in_flight_fills(self, cycle: int) -> int:
-        """Number of resident lines whose fill has not yet completed."""
-        count = 0
-        for entries in self._sets.values():
-            for entry in entries:
-                if entry.ready_cycle > cycle:
-                    count += 1
-        return count
-
     # -- operations ----------------------------------------------------------
 
     def probe(self, line: int) -> bool:
         """Tag check with no side effects."""
-        return self._find(line) is not None
+        entries = self._sets.get(line % self.num_sets)
+        return entries is not None and line in entries
 
     def demand_access(
         self, line: int, cycle: int, is_write: bool = False
@@ -142,26 +142,30 @@ class Cache:
             ``prefetch_record``/``timely`` describe the first demand use of
             a prefetched line (record is None on ordinary hits).
         """
-        self._clock += 1
-        self.stats.demand_accesses += 1
-        entry = self._find(line)
+        stats = self.stats
+        stats.demand_accesses += 1
+        entries = self._sets.get(line % self.num_sets)
+        entry = entries.get(line) if entries is not None else None
         if entry is None:
-            self.stats.demand_misses += 1
+            stats.demand_misses += 1
             return False, 0, None, False
-        self.stats.demand_hits += 1
-        entry.last_use = self._clock
+        stats.demand_hits += 1
+        # Re-insert at the MRU end of the recency order.
+        del entries[line]
+        entries[line] = entry
         if is_write:
             entry.dirty = True
-        extra_wait = max(0, entry.ready_cycle - cycle)
+        wait = entry.ready_cycle - cycle
+        extra_wait = wait if wait > 0 else 0
         record = entry.prefetch
         timely = extra_wait == 0
         if record is not None:
             # First demand use consumes the prefetch provenance.
             entry.prefetch = None
             if timely:
-                self.stats.prefetch_hits_timely += 1
+                stats.prefetch_hits_timely += 1
             else:
-                self.stats.prefetch_hits_untimely += 1
+                stats.prefetch_hits_untimely += 1
         return True, extra_wait, record, timely
 
     def fill(
@@ -177,49 +181,53 @@ class Cache:
         Returns:
             Information about the displaced line, or None.
         """
-        self._clock += 1
-        entry = self._find(line)
+        index = line % self.num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = {}
+        entry = entries.get(line)
         if entry is not None:
             # Refill of a resident line (e.g. prefetch raced a demand fill):
-            # keep the earlier ready time, never downgrade to prefetch-only.
-            entry.ready_cycle = min(entry.ready_cycle, ready_cycle)
+            # keep the earlier ready time, never downgrade to prefetch-only,
+            # and refresh recency so the line is not a stale LRU victim.
+            if ready_cycle < entry.ready_cycle:
+                entry.ready_cycle = ready_cycle
             if is_write:
                 entry.dirty = True
+            del entries[line]
+            entries[line] = entry
             return None
         if prefetch is not None:
             self.stats.prefetch_fills += 1
-        entries = self._sets.setdefault(self._index(line), [])
-        evicted = None
         if len(entries) >= self.ways:
-            victim = min(entries, key=lambda e: e.last_use)
-            entries.remove(victim)
-            evicted = EvictionInfo(
-                line=victim.tag, dirty=victim.dirty, prefetch=victim.prefetch
-            )
+            victim_line = next(iter(entries))
+            victim = entries.pop(victim_line)
+            evicted = EvictionInfo(victim_line, victim.dirty, victim.prefetch)
             if victim.prefetch is not None:
                 self.stats.prefetched_evicted_unused += 1
-        entries.append(
-            _Line(
-                tag=line,
-                last_use=self._clock,
-                ready_cycle=ready_cycle,
-                dirty=is_write,
-                prefetch=prefetch,
-            )
-        )
-        return evicted
+            # Reuse the displaced _Line object for the incoming line; the
+            # resident count is unchanged by an evict+insert pair.
+            victim.ready_cycle = ready_cycle
+            victim.dirty = is_write
+            victim.prefetch = prefetch
+            entries[line] = victim
+            return evicted
+        entries[line] = _Line(ready_cycle, is_write, prefetch)
+        self._resident += 1
+        return None
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if resident.  Returns True when removed."""
-        entries = self._sets.get(self._index(line), [])
-        for entry in entries:
-            if entry.tag == line:
-                entries.remove(entry)
-                return True
+        entries = self._sets.get(line % self.num_sets)
+        if entries is not None and line in entries:
+            del entries[line]
+            self._resident -= 1
+            return True
         return False
 
     def occupancy(self) -> int:
-        return sum(len(entries) for entries in self._sets.values())
+        """Resident line count, maintained as an O(1) counter."""
+        return self._resident
 
     def __repr__(self) -> str:
         return (

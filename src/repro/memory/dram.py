@@ -64,62 +64,63 @@ class DRAM:
         self._bank_open_row = [-1] * num_banks
         self._service_cycles = 1.0 / config.lines_per_cycle_per_channel
 
-    def _channel_of(self, line: int) -> int:
-        # XOR-fold higher address bits into the channel selector so that
-        # strided streams spread across channels (real controllers hash
-        # channel bits for exactly this reason).
-        return (line ^ (line >> 5) ^ (line >> 11)) % self.config.channels
-
-    def _bank_of(self, line: int) -> int:
-        return (line // self.ROW_LINES) % len(self._bank_free)
-
     def access(self, line: int, cycle: int, is_prefetch: bool = False) -> int:
         """Issue a line read at ``cycle``; returns total latency in cycles.
 
         The latency is ``base_latency`` plus row-buffer effects plus any
         queueing delay behind earlier requests on the same channel or bank.
         """
-        channel = self._channel_of(line)
-        bank = self._bank_of(line)
+        stats = self.stats
+        # XOR-fold higher address bits into the channel selector so that
+        # strided streams spread across channels (real controllers hash
+        # channel bits for exactly this reason).
+        channel = (line ^ (line >> 5) ^ (line >> 11)) % self.config.channels
+        bank_free = self._bank_free
+        bank = (line // self.ROW_LINES) % len(bank_free)
         row = line // self.ROW_LINES
 
+        start = float(cycle)
         if is_prefetch:
             # Prefetches wait behind everything already scheduled.
-            start = max(
-                float(cycle), self._channel_free[channel], self._bank_free[bank]
-            )
+            channel_busy = self._channel_free[channel]
+            if channel_busy > start:
+                start = channel_busy
+            bank_busy = bank_free[bank]
+            if bank_busy > start:
+                start = bank_busy
         else:
             # Demands bypass queued prefetches (demand-priority
             # scheduling); they wait only for other demands.
-            start = max(
-                float(cycle),
-                self._demand_free[channel],
-                self._bank_free_demand[bank],
-            )
+            demand_busy = self._demand_free[channel]
+            if demand_busy > start:
+                start = demand_busy
+            bank_busy = self._bank_free_demand[bank]
+            if bank_busy > start:
+                start = bank_busy
         queue_delay = start - cycle
 
-        if self._bank_open_row[bank] == row:
-            self.stats.row_hits += 1
+        open_rows = self._bank_open_row
+        if open_rows[bank] == row:
+            stats.row_hits += 1
             service_latency = self.config.base_latency - self.ROW_HIT_DISCOUNT
         else:
-            self.stats.row_misses += 1
+            stats.row_misses += 1
             service_latency = self.config.base_latency
-            self._bank_open_row[bank] = row
+            open_rows[bank] = row
 
         finish = start + self._service_cycles
-        self._channel_free[channel] = max(self._channel_free[channel], finish)
-        self._bank_free[bank] = max(
-            self._bank_free[bank], start + self.BANK_BUSY_CYCLES
-        )
-        if not is_prefetch:
-            self._demand_free[channel] = finish
-            self._bank_free_demand[bank] = start + self.BANK_BUSY_CYCLES
-
+        if finish > self._channel_free[channel]:
+            self._channel_free[channel] = finish
+        bank_busy_until = start + self.BANK_BUSY_CYCLES
+        if bank_busy_until > bank_free[bank]:
+            bank_free[bank] = bank_busy_until
         if is_prefetch:
-            self.stats.prefetch_reads += 1
+            stats.prefetch_reads += 1
         else:
-            self.stats.reads += 1
-        self.stats.total_queue_delay += int(queue_delay)
+            self._demand_free[channel] = finish
+            self._bank_free_demand[bank] = bank_busy_until
+            stats.reads += 1
+        stats.total_queue_delay += int(queue_delay)
         return int(queue_delay + service_latency)
 
     @property

@@ -11,8 +11,9 @@ callbacks consumed by the selection algorithms.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.common.config import SystemConfig
 from repro.common.types import PrefetchCandidate
@@ -20,7 +21,7 @@ from repro.memory.cache import Cache, EvictionInfo, PrefetchRecord
 from repro.memory.dram import DRAM
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one demand access walking the hierarchy."""
 
@@ -141,6 +142,15 @@ class MemoryHierarchy:
             mshrs=config.l2.mshrs,
         )
         self.shared = shared if shared is not None else SharedMemory(config)
+        # Bound-method and latency caches for the per-access walk; the
+        # cache/DRAM objects are fixed for the hierarchy's lifetime.
+        self._l1_demand = self.l1.demand_access
+        self._l1_fill = self.l1.fill
+        self._l2_demand = self.l2.demand_access
+        self._l2_fill = self.l2.fill
+        self._llc_demand = self.shared.llc.demand_access
+        self._llc_fill = self.shared.llc.fill
+        self._dram_access = self.shared.dram.access
         self.ledger = PrefetchLedger()
         self.on_prefetch_used = on_prefetch_used
         self.on_prefetch_evicted = on_prefetch_evicted
@@ -150,7 +160,7 @@ class MemoryHierarchy:
         # The prefetch queue (Fig. 3): candidates arriving while the MSHRs
         # are busy wait here and issue as fills complete.
         self.prefetch_queue_depth = 32
-        self._prefetch_queue: List[PrefetchCandidate] = []
+        self._prefetch_queue: Deque[PrefetchCandidate] = deque()
 
     @property
     def llc(self) -> Cache:
@@ -191,62 +201,64 @@ class MemoryHierarchy:
 
     def demand_access(self, line: int, cycle: int, is_write: bool = False) -> AccessResult:
         """Walk the hierarchy for a demand request; fills all levels on miss."""
-        self._drain_prefetch_queue(cycle)
-        hit, wait, record, timely = self.l1.demand_access(line, cycle, is_write)
+        if self._prefetch_queue:
+            self._drain_prefetch_queue(cycle)
+        hit, wait, record, timely = self._l1_demand(line, cycle, is_write)
         if hit:
-            self._note_use(record, timely)
-            return AccessResult(
-                latency=self.l1.latency + wait,
-                hit_level="l1",
-                prefetch_record=record,
-                prefetch_timely=timely,
-            )
+            if record is not None:
+                self._note_use(record, timely)
+            return AccessResult(self.l1.latency + wait, "l1", record, timely)
 
         latency = self.l1.latency
-        hit, wait, record, timely = self.l2.demand_access(line, cycle, is_write)
+        hit, wait, record, timely = self._l2_demand(line, cycle, is_write)
         if hit:
             latency += self.l2.latency + wait
-            self._note_use(record, timely)
-            self._note_eviction(
-                self.l1.fill(line, cycle, ready_cycle=cycle + latency)
-            )
-            return AccessResult(
-                latency=latency,
-                hit_level="l2",
-                prefetch_record=record,
-                prefetch_timely=timely,
-            )
+            if record is not None:
+                self._note_use(record, timely)
+            evicted = self._l1_fill(line, cycle, ready_cycle=cycle + latency)
+            if evicted is not None:
+                self._note_eviction(evicted)
+            return AccessResult(latency, "l2", record, timely)
 
-        hit, wait, record, timely = self.llc.demand_access(line, cycle, is_write)
+        hit, wait, record, timely = self._llc_demand(line, cycle, is_write)
         if hit:
-            latency += self.llc.latency + wait
-            self._note_use(record, timely)
+            latency += self.shared.llc.latency + wait
+            if record is not None:
+                self._note_use(record, timely)
             ready = cycle + latency
-            self._note_eviction(self.l2.fill(line, cycle, ready_cycle=ready))
-            self._note_eviction(self.l1.fill(line, cycle, ready_cycle=ready))
-            return AccessResult(
-                latency=latency,
-                hit_level="llc",
-                prefetch_record=record,
-                prefetch_timely=timely,
-            )
+            evicted = self._l2_fill(line, cycle, ready_cycle=ready)
+            if evicted is not None:
+                self._note_eviction(evicted)
+            evicted = self._l1_fill(line, cycle, ready_cycle=ready)
+            if evicted is not None:
+                self._note_eviction(evicted)
+            return AccessResult(latency, "llc", record, timely)
 
-        latency += self.llc.latency + self.dram.access(line, cycle, is_prefetch=False)
+        latency += self.shared.llc.latency + self._dram_access(
+            line, cycle, is_prefetch=False
+        )
         ready = cycle + latency
-        self._note_eviction(self.llc.fill(line, cycle, ready_cycle=ready))
-        self._note_eviction(self.l2.fill(line, cycle, ready_cycle=ready))
-        self._note_eviction(self.l1.fill(line, cycle, ready_cycle=ready))
-        return AccessResult(latency=latency, hit_level="dram")
+        evicted = self._llc_fill(line, cycle, ready_cycle=ready)
+        if evicted is not None:
+            self._note_eviction(evicted)
+        evicted = self._l2_fill(line, cycle, ready_cycle=ready)
+        if evicted is not None:
+            self._note_eviction(evicted)
+        evicted = self._l1_fill(line, cycle, ready_cycle=ready)
+        if evicted is not None:
+            self._note_eviction(evicted)
+        return AccessResult(latency, "dram")
 
     # -- prefetch path ------------------------------------------------------------
 
     def _drain_prefetch_queue(self, cycle: int) -> None:
         """Issue queued prefetches for which an MSHR has freed up."""
-        while self._prefetch_queue:
+        queue = self._prefetch_queue
+        while queue:
             self._drain_outstanding(cycle)
             if len(self._outstanding_prefetches) >= self.l1.mshrs:
                 return
-            self._issue_now(self._prefetch_queue.pop(0), cycle)
+            self._issue_now(queue.popleft(), cycle)
 
     def issue_prefetch(self, candidate: PrefetchCandidate, cycle: int) -> bool:
         """Issue ``candidate``; returns False when it was dropped.
@@ -256,9 +268,9 @@ class MemoryHierarchy:
         full.  Candidates arriving while the MSHRs are busy wait in the
         prefetch queue and issue as fills complete.
         """
-        if self.l1.probe(candidate.line) or (
-            candidate.to_next_level and self.l2.probe(candidate.line)
-        ):
+        to_next_level = candidate.to_next_level
+        l2_resident = to_next_level and self.l2.probe(candidate.line)
+        if l2_resident or self.l1.probe(candidate.line):
             self.ledger.record_drop(candidate.prefetcher)
             return False
         self._drain_outstanding(cycle)
@@ -268,13 +280,24 @@ class MemoryHierarchy:
                 return False
             self._prefetch_queue.append(candidate)
             return True
-        return self._issue_now(candidate, cycle)
+        # A next-level candidate was just probed absent from the L2, so the
+        # pricing walk can start one level down (single-walk fold).
+        return self._issue_now(candidate, cycle, l2_known_absent=to_next_level)
 
-    def _issue_now(self, candidate: PrefetchCandidate, cycle: int) -> bool:
-        """Send an admitted candidate into the hierarchy."""
+    def _issue_now(
+        self, candidate: PrefetchCandidate, cycle: int, l2_known_absent: bool = False
+    ) -> bool:
+        """Send an admitted candidate into the hierarchy.
+
+        Args:
+            l2_known_absent: skip the L2 probe of the pricing walk; only set
+                when the caller probed the L2 this same cycle.  Queued
+                candidates always re-probe because residency may have
+                changed while they waited.
+        """
         fill_l1 = not candidate.to_next_level
         # Locate the line to price the fill.
-        if self.l2.probe(candidate.line):
+        if not l2_known_absent and self.l2.probe(candidate.line):
             latency = self.l2.latency
         elif self.llc.probe(candidate.line):
             latency = self.l2.latency + self.llc.latency

@@ -54,20 +54,20 @@ class Prefetcher(abc.ABC):
                 output, not training).
         """
         self.training_occurrences += 1
-        if self.max_degree is not None:
-            degree = min(degree, self.max_degree)
+        max_degree = self.max_degree
+        if max_degree is not None and degree > max_degree:
+            degree = max_degree
         lines = self._train(access, degree)
+        if not lines or degree <= 0:
+            return []
         confidence = self.prediction_confidence()
+        name = self.name
+        pc = access.pc
+        to_next_level = self.fills_next_level
+        core_id = access.core_id
         return [
-            PrefetchCandidate(
-                line=line,
-                prefetcher=self.name,
-                pc=access.pc,
-                to_next_level=self.fills_next_level,
-                confidence=confidence,
-                core_id=access.core_id,
-            )
-            for line in lines[: max(0, degree)]
+            PrefetchCandidate(line, name, pc, to_next_level, confidence, core_id)
+            for line in lines[:degree]
         ]
 
     def would_handle(self, access: DemandAccess) -> bool:

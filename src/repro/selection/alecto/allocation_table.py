@@ -15,17 +15,22 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.common.tables import SetAssociativeTable, TableStats
-from repro.selection.alecto.states import PrefetcherState
+from repro.selection.alecto.states import PrefetcherState, StateKind
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocationEntry:
     """States of all prefetchers for one memory access instruction."""
 
     states: List[PrefetcherState] = field(default_factory=list)
 
     def any_aggressive(self) -> bool:
-        return any(state.is_aggressive for state in self.states)
+        # Inline the kind test: this runs once per demand access and the
+        # property indirection of is_aggressive dominates at that rate.
+        for state in self.states:
+            if state.kind is StateKind.IA:
+                return True
+        return False
 
 
 class AllocationTable:

@@ -18,7 +18,7 @@ from repro.common.tables import SetAssociativeTable, TableStats
 _COUNTER_CAP = 255  # 8-bit issued/confirmed counters
 
 
-@dataclass
+@dataclass(slots=True)
 class SampleEntry:
     """Counters for one memory access instruction."""
 

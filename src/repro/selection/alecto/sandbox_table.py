@@ -24,7 +24,7 @@ from repro.common.tables import SetAssociativeTable, TableStats
 _PC_TAG_BITS = 6
 
 
-@dataclass
+@dataclass(slots=True)
 class SandboxEntry:
     """Record of a recently issued prefetch line."""
 

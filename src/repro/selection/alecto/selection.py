@@ -113,6 +113,7 @@ class AlectoSelection(SelectionAlgorithm):
             num_entries=cfg.sandbox_entries,
         )
         self._index_of = {p.name: i for i, p in enumerate(self.prefetchers)}
+        self._prefetcher_names = [p.name for p in self.prefetchers]
         self.epochs_completed = 0
         self.deadlock_resets = 0
 
@@ -127,11 +128,14 @@ class AlectoSelection(SelectionAlgorithm):
         """Steps 1/2: produce identifiers from the Allocation Table."""
         entry = self.allocation_table.lookup(access.pc)
         cfg = self.config
+        prefetchers = self.prefetchers
+        names = self._prefetcher_names
+        override_get = self._degree_overrides.get
         decisions: List[AllocationDecision] = []
         for index, state in enumerate(entry.states):
             if not state.receives_requests:
                 continue
-            override = self._degree_overrides.get(self.prefetchers[index].name)
+            override = override_get(names[index])
             if override is not None:
                 degree = override
                 next_level_from = None
@@ -147,7 +151,7 @@ class AlectoSelection(SelectionAlgorithm):
                 next_level_from = None
             decisions.append(
                 AllocationDecision(
-                    prefetcher=self.prefetchers[index],
+                    prefetcher=prefetchers[index],
                     degree=degree,
                     next_level_from=next_level_from,
                 )
@@ -169,20 +173,31 @@ class AlectoSelection(SelectionAlgorithm):
         self, candidates: List[PrefetchCandidate], access: DemandAccess
     ) -> List[PrefetchCandidate]:
         """Step 6: Sandbox filtering, plus next-level annotation."""
-        deduped = dedupe_by_line(candidates, [p.name for p in self.prefetchers])
+        deduped = dedupe_by_line(candidates, self._prefetcher_names)
         survivors: List[PrefetchCandidate] = []
+        if not deduped:
+            return survivors
+        # One Allocation Table probe per batch instead of one per candidate.
+        entry = self.allocation_table.peek(access.pc)
+        states = entry.states if entry is not None else None
+        index_of = self._index_of
+        cfg = self.config
         per_prefetcher_rank: dict = {}
         for candidate in deduped:
             if self.sandbox_table.is_duplicate(candidate.line):
                 continue
             rank = per_prefetcher_rank.get(candidate.prefetcher, 0)
             per_prefetcher_rank[candidate.prefetcher] = rank + 1
-            state = self._state_of(access.pc, candidate.prefetcher)
+            state = (
+                states[index_of[candidate.prefetcher]]
+                if states is not None
+                else None
+            )
             if (
                 state is not None
                 and state.is_aggressive
-                and self.config.fixed_degree is None
-                and rank >= self.config.conservative_degree
+                and cfg.fixed_degree is None
+                and rank >= cfg.conservative_degree
             ):
                 candidate.to_next_level = True
             survivors.append(candidate)

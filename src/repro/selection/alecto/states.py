@@ -25,7 +25,7 @@ class StateKind(enum.Enum):
     IB = "IB"
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetcherState:
     """State of one prefetcher for one memory access instruction."""
 

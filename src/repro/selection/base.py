@@ -29,7 +29,7 @@ from repro.memory.cache import PrefetchRecord
 from repro.prefetchers.base import Prefetcher
 
 
-@dataclass
+@dataclass(slots=True)
 class AllocationDecision:
     """One prefetcher's share of a demand request."""
 
@@ -125,13 +125,14 @@ def dedupe_by_line(
     fills).
     """
     rank = {name: i for i, name in enumerate(priority)}
+    unranked = len(rank)
+    rank_get = rank.get
     best: Dict[int, PrefetchCandidate] = {}
     for candidate in candidates:
         current = best.get(candidate.line)
-        if current is None or rank.get(candidate.prefetcher, len(rank)) < rank.get(
-            current.prefetcher, len(rank)
+        if current is None or rank_get(candidate.prefetcher, unranked) < rank_get(
+            current.prefetcher, unranked
         ):
             best[candidate.line] = candidate
     # Preserve original order of the survivors.
-    survivors = set(id(c) for c in best.values())
-    return [c for c in candidates if id(c) in survivors]
+    return [c for c in candidates if best.get(c.line) is c]

@@ -1,0 +1,247 @@
+"""Microbenchmark harness for the per-access simulation hot path.
+
+``repro bench`` (or ``scripts/bench_sim.py``) times :func:`repro.sim.simulate`
+on a fixed set of canonical (benchmark, selector) cases and writes a
+``BENCH_<rev>.json`` record so the performance trajectory of the simulator is
+measured, not guessed.  Trace generation and selector construction happen
+outside the timed region: the numbers isolate the per-access loop
+(`_CoreContext.step` -> `MemoryHierarchy.demand_access` -> `Cache` /
+`SetAssociativeTable`), which is what every paper figure multiplies by
+millions of accesses.
+
+The record can also be used as a regression gate: ``--check PATH`` compares
+the current run against a previously committed record and fails when any
+case's throughput drops by more than ``--threshold`` (CI runs this against
+the record committed with the PR that introduced the harness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Identifier of the record layout written by :func:`run_bench`.
+BENCH_SCHEMA = "repro.bench.v1"
+
+#: Canonical cases: the pure hierarchy loop (no prefetching), the paper's
+#: full Alecto configuration on a compute-bound and a memory-bound SPEC06
+#: profile, and a degree-cranking composite for contrast.
+DEFAULT_CASES = (
+    ("gcc", None),
+    ("gcc", "alecto"),
+    ("mcf", "alecto"),
+    ("mcf", "bandit6"),
+)
+
+DEFAULT_ACCESSES = 30_000
+DEFAULT_REPEATS = 2
+FAST_ACCESSES = 8_000
+FAST_REPEATS = 1
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"dev"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        )
+        return out.stdout.strip() or "dev"
+    except (OSError, subprocess.SubprocessError):
+        return "dev"
+
+
+def run_case(
+    benchmark: str,
+    selector_spec: Optional[str],
+    accesses: int,
+    repeats: int,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Time ``simulate()`` for one (benchmark, selector) case.
+
+    The trace is generated once outside the timed region; the selector is
+    rebuilt per repeat (it is stateful).  The best repeat is reported, as is
+    conventional for throughput microbenchmarks.
+    """
+    from repro.registry import build_selector
+    from repro.sim import simulate
+    from repro.workloads import get_profile
+
+    trace = get_profile(benchmark).generate(accesses, seed=seed)
+    best_seconds = None
+    ipc = 0.0
+    for _ in range(max(1, repeats)):
+        selector = build_selector(selector_spec) if selector_spec else None
+        start = time.perf_counter()
+        result = simulate(trace, selector, name=benchmark)
+        elapsed = time.perf_counter() - start
+        ipc = result.ipc
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return {
+        "benchmark": benchmark,
+        "selector": selector_spec or "none",
+        "accesses": len(trace),
+        "best_seconds": best_seconds,
+        "accesses_per_sec": len(trace) / best_seconds if best_seconds else 0.0,
+        "ipc": ipc,
+    }
+
+
+def run_bench(
+    cases: Sequence = DEFAULT_CASES,
+    accesses: int = DEFAULT_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 1,
+    fast: bool = False,
+) -> Dict[str, Any]:
+    """Run every case and assemble a ``repro.bench.v1`` record."""
+    if fast:
+        accesses, repeats = FAST_ACCESSES, FAST_REPEATS
+    results: List[Dict[str, Any]] = []
+    for benchmark, selector_spec in cases:
+        results.append(run_case(benchmark, selector_spec, accesses, repeats, seed))
+    hot_loop = next(
+        (c["accesses_per_sec"] for c in results if c["selector"] == "none"), None
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "rev": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "fast": fast,
+        "accesses": accesses,
+        "repeats": repeats,
+        "seed": seed,
+        "hot_loop_accesses_per_sec": hot_loop,
+        "cases": results,
+    }
+
+
+def check_against(
+    record: Dict[str, Any], reference: Dict[str, Any], threshold: float = 0.30
+) -> List[str]:
+    """Compare ``record`` to a reference record; return regression messages.
+
+    A case regresses when its throughput falls below
+    ``(1 - threshold) * reference`` for the same (benchmark, selector) pair.
+    Cases present in only one record are ignored.
+    """
+    failures = []
+    reference_cases = {
+        (c["benchmark"], c["selector"]): c for c in reference.get("cases", [])
+    }
+    for case in record.get("cases", []):
+        ref = reference_cases.get((case["benchmark"], case["selector"]))
+        if ref is None:
+            continue
+        floor = (1.0 - threshold) * ref["accesses_per_sec"]
+        if case["accesses_per_sec"] < floor:
+            failures.append(
+                f"{case['benchmark']}/{case['selector']}: "
+                f"{case['accesses_per_sec']:,.0f} acc/s < floor "
+                f"{floor:,.0f} (reference {ref['accesses_per_sec']:,.0f}, "
+                f"threshold {threshold:.0%})"
+            )
+    return failures
+
+
+def render_record(record: Dict[str, Any]) -> str:
+    lines = [
+        f"bench @ {record['rev']}  (python {record['python']}, "
+        f"accesses={record['accesses']}, repeats={record['repeats']}"
+        f"{', fast' if record.get('fast') else ''})",
+        f"{'benchmark':<12}{'selector':<12}{'acc/s':>12}{'wall s':>10}{'ipc':>10}",
+    ]
+    for case in record["cases"]:
+        lines.append(
+            f"{case['benchmark']:<12}{case['selector']:<12}"
+            f"{case['accesses_per_sec']:>12,.0f}{case['best_seconds']:>10.3f}"
+            f"{case['ipc']:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the bench options (shared by ``repro bench`` and the script)."""
+    parser.add_argument(
+        "--fast", action="store_true",
+        help=f"reduced scale ({FAST_ACCESSES} accesses, {FAST_REPEATS} repeat)",
+    )
+    parser.add_argument("--accesses", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default BENCH_<rev>.json in the current directory)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only, write no record"
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="compare against a reference BENCH_*.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="allowed fractional throughput drop for --check (default 0.30)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the bench given parsed arguments (CLI entry point)."""
+    accesses = args.accesses or (FAST_ACCESSES if args.fast else DEFAULT_ACCESSES)
+    repeats = args.repeats or (FAST_REPEATS if args.fast else DEFAULT_REPEATS)
+    record = run_bench(
+        accesses=accesses, repeats=repeats, seed=args.seed, fast=False
+    )
+    record["fast"] = args.fast
+    record["accesses"], record["repeats"] = accesses, repeats
+    print(render_record(record))
+
+    if not args.no_write:
+        # Fast-scale records get a distinct name: CI's regression gate
+        # globs BENCH_fast_*.json so it always compares like with like.
+        default_name = (
+            f"BENCH_fast_{record['rev']}.json"
+            if args.fast
+            else f"BENCH_{record['rev']}.json"
+        )
+        out = args.out or default_name
+        with open(out, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {out}", file=sys.stderr)
+
+    if args.check:
+        with open(args.check) as handle:
+            reference = json.load(handle)
+        failures = check_against(record, reference, threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"throughput within {args.threshold:.0%} of {args.check}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="time simulate() on canonical profiles and record it",
+    )
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,11 +18,17 @@ is resolved in approximate global time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
-from repro.common.types import AccessType, DemandAccess, PrefetchCandidate
+from repro.common.types import (
+    CACHE_LINE_SHIFT,
+    AccessType,
+    DemandAccess,
+    PrefetchCandidate,
+)
 from repro.cpu.core import CoreModel, CoreStats
 from repro.cpu.trace import TraceRecord
 from repro.memory.hierarchy import MemoryHierarchy, SharedMemory
@@ -131,54 +137,87 @@ class _CoreContext:
 
     def step(self) -> None:
         """Execute the next trace record."""
-        record = self.trace[self.position]
-        self.position += 1
-        core = self.core
-        core.advance(record.nonmem_before)
-        cycle = core.cycle
-        access = DemandAccess(
-            pc=record.pc,
-            address=record.address,
-            access_type=record.access_type,
-            core_id=self.core_id,
-            timestamp=self.position,
-        )
-        is_write = record.access_type is AccessType.STORE
-        result = self.hierarchy.demand_access(access.line, cycle, is_write)
-        if result.hit_level != "l1" and not result.was_covered_by_prefetch:
-            self.metrics.uncovered += 1
-        core.memory_access(
-            result.latency,
-            is_load=record.access_type is AccessType.LOAD,
-            dependent=record.dependent,
-        )
+        self._run_records(1)
 
+    def run(self) -> None:
+        """Execute the remaining trace (single-core driver loop)."""
+        self._run_records(len(self.trace) - self.position)
+
+    def _run_records(self, count: int) -> None:
+        """Execute ``count`` trace records with the loop state in locals.
+
+        The per-access data flow is the paper's Fig. 4 (see module
+        docstring); hot names are bound once here because this loop runs
+        millions of times per experiment.
+        """
+        trace = self.trace
+        position = self.position
+        core = self.core
+        core_stats = core.stats
+        advance = core.advance
+        memory_access = core.memory_access
+        hierarchy_demand = self.hierarchy.demand_access
+        issue_prefetch = self.hierarchy.issue_prefetch
+        metrics = self.metrics
         selector = self.selector
-        if selector is None:
-            return
-        selector.observe_demand(access)
-        candidates: List[PrefetchCandidate] = []
-        for decision in selector.allocate(access):
-            produced = decision.prefetcher.train(access, decision.degree)
-            if decision.next_level_from is not None:
-                for candidate in produced[decision.next_level_from:]:
-                    candidate.to_next_level = True
-            candidates.extend(produced)
-        final = selector.filter_prefetches(candidates, access)
-        # Deep prefetches land in the L2 to bound L1 pollution: every
-        # candidate past the first L1_FILL_DEPTH per prefetcher fills the
-        # next level (Alecto's own c / m+1 split may mark earlier ones).
-        fill_rank: Dict[str, int] = {}
-        for candidate in final:
-            rank = fill_rank.get(candidate.prefetcher, 0)
-            fill_rank[candidate.prefetcher] = rank + 1
-            if rank >= L1_FILL_DEPTH:
-                candidate.to_next_level = True
-            if self.hierarchy.issue_prefetch(candidate, cycle):
-                self.metrics.issued += 1
-        selector.post_issue(access, final)
-        if selector.needs_reward:
-            selector.performance_sample(core.stats.instructions, core.stats.cycles)
+        core_id = self.core_id
+        store = AccessType.STORE
+        load = AccessType.LOAD
+
+        for _ in range(count):
+            record = trace[position]
+            position += 1
+            advance(record.nonmem_before)
+            cycle = int(core_stats.cycles)
+            access_type = record.access_type
+            result = hierarchy_demand(
+                record.address >> CACHE_LINE_SHIFT, cycle, access_type is store
+            )
+            if result.hit_level != "l1" and result.prefetch_record is None:
+                metrics.uncovered += 1
+            memory_access(
+                result.latency,
+                is_load=access_type is load,
+                dependent=record.dependent,
+            )
+
+            if selector is None:
+                continue
+            access = DemandAccess(
+                pc=record.pc,
+                address=record.address,
+                access_type=access_type,
+                core_id=core_id,
+                timestamp=position,
+            )
+            selector.observe_demand(access)
+            candidates: List[PrefetchCandidate] = []
+            for decision in selector.allocate(access):
+                produced = decision.prefetcher.train(access, decision.degree)
+                if decision.next_level_from is not None:
+                    for candidate in produced[decision.next_level_from:]:
+                        candidate.to_next_level = True
+                candidates.extend(produced)
+            final = selector.filter_prefetches(candidates, access)
+            if final:
+                # Deep prefetches land in the L2 to bound L1 pollution:
+                # every candidate past the first L1_FILL_DEPTH per
+                # prefetcher fills the next level (Alecto's own c / m+1
+                # split may mark earlier ones).
+                fill_rank: Dict[str, int] = {}
+                for candidate in final:
+                    rank = fill_rank.get(candidate.prefetcher, 0)
+                    fill_rank[candidate.prefetcher] = rank + 1
+                    if rank >= L1_FILL_DEPTH:
+                        candidate.to_next_level = True
+                    if issue_prefetch(candidate, cycle):
+                        metrics.issued += 1
+            selector.post_issue(access, final)
+            if selector.needs_reward:
+                selector.performance_sample(
+                    core_stats.instructions, core_stats.cycles
+                )
+        self.position = position
 
     def finish(self) -> None:
         self.core.drain()
@@ -247,8 +286,7 @@ def simulate(
     """
     config = config or SystemConfig()
     context = _CoreContext(0, trace, config, selector, shared=None)
-    while not context.done:
-        context.step()
+    context.run()
     context.finish()
     return context.result(name, config)
 
@@ -277,15 +315,21 @@ def simulate_multicore(
         _CoreContext(core_id, trace, config, selector_factory(core_id), shared)
         for core_id, trace in enumerate(traces)
     ]
-    active = [c for c in contexts if not c.done]
-    while active:
-        # Step the core with the smallest local clock so shared-resource
-        # contention is resolved in approximate global cycle order.
-        context = min(active, key=lambda c: c.core.stats.cycles)
+    # Step the core with the smallest local clock so shared-resource
+    # contention is resolved in approximate global cycle order.  The heap
+    # replaces an O(cores) min() scan per step; ties break on core_id,
+    # matching the first-in-list behaviour of the scan it replaces.
+    heap = [
+        (c.core.stats.cycles, c.core_id, c) for c in contexts if not c.done
+    ]
+    heapq.heapify(heap)
+    while heap:
+        _, core_id, context = heapq.heappop(heap)
         context.step()
         if context.done:
             context.finish()
-            active.remove(context)
+        else:
+            heapq.heappush(heap, (context.core.stats.cycles, core_id, context))
     return MulticoreResult(
         cores=[c.result(f"{name}/core{c.core_id}", config) for c in contexts]
     )

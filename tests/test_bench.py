@@ -1,0 +1,100 @@
+"""Tests for the simulate() microbenchmark harness (`repro bench`)."""
+
+import json
+
+from repro.sim.bench import (
+    BENCH_SCHEMA,
+    check_against,
+    main,
+    render_record,
+    run_bench,
+)
+
+
+def tiny_record(**overrides):
+    record = run_bench(
+        cases=[("gcc", None), ("gcc", "pmp_only")],
+        accesses=overrides.pop("accesses", 400),
+        repeats=1,
+    )
+    record.update(overrides)
+    return record
+
+
+class TestRunBench:
+    def test_record_shape(self):
+        record = tiny_record()
+        assert record["schema"] == BENCH_SCHEMA
+        assert record["hot_loop_accesses_per_sec"] > 0
+        assert len(record["cases"]) == 2
+        for case in record["cases"]:
+            assert case["accesses"] == 400
+            assert case["accesses_per_sec"] > 0
+            assert case["best_seconds"] > 0
+        assert record["cases"][0]["selector"] == "none"
+        json.dumps(record)  # must be serializable as written
+
+    def test_render(self):
+        text = render_record(tiny_record())
+        assert "acc/s" in text and "gcc" in text
+
+
+class TestCheckAgainst:
+    def _case(self, rate):
+        return {"benchmark": "gcc", "selector": "none",
+                "accesses_per_sec": rate}
+
+    def test_within_threshold_passes(self):
+        record = {"cases": [self._case(80)]}
+        reference = {"cases": [self._case(100)]}
+        assert check_against(record, reference, threshold=0.30) == []
+
+    def test_regression_detected(self):
+        record = {"cases": [self._case(60)]}
+        reference = {"cases": [self._case(100)]}
+        failures = check_against(record, reference, threshold=0.30)
+        assert len(failures) == 1 and "gcc/none" in failures[0]
+
+    def test_unknown_cases_ignored(self):
+        record = {"cases": [self._case(1)]}
+        reference = {"cases": [{"benchmark": "mcf", "selector": "none",
+                                "accesses_per_sec": 100}]}
+        assert check_against(record, reference) == []
+
+    def test_faster_is_never_a_regression(self):
+        record = {"cases": [self._case(500)]}
+        reference = {"cases": [self._case(100)]}
+        assert check_against(record, reference) == []
+
+
+class TestMain:
+    def test_writes_record_and_checks(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        code = main([
+            "--accesses", "300", "--repeats", "1", "--out", str(out),
+        ])
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["schema"] == BENCH_SCHEMA
+        # Self-check against the record just written must pass.
+        code = main([
+            "--accesses", "300", "--repeats", "1", "--no-write",
+            "--check", str(out), "--threshold", "0.95",
+        ])
+        assert code == 0
+
+    def test_check_fails_on_regression(self, tmp_path):
+        reference = {
+            "schema": BENCH_SCHEMA,
+            "cases": [
+                {"benchmark": "gcc", "selector": "none",
+                 "accesses_per_sec": 1e12},
+            ],
+        }
+        path = tmp_path / "BENCH_ref.json"
+        path.write_text(json.dumps(reference))
+        code = main([
+            "--accesses", "300", "--repeats", "1", "--no-write",
+            "--check", str(path),
+        ])
+        assert code == 1

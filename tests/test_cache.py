@@ -114,6 +114,57 @@ class TestPrefetchTracking:
         assert cache.stats.prefetched_evicted_unused == 0
 
 
+class TestRefillRecency:
+    def test_refill_of_resident_line_refreshes_lru(self):
+        """Regression: a refill raced by a demand fill must update recency.
+
+        Previously the refill path skipped the LRU update, so a
+        just-refilled line could be chosen as victim over a genuinely
+        colder one.
+        """
+        cache = make_cache(sets=1, ways=2)
+        cache.fill(0, cycle=0, ready_cycle=0)
+        cache.fill(1, cycle=1, ready_cycle=1)
+        cache.fill(0, cycle=2, ready_cycle=2)  # refill of resident line 0
+        evicted = cache.fill(2, cycle=3, ready_cycle=3)
+        assert evicted.line == 1  # line 0 was refreshed; 1 is the LRU
+
+    def test_refill_still_keeps_earlier_ready_cycle(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=50)
+        cache.fill(1, cycle=10, ready_cycle=300)
+        _, wait, _, _ = cache.demand_access(1, cycle=60)
+        assert wait == 0
+
+    def test_refill_does_not_count_as_prefetch_fill(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0)
+        cache.fill(1, cycle=1, ready_cycle=1, prefetch=record(line=1))
+        assert cache.stats.prefetch_fills == 0
+
+
+class TestOccupancyCounter:
+    def test_occupancy_tracks_fills_evictions_and_invalidates(self):
+        cache = make_cache(sets=2, ways=2)
+        assert cache.occupancy() == 0
+        for line in range(3):
+            cache.fill(line, cycle=line, ready_cycle=line)
+        assert cache.occupancy() == 3
+        evicted = cache.fill(4, cycle=4, ready_cycle=4)  # set 0 full
+        assert evicted is not None
+        assert cache.occupancy() == 3  # eviction + insert cancel out
+        assert cache.invalidate(4)
+        assert cache.occupancy() == 2
+        assert not cache.invalidate(4)
+        assert cache.occupancy() == 2
+
+    def test_refill_does_not_inflate_occupancy(self):
+        cache = make_cache()
+        cache.fill(1, cycle=0, ready_cycle=0)
+        cache.fill(1, cycle=1, ready_cycle=1)
+        assert cache.occupancy() == 1
+
+
 class TestEvictionPolicy:
     def test_lru_victim(self):
         cache = make_cache(sets=1, ways=2)

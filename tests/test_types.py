@@ -66,6 +66,29 @@ class TestPrefetchCandidate:
         assert candidate.to_next_level
 
 
+class TestSlottedPickling:
+    def test_demand_access_roundtrip(self):
+        import pickle
+
+        access = DemandAccess(pc=0x400, address=8192, core_id=2, timestamp=7)
+        clone = pickle.loads(pickle.dumps(access))
+        assert clone == access
+        assert clone.line == access.line and clone.region == access.region
+
+    def test_trace_record_roundtrip(self):
+        import pickle
+
+        from repro.cpu.trace import TraceRecord
+
+        rec = TraceRecord(pc=1, address=256, nonmem_before=5, dependent=True)
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone == rec
+
+    def test_no_instance_dict(self):
+        access = DemandAccess(pc=1, address=2)
+        assert not hasattr(access, "__dict__")
+
+
 @given(address=st.integers(0, 2**50))
 def test_line_and_region_consistent(address):
     line = line_address(address)
