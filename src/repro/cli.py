@@ -9,6 +9,12 @@ Commands:
   (``--json``).
 - ``bench``: time ``simulate()`` on canonical profiles and write a
   ``BENCH_<rev>.json`` throughput record (see :mod:`repro.sim.bench`).
+- ``trace``: the record-once / replay-everywhere pipeline
+  (:mod:`repro.cpu.tracefile`): ``trace record`` streams a benchmark's
+  synthetic access stream to a versioned ``repro.trace.v1`` file,
+  ``trace replay`` simulates a trace file lazily (optionally proving the
+  result byte-identical to in-memory generation), and ``trace info``
+  inspects a file's provenance and record count.
 - ``list``: show available benchmarks, selectors, composites, and
   experiments — all driven by registry introspection
   (:mod:`repro.registry`), so newly registered components appear
@@ -171,6 +177,146 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.cpu.tracefile import TraceWriter
+    from repro.workloads import get_profile
+
+    try:
+        profile = get_profile(args.benchmark)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    meta = {
+        "benchmark": args.benchmark,
+        "suite": profile.suite,
+        "accesses": args.accesses,
+        "seed": args.seed,
+        "mem_ratio_scale": args.mem_ratio_scale,
+    }
+    with TraceWriter(args.out, meta=meta) as writer:
+        writer.write_all(
+            profile.stream(
+                args.accesses,
+                seed=args.seed,
+                mem_ratio_scale=args.mem_ratio_scale,
+            )
+        )
+    print(f"recorded {writer.count} records to {args.out}")
+    return 0
+
+
+def _replay_result(args: argparse.Namespace, trace, meta: dict):
+    """Build the replay ExperimentResult for ``trace`` (shared between the
+    on-disk and the --compare-inmemory in-memory runs)."""
+    from repro.experiments.runner import replay_experiment
+
+    benchmark = meta.get("benchmark", "?")
+    return replay_experiment(
+        trace,
+        selector_spec=args.selector,
+        config=_system_config(args.config),
+        name="trace-replay",
+        title=f"Trace replay: {benchmark} under {args.selector}",
+        params={
+            "selector": args.selector,
+            "config": args.config,
+            "trace_meta": dict(meta),
+        },
+    )
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cpu.tracefile import TraceFormatError, TraceReader
+    from repro.experiments.runner import render_result
+
+    try:
+        reader = TraceReader(args.path)
+    except (OSError, TraceFormatError) as exc:
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    # Validate the selector spec before touching the trace body, so a
+    # bad spec is reported as a spec error and a corrupt trace body
+    # (TraceFormatError surfaces lazily, mid-simulation) as a trace
+    # error — never one as the other.
+    if args.selector != "none":
+        from repro.experiments.common import make_selector
+
+        try:
+            make_selector(args.selector)
+        except (ValueError, TypeError) as exc:
+            raise _SelectorSpecError(
+                f"selector {args.selector!r}: {exc}"
+            ) from exc
+    try:
+        result = _replay_result(args, reader, reader.meta)
+    except TraceFormatError as exc:
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render_result(result))
+
+    if args.compare_inmemory:
+        from repro.workloads import get_profile
+
+        meta = reader.meta
+        missing = [k for k in ("benchmark", "accesses", "seed") if k not in meta]
+        if missing:
+            print(
+                f"--compare-inmemory needs {missing} in the trace meta "
+                f"(this trace carries {sorted(meta)})",
+                file=sys.stderr,
+            )
+            return 2
+        profile = get_profile(meta["benchmark"])
+        records = profile.generate(
+            meta["accesses"],
+            seed=meta["seed"],
+            mem_ratio_scale=meta.get("mem_ratio_scale", 1.0),
+        )
+        expected = _replay_result(args, records, meta)
+        mine = {k: v for k, v in result.to_dict().items() if k != "elapsed_seconds"}
+        theirs = {
+            k: v for k, v in expected.to_dict().items() if k != "elapsed_seconds"
+        }
+        if json.dumps(mine, sort_keys=True) != json.dumps(theirs, sort_keys=True):
+            print("MISMATCH: replayed trace differs from in-memory generation",
+                  file=sys.stderr)
+            print(f"  replay:    {json.dumps(mine['rows'], sort_keys=True)}",
+                  file=sys.stderr)
+            print(f"  in-memory: {json.dumps(theirs['rows'], sort_keys=True)}",
+                  file=sys.stderr)
+            return 1
+        print("replay matches in-memory generation byte-for-byte")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, default=float)
+            handle.write("\n")
+        print(f"wrote replay result to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cpu.tracefile import TraceFormatError, read_info
+
+    try:
+        info = read_info(args.path)
+    except (OSError, TraceFormatError) as exc:
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"schema:  {info['schema']}")
+    print(f"records: {info['count']}")
+    for key, value in sorted(info["meta"].items()):
+        print(f"meta.{key}: {value}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.sim.bench import run_from_args
 
@@ -291,6 +437,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the trace seed for experiments that declare it",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    trace = sub.add_parser(
+        "trace", help="record / replay / inspect repro.trace.v1 trace files"
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = tsub.add_parser(
+        "record", help="stream a benchmark's access stream to a trace file"
+    )
+    record.add_argument("benchmark")
+    record.add_argument(
+        "--out", "-o", required=True, metavar="PATH",
+        help="output trace file (conventionally *.trace.gz)",
+    )
+    record.add_argument("--accesses", type=int, default=15000)
+    record.add_argument("--seed", type=int, default=1)
+    record.add_argument(
+        "--mem-ratio-scale", type=float, default=1.0,
+        help="scale memory intensity (see BenchmarkProfile.stream)",
+    )
+    record.set_defaults(func=_cmd_trace_record)
+
+    replay = tsub.add_parser(
+        "replay", help="simulate a recorded trace (streamed, O(1) memory)"
+    )
+    replay.add_argument("path")
+    replay.add_argument(
+        "--selector", default="alecto",
+        help="selector spec, or none for the baseline only",
+    )
+    replay.add_argument(
+        "--config", default="default", choices=CONFIG_PRESETS,
+        help="system configuration preset",
+    )
+    replay.add_argument(
+        "--json", metavar="PATH",
+        help="write the ExperimentResult record to PATH",
+    )
+    replay.add_argument(
+        "--compare-inmemory", action="store_true",
+        help="also regenerate the stream in memory from the trace's "
+        "provenance and fail unless the results are byte-identical",
+    )
+    replay.set_defaults(func=_cmd_trace_replay)
+
+    info = tsub.add_parser(
+        "info", help="show a trace file's provenance and record count"
+    )
+    info.add_argument("path")
+    info.add_argument("--json", action="store_true", help="JSON output")
+    info.set_defaults(func=_cmd_trace_info)
 
     bench = sub.add_parser(
         "bench",

@@ -22,6 +22,18 @@ class CacheConfig:
     mshrs: int
     line_bytes: int = 64
 
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(
+                f"line_bytes must be a positive power of two, "
+                f"got {self.line_bytes}"
+            )
+
+    @property
+    def line_shift(self) -> int:
+        """log2(line_bytes): byte address >> line_shift = line address."""
+        return self.line_bytes.bit_length() - 1
+
     @property
     def num_lines(self) -> int:
         return self.size_bytes // self.line_bytes
@@ -106,6 +118,23 @@ class SystemConfig:
     llc_mshrs_per_bank: int = 64
     dram: DRAMConfig = field(default_factory=ddr4_2400)
 
+    def __post_init__(self) -> None:
+        if self.l1d.line_bytes != self.l2.line_bytes:
+            raise ValueError(
+                f"mixed cache-line sizes are not supported: "
+                f"l1d={self.l1d.line_bytes} l2={self.l2.line_bytes}"
+            )
+
+    @property
+    def line_bytes(self) -> int:
+        """System-wide cache-line size (all levels share one line size)."""
+        return self.l1d.line_bytes
+
+    @property
+    def line_shift(self) -> int:
+        """log2(line_bytes): byte address >> line_shift = line address."""
+        return self.l1d.line_shift
+
     @property
     def llc(self) -> CacheConfig:
         """Shared LLC configuration scaled by core count."""
@@ -114,6 +143,7 @@ class SystemConfig:
             ways=self.llc_ways,
             latency=self.llc_latency,
             mshrs=self.llc_mshrs_per_bank * self.cores,
+            line_bytes=self.l1d.line_bytes,
         )
 
     def with_llc_size(self, per_core_bytes: int) -> "SystemConfig":

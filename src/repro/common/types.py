@@ -52,6 +52,8 @@ class DemandAccess:
         core_id: issuing core (0 in single-core runs).
         timestamp: demand-access sequence number, assigned by the simulator.
         line: cache-line address, precomputed (every prefetcher reads it).
+            Defaults to the Table-I 64-byte line space; callers simulating
+            a non-default ``CacheConfig.line_bytes`` pass it explicitly.
         region: 4 KB spatial-region address, precomputed.
     """
 
@@ -60,13 +62,15 @@ class DemandAccess:
     access_type: AccessType = AccessType.LOAD
     core_id: int = 0
     timestamp: int = 0
-    line: int = field(init=False)
-    region: int = field(init=False)
+    line: int = -1
+    region: int = -1
 
     def __post_init__(self) -> None:
         address = self.address
-        object.__setattr__(self, "line", address >> CACHE_LINE_SHIFT)
-        object.__setattr__(self, "region", address >> REGION_SHIFT)
+        if self.line < 0:
+            object.__setattr__(self, "line", address >> CACHE_LINE_SHIFT)
+        if self.region < 0:
+            object.__setattr__(self, "region", address >> REGION_SHIFT)
 
     # Explicit state methods: frozen+slots dataclasses do not pickle on
     # every supported Python without them.

@@ -7,9 +7,33 @@ load/store, preceding non-memory instruction count, dependence flag).  The
 6-wide abstract pipeline in which independent misses overlap up to the ROB
 window (memory-level parallelism) while dependent loads serialize —
 the distinction that makes pointer-chasing workloads latency-bound.
+
+Traces can be spooled to disk and replayed lazily through
+:mod:`repro.cpu.tracefile` (the versioned ``repro.trace.v1`` format), so
+every selection algorithm can be judged on the identical access stream
+without regenerating — or materializing — it.
 """
 
 from repro.cpu.core import CoreModel, CoreStats
 from repro.cpu.trace import TraceRecord, interleave_traces
+from repro.cpu.tracefile import (
+    TRACE_SCHEMA,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    read_info,
+    write_trace,
+)
 
-__all__ = ["CoreModel", "CoreStats", "TraceRecord", "interleave_traces"]
+__all__ = [
+    "CoreModel",
+    "CoreStats",
+    "TRACE_SCHEMA",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceRecord",
+    "TraceWriter",
+    "interleave_traces",
+    "read_info",
+    "write_trace",
+]

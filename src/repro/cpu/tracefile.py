@@ -1,0 +1,325 @@
+"""Streaming trace file I/O: the ``repro.trace.v1`` on-disk format.
+
+The paper's comparisons only hold when every selection algorithm is judged
+on the *identical* access stream, and the ROADMAP's scale goals need
+streams longer than RAM.  This module provides a record-once /
+replay-everywhere pipeline:
+
+- :class:`TraceWriter` streams :class:`~repro.cpu.trace.TraceRecord`
+  objects to a versioned, gzip-compressed binary file in O(1) memory;
+- :class:`TraceReader` replays them lazily — it is re-iterable (every
+  ``iter()`` opens a fresh cursor), so one reader can feed a baseline run
+  and a selector run the same stream;
+- :func:`read_info` inspects a file (header metadata + record count)
+  without materializing records.
+
+Layout of a ``repro.trace.v1`` file (all inside one gzip stream)::
+
+    MAGIC (8 bytes: b"REPROTRC")
+    header line: JSON {"schema": "repro.trace.v1", "meta": {...}} + "\\n"
+    frames: [u32 record count n][n fixed-width records], n >= 1
+    terminator frame: u32 zero
+    footer line: JSON {"count": total_records} + "\\n"
+
+Each record is 21 bytes, little-endian: ``pc`` (u64), ``address`` (u64),
+``nonmem_before`` (u32), and a flags byte (bit 0 = store, bit 1 =
+dependent).  Frames bound the writer's buffering and let readers stream
+without knowing the total length; the mandatory footer is the integrity
+cross-check on the payload, so truncated, interrupted, or doctored files
+fail loudly instead of replaying short.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+from typing import Any, Dict, Iterable, Iterator, Optional
+
+from repro.common.types import AccessType
+from repro.cpu.trace import TraceRecord
+
+#: Schema identifier embedded in (and required of) every trace file.
+TRACE_SCHEMA = "repro.trace.v1"
+
+#: File magic preceding the JSON header.
+TRACE_MAGIC = b"REPROTRC"
+
+#: Records per frame: bounds writer buffering (~84 KB of packed records).
+FRAME_RECORDS = 4096
+
+_RECORD = struct.Struct("<QQIB")
+_FRAME_HEADER = struct.Struct("<I")
+_FLAG_STORE = 1
+_FLAG_DEPENDENT = 2
+
+__all__ = [
+    "FRAME_RECORDS",
+    "TRACE_MAGIC",
+    "TRACE_SCHEMA",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceWriter",
+    "read_info",
+    "write_trace",
+]
+
+
+class TraceFormatError(ValueError):
+    """The file is not a well-formed ``repro.trace.v1`` trace."""
+
+
+class TraceWriter:
+    """Streams trace records into a ``repro.trace.v1`` file.
+
+    Usable as a context manager; :meth:`close` finalises the terminator
+    frame and count footer, without which a reader treats the file as
+    truncated.
+
+    Args:
+        path: output file path (conventionally ``*.trace.gz``).
+        meta: JSON-serializable provenance stored in the header —
+            typically the generating benchmark, access count, and seed.
+        compresslevel: gzip level (6 balances size against record speed).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: Optional[Dict[str, Any]] = None,
+        compresslevel: int = 6,
+    ):
+        self.path = path
+        self.meta = dict(meta or {})
+        self.count = 0
+        self._buffer = bytearray()
+        self._buffered = 0
+        self._closed = False
+        self._fh = gzip.open(path, "wb", compresslevel=compresslevel)
+        try:
+            header = {"schema": TRACE_SCHEMA, "meta": self.meta}
+            self._fh.write(TRACE_MAGIC)
+            self._fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            self._fh.write(b"\n")
+        except BaseException:
+            self._fh.close()
+            raise
+
+    def write(self, record: TraceRecord) -> None:
+        """Append one record (buffered; flushed a frame at a time)."""
+        if self._closed:
+            raise ValueError("write() on a closed TraceWriter")
+        flags = 0
+        if record.access_type is AccessType.STORE:
+            flags |= _FLAG_STORE
+        if record.dependent:
+            flags |= _FLAG_DEPENDENT
+        try:
+            self._buffer += _RECORD.pack(
+                record.pc, record.address, record.nonmem_before, flags
+            )
+        except struct.error as exc:
+            raise ValueError(
+                f"record {self.count} does not fit the v1 encoding "
+                f"(pc/address must be u64, nonmem_before u32): {record!r}"
+            ) from exc
+        self._buffered += 1
+        self.count += 1
+        if self._buffered >= FRAME_RECORDS:
+            self._flush_frame()
+
+    def write_all(self, records: Iterable[TraceRecord]) -> int:
+        """Append every record of an iterable; returns how many."""
+        before = self.count
+        for record in records:
+            self.write(record)
+        return self.count - before
+
+    def _flush_frame(self) -> None:
+        if not self._buffered:
+            return
+        self._fh.write(_FRAME_HEADER.pack(self._buffered))
+        self._fh.write(bytes(self._buffer))
+        self._buffer.clear()
+        self._buffered = 0
+
+    def close(self, abort: bool = False) -> None:
+        """Flush, write the terminator frame and count footer, close.
+
+        Args:
+            abort: close *without* finalizing.  The file is left without
+                its terminator/footer, so readers reject it as truncated
+                instead of silently accepting a short but well-formed
+                stream.  Used when the record source raised mid-write.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if not abort:
+                self._flush_frame()
+                self._fh.write(_FRAME_HEADER.pack(0))
+                self._fh.write(json.dumps({"count": self.count}).encode("utf-8"))
+                self._fh.write(b"\n")
+        finally:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc_info: Any) -> None:
+        # An exception inside the with-body (interrupted generation,
+        # Ctrl-C) must not finalize: a complete-looking file whose count
+        # silently disagrees with its recorded provenance is worse than a
+        # loudly truncated one.
+        self.close(abort=exc_type is not None)
+
+
+def _read_exact(fh, size: int, what: str) -> bytes:
+    data = fh.read(size)
+    if len(data) != size:
+        raise TraceFormatError(
+            f"truncated trace file: expected {size} bytes of {what}, "
+            f"got {len(data)}"
+        )
+    return data
+
+
+def _check_footer_line(line: bytes, total: int) -> None:
+    """Validate the count footer against the records actually read.
+
+    The footer is required: it is the integrity cross-check on the
+    record payload, so a file with it stripped is treated as doctored,
+    not tolerated.
+    """
+    if not line:
+        raise TraceFormatError(
+            "truncated trace file: missing count footer"
+        )
+    try:
+        footer = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed trace footer: {exc}") from exc
+    declared = footer.get("count")
+    if declared != total:
+        raise TraceFormatError(
+            f"trace footer declares {declared} records, read {total}"
+        )
+
+
+def _read_header(fh) -> Dict[str, Any]:
+    magic = fh.read(len(TRACE_MAGIC))
+    if magic != TRACE_MAGIC:
+        raise TraceFormatError(
+            f"bad magic {magic!r}: not a {TRACE_SCHEMA} trace file"
+        )
+    line = fh.readline()
+    if not line.endswith(b"\n"):
+        raise TraceFormatError("truncated trace file: unterminated header")
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"malformed trace header: {exc}") from exc
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise TraceFormatError(
+            f"unsupported trace schema {schema!r} (supported: {TRACE_SCHEMA})"
+        )
+    if not isinstance(header.get("meta"), dict):
+        raise TraceFormatError("trace header carries no meta object")
+    return header
+
+
+class TraceReader:
+    """Lazy, re-iterable reader for a ``repro.trace.v1`` file.
+
+    The header is validated eagerly at construction; records stream on
+    demand.  Every ``iter()`` call opens an independent cursor over the
+    file, so the reader can be handed directly to
+    :func:`repro.sim.simulate` — including twice, for a baseline and a
+    selector run over the identical stream.
+
+    Attributes:
+        path: the trace file.
+        meta: provenance dict recorded by the writer.
+        count: record count from the footer (``None`` until known; filled
+            in by :func:`read_info` or after one full iteration).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        with gzip.open(path, "rb") as fh:
+            header = _read_header(fh)
+        self.schema: str = header["schema"]
+        self.meta: Dict[str, Any] = header["meta"]
+        self.count: Optional[int] = None
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        load = AccessType.LOAD
+        store = AccessType.STORE
+        record_size = _RECORD.size
+        total = 0
+        with gzip.open(self.path, "rb") as fh:
+            _read_header(fh)
+            while True:
+                (n,) = _FRAME_HEADER.unpack(
+                    _read_exact(fh, _FRAME_HEADER.size, "frame header")
+                )
+                if n == 0:
+                    break
+                frame = _read_exact(fh, n * record_size, "frame records")
+                for pc, address, nonmem, flags in _RECORD.iter_unpack(frame):
+                    yield TraceRecord(
+                        pc=pc,
+                        address=address,
+                        access_type=store if flags & _FLAG_STORE else load,
+                        nonmem_before=nonmem,
+                        dependent=bool(flags & _FLAG_DEPENDENT),
+                    )
+                total += n
+            self._check_footer(fh, total)
+        self.count = total
+
+    def _check_footer(self, fh, total: int) -> None:
+        _check_footer_line(fh.readline(), total)
+
+    def __repr__(self) -> str:
+        return f"TraceReader(path={self.path!r}, meta={self.meta!r})"
+
+
+def read_info(path: str) -> Dict[str, Any]:
+    """Header metadata plus record count, without decoding records.
+
+    Frames are skipped wholesale (their payload is read but never
+    unpacked), so this is cheap even for large traces.
+    """
+    with gzip.open(path, "rb") as fh:
+        header = _read_header(fh)
+        total = 0
+        record_size = _RECORD.size
+        while True:
+            (n,) = _FRAME_HEADER.unpack(
+                _read_exact(fh, _FRAME_HEADER.size, "frame header")
+            )
+            if n == 0:
+                break
+            _read_exact(fh, n * record_size, "frame records")
+            total += n
+        _check_footer_line(fh.readline(), total)
+    return {
+        "schema": header["schema"],
+        "meta": header["meta"],
+        "count": total,
+        "record_bytes": record_size,
+    }
+
+
+def write_trace(
+    path: str,
+    records: Iterable[TraceRecord],
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write an entire record stream to ``path``; returns the count."""
+    with TraceWriter(path, meta=meta) as writer:
+        writer.write_all(records)
+    return writer.count

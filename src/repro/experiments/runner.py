@@ -15,10 +15,19 @@ and diffed mechanically.
   (:meth:`SuiteRunner.speedup_suite`, used by
   :func:`repro.experiments.common.speedup_suite` when ``jobs > 1``),
 
-with per-process trace caching so workers do not regenerate a benchmark's
-access stream for every cell.  Traces are seeded with a process-stable
-hash (:func:`repro.common.hashing.stable_hash`), so parallel results are
-numerically identical to serial ones.
+with the benchmark's access stream recorded **once** — spooled to an
+on-disk ``repro.trace.v1`` file (:mod:`repro.cpu.tracefile`) by the parent
+and replayed lazily by every worker — instead of regenerated per job.
+Traces are seeded with a process-stable hash
+(:func:`repro.common.hashing.stable_hash`), and the trace file round-trips
+records exactly, so parallel results are numerically identical to serial
+ones.
+
+:func:`replay_experiment` is the bridge between the two subsystems: it
+wraps a simulation of any re-iterable record stream (an in-memory list or
+a :class:`~repro.cpu.tracefile.TraceReader`) in an
+:class:`ExperimentResult`, which is how ``repro trace replay`` proves a
+recorded trace reproduces the in-memory run byte for byte.
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ from __future__ import annotations
 import inspect
 import json
 import os
+import re
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -50,7 +62,9 @@ __all__ = [
     "SuiteRunner",
     "experiment_main",
     "render_result",
+    "replay_experiment",
     "run_experiments",
+    "simulation_rows",
     "validate_result_dict",
     "write_results_json",
 ]
@@ -223,6 +237,92 @@ def experiment_main(name: str) -> Callable[[], None]:
     return main
 
 
+# -- trace replay as an experiment ------------------------------------------
+
+
+def simulation_rows(result, baseline=None) -> Dict[str, Any]:
+    """JSON-serializable rows summarizing one :class:`SimulationResult`.
+
+    The same function builds the rows for a replayed-trace run and for an
+    in-memory run, so equal simulations yield byte-identical rows.
+    """
+    rows: Dict[str, Any] = {
+        "selector": result.selector_name,
+        "ipc": result.ipc,
+        "instructions": result.core.instructions,
+        "cycles": result.core.cycles,
+        "l1_hit_rate": result.l1_hit_rate,
+        "dram_reads": result.dram_reads,
+        "dram_prefetch_reads": result.dram_prefetch_reads,
+    }
+    if baseline is not None:
+        rows["baseline_ipc"] = baseline.ipc
+        rows["speedup"] = result.ipc / baseline.ipc if baseline.ipc else 0.0
+    if result.selector_name != "none":
+        rows["accuracy"] = result.metrics.accuracy
+        rows["coverage"] = result.metrics.coverage
+        rows["issued"] = result.metrics.issued
+        rows["table_misses"] = result.table_misses
+    return rows
+
+
+def replay_experiment(
+    trace,
+    selector_spec: Optional[str] = None,
+    config=None,
+    name: str = "trace-replay",
+    title: str = "Trace replay",
+    params: Optional[Mapping[str, Any]] = None,
+) -> ExperimentResult:
+    """Simulate a record stream and wrap it in an :class:`ExperimentResult`.
+
+    Args:
+        trace: a *re-iterable* record stream — an in-memory list or a
+            :class:`repro.cpu.tracefile.TraceReader` (both can be
+            iterated twice: once for the no-prefetching baseline, once
+            under the selector).  A one-shot iterator is rejected with
+            ``TypeError`` when ``selector_spec`` is given — the baseline
+            run would exhaust it and the selector would silently see an
+            empty stream.
+        selector_spec: registry selector spec (``"alecto"``,
+            ``"bandit6"``, ...); ``None``/``"none"`` runs the baseline
+            only.
+        config: :class:`~repro.common.config.SystemConfig` (Table I
+            defaults when omitted).
+        params: provenance recorded in the result (e.g. the trace file's
+            header meta).
+
+    The rows depend only on the record stream, the selector, and the
+    config — not on where the records came from — so a recorded trace
+    replayed from disk produces rows byte-identical to the in-memory
+    generation it was recorded from.
+    """
+    spec = None if selector_spec in (None, "none") else selector_spec
+    if spec is not None and iter(trace) is trace:
+        # A one-shot iterator would be exhausted by the baseline run and
+        # feed the selector an empty stream — silently reporting ipc 0.
+        raise TypeError(
+            "replay_experiment needs a re-iterable trace (a list or a "
+            "TraceReader) when a selector is given; got a one-shot "
+            f"iterator {type(trace).__name__!r}"
+        )
+    start = time.perf_counter()
+    baseline = simulate(trace, None, config=config, name=name)
+    if spec is not None:
+        result = simulate(trace, make_selector(spec), config=config, name=name)
+        rows = simulation_rows(result, baseline)
+    else:
+        rows = simulation_rows(baseline)
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        name=name,
+        title=title,
+        params=dict(params or {}),
+        rows=rows,
+        elapsed_seconds=elapsed,
+    )
+
+
 # -- process-pool workers ---------------------------------------------------
 
 #: Per-process cache of generated traces, keyed by
@@ -293,7 +393,11 @@ def _cell_worker(
     config,
     selector_kwargs: Dict[str, Any],
 ) -> float:
-    """Simulate one (benchmark, selector) cell; returns the IPC."""
+    """Simulate one (benchmark, selector) cell; returns the IPC.
+
+    In-memory fallback used when trace spooling is disabled: each worker
+    regenerates (and caches) the benchmark's stream itself.
+    """
     trace = _cached_trace(profile, accesses, seed)
     selector = (
         make_selector(selector_name, **selector_kwargs)
@@ -301,6 +405,57 @@ def _cell_worker(
         else None
     )
     return simulate(trace, selector, config=config, name=profile.name).ipc
+
+
+def _trace_cell_worker(
+    trace_path: str,
+    benchmark: str,
+    selector_name: Optional[str],
+    config,
+    selector_kwargs: Dict[str, Any],
+) -> float:
+    """Simulate one cell by lazily replaying a spooled trace file.
+
+    The reader streams records straight into the simulator — the worker
+    never materializes the access list, so worker memory stays O(1) in
+    the trace length.
+    """
+    from repro.cpu.tracefile import TraceReader
+
+    reader = TraceReader(trace_path)
+    selector = (
+        make_selector(selector_name, **selector_kwargs)
+        if selector_name is not None
+        else None
+    )
+    return simulate(reader, selector, config=config, name=benchmark).ipc
+
+
+def _spool_traces(
+    profiles: Mapping[str, Any], accesses: int, seed: int, spool_dir: str
+) -> Dict[str, str]:
+    """Record every profile's stream once into ``spool_dir``.
+
+    Streams ``profile.stream()`` through a :class:`TraceWriter`, so the
+    parent's memory stays O(1) no matter the access count.  Returns
+    ``{benchmark: trace path}``.
+    """
+    from repro.cpu.tracefile import TraceWriter
+
+    paths: Dict[str, str] = {}
+    for index, (bench, profile) in enumerate(profiles.items()):
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", bench)
+        path = os.path.join(spool_dir, f"{index:03d}_{safe}.trace.gz")
+        meta = {
+            "benchmark": bench,
+            "suite": getattr(profile, "suite", ""),
+            "accesses": accesses,
+            "seed": seed,
+        }
+        with TraceWriter(path, meta=meta) as writer:
+            writer.write_all(profile.stream(accesses, seed=seed))
+        paths[bench] = path
+    return paths
 
 
 def _experiment_worker(name: str, overrides: Dict[str, Any]) -> ExperimentResult:
@@ -332,10 +487,19 @@ class SuiteRunner:
         accesses: int = 15000,
         seed: int = 1,
         config=None,
+        spool_traces: bool = True,
         **selector_kwargs: Any,
     ) -> Dict[str, Dict[str, float]]:
         """Parallel equivalent of
-        :func:`repro.experiments.common.speedup_suite`."""
+        :func:`repro.experiments.common.speedup_suite`.
+
+        Args:
+            spool_traces: record each benchmark's stream once to an
+                on-disk ``repro.trace.v1`` file and have every worker
+                replay it lazily (the record-once / replay-everywhere
+                pipeline; rows are identical either way).  ``False``
+                falls back to per-worker in-memory regeneration.
+        """
         if self.jobs == 1:
             from repro.experiments.common import speedup_suite
 
@@ -354,23 +518,42 @@ class SuiteRunner:
             for selector in (None, *selector_names)
         ]
         pool = _get_pool(self.jobs)
+        spool_dir = None
         try:
-            futures = {
-                cell: pool.submit(
-                    _cell_worker,
-                    profiles[cell[0]],
-                    cell[1],
-                    accesses,
-                    seed,
-                    config,
-                    selector_kwargs,
-                )
-                for cell in cells
-            }
+            if spool_traces:
+                spool_dir = tempfile.mkdtemp(prefix="repro-trace-spool-")
+                paths = _spool_traces(profiles, accesses, seed, spool_dir)
+                futures = {
+                    cell: pool.submit(
+                        _trace_cell_worker,
+                        paths[cell[0]],
+                        cell[0],
+                        cell[1],
+                        config,
+                        selector_kwargs,
+                    )
+                    for cell in cells
+                }
+            else:
+                futures = {
+                    cell: pool.submit(
+                        _cell_worker,
+                        profiles[cell[0]],
+                        cell[1],
+                        accesses,
+                        seed,
+                        config,
+                        selector_kwargs,
+                    )
+                    for cell in cells
+                }
             ipc = {cell: future.result() for cell, future in futures.items()}
         except Exception:
             _evict_pool(self.jobs)
             raise
+        finally:
+            if spool_dir is not None:
+                shutil.rmtree(spool_dir, ignore_errors=True)
         rows: Dict[str, Dict[str, float]] = {}
         for bench in profiles:
             baseline = ipc[(bench, None)]

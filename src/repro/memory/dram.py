@@ -19,18 +19,30 @@ from repro.common.config import DRAMConfig
 
 @dataclass
 class DRAMStats:
-    """Aggregate DRAM traffic statistics."""
+    """Aggregate DRAM traffic statistics.
+
+    ``queue_delay_cycles`` accumulates the exact (fractional) queueing
+    delay: at fractional ``lines_per_cycle_per_channel`` service rates,
+    sustained contention grows the queue by sub-cycle steps, and
+    truncating per access would systematically under-report it.  The
+    integer view truncates once, at the reporting boundary.
+    """
 
     reads: int = 0
     prefetch_reads: int = 0
-    total_queue_delay: int = 0
+    queue_delay_cycles: float = 0.0
     row_hits: int = 0
     row_misses: int = 0
 
     @property
+    def total_queue_delay(self) -> int:
+        """Accumulated queue delay in whole cycles (truncated once)."""
+        return int(self.queue_delay_cycles)
+
+    @property
     def mean_queue_delay(self) -> float:
         total = self.reads + self.prefetch_reads
-        return self.total_queue_delay / total if total else 0.0
+        return self.queue_delay_cycles / total if total else 0.0
 
 
 class DRAM:
@@ -120,7 +132,7 @@ class DRAM:
             self._demand_free[channel] = finish
             self._bank_free_demand[bank] = bank_busy_until
             stats.reads += 1
-        stats.total_queue_delay += int(queue_delay)
+        stats.queue_delay_cycles += queue_delay
         return int(queue_delay + service_latency)
 
     @property

@@ -27,6 +27,15 @@ from repro.selection.filters import RecentRequestFilter
 #: Storage cost per arm in bits (8 bytes per arm, Section VI-H).
 ARM_STORAGE_BITS = 64
 
+#: Bounded optimistic initial value for never-pulled arms in the greedy
+#: branch.  The reward is IPC over an epoch, which the modelled 4-wide
+#: commit core caps at 4.0, so 8.0 still guarantees every arm is tried
+#: before the bandit settles — but unlike the unbounded ``float("inf")``
+#: it is a representable saturating counter in hardware, and an arm whose
+#: *measured* value exceeds the bound is (correctly) preferred over
+#: exploration the epsilon schedule did not ask for.
+OPTIMISTIC_INIT = 8.0
+
 
 class BanditSelection(SelectionAlgorithm):
     """Epsilon-greedy multi-armed bandit over degree vectors.
@@ -36,6 +45,11 @@ class BanditSelection(SelectionAlgorithm):
         degree: the non-zero degree value X ({0, X} per prefetcher).
         epoch_accesses: demand accesses per decision epoch.
         epsilon: initial exploration probability (decays multiplicatively).
+        optimistic_init: greedy-branch value assumed for never-pulled arms
+            (:data:`OPTIMISTIC_INIT`).  Chosen above the achievable IPC
+            reward range, so unexplored arms are systematically tried
+            first; bounded, so a measured value can outrank optimism and
+            the documented epsilon schedule governs exploration afterwards.
         seed: RNG seed for reproducible arm exploration.
         train_on_prefetches: when True, issued prefetch addresses also
             train the prefetchers (the Fig. 7(a) temporal configuration
@@ -52,6 +66,7 @@ class BanditSelection(SelectionAlgorithm):
         epsilon: float = 0.10,
         epsilon_decay: float = 0.97,
         epsilon_floor: float = 0.03,
+        optimistic_init: float = OPTIMISTIC_INIT,
         seed: int = 7,
         train_on_prefetches: bool = False,
         arms: Sequence[Tuple[int, ...]] = None,
@@ -62,6 +77,7 @@ class BanditSelection(SelectionAlgorithm):
         self.epsilon = epsilon
         self.epsilon_decay = epsilon_decay
         self.epsilon_floor = epsilon_floor
+        self.optimistic_init = optimistic_init
         self.train_on_prefetches = train_on_prefetches
         self._rng = random.Random(seed)
         if arms is None:
@@ -83,9 +99,14 @@ class BanditSelection(SelectionAlgorithm):
     def _select_arm(self) -> Tuple[int, ...]:
         if self._rng.random() < self.epsilon or not self._arm_value:
             return self._rng.choice(self.arms)
+        # Never-pulled arms default to the bounded optimistic value, not
+        # float("inf"): within the reward range they are still explored
+        # first, but a measured value above the bound wins, keeping the
+        # epsilon schedule the only open-ended exploration mechanism.
+        optimistic = self.optimistic_init
         return max(
             self.arms,
-            key=lambda arm: self._arm_value.get(arm, float("inf")),
+            key=lambda arm: self._arm_value.get(arm, optimistic),
         )
 
     def _reward_arm(self, arm: Tuple[int, ...], reward: float) -> None:
@@ -137,6 +158,8 @@ class BanditSelection(SelectionAlgorithm):
             return
         # Fig. 7(a)/(b): temporal prefetchers at L2 observe the L2 access
         # stream, which includes L1 prefetch requests.
+        line_shift = self.line_shift
+        region_line_shift = self.region_line_shift
         for prefetcher in self.prefetchers:
             if not prefetcher.is_temporal:
                 continue
@@ -145,9 +168,11 @@ class BanditSelection(SelectionAlgorithm):
                     continue
                 shadow = DemandAccess(
                     pc=candidate.pc,
-                    address=candidate.line << 6,
+                    address=candidate.line << line_shift,
                     core_id=access.core_id,
                     timestamp=access.timestamp,
+                    line=candidate.line,
+                    region=candidate.line >> region_line_shift,
                 )
                 prefetcher.train(shadow, degree=0)
 

@@ -24,7 +24,13 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.common.types import (
+    CACHE_LINE_BYTES,
+    CACHE_LINE_SHIFT,
+    REGION_SHIFT,
+    DemandAccess,
+    PrefetchCandidate,
+)
 from repro.memory.cache import PrefetchRecord
 from repro.prefetchers.base import Prefetcher
 
@@ -52,9 +58,36 @@ class SelectionAlgorithm(abc.ABC):
         self._by_name: Dict[str, Prefetcher] = {p.name: p for p in prefetchers}
         if len(self._by_name) != len(self.prefetchers):
             raise ValueError("prefetcher names must be unique")
+        # Line geometry of the simulated system; the simulator overrides
+        # it (set_line_bytes) for non-Table-I CacheConfig.line_bytes.
+        self.line_bytes = CACHE_LINE_BYTES
+        self.line_shift = CACHE_LINE_SHIFT
 
     def prefetcher(self, name: str) -> Prefetcher:
         return self._by_name[name]
+
+    # -- line geometry ------------------------------------------------------
+
+    def set_line_bytes(self, line_bytes: int) -> None:
+        """Adopt the simulated system's cache-line size.
+
+        Called by the simulator before the run starts, so selectors that
+        convert between line and byte addresses (temporal shadow
+        training, PPF's region feature) use ``CacheConfig.line_bytes``
+        instead of assuming 64-byte lines.  Selectors wrapping an inner
+        selector override this to forward the geometry.
+        """
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError(
+                f"line_bytes must be a positive power of two, got {line_bytes}"
+            )
+        self.line_bytes = line_bytes
+        self.line_shift = line_bytes.bit_length() - 1
+
+    @property
+    def region_line_shift(self) -> int:
+        """Shift turning a line address into its 4 KB-region address."""
+        return max(0, REGION_SHIFT - self.line_shift)
 
     # -- protocol ----------------------------------------------------------
 

@@ -62,6 +62,10 @@ class PPFSelection(SelectionAlgorithm):
         self.filtered = 0
         self.admitted = 0
 
+    def set_line_bytes(self, line_bytes: int) -> None:
+        super().set_line_bytes(line_bytes)
+        self._ipcp.set_line_bytes(line_bytes)
+
     # -- features ---------------------------------------------------------------
 
     def _features(
@@ -77,7 +81,9 @@ class PPFSelection(SelectionAlgorithm):
         return (
             pc_hash & mask,
             candidate.line & mask,
-            (candidate.line >> 6) & mask,
+            # The candidate's 4 KB-region address: line-size aware, so
+            # non-64B configs index the same physical feature.
+            (candidate.line >> self.region_line_shift) & mask,
             (pc_hash ^ (delta & 0xFF)) & mask,
             (delta & mask),
             ((pc_hash << 2) | prefetcher_index) & mask,

@@ -100,6 +100,10 @@ class TriangelSelection(SelectionAlgorithm):
         self._samples = {}
         self._accesses = 0
 
+    def set_line_bytes(self, line_bytes: int) -> None:
+        super().set_line_bytes(line_bytes)
+        self._ipcp.set_line_bytes(line_bytes)
+
     def _sample_for(self, pc: int) -> _PCSample:
         sample = self._samples.get(pc)
         if sample is None:
@@ -150,6 +154,8 @@ class TriangelSelection(SelectionAlgorithm):
         # The temporal prefetcher observes the L2 access stream, which
         # includes L1 prefetch traffic (Fig. 7(b)) — Triangel does not
         # filter addresses already covered by the L1 composite.
+        line_shift = self.line_shift
+        region_line_shift = self.region_line_shift
         for candidate in issued:
             if candidate.prefetcher == self.temporal.name:
                 continue
@@ -158,9 +164,11 @@ class TriangelSelection(SelectionAlgorithm):
                 continue
             shadow = DemandAccess(
                 pc=candidate.pc,
-                address=candidate.line << 6,
+                address=candidate.line << line_shift,
                 core_id=access.core_id,
                 timestamp=access.timestamp,
+                line=candidate.line,
+                region=candidate.line >> region_line_shift,
             )
             self.temporal.train(shadow, degree=0)
 

@@ -20,11 +20,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.common.config import SystemConfig
 from repro.common.types import (
-    CACHE_LINE_SHIFT,
+    REGION_SHIFT,
     AccessType,
     DemandAccess,
     PrefetchCandidate,
@@ -89,22 +90,37 @@ class MulticoreResult:
         return sum(ratios) / len(ratios) if ratios else 0.0
 
 
+#: Lookahead sentinel marking an exhausted trace iterator.
+_DONE = object()
+
+
 class _CoreContext:
-    """One core's engine: trace cursor + core model + hierarchy + selector."""
+    """One core's engine: trace cursor + core model + hierarchy + selector.
+
+    The trace may be any iterable of records — a list, a
+    :meth:`~repro.workloads.profiles.BenchmarkProfile.stream` generator,
+    or a :class:`~repro.cpu.tracefile.TraceReader` — and is consumed
+    lazily with a one-record lookahead (for ``done``), so memory stays
+    O(1) at arbitrary access counts.
+    """
 
     def __init__(
         self,
         core_id: int,
-        trace: Sequence[TraceRecord],
+        trace: Iterable[TraceRecord],
         config: SystemConfig,
         selector: Optional[SelectionAlgorithm],
         shared: Optional[SharedMemory],
     ):
         self.core_id = core_id
-        self.trace = trace
+        self._records: Iterator[TraceRecord] = iter(trace)
+        self._pending = next(self._records, _DONE)
         self.position = 0
         self.core = CoreModel(config)
         self.selector = selector
+        self._line_shift = config.line_shift
+        if selector is not None:
+            selector.set_line_bytes(config.line_bytes)
         self.metrics = PrefetchMetrics()
         self.hierarchy = MemoryHierarchy(
             config,
@@ -133,24 +149,32 @@ class _CoreContext:
 
     @property
     def done(self) -> bool:
-        return self.position >= len(self.trace)
+        return self._pending is _DONE
 
     def step(self) -> None:
         """Execute the next trace record."""
-        self._run_records(1)
+        record = self._pending
+        if record is _DONE:
+            return
+        self._pending = next(self._records, _DONE)
+        self._run_records((record,))
 
     def run(self) -> None:
         """Execute the remaining trace (single-core driver loop)."""
-        self._run_records(len(self.trace) - self.position)
+        record = self._pending
+        if record is _DONE:
+            return
+        self._pending = _DONE
+        self._run_records(chain((record,), self._records))
 
-    def _run_records(self, count: int) -> None:
-        """Execute ``count`` trace records with the loop state in locals.
+    def _run_records(self, records: Iterable[TraceRecord]) -> None:
+        """Execute a stream of trace records with the loop state in locals.
 
         The per-access data flow is the paper's Fig. 4 (see module
         docstring); hot names are bound once here because this loop runs
-        millions of times per experiment.
+        millions of times per experiment.  ``records`` is consumed
+        lazily — nothing in this loop materializes the trace.
         """
-        trace = self.trace
         position = self.position
         core = self.core
         core_stats = core.stats
@@ -161,18 +185,18 @@ class _CoreContext:
         metrics = self.metrics
         selector = self.selector
         core_id = self.core_id
+        line_shift = self._line_shift
         store = AccessType.STORE
         load = AccessType.LOAD
 
-        for _ in range(count):
-            record = trace[position]
+        for record in records:
             position += 1
             advance(record.nonmem_before)
             cycle = int(core_stats.cycles)
             access_type = record.access_type
-            result = hierarchy_demand(
-                record.address >> CACHE_LINE_SHIFT, cycle, access_type is store
-            )
+            address = record.address
+            line = address >> line_shift
+            result = hierarchy_demand(line, cycle, access_type is store)
             if result.hit_level != "l1" and result.prefetch_record is None:
                 metrics.uncovered += 1
             memory_access(
@@ -185,10 +209,12 @@ class _CoreContext:
                 continue
             access = DemandAccess(
                 pc=record.pc,
-                address=record.address,
+                address=address,
                 access_type=access_type,
                 core_id=core_id,
                 timestamp=position,
+                line=line,
+                region=address >> REGION_SHIFT,
             )
             selector.observe_demand(access)
             candidates: List[PrefetchCandidate] = []
@@ -270,7 +296,7 @@ class _CoreContext:
 
 
 def simulate(
-    trace: Sequence[TraceRecord],
+    trace: Iterable[TraceRecord],
     selector: Optional[SelectionAlgorithm] = None,
     config: Optional[SystemConfig] = None,
     name: str = "run",
@@ -278,7 +304,11 @@ def simulate(
     """Run one trace on a single core.
 
     Args:
-        trace: the committed-instruction trace.
+        trace: the committed-instruction trace — any iterable of records.
+            Lists work as before; a generator
+            (:meth:`~repro.workloads.profiles.BenchmarkProfile.stream`)
+            or a :class:`~repro.cpu.tracefile.TraceReader` is consumed
+            lazily, so the run needs O(1) memory regardless of length.
         selector: selection algorithm owning the prefetchers; None means
             the no-prefetching baseline.
         config: system parameters (Table I defaults when omitted).
@@ -292,7 +322,7 @@ def simulate(
 
 
 def simulate_multicore(
-    traces: Sequence[Sequence[TraceRecord]],
+    traces: Sequence[Iterable[TraceRecord]],
     selector_factory,
     config: Optional[SystemConfig] = None,
     name: str = "run",
@@ -300,7 +330,8 @@ def simulate_multicore(
     """Run per-core traces against a shared LLC and DRAM.
 
     Args:
-        traces: one trace per core.
+        traces: one trace per core (each any iterable of records,
+            consumed lazily with one record of lookahead per core).
         selector_factory: callable ``(core_id) -> SelectionAlgorithm or
             None``; each core gets private prefetchers/selector state.
         config: system parameters; ``cores`` must match ``len(traces)``.

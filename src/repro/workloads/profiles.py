@@ -5,7 +5,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from repro.common.hashing import stable_hash
 from repro.common.types import AccessType
@@ -72,17 +72,24 @@ class BenchmarkProfile:
                 pc_index += 1
         return instances, weights
 
-    def generate(
+    def stream(
         self,
         num_accesses: int,
         seed: int = 0,
         mem_ratio_scale: float = 1.0,
-    ) -> List[TraceRecord]:
-        """Produce a deterministic trace of ``num_accesses`` records.
+    ) -> Iterator[TraceRecord]:
+        """Yield a deterministic trace of ``num_accesses`` records lazily.
 
-        The same (profile, num_accesses, seed, mem_ratio_scale) tuple
-        always produces an identical trace — across runs and across
-        processes (the RNG seeds with the process-stable
+        This is the O(1)-memory producer behind :meth:`generate`: the
+        record sequence for a given (profile, num_accesses, seed,
+        mem_ratio_scale) tuple is identical whether streamed or
+        materialized, so a stream can be fed straight to
+        :func:`repro.sim.simulate` or spooled to disk with
+        :class:`repro.cpu.tracefile.TraceWriter` at arbitrary access
+        counts.
+
+        The same tuple always produces an identical trace — across runs
+        and across processes (the RNG seeds with the process-stable
         :func:`repro.common.hashing.stable_hash`, not the salted built-in
         ``hash``) — so experiment rows are exactly reproducible, serial
         or fanned out over a worker pool.
@@ -100,7 +107,6 @@ class BenchmarkProfile:
         # mean non-memory instructions per memory access.
         effective_ratio = max(1e-6, self.mem_ratio * mem_ratio_scale)
         mean_gap = max(0.0, 1.0 / effective_ratio - 1.0)
-        records: List[TraceRecord] = []
         cumulative: List[float] = []
         total = 0.0
         for weight in weights:
@@ -126,16 +132,22 @@ class BenchmarkProfile:
                 if rng.random() < self.store_ratio
                 else AccessType.LOAD
             )
-            records.append(
-                TraceRecord(
-                    pc=pattern.pc,
-                    address=address,
-                    access_type=access_type,
-                    nonmem_before=nonmem,
-                    dependent=dependent,
-                )
+            yield TraceRecord(
+                pc=pattern.pc,
+                address=address,
+                access_type=access_type,
+                nonmem_before=nonmem,
+                dependent=dependent,
             )
-        return records
+
+    def generate(
+        self,
+        num_accesses: int,
+        seed: int = 0,
+        mem_ratio_scale: float = 1.0,
+    ) -> List[TraceRecord]:
+        """Materialized form of :meth:`stream` (identical record sequence)."""
+        return list(self.stream(num_accesses, seed, mem_ratio_scale))
 
 
 def profile(

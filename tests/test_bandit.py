@@ -8,6 +8,7 @@ from repro.common.types import DemandAccess
 from repro.prefetchers import make_composite
 from repro.selection.bandit import (
     ARM_STORAGE_BITS,
+    OPTIMISTIC_INIT,
     BanditSelection,
     ExtendedBanditSelection,
     make_bandit3,
@@ -98,6 +99,64 @@ class TestLearning:
             produced.extend(d.prefetcher.train(access(0), d.degree))
         assert produced == []
         assert all(p.training_occurrences == 1 for p in bandit.prefetchers)
+
+
+class TestArmSelection:
+    """Pins the greedy branch's bounded optimistic initialization.
+
+    Never-pulled arms default to :data:`OPTIMISTIC_INIT` (not
+    ``float("inf")``): they are still explored before the bandit settles,
+    but a measured value above the bound wins, so the documented epsilon
+    schedule stays the only open-ended exploration mechanism.
+    """
+
+    @staticmethod
+    def greedy_bandit():
+        # epsilon=0 forces the greedy branch.
+        return BanditSelection(
+            make_composite(), degree=6, epsilon=0.0, epsilon_floor=0.0
+        )
+
+    def test_optimistic_init_is_bounded(self):
+        bandit = self.greedy_bandit()
+        assert bandit.optimistic_init == OPTIMISTIC_INIT
+        assert OPTIMISTIC_INIT != float("inf")
+        # Above the reward range: IPC on the 4-wide commit core is <= 4.
+        assert OPTIMISTIC_INIT >= 4.0
+
+    def test_unexplored_arm_preferred_within_reward_range(self):
+        bandit = self.greedy_bandit()
+        bandit._arm_value = {bandit.arms[0]: 1.0}
+        # All other arms are optimistically valued; max() takes the first.
+        assert bandit._select_arm() == bandit.arms[1]
+
+    def test_measured_value_above_bound_beats_optimism(self):
+        bandit = self.greedy_bandit()
+        bandit._arm_value = {bandit.arms[3]: OPTIMISTIC_INIT + 1.0}
+        # With float("inf") initialization this would pick an unexplored
+        # arm; the bounded default correctly exploits the measured one.
+        assert bandit._select_arm() == bandit.arms[3]
+
+    def test_all_explored_picks_argmax(self):
+        bandit = self.greedy_bandit()
+        bandit._arm_value = {
+            arm: float(i) / 10.0 for i, arm in enumerate(bandit.arms)
+        }
+        assert bandit._select_arm() == bandit.arms[-1]
+
+    def test_no_values_yet_explores_randomly(self):
+        bandit = self.greedy_bandit()
+        assert not bandit._arm_value
+        assert bandit._select_arm() in bandit.arms
+
+    def test_epsilon_one_always_explores(self):
+        bandit = BanditSelection(
+            make_composite(), epsilon=1.0, epsilon_decay=1.0,
+            epsilon_floor=1.0, seed=11,
+        )
+        bandit._arm_value = {bandit.arms[0]: 100.0}
+        picks = {bandit._select_arm() for _ in range(64)}
+        assert len(picks) > 1  # not locked to the greedy argmax
 
 
 class TestTemporalShadowTraining:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import ddr3_1600, ddr4_2400
+from repro.common.config import DRAMConfig, ddr3_1600, ddr4_2400
 from repro.memory.dram import DRAM
 
 
@@ -108,3 +108,49 @@ class TestAccounting:
     def test_mean_queue_delay_zero_when_empty(self):
         dram = DRAM(ddr4_2400())
         assert dram.stats.mean_queue_delay == 0.0
+
+
+class TestFractionalQueueDelay:
+    """Regression: sub-cycle channel-service delays must accumulate.
+
+    At ``transfer_mtps=3200`` one line takes 24000/3200 = 7.5 cycles of
+    channel time, so back-to-back demands queue by fractional amounts.
+    The old per-access ``int()`` truncation dropped the 0.5s and
+    systematically under-reported sustained contention.
+    """
+
+    @staticmethod
+    def fractional_dram() -> DRAM:
+        config = DRAMConfig(
+            name="DDR4-3200",
+            channels=1,
+            ranks_per_channel=2,
+            banks_per_rank=8,
+            transfer_mtps=3200,
+        )
+        dram = DRAM(config)
+        assert 1.0 / config.lines_per_cycle_per_channel == 7.5
+        return dram
+
+    def test_mean_queue_delay_pinned(self):
+        dram = self.fractional_dram()
+        # Four same-cycle demands on one channel, distinct banks/rows:
+        # service starts at 0, 7.5, 15, 22.5 -> queue delays sum to 45.0.
+        for i in range(4):
+            dram.access(line=i * DRAM.ROW_LINES, cycle=0, is_prefetch=False)
+        assert dram.stats.queue_delay_cycles == pytest.approx(45.0)
+        assert dram.stats.mean_queue_delay == pytest.approx(11.25)
+        # The integer view truncates once, at the reporting boundary —
+        # not per access (which would have lost 2 of the 45 cycles).
+        assert dram.stats.total_queue_delay == 45
+
+    def test_returned_latency_unchanged_by_accounting_fix(self):
+        # Per-access latency is still truncated to whole cycles exactly
+        # as before; only the *accumulated* statistics changed.  Row
+        # misses cost base_latency=160, so queue delays 0/7.5/15/22.5
+        # yield int(160 + delay).
+        dram = self.fractional_dram()
+        latencies = [
+            dram.access(line=i * DRAM.ROW_LINES, cycle=0) for i in range(4)
+        ]
+        assert latencies == [160, 167, 175, 182]

@@ -1,0 +1,193 @@
+"""Non-default cache-line-size support: geometry plumbing end to end.
+
+The satellite fixes for hard-coded 64-byte shifts: selectors derive line
+geometry from ``CacheConfig.line_bytes`` (via the simulator) instead of
+assuming ``<< 6`` / ``>> 6``, so non-64B configs train temporal shadows
+and PPF features on the correct lines and regions.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.types import REGION_SHIFT, DemandAccess, PrefetchCandidate
+from repro.prefetchers import make_composite
+from repro.prefetchers.temporal import TemporalPrefetcher
+from repro.registry import build_selector
+from repro.selection.bandit import BanditSelection
+from repro.selection.ppf import PPFSelection
+from repro.selection.triangel import TriangelSelection
+from repro.sim import simulate
+from repro.workloads import get_profile
+
+
+def config_with_line_bytes(line_bytes: int) -> SystemConfig:
+    return SystemConfig(
+        l1d=CacheConfig(
+            size_bytes=32 * 1024, ways=8, latency=4, mshrs=16,
+            line_bytes=line_bytes,
+        ),
+        l2=CacheConfig(
+            size_bytes=256 * 1024, ways=8, latency=15, mshrs=32,
+            line_bytes=line_bytes,
+        ),
+    )
+
+
+class TestConfigGeometry:
+    def test_line_shift(self):
+        assert CacheConfig(1024, 2, 1, 4).line_shift == 6
+        assert CacheConfig(1024, 2, 1, 4, line_bytes=128).line_shift == 7
+        assert CacheConfig(1024, 2, 1, 4, line_bytes=32).line_shift == 5
+
+    @pytest.mark.parametrize("bad", [0, -64, 48, 96])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig(1024, 2, 1, 4, line_bytes=bad)
+
+    def test_system_config_exposes_line_geometry(self):
+        assert SystemConfig().line_bytes == 64
+        assert SystemConfig().line_shift == 6
+        config = config_with_line_bytes(128)
+        assert config.line_bytes == 128
+        assert config.line_shift == 7
+
+    def test_llc_inherits_line_bytes(self):
+        config = config_with_line_bytes(128)
+        assert config.llc.line_bytes == 128
+        # Same capacity, wider lines -> half the sets.
+        assert config.llc.num_sets == SystemConfig().llc.num_sets // 2
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(ValueError, match="mixed cache-line sizes"):
+            SystemConfig(
+                l1d=CacheConfig(32 * 1024, 8, 4, 16, line_bytes=128),
+                l2=CacheConfig(256 * 1024, 8, 15, 32, line_bytes=64),
+            )
+
+
+class TestSelectorGeometry:
+    def test_default_geometry(self):
+        selector = build_selector("alecto")
+        assert selector.line_bytes == 64
+        assert selector.line_shift == 6
+        assert selector.region_line_shift == 6
+
+    def test_set_line_bytes(self):
+        selector = build_selector("alecto")
+        selector.set_line_bytes(128)
+        assert selector.line_shift == 7
+        assert selector.region_line_shift == 5
+
+    def test_invalid_line_bytes_rejected(self):
+        selector = build_selector("alecto")
+        with pytest.raises(ValueError, match="power of two"):
+            selector.set_line_bytes(96)
+
+    def test_wrappers_forward_geometry(self):
+        ppf = PPFSelection(make_composite())
+        ppf.set_line_bytes(128)
+        assert ppf._ipcp.line_shift == 7
+        triangel = TriangelSelection(
+            make_composite() + [TemporalPrefetcher(metadata_bytes=32 * 1024)]
+        )
+        triangel.set_line_bytes(128)
+        assert triangel._ipcp.line_shift == 7
+
+    def test_simulator_propagates_config_geometry(self):
+        trace = get_profile("gcc").generate(200, seed=1)
+        selector = build_selector("alecto")
+        simulate(trace, selector, config=config_with_line_bytes(128))
+        assert selector.line_bytes == 128
+
+
+def _capture_temporal_training(temporal):
+    captured = []
+
+    def train(access, degree=0):
+        captured.append(access)
+        return []
+
+    temporal.train = train
+    return captured
+
+
+class TestShadowTraining:
+    @pytest.mark.parametrize("line_bytes,shift", [(64, 6), (128, 7), (32, 5)])
+    def test_bandit_shadow_uses_config_line_size(self, line_bytes, shift):
+        temporal = TemporalPrefetcher(metadata_bytes=32 * 1024)
+        bandit = BanditSelection(
+            make_composite() + [temporal], train_on_prefetches=True
+        )
+        bandit.set_line_bytes(line_bytes)
+        captured = _capture_temporal_training(temporal)
+
+        line = 0x1234
+        access = DemandAccess(pc=0x400, address=line << shift)
+        bandit.post_issue(
+            access, [PrefetchCandidate(line=line, prefetcher="stream", pc=0x400)]
+        )
+        (shadow,) = captured
+        assert shadow.address == line << shift
+        assert shadow.line == line
+        assert shadow.region == (line << shift) >> REGION_SHIFT
+
+    @pytest.mark.parametrize("line_bytes,shift", [(64, 6), (128, 7)])
+    def test_triangel_shadow_uses_config_line_size(self, line_bytes, shift):
+        temporal = TemporalPrefetcher(metadata_bytes=32 * 1024)
+        triangel = TriangelSelection(make_composite() + [temporal])
+        triangel.set_line_bytes(line_bytes)
+        captured = _capture_temporal_training(temporal)
+
+        line = 0x2BCD
+        access = DemandAccess(pc=0x404, address=line << shift)
+        triangel.post_issue(
+            access, [PrefetchCandidate(line=line, prefetcher="stream", pc=0x404)]
+        )
+        (shadow,) = captured
+        assert shadow.address == line << shift
+        assert shadow.line == line
+        assert shadow.region == (line << shift) >> REGION_SHIFT
+
+
+class TestPPFFeatures:
+    def test_region_feature_tracks_line_size(self):
+        ppf = PPFSelection(make_composite())
+        access = DemandAccess(pc=0x400, address=0)
+        candidate = PrefetchCandidate(line=0b1010_1100_0000, prefetcher="stream",
+                                      pc=0x400)
+        default = ppf._features(candidate, access)
+        assert default[2] == (candidate.line >> 6) & 0xFF
+
+        ppf.set_line_bytes(128)
+        wide = ppf._features(candidate, access)
+        assert wide[2] == (candidate.line >> 5) & 0xFF
+
+
+class TestEndToEndSmoke:
+    @pytest.mark.parametrize("line_bytes", [32, 128])
+    # (ppf_conservative, not ppf_aggressive: the aggressive threshold
+    # admits nothing on a short trace regardless of line size.)
+    @pytest.mark.parametrize("spec", ["alecto", "bandit6", "ppf_conservative"])
+    def test_non_default_line_bytes_runs(self, line_bytes, spec):
+        config = config_with_line_bytes(line_bytes)
+        trace = get_profile("mcf").generate(1500, seed=1)
+        baseline = simulate(trace, None, config=config)
+        assert baseline.ipc > 0
+        result = simulate(trace, build_selector(spec), config=config)
+        assert result.ipc > 0
+        assert result.metrics.issued > 0
+
+    def test_non_default_line_bytes_with_temporal(self):
+        config = config_with_line_bytes(128)
+        trace = get_profile("mcf").generate(1500, seed=1)
+        selector = build_selector("bandit6", with_temporal=True)
+        result = simulate(trace, selector, config=config)
+        assert result.ipc > 0
+        assert selector.line_shift == 7
+
+    def test_default_config_unchanged(self):
+        # The plumbing is identity for Table-I 64-byte lines.
+        trace = get_profile("gcc").generate(1000, seed=1)
+        result = simulate(trace, build_selector("alecto"))
+        again = simulate(trace, build_selector("alecto"))
+        assert result.ipc == again.ipc

@@ -62,6 +62,22 @@ class TestGeneration:
     def test_length(self):
         assert len(SPEC06_PROFILES["gcc"].generate(123, seed=0)) == 123
 
+    def test_stream_is_lazy(self):
+        import types
+
+        stream = SPEC06_PROFILES["gcc"].stream(10, seed=0)
+        assert isinstance(stream, types.GeneratorType)
+
+    def test_stream_matches_generate(self):
+        prof = SPEC06_PROFILES["milc"]
+        assert list(prof.stream(400, seed=3)) == prof.generate(400, seed=3)
+
+    def test_stream_matches_generate_with_mem_ratio_scale(self):
+        prof = SPEC06_PROFILES["lbm"]
+        assert list(prof.stream(300, seed=2, mem_ratio_scale=0.125)) == (
+            prof.generate(300, seed=2, mem_ratio_scale=0.125)
+        )
+
     def test_mem_ratio_respected(self):
         prof = SPEC06_PROFILES["lbm"]  # mem_ratio 0.40
         trace = prof.generate(4000, seed=1)

@@ -169,6 +169,31 @@ class TestSuiteRunnerCells:
             COMPOSITES._entries.pop("tmp_pool_composite")
             COMPOSITES._metadata.pop("tmp_pool_composite")
 
+    def test_spooled_traces_identical_to_in_memory_fanout(self):
+        """The record-once / replay-everywhere path (default) must equal
+        both the per-worker in-memory regeneration path and serial."""
+        profiles = tiny_profiles()
+        kwargs = dict(accesses=1000, seed=1)
+        serial = speedup_suite(profiles, ["ipcp", "alecto"], jobs=1, **kwargs)
+        spooled = SuiteRunner(jobs=2).speedup_suite(
+            profiles, ["ipcp", "alecto"], spool_traces=True, **kwargs
+        )
+        in_memory = SuiteRunner(jobs=2).speedup_suite(
+            profiles, ["ipcp", "alecto"], spool_traces=False, **kwargs
+        )
+        assert json.dumps(serial) == json.dumps(spooled)
+        assert json.dumps(serial) == json.dumps(in_memory)
+
+    def test_spool_dir_cleaned_up(self, tmp_path, monkeypatch):
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        SuiteRunner(jobs=2).speedup_suite(
+            tiny_profiles(), ["ipcp"], accesses=600, seed=1
+        )
+        leftovers = list(tmp_path.glob("repro-trace-spool-*"))
+        assert leftovers == []
+
     def test_parallel_rows_have_all_cells(self):
         rows = SuiteRunner(jobs=2).speedup_suite(
             tiny_profiles(), ["ipcp", "alecto"], accesses=800, seed=1

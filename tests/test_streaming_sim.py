@@ -1,0 +1,224 @@
+"""Streaming end-to-end tests: generators and trace files through simulate().
+
+The paper's comparisons require every selector to see the identical
+access stream; these tests pin that a stream is the same stream no matter
+how it is delivered — materialized list, lazy generator, or replayed
+``repro.trace.v1`` file — and that the simulator never needs the whole
+trace in memory.
+"""
+
+import json
+
+import pytest
+
+from repro.cpu.tracefile import TraceReader, write_trace
+from repro.experiments.runner import replay_experiment, simulation_rows
+from repro.registry import build_selector
+from repro.sim import simulate, simulate_multicore
+from repro.workloads import get_profile
+
+
+def _result_key(result):
+    """Everything a SimulationResult reports, as a comparable blob."""
+    return (
+        result.core.instructions,
+        result.core.cycles,
+        result.metrics.issued,
+        result.metrics.covered_timely,
+        result.metrics.covered_untimely,
+        result.metrics.overpredicted,
+        result.metrics.uncovered,
+        result.table_misses,
+        result.dram_reads,
+        result.dram_prefetch_reads,
+        result.l1_hit_rate,
+        result.issued_by_prefetcher,
+        result.useful_by_prefetcher,
+    )
+
+
+class _IterOnly:
+    """An iterable exposing nothing but __iter__ (no len, no indexing)."""
+
+    def __init__(self, records):
+        self._records = records
+
+    def __iter__(self):
+        return iter(self._records)
+
+
+class TestGeneratorConsumption:
+    def test_generator_matches_list(self):
+        profile = get_profile("mcf")
+        records = profile.generate(4000, seed=2)
+        from_list = simulate(records, build_selector("alecto"), name="mcf")
+        from_gen = simulate(
+            profile.stream(4000, seed=2), build_selector("alecto"), name="mcf"
+        )
+        assert _result_key(from_list) == _result_key(from_gen)
+
+    def test_pure_generator_at_10x_default_accesses(self):
+        # 10x the 15k default: a one-shot generator with no __len__ or
+        # __getitem__ — anything that tries to materialize or index the
+        # trace fails loudly.  O(1) memory by construction.
+        profile = get_profile("gcc")
+        accesses = 150_000
+        result = simulate(profile.stream(accesses, seed=1), None, name="gcc")
+        assert result.core.instructions >= accesses
+        assert result.ipc > 0
+
+    def test_iter_only_trace_accepted(self):
+        profile = get_profile("gcc")
+        records = profile.generate(1000, seed=1)
+        wrapped = simulate(_IterOnly(records), build_selector("ipcp"))
+        plain = simulate(records, build_selector("ipcp"))
+        assert _result_key(wrapped) == _result_key(plain)
+
+    def test_empty_trace(self):
+        result = simulate(iter(()), None)
+        assert result.core.instructions == 0
+
+    def test_multicore_accepts_generators(self):
+        profile = get_profile("mcf")
+        lists = [profile.generate(800, seed=core) for core in range(2)]
+        from_lists = simulate_multicore(
+            lists, lambda core_id: build_selector("alecto")
+        )
+        streams = [profile.stream(800, seed=core) for core in range(2)]
+        from_streams = simulate_multicore(
+            streams, lambda core_id: build_selector("alecto")
+        )
+        for a, b in zip(from_lists.cores, from_streams.cores):
+            assert _result_key(a) == _result_key(b)
+
+
+class TestReplayParity:
+    def test_replayed_trace_result_byte_identical(self, tmp_path):
+        profile = get_profile("gcc")
+        records = profile.generate(2500, seed=1)
+        path = str(tmp_path / "gcc.trace.gz")
+        meta = {"benchmark": "gcc", "accesses": 2500, "seed": 1}
+        write_trace(path, records, meta=meta)
+
+        kwargs = dict(
+            selector_spec="alecto",
+            name="trace-replay",
+            title="Trace replay: gcc under alecto",
+            params={"selector": "alecto", "trace_meta": meta},
+        )
+        replayed = replay_experiment(TraceReader(path), **kwargs)
+        in_memory = replay_experiment(records, **kwargs)
+
+        strip = lambda result: {
+            k: v for k, v in result.to_dict().items() if k != "elapsed_seconds"
+        }
+        assert json.dumps(strip(replayed), sort_keys=True) == json.dumps(
+            strip(in_memory), sort_keys=True
+        )
+
+    def test_one_shot_generator_with_selector_rejected(self):
+        # The baseline run would exhaust the generator and the selector
+        # would silently score ipc 0 on an empty stream.
+        profile = get_profile("gcc")
+        with pytest.raises(TypeError, match="re-iterable"):
+            replay_experiment(
+                profile.stream(500, seed=1), selector_spec="alecto"
+            )
+
+    def test_one_shot_generator_baseline_only_allowed(self):
+        profile = get_profile("gcc")
+        result = replay_experiment(profile.stream(500, seed=1))
+        assert result.rows["ipc"] > 0
+
+    def test_replay_baseline_only(self, tmp_path):
+        profile = get_profile("lbm")
+        path = str(tmp_path / "lbm.trace.gz")
+        write_trace(path, profile.stream(1000, seed=1))
+        result = replay_experiment(TraceReader(path), selector_spec=None)
+        assert result.rows["selector"] == "none"
+        assert "accuracy" not in result.rows
+        assert result.rows["ipc"] > 0
+
+    def test_simulation_rows_includes_speedup_with_baseline(self):
+        profile = get_profile("gcc")
+        records = profile.generate(1200, seed=1)
+        baseline = simulate(records, None)
+        result = simulate(records, build_selector("alecto"))
+        rows = simulation_rows(result, baseline)
+        assert rows["speedup"] == pytest.approx(result.ipc / baseline.ipc)
+        assert rows["baseline_ipc"] == baseline.ipc
+
+
+class TestTraceCLI:
+    def test_record_replay_info_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "gcc.trace.gz")
+        assert main(
+            ["trace", "record", "gcc", "--accesses", "800", "--seed", "1",
+             "-o", path]
+        ) == 0
+        assert "recorded 800 records" in capsys.readouterr().out
+
+        assert main(["trace", "info", path]) == 0
+        out = capsys.readouterr().out
+        assert "repro.trace.v1" in out
+        assert "records: 800" in out
+
+        json_path = str(tmp_path / "replay.json")
+        assert main(
+            ["trace", "replay", path, "--selector", "alecto",
+             "--compare-inmemory", "--json", json_path]
+        ) == 0
+        assert "byte-for-byte" in capsys.readouterr().out
+        document = json.load(open(json_path))
+        assert document["name"] == "trace-replay"
+        assert document["rows"]["ipc"] > 0
+        assert document["params"]["trace_meta"]["benchmark"] == "gcc"
+
+    def test_replay_unknown_selector_exits_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "t.trace.gz")
+        assert main(
+            ["trace", "record", "gcc", "--accesses", "50", "-o", path]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", path, "--selector", "nosuch"]) == 2
+        assert "nosuch" in capsys.readouterr().err
+
+    def test_record_unknown_benchmark(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["trace", "record", "nosuchbench", "-o", str(tmp_path / "x.gz")]
+        ) == 2
+
+    def test_info_on_garbage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "x.trace.gz"
+        path.write_bytes(b"not gzip at all")
+        assert main(["trace", "info", str(path)]) == 2
+
+    def test_replay_corrupt_body_reported_as_trace_error(self, tmp_path, capsys):
+        # Body corruption surfaces lazily mid-simulation; it must be
+        # reported as a trace problem, not blamed on the selector spec.
+        import gzip
+
+        from repro.cli import main
+
+        path = str(tmp_path / "t.trace.gz")
+        assert main(
+            ["trace", "record", "gcc", "--accesses", "60", "-o", path]
+        ) == 0
+        payload = gzip.decompress(open(path, "rb").read())
+        doctored = payload.replace(b'{"count": 60}', b'{"count": 61}')
+        bad = str(tmp_path / "bad.trace.gz")
+        with gzip.open(bad, "wb") as fh:
+            fh.write(doctored)
+        capsys.readouterr()
+        assert main(["trace", "replay", bad, "--selector", "alecto"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err
+        assert "selector" not in err

@@ -1,0 +1,223 @@
+"""Tests for the streaming trace file subsystem (``repro.trace.v1``)."""
+
+import gzip
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracefile import (
+    FRAME_RECORDS,
+    TRACE_MAGIC,
+    TRACE_SCHEMA,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    read_info,
+    write_trace,
+)
+from repro.workloads import get_profile
+
+record_strategy = st.builds(
+    TraceRecord,
+    pc=st.integers(min_value=0, max_value=2**64 - 1),
+    address=st.integers(min_value=0, max_value=2**64 - 1),
+    access_type=st.sampled_from([AccessType.LOAD, AccessType.STORE]),
+    nonmem_before=st.integers(min_value=0, max_value=2**32 - 1),
+    dependent=st.booleans(),
+)
+
+
+def random_records(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        TraceRecord(
+            pc=rng.getrandbits(48),
+            address=rng.getrandbits(44),
+            access_type=(
+                AccessType.STORE if rng.random() < 0.25 else AccessType.LOAD
+            ),
+            nonmem_before=rng.randrange(0, 500),
+            dependent=rng.random() < 0.1,
+        )
+        for _ in range(n)
+    ]
+
+
+class TestRoundTrip:
+    @given(records=st.lists(record_strategy, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_write_read_identity(self, records, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("prop") / "t.trace.gz")
+        assert write_trace(path, records) == len(records)
+        assert list(TraceReader(path)) == records
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_streams(self, tmp_path, seed):
+        records = random_records(500, seed=seed)
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, records)
+        assert list(TraceReader(path)) == records
+
+    @pytest.mark.parametrize(
+        "count", [0, 1, FRAME_RECORDS - 1, FRAME_RECORDS, FRAME_RECORDS + 1]
+    )
+    def test_frame_boundaries(self, tmp_path, count):
+        records = random_records(count, seed=count)
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, records)
+        assert list(TraceReader(path)) == records
+        assert read_info(path)["count"] == count
+
+    def test_profile_stream_round_trips(self, tmp_path):
+        profile = get_profile("mcf")
+        path = str(tmp_path / "mcf.trace.gz")
+        write_trace(path, profile.stream(1500, seed=3))
+        assert list(TraceReader(path)) == profile.generate(1500, seed=3)
+
+
+class TestWriter:
+    def test_meta_round_trips(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        meta = {"benchmark": "gcc", "accesses": 5, "seed": 1, "note": "x"}
+        write_trace(path, random_records(5), meta=meta)
+        reader = TraceReader(path)
+        assert reader.meta == meta
+        assert reader.schema == TRACE_SCHEMA
+
+    def test_streaming_writer_counts(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        with TraceWriter(path) as writer:
+            for record in random_records(7):
+                writer.write(record)
+            assert writer.count == 7
+
+    def test_write_after_close_raises(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        writer = TraceWriter(path)
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(random_records(1)[0])
+
+    def test_close_idempotent(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        writer = TraceWriter(path)
+        writer.close()
+        writer.close()
+        assert list(TraceReader(path)) == []
+
+    def test_oversized_field_rejected(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        with TraceWriter(path) as writer:
+            with pytest.raises(ValueError, match="v1 encoding"):
+                writer.write(TraceRecord(pc=0, address=2**64))
+
+    def test_unserializable_meta_fails_before_partial_file(self, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        with pytest.raises(TypeError):
+            TraceWriter(str(path), meta={"bad": object()})
+
+    def test_interrupted_write_leaves_loudly_truncated_file(self, tmp_path):
+        # An exception mid-recording must NOT finalize: a short but
+        # well-formed file would silently replay fewer records than the
+        # recorded provenance claims.
+        path = str(tmp_path / "t.trace.gz")
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path, meta={"accesses": 10}) as writer:
+                for record in random_records(3):
+                    writer.write(record)
+                raise RuntimeError("interrupted")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(TraceReader(path))
+        with pytest.raises(TraceFormatError, match="truncated"):
+            read_info(path)
+
+
+class TestReader:
+    def test_reader_is_reiterable(self, tmp_path):
+        records = random_records(50)
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, records)
+        reader = TraceReader(path)
+        assert list(reader) == records
+        assert list(reader) == records  # baseline + selector run pattern
+        assert reader.count == 50
+
+    def test_reader_is_lazy(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, random_records(FRAME_RECORDS + 10))
+        iterator = iter(TraceReader(path))
+        first = next(iterator)
+        assert isinstance(first, TraceRecord)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            TraceReader(str(tmp_path / "absent.trace.gz"))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trace.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(b"NOTATRACE" + b"\n")
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceReader(str(path))
+
+    def test_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.trace.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(TRACE_MAGIC)
+            fh.write(json.dumps({"schema": "repro.trace.v9", "meta": {}}).encode())
+            fh.write(b"\n")
+        with pytest.raises(TraceFormatError, match="unsupported trace schema"):
+            TraceReader(str(path))
+
+    def test_truncated_frames_detected(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, random_records(20))
+        payload = gzip.decompress(open(path, "rb").read())
+        clipped = tmp_path / "clipped.trace.gz"
+        with gzip.open(clipped, "wb") as fh:
+            fh.write(payload[:-40])  # drop the terminator + footer + tail
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(TraceReader(str(clipped)))
+
+    def test_stripped_footer_detected(self, tmp_path):
+        # The footer is the integrity cross-check on the payload; a
+        # doctored file with it removed must not read cleanly.
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, random_records(8))
+        payload = gzip.decompress(open(path, "rb").read())
+        stripped = payload[: payload.rindex(b'{"count"')]
+        bad = tmp_path / "bad.trace.gz"
+        with gzip.open(bad, "wb") as fh:
+            fh.write(stripped)
+        with pytest.raises(TraceFormatError, match="missing count footer"):
+            list(TraceReader(str(bad)))
+        with pytest.raises(TraceFormatError, match="missing count footer"):
+            read_info(str(bad))
+
+    def test_footer_count_mismatch_detected(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, random_records(8))
+        payload = gzip.decompress(open(path, "rb").read())
+        doctored = payload.replace(b'{"count": 8}', b'{"count": 9}')
+        assert doctored != payload
+        bad = tmp_path / "bad.trace.gz"
+        with gzip.open(bad, "wb") as fh:
+            fh.write(doctored)
+        with pytest.raises(TraceFormatError, match="footer declares"):
+            list(TraceReader(str(bad)))
+
+
+class TestInfo:
+    def test_info_reports_meta_and_count(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        write_trace(path, random_records(123), meta={"benchmark": "lbm"})
+        info = read_info(path)
+        assert info["schema"] == TRACE_SCHEMA
+        assert info["count"] == 123
+        assert info["meta"]["benchmark"] == "lbm"
+        assert info["record_bytes"] == 21
