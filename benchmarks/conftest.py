@@ -7,8 +7,6 @@ Results are attached to ``benchmark.extra_info`` and printed, so
 ``pytest benchmarks/ --benchmark-only -s`` shows every regenerated row.
 """
 
-import pytest
-
 #: Trace length used by the scaled-down benchmark runs.
 BENCH_ACCESSES = 6000
 #: Reduced per-core trace length for the eight-core benchmark.

@@ -12,7 +12,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.sim.bench import main
+from repro.sim.bench import main  # noqa: E402  (needs the sys.path shim)
 
 if __name__ == "__main__":
     try:

@@ -21,7 +21,10 @@ Public API tour:
   :class:`~repro.experiments.runner.Experiment` per paper figure/table,
   returning structured :class:`~repro.experiments.runner.ExperimentResult`
   records; :class:`~repro.experiments.runner.SuiteRunner` fans suites out
-  over a process pool.
+  over a process pool;
+- :mod:`repro.store` — the content-addressed result store behind
+  ``repro suite``: cells and experiments cached by everything that
+  determines their value, so warm suite runs execute zero simulations.
 """
 
 from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400, multicore_config
@@ -45,7 +48,7 @@ from repro.selection import (
 from repro.sim import simulate, simulate_multicore
 from repro.workloads import get_profile
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlectoConfig",

@@ -7,6 +7,13 @@ Commands:
 - ``experiment``: regenerate paper figures/tables by name (or ``--all``),
   optionally in parallel (``--jobs``) and with structured JSON output
   (``--json``).
+- ``suite``: the incremental twin of ``experiment`` — results are read
+  through a content-addressed store (:mod:`repro.store`), only cache
+  misses execute, and every completed result is persisted immediately,
+  so interrupted runs resume and warm runs execute zero simulations.
+- ``store``: maintain a result store — ``stats``, ``verify`` (integrity
+  check every record), ``gc`` (drop stale/aged records), ``export`` /
+  ``import`` (archive as one gzip JSON-lines file, e.g. for CI caches).
 - ``bench``: time ``simulate()`` on canonical profiles and write a
   ``BENCH_<rev>.json`` throughput record (see :mod:`repro.sim.bench`).
 - ``trace``: the record-once / replay-everywhere pipeline
@@ -116,22 +123,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import (
-        SuiteRunner,
-        render_result,
-        write_results_json,
-    )
+class _SuiteRequestError(Exception):
+    """Invalid experiment names / --all / --jobs combination."""
+
+
+def _suite_request(args: argparse.Namespace):
+    """Validate a names/--all/--jobs request shared by ``experiment``
+    and ``suite``; returns ``(names, overrides)`` or raises
+    :class:`_SuiteRequestError` with the message to print."""
     from repro.registry import list_experiments
 
     if args.jobs < 1:
-        print("--jobs must be >= 1", file=sys.stderr)
-        return 2
+        raise _SuiteRequestError("--jobs must be >= 1")
     if args.all and args.names:
-        print(
-            "give experiment names or --all, not both", file=sys.stderr
-        )
-        return 2
+        raise _SuiteRequestError("give experiment names or --all, not both")
     if args.all:
         names = list_experiments()
     elif args.names:
@@ -139,15 +144,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         known = set(list_experiments())
         unknown = [n for n in names if n not in known]
         if unknown:
-            print(
+            raise _SuiteRequestError(
                 f"unknown experiment(s): {', '.join(unknown)} "
-                f"(known: {', '.join(sorted(known))})",
-                file=sys.stderr,
+                f"(known: {', '.join(sorted(known))})"
             )
-            return 2
     else:
-        print("specify experiment names or --all", file=sys.stderr)
-        return 2
+        raise _SuiteRequestError("specify experiment names or --all")
 
     overrides = {}
     if args.accesses is not None:
@@ -155,6 +157,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         overrides["accesses_per_core"] = args.accesses
     if args.seed is not None:
         overrides["seed"] = args.seed
+    return names, overrides
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import (
+        SuiteRunner,
+        render_result,
+        write_results_json,
+    )
+
+    try:
+        names, overrides = _suite_request(args)
+    except _SuiteRequestError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     if args.jobs > 1 and len(names) == 1:
         from repro.registry import get_experiment
@@ -175,6 +192,128 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         write_results_json(results, args.json)
         print(f"wrote {len(results)} result(s) to {args.json}", file=sys.stderr)
     return 0
+
+
+#: Default result-store root (overridable with --store or $REPRO_STORE).
+DEFAULT_STORE = ".repro-store"
+
+
+def _open_store(args: argparse.Namespace):
+    import os
+
+    from repro.store import ResultStore
+
+    root = args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+    return ResultStore(root)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import render_result, write_results_json
+    from repro.sim import simulation_count
+    from repro.store import run_suite
+
+    try:
+        names, overrides = _suite_request(args)
+    except _SuiteRequestError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    from contextlib import nullcontext
+
+    from repro.store import suppress_store
+
+    # --no-store must mean no caching at all: suppress the $REPRO_STORE
+    # env fallback too, or cells would still read/write that store.
+    store = None if args.no_store else _open_store(args)
+    guard = suppress_store() if args.no_store else nullcontext()
+    sims_before = simulation_count()
+    with guard:
+        report = run_suite(
+            names, jobs=args.jobs, fast=args.fast, overrides=overrides,
+            store=store,
+        )
+    # Workers' simulations count too — with --jobs N all the computing
+    # happens in the pool and the parent's own counter stays at 0.
+    sims = simulation_count() - sims_before + report.worker_simulations
+
+    cached = set(report.cached)
+    for result in report.results:
+        status = "cached" if result.name in cached else "computed"
+        print(f"[{status:>8}] {result.title}", file=sys.stderr)
+        if not args.quiet:
+            print(render_result(result))
+            print()
+    if store is not None:
+        stats = store.stats
+        print(
+            f"suite: {len(report.cached)} experiment(s) cached, "
+            f"{len(report.computed)} computed; store: {stats.hits} hit(s), "
+            f"{stats.puts} record(s) written; {sims} simulation(s) executed "
+            f"({report.elapsed_seconds:.1f}s)",
+        )
+    else:
+        print(
+            f"suite: {len(report.computed)} experiment(s) computed, "
+            f"store disabled; {sims} simulation(s) executed "
+            f"({report.elapsed_seconds:.1f}s)",
+        )
+    if args.json:
+        write_results_json(report.results, args.json)
+        print(
+            f"wrote {len(report.results)} result(s) to {args.json}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    store = _open_store(args)
+
+    if args.store_command == "stats":
+        print(json.dumps(store.summary(), indent=2))
+        return 0
+
+    if args.store_command == "verify":
+        problems = store.verify()
+        summary = store.summary()
+        for path, reason in problems:
+            print(f"BAD {path}: {reason}")
+        print(
+            f"verified {summary['records']} record(s): "
+            f"{len(problems)} problem(s)"
+        )
+        return 1 if problems else 0
+
+    if args.store_command == "gc":
+        removed = store.gc(
+            stale=not args.everything,
+            older_than_days=args.older_than,
+            everything=args.everything,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(removed)} record(s)")
+        return 0
+
+    if args.store_command == "export":
+        count = store.export(args.path)
+        print(f"exported {count} record(s) to {args.path}")
+        return 0
+
+    if args.store_command == "import":
+        try:
+            added = store.import_archive(args.path)
+        # EOFError: gzip stream cut mid-file (partial download of a
+        # nightly export) raises it from inside the line iterator.
+        except (OSError, ValueError, EOFError) as exc:
+            print(f"cannot import {args.path!r}: {exc}", file=sys.stderr)
+            return 2
+        print(f"imported {added} new record(s) from {args.path}")
+        return 0
+
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
@@ -437,6 +576,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the trace seed for experiments that declare it",
     )
     experiment.set_defaults(func=_cmd_experiment)
+
+    suite = sub.add_parser(
+        "suite",
+        help="run experiments incrementally through the result store",
+    )
+    suite.add_argument(
+        "names", nargs="*", help="experiment names (see `repro list`)"
+    )
+    suite.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    suite.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the cache misses",
+    )
+    suite.add_argument(
+        "--store", metavar="PATH", default=None,
+        help=f"result store root (default: $REPRO_STORE or {DEFAULT_STORE})",
+    )
+    suite.add_argument(
+        "--no-store", action="store_true",
+        help="disable caching (behaves like `repro experiment`)",
+    )
+    suite.add_argument(
+        "--fast", action="store_true",
+        help="reduced-scale smoke run (each experiment's fast_params)",
+    )
+    suite.add_argument(
+        "--accesses", type=int, default=None,
+        help="override trace length for experiments that declare it",
+    )
+    suite.add_argument(
+        "--seed", type=int, default=None,
+        help="override the trace seed for experiments that declare it",
+    )
+    suite.add_argument(
+        "--json", metavar="PATH",
+        help="write structured ExperimentResult records to PATH",
+    )
+    suite.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the rendered tables (status lines only)",
+    )
+    suite.set_defaults(func=_cmd_suite)
+
+    store = sub.add_parser(
+        "store", help="inspect / maintain a repro.store.v1 result store"
+    )
+    store.add_argument(
+        "--store", metavar="PATH", default=None,
+        help=f"store root (default: $REPRO_STORE or {DEFAULT_STORE})",
+    )
+    ssub = store.add_subparsers(dest="store_command", required=True)
+    ssub.add_parser("stats", help="record counts, sizes, and session stats")
+    ssub.add_parser("verify", help="integrity-check every record")
+    gc = ssub.add_parser(
+        "gc", help="drop stale records (bumped fingerprints, corruption)"
+    )
+    gc.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="also drop records created more than DAYS days ago",
+    )
+    gc.add_argument(
+        "--everything", action="store_true", help="drop all records"
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    export = ssub.add_parser(
+        "export", help="archive all records to one gzip JSON-lines file"
+    )
+    export.add_argument("path")
+    imp = ssub.add_parser(
+        "import", help="merge an exported archive into this store"
+    )
+    imp.add_argument("path")
+    store.set_defaults(func=_cmd_store)
 
     trace = sub.add_parser(
         "trace", help="record / replay / inspect repro.trace.v1 trace files"

@@ -18,6 +18,7 @@ import importlib
 
 from repro.experiments.common import (
     SELECTOR_NAMES,
+    cell_rows,
     geomean,
     make_selector,
     speedup_suite,
@@ -60,6 +61,7 @@ def load_all() -> None:
 __all__ = [
     "EXPERIMENT_MODULES",
     "SELECTOR_NAMES",
+    "cell_rows",
     "geomean",
     "load_all",
     "make_selector",

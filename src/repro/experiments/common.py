@@ -75,6 +75,73 @@ def run_benchmark(
     return simulate(trace, selector, config=config, name=profile.name)
 
 
+def cell_store_key(
+    profile: BenchmarkProfile,
+    selector_name: Optional[str],
+    accesses: int,
+    seed: int,
+    config: Optional[SystemConfig],
+    selector_kwargs: Dict,
+):
+    """The result-store key of one (benchmark × selector × config) cell.
+
+    One shared derivation for every call site — the serial suite, the
+    process-pool fan-out, and :func:`cell_rows` — so a cell computed by
+    any of them is a cache hit for all of them.
+    """
+    from repro.store.keys import cell_key, trace_identity
+
+    return cell_key(
+        trace_identity(profile=profile),
+        selector_name,
+        accesses,
+        seed,
+        config=config,
+        context=selector_kwargs,
+    )
+
+
+def cell_rows(
+    profile: BenchmarkProfile,
+    selector_name: Optional[str],
+    accesses: int,
+    seed: int = 1,
+    config: Optional[SystemConfig] = None,
+    **selector_kwargs,
+) -> Dict:
+    """Summary rows of one cell, read through the active result store.
+
+    The JSON-serializable twin of :func:`run_benchmark`
+    (:func:`repro.experiments.runner.simulation_rows` of the same
+    simulation): experiments that only consume scalar outputs — IPC,
+    ``table_misses``, accuracy/coverage — can call this instead and
+    become incremental for free.  Without an active store it simply
+    simulates.
+    """
+    from repro.experiments.runner import simulation_rows
+    from repro.store.resultstore import active_store
+
+    store = active_store()
+    key = None
+    if store is not None:
+        key = cell_store_key(
+            profile, selector_name, accesses, seed, config, selector_kwargs
+        )
+        value = store.get_value(key)
+        if value is not None:
+            return value
+    rows = simulation_rows(
+        run_benchmark(
+            profile, selector_name, accesses, seed, config, **selector_kwargs
+        )
+    )
+    if store is not None:
+        from repro.experiments.runner import _cell_meta
+
+        store.put(key, rows, meta=_cell_meta(profile.name, selector_name))
+    return rows
+
+
 def speedup_suite(
     profiles: Dict[str, BenchmarkProfile],
     selector_names: Sequence[str] = SELECTOR_NAMES,
@@ -91,6 +158,11 @@ def speedup_suite(
     ``jobs > 1`` fans the independent (benchmark, selector) cells out over
     a process pool (:class:`repro.experiments.runner.SuiteRunner`); the
     rows are numerically identical to the serial run.
+
+    When a result store is active (:func:`repro.store.active_store`),
+    every cell is read through it and only the misses simulate: a warm
+    run executes zero simulations, and after a selector's
+    ``code_fingerprint`` bump exactly that selector's cells recompute.
     """
     if jobs > 1:
         from repro.experiments.runner import SuiteRunner
@@ -103,18 +175,44 @@ def speedup_suite(
             config=config,
             **selector_kwargs,
         )
+    from repro.store.resultstore import active_store
+
+    store = active_store()
     rows: Dict[str, Dict[str, float]] = {}
     for name, profile in profiles.items():
-        trace = profile.generate(accesses, seed=seed)
-        baseline = simulate(trace, None, config=config, name=name)
-        row = {}
-        for selector_name in selector_names:
-            selector = make_selector(selector_name, **selector_kwargs)
-            result = simulate(trace, selector, config=config, name=name)
-            row[selector_name] = (
-                result.ipc / baseline.ipc if baseline.ipc else 0.0
-            )
-        rows[name] = row
+        specs = (None, *selector_names)
+        summaries: Dict[Optional[str], Dict] = {}
+        keys: Dict[Optional[str], object] = {}
+        if store is not None:
+            for spec in specs:
+                keys[spec] = cell_store_key(
+                    profile, spec, accesses, seed, config, selector_kwargs
+                )
+                value = store.get_value(keys[spec])
+                if value is not None:
+                    summaries[spec] = value
+        missing = [spec for spec in specs if spec not in summaries]
+        if missing:
+            from repro.experiments.runner import _cell_meta, simulation_rows
+
+            trace = profile.generate(accesses, seed=seed)
+            for spec in missing:
+                selector = (
+                    make_selector(spec, **selector_kwargs)
+                    if spec is not None
+                    else None
+                )
+                result = simulate(trace, selector, config=config, name=name)
+                summaries[spec] = simulation_rows(result)
+                if store is not None:
+                    store.put(
+                        keys[spec], summaries[spec], meta=_cell_meta(name, spec)
+                    )
+        baseline = summaries[None]["ipc"]
+        rows[name] = {
+            spec: (summaries[spec]["ipc"] / baseline if baseline else 0.0)
+            for spec in selector_names
+        }
     return rows
 
 

@@ -28,6 +28,12 @@ wraps a simulation of any re-iterable record stream (an in-memory list or
 a :class:`~repro.cpu.tracefile.TraceReader`) in an
 :class:`ExperimentResult`, which is how ``repro trace replay`` proves a
 recorded trace reproduces the in-memory run byte for byte.
+
+With a :class:`repro.store.ResultStore` (``SuiteRunner(store=...)``, or
+ambient via :func:`repro.store.activate`), suite cells are read through
+the content-addressed store — only misses simulate, and results persist
+the moment they exist.  :func:`repro.store.run_suite` layers whole-
+experiment caching on top; see :mod:`repro.store`.
 """
 
 from __future__ import annotations
@@ -39,9 +45,9 @@ import re
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.experiments.common import format_table, make_selector
@@ -63,6 +69,7 @@ __all__ = [
     "experiment_main",
     "render_result",
     "replay_experiment",
+    "resolve_experiments",
     "run_experiments",
     "simulation_rows",
     "validate_result_dict",
@@ -325,6 +332,19 @@ def replay_experiment(
 
 # -- process-pool workers ---------------------------------------------------
 
+#: Simulations executed in pool workers on this process's behalf —
+#: experiment-level fan-out and cell-level fan-out alike.  The ``repro
+#: suite`` summary adds this to the in-process
+#: :func:`repro.sim.simulation_count` delta so pooled work is never
+#: reported as zero simulations.
+_POOL_SIMULATIONS = 0
+
+
+def pool_simulation_count() -> int:
+    """Simulations executed in pool workers for this process (monotonic)."""
+    return _POOL_SIMULATIONS
+
+
 #: Per-process cache of generated traces, keyed by
 #: (benchmark, accesses, seed): cells of the same benchmark that land on
 #: the same worker reuse the stream instead of regenerating it.
@@ -392,8 +412,8 @@ def _cell_worker(
     seed: int,
     config,
     selector_kwargs: Dict[str, Any],
-) -> float:
-    """Simulate one (benchmark, selector) cell; returns the IPC.
+) -> Dict[str, Any]:
+    """Simulate one (benchmark, selector) cell; returns its summary rows.
 
     In-memory fallback used when trace spooling is disabled: each worker
     regenerates (and caches) the benchmark's stream itself.
@@ -404,7 +424,9 @@ def _cell_worker(
         if selector_name is not None
         else None
     )
-    return simulate(trace, selector, config=config, name=profile.name).ipc
+    return simulation_rows(
+        simulate(trace, selector, config=config, name=profile.name)
+    )
 
 
 def _trace_cell_worker(
@@ -413,7 +435,7 @@ def _trace_cell_worker(
     selector_name: Optional[str],
     config,
     selector_kwargs: Dict[str, Any],
-) -> float:
+) -> Dict[str, Any]:
     """Simulate one cell by lazily replaying a spooled trace file.
 
     The reader streams records straight into the simulator — the worker
@@ -428,7 +450,9 @@ def _trace_cell_worker(
         if selector_name is not None
         else None
     )
-    return simulate(reader, selector, config=config, name=benchmark).ipc
+    return simulation_rows(
+        simulate(reader, selector, config=config, name=benchmark)
+    )
 
 
 def _spool_traces(
@@ -458,8 +482,75 @@ def _spool_traces(
     return paths
 
 
-def _experiment_worker(name: str, overrides: Dict[str, Any]) -> ExperimentResult:
-    return get_experiment(name).run(**overrides)
+def _cell_meta(benchmark: str, selector_spec: Optional[str]) -> Dict[str, Any]:
+    """Provenance recorded with one cached cell (not part of the key)."""
+    return {
+        "created": time.time(),
+        "benchmark": benchmark,
+        "selector": selector_spec or "none",
+    }
+
+
+def _experiment_worker(
+    name: str, overrides: Dict[str, Any], store_root: Optional[str] = None
+) -> Tuple[ExperimentResult, Dict[str, Any]]:
+    """Run one experiment in a pool worker.
+
+    When the parent runs against a result store, its root is passed down
+    so the experiment's *cells* (``speedup_suite`` simulations) read and
+    write the store from inside the worker too; the experiment-level
+    record itself is put by the parent as the future completes.
+
+    Returns the result plus this task's counters (simulations executed,
+    store hits/puts), which the parent folds into its own totals — the
+    ``repro suite`` summary must reflect worker activity, not just the
+    parent process.
+    """
+    from repro.sim import simulation_count
+
+    sims_before = simulation_count()
+    if store_root is None:
+        result = get_experiment(name).run(**overrides)
+        store_stats: Dict[str, int] = {}
+    else:
+        from repro.store import ResultStore, activate
+
+        store = ResultStore(store_root)
+        with activate(store):
+            result = get_experiment(name).run(**overrides)
+        store_stats = store.stats.as_dict()
+    stats = {
+        "simulations": simulation_count() - sims_before,
+        "store": store_stats,
+    }
+    return result, stats
+
+
+def resolve_experiments(
+    names: Optional[Sequence[str]] = None,
+    fast: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> List[Tuple[str, Dict[str, Any], Dict[str, Any]]]:
+    """Resolve a suite request into ``(name, applied, params)`` triples.
+
+    ``applied`` is what will be passed to :meth:`Experiment.run`
+    (``fast_params`` plus accepted overrides); ``params`` is the fully
+    resolved parameter set the run will record — the same dict the
+    result store keys experiment records on
+    (:func:`repro.store.keys.experiment_key`).
+    """
+    if names is None:
+        names = list_experiments()
+    resolved = []
+    for name in names:
+        experiment = get_experiment(name)
+        applied: Dict[str, Any] = {}
+        if fast:
+            applied.update(experiment.fast_params)
+        if overrides:
+            applied.update(experiment.accepted(overrides))
+        resolved.append((name, applied, {**experiment.params, **applied}))
+    return resolved
 
 
 class SuiteRunner:
@@ -469,14 +560,22 @@ class SuiteRunner:
         jobs: worker processes.  ``1`` (or running inside another
             SuiteRunner worker) executes serially in-process; results are
             numerically identical either way.
+        store: optional :class:`repro.store.ResultStore`.  When given,
+            ``speedup_suite`` reads cells through it and fans out only
+            the misses, and every computed cell and experiment result is
+            persisted the moment it exists — making long suite runs
+            resumable after an interrupt.  Incremental *skipping* of
+            whole experiments lives one level up, in
+            :func:`repro.store.run_suite`.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1, store=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if os.environ.get(_WORKER_ENV):
             jobs = 1  # never nest process pools
         self.jobs = jobs
+        self.store = store
 
     # -- (benchmark, selector) cells ---------------------------------------
 
@@ -512,42 +611,78 @@ class SuiteRunner:
                 jobs=1,
                 **selector_kwargs,
             )
+        from repro.experiments.common import cell_store_key
+        from repro.store.resultstore import active_store
+
+        store = self.store if self.store is not None else active_store()
         cells = [
             (bench, selector)
             for bench in profiles
             for selector in (None, *selector_names)
         ]
-        pool = _get_pool(self.jobs)
+        keys: Dict[Any, Any] = {}
+        summaries: Dict[Any, Dict[str, Any]] = {}
+        if store is not None:
+            for cell in cells:
+                key = cell_store_key(
+                    profiles[cell[0]], cell[1], accesses, seed, config,
+                    selector_kwargs,
+                )
+                keys[cell] = key
+                value = store.get_value(key)
+                if value is not None:
+                    summaries[cell] = value
+        missing = [cell for cell in cells if cell not in summaries]
         spool_dir = None
         try:
-            if spool_traces:
-                spool_dir = tempfile.mkdtemp(prefix="repro-trace-spool-")
-                paths = _spool_traces(profiles, accesses, seed, spool_dir)
-                futures = {
-                    cell: pool.submit(
-                        _trace_cell_worker,
-                        paths[cell[0]],
-                        cell[0],
-                        cell[1],
-                        config,
-                        selector_kwargs,
+            if missing:
+                pool = _get_pool(self.jobs)
+                if spool_traces:
+                    spool_dir = tempfile.mkdtemp(prefix="repro-trace-spool-")
+                    benches = {cell[0] for cell in missing}
+                    paths = _spool_traces(
+                        {b: profiles[b] for b in profiles if b in benches},
+                        accesses, seed, spool_dir,
                     )
-                    for cell in cells
-                }
-            else:
-                futures = {
-                    cell: pool.submit(
-                        _cell_worker,
-                        profiles[cell[0]],
-                        cell[1],
-                        accesses,
-                        seed,
-                        config,
-                        selector_kwargs,
-                    )
-                    for cell in cells
-                }
-            ipc = {cell: future.result() for cell, future in futures.items()}
+                    futures = {
+                        pool.submit(
+                            _trace_cell_worker,
+                            paths[cell[0]],
+                            cell[0],
+                            cell[1],
+                            config,
+                            selector_kwargs,
+                        ): cell
+                        for cell in missing
+                    }
+                else:
+                    futures = {
+                        pool.submit(
+                            _cell_worker,
+                            profiles[cell[0]],
+                            cell[1],
+                            accesses,
+                            seed,
+                            config,
+                            selector_kwargs,
+                        ): cell
+                        for cell in missing
+                    }
+                # Persist each cell as it completes (not in submission
+                # order), so an interrupted fan-out resumes from every
+                # cell that actually finished.
+                global _POOL_SIMULATIONS
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    value = future.result()
+                    _POOL_SIMULATIONS += 1  # one simulate() per cell
+                    summaries[cell] = value
+                    if store is not None:
+                        store.put(
+                            keys[cell],
+                            value,
+                            meta=_cell_meta(cell[0], cell[1]),
+                        )
         except Exception:
             _evict_pool(self.jobs)
             raise
@@ -556,14 +691,85 @@ class SuiteRunner:
                 shutil.rmtree(spool_dir, ignore_errors=True)
         rows: Dict[str, Dict[str, float]] = {}
         for bench in profiles:
-            baseline = ipc[(bench, None)]
+            baseline = summaries[(bench, None)]["ipc"]
             rows[bench] = {
-                selector: (ipc[(bench, selector)] / baseline if baseline else 0.0)
+                selector: (
+                    summaries[(bench, selector)]["ipc"] / baseline
+                    if baseline
+                    else 0.0
+                )
                 for selector in selector_names
             }
         return rows
 
     # -- whole experiments -------------------------------------------------
+
+    def _put_experiment(
+        self, name: str, params: Dict[str, Any], result: ExperimentResult
+    ) -> None:
+        if self.store is None:
+            return
+        from repro.store.keys import experiment_key
+
+        self.store.put(
+            experiment_key(name, params),
+            result.to_dict(),
+            meta={"created": time.time(), "experiment": name},
+        )
+
+    def run_resolved(
+        self, resolved: Sequence[Tuple[str, Dict[str, Any], Dict[str, Any]]]
+    ) -> Iterator[Tuple[str, ExperimentResult]]:
+        """Execute ``(name, applied, params)`` triples, yielding on completion.
+
+        Results are yielded (and, with a store, persisted) as each
+        experiment finishes — completion order under a pool, input order
+        serially — so a consumer interrupted mid-suite loses only the
+        in-flight experiments.  The store, when set, is also made the
+        ambient :func:`~repro.store.resultstore.active_store` so cell
+        caching applies inside the experiments themselves.
+        """
+        from repro.store.resultstore import activate
+
+        with activate(self.store):
+            if self.jobs == 1 or len(resolved) == 1:
+                # A single experiment still profits from parallelism:
+                # forward the job count to experiments declaring ``jobs``.
+                for name, applied, params in resolved:
+                    experiment = get_experiment(name)
+                    if self.jobs > 1 and "jobs" in experiment.params:
+                        applied = {**applied, "jobs": self.jobs}
+                    result = experiment.run(**applied)
+                    self._put_experiment(name, params, result)
+                    yield name, result
+                return
+
+            pool = _get_pool(self.jobs)
+            store_root = self.store.root if self.store is not None else None
+            try:
+                futures = {
+                    pool.submit(
+                        _experiment_worker, name, applied, store_root
+                    ): (name, params)
+                    for name, applied, params in resolved
+                }
+                global _POOL_SIMULATIONS
+                for future in as_completed(futures):
+                    name, params = futures[future]
+                    result, stats = future.result()
+                    _POOL_SIMULATIONS += stats["simulations"]
+                    if self.store is not None:
+                        for field_name, count in stats["store"].items():
+                            setattr(
+                                self.store.stats,
+                                field_name,
+                                getattr(self.store.stats, field_name) + count,
+                            )
+                    self._put_experiment(name, params, result)
+                    yield name, result
+            except Exception:
+                _evict_pool(self.jobs)
+                raise
 
     def run_experiments(
         self,
@@ -583,39 +789,9 @@ class SuiteRunner:
         Returns:
             One :class:`ExperimentResult` per name, in input order.
         """
-        if names is None:
-            names = list_experiments()
-        resolved: List[tuple] = []
-        for name in names:
-            experiment = get_experiment(name)
-            applied: Dict[str, Any] = {}
-            if fast:
-                applied.update(experiment.fast_params)
-            if overrides:
-                applied.update(experiment.accepted(overrides))
-            resolved.append((name, applied))
-
-        if self.jobs == 1 or len(resolved) == 1:
-            # A single experiment still profits from parallelism: forward
-            # the job count to experiments that declare a ``jobs`` param.
-            results = []
-            for name, applied in resolved:
-                experiment = get_experiment(name)
-                if self.jobs > 1 and "jobs" in experiment.params:
-                    applied = {**applied, "jobs": self.jobs}
-                results.append(experiment.run(**applied))
-            return results
-
-        pool = _get_pool(self.jobs)
-        try:
-            futures = [
-                pool.submit(_experiment_worker, name, applied)
-                for name, applied in resolved
-            ]
-            return [future.result() for future in futures]
-        except Exception:
-            _evict_pool(self.jobs)
-            raise
+        resolved = resolve_experiments(names, fast=fast, overrides=overrides)
+        by_name = {name: result for name, result in self.run_resolved(resolved)}
+        return [by_name[name] for name, _, _ in resolved]
 
 
 def run_experiments(

@@ -130,6 +130,19 @@ class Registry:
             self.get(name)  # raises the uniform error
         return dict(self._metadata.get(name, {}))
 
+    def fingerprint(self, name: str) -> int:
+        """The registration's declared ``code_fingerprint`` (default 1).
+
+        The fingerprint names the *implementation revision* of a
+        registered component: bump it (re-register with
+        ``fingerprint=N+1``, or pass ``fingerprint=`` at the decorator)
+        whenever a change alters the component's simulated behaviour.
+        The result store (:mod:`repro.store`) folds it into every cache
+        key that depends on the component, so bumping it invalidates
+        exactly that component's cached cells.
+        """
+        return int(self.metadata(name).get("fingerprint", 1))
+
     def names(self) -> List[str]:
         self._ensure_loaded()
         return sorted(self._entries)
@@ -193,6 +206,10 @@ def register_selector(name: str, **metadata: Any) -> Callable:
     ``prefetchers`` is a freshly-built prefetcher list (or ``None`` when
     registered with ``standalone=True``), ``ctx`` is a
     :class:`SelectorContext`, and ``params`` come from the spec string.
+
+    Pass ``fingerprint=N`` (default 1) and bump it whenever the
+    selector's implementation changes behaviour: the result store keys
+    cached simulation cells on it (see :meth:`Registry.fingerprint`).
     """
     return SELECTORS.register(name, **metadata)
 

@@ -15,6 +15,7 @@ from repro.sim.simulator import (
     SimulationResult,
     simulate,
     simulate_multicore,
+    simulation_count,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "simulate_multicore",
+    "simulation_count",
 ]

@@ -295,6 +295,17 @@ class _CoreContext:
         )
 
 
+#: Count of simulations executed by this process (both entry points).
+#: The result store's incremental-suite tests and the ``repro suite``
+#: summary use the delta to prove a warm run executed zero simulations.
+_SIMULATIONS_EXECUTED = 0
+
+
+def simulation_count() -> int:
+    """Simulations executed by this process so far (monotonic)."""
+    return _SIMULATIONS_EXECUTED
+
+
 def simulate(
     trace: Iterable[TraceRecord],
     selector: Optional[SelectionAlgorithm] = None,
@@ -314,6 +325,8 @@ def simulate(
         config: system parameters (Table I defaults when omitted).
         name: label copied into the result.
     """
+    global _SIMULATIONS_EXECUTED
+    _SIMULATIONS_EXECUTED += 1
     config = config or SystemConfig()
     context = _CoreContext(0, trace, config, selector, shared=None)
     context.run()
@@ -336,6 +349,8 @@ def simulate_multicore(
             None``; each core gets private prefetchers/selector state.
         config: system parameters; ``cores`` must match ``len(traces)``.
     """
+    global _SIMULATIONS_EXECUTED
+    _SIMULATIONS_EXECUTED += 1
     config = config or SystemConfig(cores=len(traces))
     if config.cores != len(traces):
         raise ValueError(

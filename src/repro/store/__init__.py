@@ -1,0 +1,66 @@
+"""Content-addressed experiment result store + incremental orchestration.
+
+The suite that regenerates EXPERIMENTS.md is a grid of
+(benchmark × selector × config) cells, each deterministic given its
+inputs.  This package makes that grid *incrementally maintained* instead
+of batch-recomputed:
+
+- :mod:`repro.store.keys` — content-addressed keys naming everything a
+  result depends on (trace identity, selector spec and build context,
+  resolved system config, schema version, per-registration code
+  fingerprints);
+- :mod:`repro.store.resultstore` — the ``repro.store.v1`` on-disk store
+  (sharded directories, atomic writes, integrity-checked footers) with
+  ``get``/``put``/``gc``/``verify``/``export``/``import`` operations;
+- :mod:`repro.store.orchestrator` — :func:`run_suite`, which executes
+  only the cache misses and persists results as they complete, so runs
+  are resumable and a warm ``repro suite --all`` executes zero
+  simulations.
+
+Caching is strictly opt-in: nothing here activates unless a store is
+passed explicitly, :func:`activate` is entered, or ``REPRO_STORE`` is
+exported.
+"""
+
+from repro.store.keys import (
+    SIM_FINGERPRINT,
+    STORE_SCHEMA,
+    StoreKey,
+    cell_key,
+    component_fingerprints,
+    experiment_key,
+    selector_fingerprint,
+    trace_identity,
+    workload_fingerprint,
+)
+from repro.store.orchestrator import SuiteReport, run_suite
+from repro.store.resultstore import (
+    EXPORT_SCHEMA,
+    STORE_ENV,
+    ResultStore,
+    StoreStats,
+    activate,
+    active_store,
+    suppress_store,
+)
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "SIM_FINGERPRINT",
+    "STORE_ENV",
+    "STORE_SCHEMA",
+    "ResultStore",
+    "StoreKey",
+    "StoreStats",
+    "SuiteReport",
+    "activate",
+    "active_store",
+    "cell_key",
+    "component_fingerprints",
+    "experiment_key",
+    "run_suite",
+    "selector_fingerprint",
+    "suppress_store",
+    "trace_identity",
+    "workload_fingerprint",
+]

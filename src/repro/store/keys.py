@@ -1,0 +1,327 @@
+"""Content-addressed cache keys for experiment results and suite cells.
+
+A key names *everything that determines a result's value* — and nothing
+else — so that equal keys imply byte-identical rows and any relevant
+change produces a different key:
+
+- **trace identity**: either the provenance meta of a ``repro.trace.v1``
+  file or the :func:`~repro.common.hashing.stable_hash` of a
+  :class:`~repro.workloads.profiles.BenchmarkProfile`'s full definition,
+  plus the access count and seed;
+- **selector identity**: the declarative spec string
+  (``"alecto:fixed_degree=6"``) together with the build context
+  (composite, temporal options, Alecto overrides) and the selector
+  registration's ``code_fingerprint``;
+- **system configuration**: the resolved
+  :class:`~repro.common.config.SystemConfig` (frozen dataclasses with
+  deterministic ``repr``);
+- **code revisions**: the per-registration fingerprints
+  (:meth:`repro.registry.Registry.fingerprint`) of whatever the result
+  depends on, plus :data:`SIM_FINGERPRINT` for the simulator core and
+  the store schema version.
+
+Keys hash their canonical-JSON payload with BLAKE2b; the hex digest is
+the record's address inside a :class:`~repro.store.resultstore.ResultStore`.
+Digests are process-stable: the same inputs hash identically across runs,
+interpreters, and pool workers (pinned by ``tests/test_store.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.registry import COMPOSITES, PREFETCHERS, SELECTORS, parse_spec
+
+#: Schema identifier embedded in every key payload and store record.
+STORE_SCHEMA = "repro.store.v1"
+
+#: Implementation revision of the simulator core (cache model, DRAM,
+#: core model, hierarchy).  Bump when a simulator change alters results;
+#: every key embeds it, so the whole store invalidates at once.
+SIM_FINGERPRINT = 1
+
+__all__ = [
+    "SIM_FINGERPRINT",
+    "STORE_SCHEMA",
+    "StoreKey",
+    "cell_key",
+    "component_fingerprints",
+    "experiment_key",
+    "freeze",
+    "selector_fingerprint",
+    "trace_identity",
+    "workload_fingerprint",
+]
+
+
+def freeze(value: Any) -> Any:
+    """Reduce ``value`` to a canonical, JSON-serializable token.
+
+    JSON scalars and containers pass through (dicts sorted at dump
+    time); anything else — an ``AlectoConfig``, a ``SystemConfig`` — is
+    represented by its ``repr``, which is deterministic for the frozen
+    dataclasses used throughout this library.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): freeze(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [freeze(item) for item in value]
+    return repr(value)
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """A content-addressed key: a kind, a canonical payload, a digest.
+
+    Attributes:
+        kind: ``"cell"`` (one simulation) or ``"experiment"`` (one
+            registered experiment's full rows).
+        payload: the canonical description of everything the value
+            depends on; stored verbatim inside the record so ``verify``
+            and ``gc`` can re-derive and cross-check it later.
+    """
+
+    kind: str
+    payload: Dict[str, Any]
+
+    @property
+    def digest(self) -> str:
+        """Hex BLAKE2b digest of the canonical payload (the address)."""
+        return _digest({"kind": self.kind, **self.payload})
+
+
+def selector_fingerprint(spec: Optional[str]) -> int:
+    """The ``code_fingerprint`` of the spec's base selector (0 = baseline).
+
+    Only the registration named by the spec participates: bumping
+    ``alecto``'s fingerprint changes every ``alecto``/``alecto:...`` cell
+    key and no other selector's.
+    """
+    if spec is None or spec == "none":
+        return 0
+    name, _ = parse_spec(spec)
+    return SELECTORS.fingerprint(name)
+
+
+def _composite_fingerprint(composite: Optional[str]) -> Dict[str, int]:
+    """Fingerprints of the composite and every registered prefetcher.
+
+    A cell's value depends on the prefetchers the selector schedules;
+    which subset a composite builds is not introspectable from here, so
+    all prefetcher fingerprints participate (conservative: bumping any
+    prefetcher invalidates all cells, never yields a stale hit).
+    """
+    fingerprints = {
+        f"prefetcher:{name}": PREFETCHERS.fingerprint(name)
+        for name in PREFETCHERS.names()
+    }
+    if composite is not None and composite in COMPOSITES:
+        fingerprints[f"composite:{composite}"] = COMPOSITES.fingerprint(composite)
+    return fingerprints
+
+
+def component_fingerprints() -> Dict[str, int]:
+    """Fingerprints of every registered prefetcher/composite/selector.
+
+    The conservative dependency closure used by experiment-level keys:
+    an experiment may build any selector, so bumping any component
+    invalidates every cached experiment (each then replays its
+    untouched cells from the store, so only the bumped component's
+    cells actually re-simulate).
+    """
+    fingerprints: Dict[str, int] = {}
+    for prefix, registry in (
+        ("prefetcher", PREFETCHERS),
+        ("composite", COMPOSITES),
+        ("selector", SELECTORS),
+    ):
+        for name in registry.names():
+            fingerprints[f"{prefix}:{name}"] = registry.fingerprint(name)
+    return fingerprints
+
+
+def workload_fingerprint() -> int:
+    """Stable hash over every benchmark profile's full definition.
+
+    Cell keys already track their own profile via
+    :func:`trace_identity`; experiment-level keys need the same
+    sensitivity — an edited pattern mix must not leave a whole
+    experiment record looking fresh — so they embed this conservative
+    hash of all suites (any workload edit invalidates every cached
+    experiment, which then replays its unaffected cells).
+    """
+    from repro.common.hashing import stable_hash
+    from repro.workloads import ALL_SUITES
+    from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+    parts = []
+    for suite, profiles in sorted(ALL_SUITES.items()):
+        for name, profile in sorted(profiles.items()):
+            parts.append(f"{suite}/{name}={profile!r}")
+    for name, profile in sorted(TEMPORAL_PROFILES.items()):
+        parts.append(f"temporal/{name}={profile!r}")
+    return stable_hash("\n".join(parts))
+
+
+def trace_identity(
+    profile: Any = None,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Canonical identity of an access stream.
+
+    Args:
+        profile: a :class:`~repro.workloads.profiles.BenchmarkProfile`;
+            its full definition (patterns, ratios) is folded to a stable
+            hash so a same-named profile with different patterns never
+            aliases.
+        meta: alternatively, the provenance meta of a ``repro.trace.v1``
+            file (``benchmark``/``accesses``/``seed``/...), used
+            verbatim.
+    """
+    if (profile is None) == (meta is None):
+        raise ValueError("trace_identity takes exactly one of profile or meta")
+    if meta is not None:
+        return {"source": "trace.v1", "meta": freeze(dict(meta))}
+    from repro.common.hashing import stable_hash
+
+    return {
+        "source": "profile",
+        "benchmark": profile.name,
+        "suite": profile.suite,
+        "profile_hash": stable_hash(repr(profile)),
+    }
+
+
+#: Lazily-derived ``build_selector`` keyword defaults (single source of
+#: truth: its signature).  Context entries equal to their default are
+#: stripped before hashing, so a call site spelling a default out
+#: (``composite="gs_cs_pmp"``) addresses the same cell as one that
+#: omits it — and if a default ever changes, stripping stops for the
+#: old value automatically instead of aliasing new behaviour onto
+#: records computed under the old default.
+_CONTEXT_DEFAULTS: Optional[Dict[str, Any]] = None
+
+
+def _context_defaults() -> Dict[str, Any]:
+    global _CONTEXT_DEFAULTS
+    if _CONTEXT_DEFAULTS is None:
+        import inspect
+
+        from repro.registry import build_selector
+
+        _CONTEXT_DEFAULTS = {
+            name: parameter.default
+            for name, parameter in inspect.signature(
+                build_selector
+            ).parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+    return _CONTEXT_DEFAULTS
+
+
+def current_profile_hash(benchmark: str, suite: str) -> Optional[int]:
+    """The live profile hash for (suite, benchmark), or ``None`` if gone.
+
+    Used by ``repro store gc``: a cell whose stored ``profile_hash`` no
+    longer matches the current definition (edited pattern mix, renamed
+    or removed benchmark, ad-hoc test profile) can never be hit again
+    and is reclaimable.
+    """
+    from repro.common.hashing import stable_hash
+    from repro.workloads import ALL_SUITES
+    from repro.workloads.temporal_suite import TEMPORAL_PROFILES
+
+    profiles = ALL_SUITES.get(suite)
+    profile = profiles.get(benchmark) if profiles else None
+    if profile is None and suite == "temporal":
+        profile = TEMPORAL_PROFILES.get(benchmark)
+    if profile is None:
+        return None
+    return stable_hash(repr(profile))
+
+
+def cell_key(
+    trace: Mapping[str, Any],
+    selector_spec: Optional[str],
+    accesses: int,
+    seed: int,
+    config: Any = None,
+    context: Optional[Mapping[str, Any]] = None,
+) -> StoreKey:
+    """Key one (trace × selector × config) simulation cell.
+
+    Args:
+        trace: a :func:`trace_identity` dict.
+        selector_spec: registry spec string, or ``None`` for the
+            no-prefetching baseline.
+        config: resolved :class:`~repro.common.config.SystemConfig`
+            (``None`` means Table-I defaults and is resolved here, so an
+            explicit ``SystemConfig()`` and ``None`` key identically).
+        context: selector build context (``composite``,
+            ``with_temporal``, ``alecto_config``, ...) exactly as handed
+            to :func:`repro.registry.build_selector`; normalized to its
+            minimal form (defaults stripped) so explicit defaults and
+            omissions key identically.
+    """
+    from repro.common.config import SystemConfig
+
+    defaults = _context_defaults()
+    context = {
+        name: value
+        for name, value in dict(context or {}).items()
+        if not (name in defaults and value == defaults[name])
+    }
+    composite = context.get("composite")
+    spec = None if selector_spec in (None, "none") else selector_spec
+    payload = {
+        "schema": STORE_SCHEMA,
+        "sim_fingerprint": SIM_FINGERPRINT,
+        "trace": freeze(dict(trace)),
+        "accesses": accesses,
+        "seed": seed,
+        "selector": spec,
+        "selector_fingerprint": selector_fingerprint(spec),
+        "context": freeze(context),
+        "config": repr(config if config is not None else SystemConfig()),
+    }
+    if spec is not None:
+        payload["scheduled_fingerprints"] = _composite_fingerprint(
+            composite if isinstance(composite, str) else "gs_cs_pmp"
+        )
+    return StoreKey(kind="cell", payload=payload)
+
+
+def experiment_key(name: str, params: Mapping[str, Any]) -> StoreKey:
+    """Key one registered experiment at fully-resolved parameters.
+
+    ``jobs`` is excluded: parallelism changes wall-clock only, never
+    rows (pinned by the runner's parity tests), so a ``--jobs 4`` run
+    hits the record a serial run stored.  The payload embeds the
+    experiment's own fingerprint plus the conservative component
+    closure (:func:`component_fingerprints`).
+    """
+    from repro.registry import EXPERIMENTS
+
+    params = {key: freeze(value) for key, value in params.items() if key != "jobs"}
+    return StoreKey(
+        kind="experiment",
+        payload={
+            "schema": STORE_SCHEMA,
+            "sim_fingerprint": SIM_FINGERPRINT,
+            "name": name,
+            "params": params,
+            "experiment_fingerprint": EXPERIMENTS.fingerprint(name),
+            "component_fingerprints": component_fingerprints(),
+            "workload_fingerprint": workload_fingerprint(),
+        },
+    )

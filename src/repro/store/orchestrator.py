@@ -1,0 +1,149 @@
+"""Incremental suite orchestration: run experiments *through* the store.
+
+:func:`run_suite` is the engine behind ``repro suite`` and the
+EXPERIMENTS.md generator: every requested experiment is looked up in the
+:class:`~repro.store.resultstore.ResultStore` first, only the misses
+execute (fanned out over a process pool when ``jobs > 1``), and each
+result is persisted the moment it completes — so an interrupted run
+resumes exactly where it stopped, and a warm run over a populated store
+executes zero simulations.
+
+While the suite runs, the store is the ambient
+:func:`~repro.store.resultstore.active_store`, so the per-cell caching
+inside :func:`repro.experiments.common.speedup_suite` sees it too: when
+a code-fingerprint bump invalidates an experiment record, re-running it
+replays every untouched (benchmark × selector × config) cell from the
+store and simulates only the cells the bump actually touched.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.store.keys import experiment_key
+from repro.store.resultstore import ResultStore, activate
+
+if TYPE_CHECKING:  # pragma: no cover — avoids importing the experiments
+    from repro.experiments.runner import ExperimentResult  # package eagerly
+
+__all__ = ["SuiteReport", "run_suite"]
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of one :func:`run_suite` call.
+
+    Attributes:
+        results: one :class:`ExperimentResult` per requested experiment,
+            in request order (cached and computed alike).
+        cached: names served from the store.
+        computed: names that executed this run.
+        store: the store used, or ``None`` when caching was off.
+        elapsed_seconds: wall-clock duration of the whole call.
+        worker_simulations: simulations executed inside pool workers
+            (``jobs > 1``); the caller's own process count comes from
+            :func:`repro.sim.simulation_count` deltas.
+    """
+
+    results: List[ExperimentResult]
+    cached: List[str] = field(default_factory=list)
+    computed: List[str] = field(default_factory=list)
+    store: Optional[ResultStore] = None
+    elapsed_seconds: float = 0.0
+    worker_simulations: int = 0
+
+
+def _result_from_record(record: Dict[str, Any]) -> "ExperimentResult":
+    """Rebuild an :class:`ExperimentResult` from a stored record value."""
+    from repro.experiments.runner import ExperimentResult, validate_result_dict
+
+    value = record["value"]
+    validate_result_dict(value)
+    return ExperimentResult(
+        name=value["name"],
+        title=value["title"],
+        params=value["params"],
+        rows=value["rows"],
+        elapsed_seconds=value["elapsed_seconds"],
+        version=value["version"],
+    )
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    fast: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+    store: Optional[ResultStore] = None,
+) -> SuiteReport:
+    """Run experiments incrementally against ``store``.
+
+    Args:
+        names: experiment names (default: every registered experiment).
+        jobs: worker processes for the cache misses.
+        fast: apply each experiment's ``fast_params`` (the reduced smoke
+            scale); part of the cache key, so fast and full-scale rows
+            never alias.
+        overrides: parameter overrides (``accesses``/``seed``/...),
+            applied to experiments that declare them and folded into
+            each key.
+        store: the result store; ``None`` disables caching and behaves
+            exactly like :class:`~repro.experiments.runner.SuiteRunner`.
+    """
+    from repro.experiments.runner import SuiteRunner, resolve_experiments
+
+    start = time.perf_counter()
+    resolved = resolve_experiments(names, fast=fast, overrides=overrides)
+    report = SuiteReport(results=[], store=store)
+
+    hits: Dict[str, ExperimentResult] = {}
+    misses: List[tuple] = []
+    if store is None:
+        misses = list(resolved)
+    else:
+        for name, applied, params in resolved:
+            key = experiment_key(name, params)
+            record = store.get(key)
+            result = None
+            if record is not None:
+                try:
+                    result = _result_from_record(record)
+                except ValueError as exc:
+                    # A record that passed the store's integrity checks
+                    # but carries an invalid/obsolete result payload
+                    # (e.g. a future RESULT_SCHEMA bump) is a miss to
+                    # recompute and overwrite, never a crash.  Reclassify
+                    # the get() that already counted it as a hit.
+                    store.stats.hits -= 1
+                    store.stats.misses += 1
+                    store.stats.corrupt += 1
+                    print(
+                        f"repro store: recomputing {name!r}: cached result "
+                        f"record is invalid ({exc})",
+                        file=sys.stderr,
+                    )
+            if result is None:
+                misses.append((name, applied, params))
+            else:
+                hits[name] = result
+                report.cached.append(name)
+
+    if misses:
+        from repro.experiments.runner import pool_simulation_count
+
+        pool_before = pool_simulation_count()
+        runner = SuiteRunner(jobs=jobs, store=store)
+        with activate(store):
+            for name, result in runner.run_resolved(misses):
+                hits[name] = result
+                report.computed.append(name)
+        # Covers both fan-out grains: experiments dispatched to workers
+        # AND cells a single experiment fanned out via speedup_suite.
+        report.worker_simulations = pool_simulation_count() - pool_before
+
+    report.results = [hits[name] for name, _, _ in resolved]
+    report.elapsed_seconds = time.perf_counter() - start
+    return report

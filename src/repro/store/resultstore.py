@@ -1,0 +1,520 @@
+"""The on-disk content-addressed result store (``repro.store.v1``).
+
+Layout — one record per file, sharded by digest prefix so no directory
+grows unboundedly::
+
+    .repro-store/
+        ab/
+            ab12...ef.json        # record addressed by its key digest
+        cd/
+            ...
+
+Each record file carries two lines, mirroring the integrity discipline
+of :mod:`repro.cpu.tracefile`: a canonical-JSON body and a footer with
+the body's BLAKE2b digest.  A record whose footer disagrees with its
+body (truncated write, bit rot, hand-editing) is *detected*, not
+trusted: :meth:`ResultStore.get` treats it as a miss and
+:meth:`ResultStore.verify` names it.
+
+Writes are atomic (temp file in the destination directory +
+``os.replace``), so concurrent writers — pool workers, parallel CI jobs
+sharing a cache — can ``put`` the same key without torn records; last
+writer wins with both contents valid and identical by construction.
+
+The *active store* is an ambient, opt-in context: deep call sites
+(:func:`repro.experiments.common.speedup_suite` cells) consult
+:func:`active_store`, which resolves an explicitly activated store
+first and the ``REPRO_STORE`` environment variable second (the env var
+is how pool workers inherit the store without plumbing it through every
+signature).
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.store.keys import (
+    SIM_FINGERPRINT,
+    STORE_SCHEMA,
+    StoreKey,
+    component_fingerprints,
+    selector_fingerprint,
+)
+
+#: Environment variable naming the store root for subprocesses.
+STORE_ENV = "REPRO_STORE"
+
+#: Schema of an exported store archive (gzip JSON lines).
+EXPORT_SCHEMA = "repro.store.export.v1"
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "STORE_ENV",
+    "ResultStore",
+    "StoreStats",
+    "activate",
+    "active_store",
+    "suppress_store",
+]
+
+
+def _body_digest(body: bytes) -> str:
+    return hashlib.blake2b(body, digest_size=16).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Session counters for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed persistence for experiment results and cells.
+
+    Args:
+        root: store directory, created on first write.
+    """
+
+    root: str
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    # -- addressing --------------------------------------------------------
+
+    def path_for(self, key: StoreKey) -> str:
+        digest = key.digest
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    # -- core operations ---------------------------------------------------
+
+    def put(
+        self,
+        key: StoreKey,
+        value: Any,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Persist ``value`` under ``key`` atomically; returns the path.
+
+        ``value`` must be JSON-serializable; it round-trips exactly
+        (floats serialize shortest-repr, so a reloaded value re-renders
+        byte-identically).
+        """
+        record = {
+            "schema": STORE_SCHEMA,
+            "kind": key.kind,
+            "key": key.payload,
+            "key_digest": key.digest,
+            "value": value,
+            "meta": dict(meta or {}),
+        }
+        # No sort_keys: the value's insertion order IS data (row/column
+        # order of rendered tables) and must survive the round trip; the
+        # integrity footer hashes the serialized bytes as written.
+        body = json.dumps(record, default=float).encode("utf-8")
+        footer = json.dumps({"blake2b": _body_digest(body)}).encode("utf-8")
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(body + b"\n" + footer + b"\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return path
+
+    def get(self, key: StoreKey) -> Optional[Dict[str, Any]]:
+        """The record stored under ``key``, or ``None`` on miss.
+
+        A record that exists but fails its integrity checks (footer
+        digest, schema, key-digest cross-check) counts as a miss — an
+        incremental run recomputes and overwrites it — and is reported
+        on stderr so corruption never passes silently.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                content = handle.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        record, problem = _parse_record(content)
+        if problem is None and record["key_digest"] != key.digest:
+            problem = "key digest does not match the requested key"
+        if problem is not None:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            print(
+                f"repro store: ignoring corrupt record {path}: {problem}",
+                file=sys.stderr,
+            )
+            return None
+        self.stats.hits += 1
+        return record
+
+    def get_value(self, key: StoreKey) -> Optional[Any]:
+        """Like :meth:`get`, returning just the stored value."""
+        record = self.get(key)
+        return None if record is None else record["value"]
+
+    def contains(self, key: StoreKey) -> bool:
+        """Whether a *valid* record exists for ``key`` (counts as get)."""
+        return self.get(key) is not None
+
+    # -- maintenance -------------------------------------------------------
+
+    def _record_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
+
+    def summary(self) -> Dict[str, Any]:
+        """Counts and sizes by record kind (walks the whole store)."""
+        kinds: Dict[str, int] = {}
+        total_bytes = 0
+        records = 0
+        for path in self._record_paths():
+            records += 1
+            total_bytes += os.path.getsize(path)
+            record, problem = _read_record(path)
+            kind = record["kind"] if problem is None else "corrupt"
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "root": self.root,
+            "records": records,
+            "bytes": total_bytes,
+            "kinds": dict(sorted(kinds.items())),
+            "session": self.stats.as_dict(),
+        }
+
+    def verify(self) -> List[Tuple[str, str]]:
+        """Re-check every record's integrity; returns (path, problem)s.
+
+        Flags footer/body digest mismatches, malformed JSON, schema
+        drift, and records filed under a name that does not match their
+        own key digest (a doctored or misplaced file).
+        """
+        problems: List[Tuple[str, str]] = []
+        for path in self._record_paths():
+            record, problem = _read_record(path)
+            if problem is None:
+                expected = os.path.basename(path)[: -len(".json")]
+                if record["key_digest"] != expected:
+                    problem = (
+                        f"record key digest {record['key_digest']} does not "
+                        f"match its filename {expected}"
+                    )
+                elif StoreKey(record["kind"], record["key"]).digest != expected:
+                    problem = "key payload does not hash to the stored digest"
+            if problem is not None:
+                problems.append((path, problem))
+        return problems
+
+    def gc(
+        self,
+        stale: bool = True,
+        older_than_days: Optional[float] = None,
+        everything: bool = False,
+        dry_run: bool = False,
+    ) -> List[str]:
+        """Delete dead records; returns the paths removed.
+
+        Args:
+            stale: drop records whose embedded fingerprints no longer
+                match the current registries (a bumped selector's old
+                cells, records from a previous ``SIM_FINGERPRINT``) and
+                corrupt records.
+            older_than_days: additionally drop records created more than
+                this many days ago.
+            everything: drop all records regardless.
+            dry_run: report without deleting.
+        """
+        current = component_fingerprints()
+        now = time.time()
+        removed: List[str] = []
+        for path in self._record_paths():
+            record, problem = _read_record(path)
+            drop = everything
+            if not drop and problem is not None:
+                drop = stale
+            if not drop and stale and _is_stale(record, current):
+                drop = True
+            if not drop and older_than_days is not None and problem is None:
+                created = record["meta"].get("created", now)
+                drop = (now - created) > older_than_days * 86400.0
+            if drop:
+                removed.append(path)
+                if not dry_run:
+                    os.unlink(path)
+        if not dry_run:
+            for shard in list(self._shard_dirs()):
+                try:
+                    os.rmdir(shard)  # only succeeds when empty
+                except OSError:
+                    pass
+        return removed
+
+    def _shard_dirs(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) == 2 and os.path.isdir(shard_dir):
+                yield shard_dir
+
+    # -- archival ----------------------------------------------------------
+
+    def export(self, path: str) -> int:
+        """Write every valid record to a gzip JSON-lines archive.
+
+        The archive opens with a header line, carries one line per
+        record (digest + body object), and closes with a count trailer
+        — the same loud-truncation discipline as ``repro.trace.v1``.
+        Returns the number of records exported.
+        """
+        count = 0
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(json.dumps({"schema": EXPORT_SCHEMA}) + "\n")
+            for record_path in self._record_paths():
+                record, problem = _read_record(record_path)
+                if problem is not None:
+                    continue
+                line = {
+                    "digest": record["key_digest"],
+                    # Integrity digest over the serialized record, so a
+                    # doctored archive line (key OR value) is rejected on
+                    # import — same discipline as the per-file footers.
+                    "blake2b": _body_digest(json.dumps(record).encode("utf-8")),
+                    "record": record,
+                }
+                handle.write(json.dumps(line) + "\n")
+                count += 1
+            handle.write(json.dumps({"count": count}) + "\n")
+        return count
+
+    def import_archive(self, path: str) -> int:
+        """Merge an exported archive into this store; returns records added.
+
+        Every imported record is re-addressed and re-footered through
+        :meth:`put`-equivalent writes, so a doctored archive line fails
+        its key-digest cross-check and is rejected loudly.
+        """
+        added = 0
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+            if header.get("schema") != EXPORT_SCHEMA:
+                raise ValueError(
+                    f"not a {EXPORT_SCHEMA} archive: {header.get('schema')!r}"
+                )
+            count = None
+            seen = 0
+            for line in handle:
+                entry = json.loads(line)
+                if "count" in entry and "record" not in entry:
+                    count = entry["count"]
+                    break
+                record = entry["record"]
+                body = json.dumps(record).encode("utf-8")
+                if _body_digest(body) != entry.get("blake2b"):
+                    raise ValueError(
+                        f"archive record {entry.get('digest')!r} fails its "
+                        "integrity cross-check (doctored archive?)"
+                    )
+                key = StoreKey(record["kind"], record["key"])
+                if key.digest != entry["digest"] or key.digest != record["key_digest"]:
+                    raise ValueError(
+                        f"archive record {entry.get('digest')!r} fails its "
+                        "key-digest cross-check (doctored archive?)"
+                    )
+                seen += 1
+                if self.get(key) is None:
+                    self.put(key, record["value"], meta=record["meta"])
+                    added += 1
+            if count is None or count != seen:
+                raise ValueError(
+                    f"truncated archive: trailer declares {count}, read {seen}"
+                )
+        return added
+
+
+def _parse_record(content: bytes) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    """Parse + integrity-check one record file's bytes."""
+    body, _, rest = content.partition(b"\n")
+    footer_line = rest.strip()
+    if not footer_line:
+        return None, "missing integrity footer"
+    try:
+        footer = json.loads(footer_line)
+    except json.JSONDecodeError as exc:
+        return None, f"malformed footer: {exc}"
+    if footer.get("blake2b") != _body_digest(body):
+        return None, "body does not match its integrity footer"
+    try:
+        record = json.loads(body)
+    except json.JSONDecodeError as exc:
+        return None, f"malformed body: {exc}"
+    if record.get("schema") != STORE_SCHEMA:
+        return None, f"unsupported record schema {record.get('schema')!r}"
+    for field_name in ("kind", "key", "key_digest", "value", "meta"):
+        if field_name not in record:
+            return None, f"record missing field {field_name!r}"
+    return record, None
+
+
+def _read_record(path: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+    try:
+        with open(path, "rb") as handle:
+            return _parse_record(handle.read())
+    except OSError as exc:
+        return None, f"unreadable: {exc}"
+
+
+def _is_stale(record: Dict[str, Any], current: Dict[str, int]) -> bool:
+    """Whether a record's embedded fingerprints lag the registries."""
+    key = record["key"]
+    if key.get("sim_fingerprint") != SIM_FINGERPRINT:
+        return True
+    if record["kind"] == "cell":
+        spec = key.get("selector")
+        try:
+            expected = selector_fingerprint(spec)
+        except ValueError:
+            return True  # selector no longer registered
+        if key.get("selector_fingerprint") != expected:
+            return True
+        scheduled = key.get("scheduled_fingerprints")
+        if scheduled is not None:
+            from repro.store.keys import _composite_fingerprint
+
+            composite = key.get("context", {}).get("composite", "gs_cs_pmp")
+            # Full-set equality, not per-entry comparison: registering a
+            # NEW prefetcher also changes every selector-cell key, so
+            # the old records are unreachable and must be reclaimable.
+            if scheduled != _composite_fingerprint(composite):
+                return True
+        trace = key.get("trace", {})
+        if trace.get("source") == "profile":
+            from repro.store.keys import current_profile_hash
+
+            live = current_profile_hash(
+                trace.get("benchmark", ""), trace.get("suite", "")
+            )
+            # An edited/removed profile orphans its cells: their hash
+            # can never be produced again, so reclaim them.
+            if live is None or live != trace.get("profile_hash"):
+                return True
+        return False
+    if record["kind"] == "experiment":
+        from repro.store.keys import workload_fingerprint
+
+        return (
+            key.get("component_fingerprints") != current
+            or key.get("workload_fingerprint") != workload_fingerprint()
+        )
+    return True
+
+
+# -- the ambient active store ------------------------------------------------
+
+_ACTIVE: Optional[ResultStore] = None
+_SUPPRESSED = False
+
+
+def active_store() -> Optional[ResultStore]:
+    """The ambient store deep call sites should read through, if any.
+
+    Resolution order: a store activated in this process via
+    :func:`activate`, then the ``REPRO_STORE`` environment variable
+    (how pool workers and subprocesses inherit the orchestrator's
+    store).  ``None`` means caching is off — the default, so plain
+    library use never touches the filesystem.  Inside
+    :func:`suppress_store`, always ``None``.
+    """
+    if _SUPPRESSED:
+        return None
+    if _ACTIVE is not None:
+        return _ACTIVE
+    root = os.environ.get(STORE_ENV)
+    if root:
+        return ResultStore(root)
+    return None
+
+
+@contextmanager
+def suppress_store() -> Iterator[None]:
+    """Force caching off for the dynamic extent, env var included.
+
+    ``repro suite --no-store`` (and the generator's ``--no-store``)
+    must mean *no caching at all*: without this, an exported
+    ``REPRO_STORE`` would keep feeding cells through the env fallback
+    — in this process and, because the variable is also unset for the
+    extent, in any pool worker forked meanwhile.
+    """
+    global _SUPPRESSED
+    previous, previous_env = _SUPPRESSED, os.environ.pop(STORE_ENV, None)
+    _SUPPRESSED = True
+    try:
+        yield
+    finally:
+        _SUPPRESSED = previous
+        if previous_env is not None:
+            os.environ[STORE_ENV] = previous_env
+
+
+@contextmanager
+def activate(store: Optional[ResultStore]) -> Iterator[Optional[ResultStore]]:
+    """Make ``store`` the ambient store for the dynamic extent.
+
+    Also exports ``REPRO_STORE`` so worker processes forked while the
+    context is active inherit the same store.  ``None`` is accepted and
+    leaves the environment untouched (a no-op context), which lets
+    callers write one code path for cached and uncached runs.
+    """
+    global _ACTIVE
+    if store is None:
+        yield None
+        return
+    previous, previous_env = _ACTIVE, os.environ.get(STORE_ENV)
+    _ACTIVE = store
+    os.environ[STORE_ENV] = store.root
+    try:
+        yield store
+    finally:
+        _ACTIVE = previous
+        if previous_env is None:
+            os.environ.pop(STORE_ENV, None)
+        else:
+            os.environ[STORE_ENV] = previous_env

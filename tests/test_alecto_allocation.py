@@ -8,7 +8,7 @@ stated otherwise).
 import pytest
 
 from repro.selection.alecto.allocation_table import AllocationTable
-from repro.selection.alecto.states import PrefetcherState, StateKind
+from repro.selection.alecto.states import PrefetcherState
 
 
 def make_table(temporal=(False, False, False), **kwargs):

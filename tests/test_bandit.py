@@ -1,7 +1,5 @@
 """Tests for the Micro-Armed-Bandit selection scheme."""
 
-import itertools
-
 import pytest
 
 from repro.common.types import DemandAccess

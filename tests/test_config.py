@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.config import (
-    CacheConfig,
     SystemConfig,
     ddr3_1600,
     ddr4_2400,

@@ -6,9 +6,7 @@ table pressure, and mid-run pattern changes (the Dead Counter's reason to
 exist).
 """
 
-import pytest
-
-from repro.common.types import AccessType, DemandAccess
+from repro.common.types import AccessType
 from repro.cpu.trace import TraceRecord
 from repro.prefetchers import make_composite
 from repro.selection import AlectoConfig, AlectoSelection, IPCPSelection

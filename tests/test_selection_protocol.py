@@ -9,7 +9,7 @@ it does not own, or crash on feedback for unknown records.
 
 import pytest
 
-from repro.common.types import DemandAccess, PrefetchCandidate
+from repro.common.types import DemandAccess
 from repro.memory.cache import PrefetchRecord
 from repro.prefetchers import TemporalPrefetcher, make_composite
 from repro.selection import (

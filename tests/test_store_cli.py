@@ -1,0 +1,132 @@
+"""Tests for the ``repro suite`` and ``repro store`` CLI commands."""
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+#: Tiny scale so each suite invocation stays sub-second per cell batch.
+TINY = ["--accesses", "120", "--seed", "1"]
+
+
+def _suite(store_root, *extra):
+    return main(
+        ["suite", "fig01", "--store", store_root, "-q", *TINY, *extra]
+    )
+
+
+class TestSuiteCommand:
+    def test_cold_then_warm(self, tmp_path, capsys):
+        store_root = str(tmp_path / "store")
+        assert _suite(store_root) == 0
+        cold = capsys.readouterr().out
+        assert "1 computed" in cold
+        assert _suite(store_root) == 0
+        warm = capsys.readouterr().out
+        assert "1 experiment(s) cached, 0 computed" in warm
+        assert "0 simulation(s) executed" in warm
+
+    def test_warm_rows_byte_identical(self, tmp_path, capsys):
+        store_root = str(tmp_path / "store")
+        cold_json = str(tmp_path / "cold.json")
+        warm_json = str(tmp_path / "warm.json")
+        assert _suite(store_root, "--json", cold_json) == 0
+        assert _suite(store_root, "--json", warm_json) == 0
+        capsys.readouterr()
+        cold = json.load(open(cold_json))["results"]
+        warm = json.load(open(warm_json))["results"]
+        assert json.dumps(cold) == json.dumps(warm)
+
+    def test_no_store_disables_caching(self, tmp_path, capsys):
+        store_root = str(tmp_path / "store")
+        assert _suite(store_root, "--no-store") == 0
+        out = capsys.readouterr().out
+        assert "store disabled" in out
+        assert not os.path.exists(store_root)
+
+    def test_no_store_overrides_env_var(self, tmp_path, capsys, monkeypatch):
+        """--no-store wins over $REPRO_STORE: no cells read or written."""
+        env_root = str(tmp_path / "env-store")
+        monkeypatch.setenv("REPRO_STORE", env_root)
+        assert main(["suite", "fig01", "--no-store", "-q", *TINY]) == 0
+        assert "store disabled" in capsys.readouterr().out
+        assert not os.path.exists(env_root)
+        assert os.environ["REPRO_STORE"] == env_root  # restored after
+
+    def test_validates_names(self, tmp_path, capsys):
+        assert main(["suite", "nonsense", "--store", str(tmp_path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+        assert main(["suite", "--store", str(tmp_path)]) == 2
+        assert main(["suite", "fig01", "--all", "--store", str(tmp_path)]) == 2
+
+    def test_store_env_var_default(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        assert main(["suite", "fig01", "-q", *TINY]) == 0
+        capsys.readouterr()
+        assert os.path.isdir(str(tmp_path / "env-store"))
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def populated(self, tmp_path, capsys):
+        store_root = str(tmp_path / "store")
+        assert _suite(store_root) == 0
+        capsys.readouterr()
+        return store_root
+
+    def test_stats(self, populated, capsys):
+        assert main(["store", "--store", populated, "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["kinds"]["experiment"] == 1
+        assert stats["kinds"]["cell"] > 0
+        assert stats["records"] == stats["kinds"]["experiment"] + stats["kinds"]["cell"]
+
+    def test_verify_clean_and_corrupt(self, populated, capsys):
+        assert main(["store", "--store", populated, "verify"]) == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+        shard = next(
+            d for d in sorted(os.listdir(populated))
+            if len(d) == 2 and os.path.isdir(os.path.join(populated, d))
+        )
+        victim = os.path.join(
+            populated, shard, sorted(os.listdir(os.path.join(populated, shard)))[0]
+        )
+        content = open(victim, "rb").read()
+        open(victim, "wb").write(content[:-10])
+        assert main(["store", "--store", populated, "verify"]) == 1
+        assert "BAD" in capsys.readouterr().out
+
+    def test_gc_noop_when_fresh(self, populated, capsys):
+        assert main(["store", "--store", populated, "gc"]) == 0
+        assert "removed 0 record(s)" in capsys.readouterr().out
+
+    def test_gc_everything(self, populated, capsys):
+        assert main(["store", "--store", populated, "gc", "--everything"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0" not in out
+        assert main(["store", "--store", populated, "stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["records"] == 0
+
+    def test_export_import_roundtrip(self, populated, tmp_path, capsys):
+        archive = str(tmp_path / "export.jsonl.gz")
+        assert main(["store", "--store", populated, "export", archive]) == 0
+        capsys.readouterr()
+        other = str(tmp_path / "other-store")
+        assert main(["store", "--store", other, "import", archive]) == 0
+        assert "imported" in capsys.readouterr().out
+        # warm run against the imported store: everything cached
+        assert _suite(other) == 0
+        assert "0 computed" in capsys.readouterr().out
+
+    def test_import_truncated_archive_fails(self, populated, tmp_path, capsys):
+        archive = str(tmp_path / "export.jsonl.gz")
+        assert main(["store", "--store", populated, "export", archive]) == 0
+        capsys.readouterr()
+        lines = gzip.open(archive, "rt").read().splitlines()
+        with gzip.open(archive, "wt") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")  # drop count trailer
+        assert main(["store", "--store", populated, "import", archive]) == 2
+        assert "truncated" in capsys.readouterr().err

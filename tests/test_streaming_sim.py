@@ -109,9 +109,12 @@ class TestReplayParity:
         replayed = replay_experiment(TraceReader(path), **kwargs)
         in_memory = replay_experiment(records, **kwargs)
 
-        strip = lambda result: {
-            k: v for k, v in result.to_dict().items() if k != "elapsed_seconds"
-        }
+        def strip(result):
+            return {
+                k: v
+                for k, v in result.to_dict().items()
+                if k != "elapsed_seconds"
+            }
         assert json.dumps(strip(replayed), sort_keys=True) == json.dumps(
             strip(in_memory), sort_keys=True
         )
