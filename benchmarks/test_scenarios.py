@@ -1,0 +1,42 @@
+"""Bench: scenario experiments — phase adaptivity + imported trace."""
+
+from conftest import BENCH_ACCESSES, record_rows
+
+from repro.experiments import scenario_external, scenario_phase
+
+
+def test_scenario_phase(benchmark):
+    accesses = BENCH_ACCESSES // 2
+    period = accesses // 4
+    rows = benchmark.pedantic(
+        lambda: scenario_phase.run(accesses=accesses, period=period),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Scenario — per-phase adaptivity", rows)
+    # One row per (selector, phase); every streaming phase (p0/p2) must
+    # show real coverage for every selector.
+    from repro.experiments.common import SELECTOR_NAMES
+
+    assert len(rows) == len(SELECTOR_NAMES) * 4
+    for selector in SELECTOR_NAMES:
+        assert rows[f"{selector} p0"]["coverage"] > 0.2
+        assert rows[f"{selector} p2"]["coverage"] > 0.05
+
+
+def test_scenario_external(benchmark):
+    accesses = BENCH_ACCESSES // 2
+    rows = benchmark.pedantic(
+        lambda: scenario_external.run(
+            accesses=accesses, source_accesses=accesses
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, "Scenario — imported external trace", rows)
+    assert rows["baseline"]["ipc"] > 0
+    # Prefetching through the imported trace must actually help.
+    assert any(
+        row["speedup"] > 1.02 for name, row in rows.items()
+        if name != "baseline"
+    )

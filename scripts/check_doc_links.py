@@ -1,0 +1,88 @@
+"""Link-check markdown docs: relative targets must exist, anchors resolve.
+
+Usage:  python scripts/check_doc_links.py [FILE.md ...]
+        python scripts/check_doc_links.py            # docs/*.md + README.md
+
+Checks every ``[text](target)`` in the given files:
+
+- ``http(s)://`` / ``mailto:`` targets are skipped (no network in CI);
+- relative file targets must exist on disk (resolved against the
+  containing file's directory);
+- ``#fragment`` parts — in-page or on a relative ``.md`` target — must
+  match a heading's GitHub-style anchor in the target file.
+
+Exits non-zero listing every broken link.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — target captured up to the matching paren.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Inline code/fence stripper so example links in code blocks are ignored.
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\s-]", "", heading)
+    return re.sub(r"\s", "-", heading)
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {github_anchor(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.suffix != ".md" or resolved.is_dir():
+                continue  # anchors into non-markdown targets: not checked
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path}: anchor {fragment!r} not found in {resolved.name}"
+                )
+    return problems
+
+
+def main(argv) -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(arg) for arg in argv] or sorted(
+        (root / "docs").glob("*.md")
+    ) + [root / "README.md"]
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

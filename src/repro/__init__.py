@@ -16,7 +16,10 @@ Public API tour:
   (:class:`~repro.selection.IPCPSelection`,
   :class:`~repro.selection.DOLSelection`,
   :class:`~repro.selection.BanditSelection`, ...);
-- :mod:`repro.workloads` — synthetic SPEC/PARSEC/Ligra benchmark profiles;
+- :mod:`repro.workloads` — registered synthetic SPEC/PARSEC/Ligra and
+  scenario benchmark profiles (:func:`build_workload` resolves specs like
+  ``"phased:period=2000"``), plus external traces imported through
+  :mod:`repro.cpu.champsim`;
 - :mod:`repro.experiments` — one registered
   :class:`~repro.experiments.runner.Experiment` per paper figure/table,
   returning structured :class:`~repro.experiments.runner.ExperimentResult`
@@ -32,10 +35,14 @@ from repro.registry import (
     build_composite,
     build_prefetcher,
     build_selector,
+    build_workload,
+    get_suite,
     register_composite,
     register_experiment,
     register_prefetcher,
     register_selector,
+    register_suite,
+    register_workload,
 )
 from repro.prefetchers import make_composite
 from repro.selection import (
@@ -48,7 +55,7 @@ from repro.selection import (
 from repro.sim import simulate, simulate_multicore
 from repro.workloads import get_profile
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlectoConfig",
@@ -61,15 +68,19 @@ __all__ = [
     "build_composite",
     "build_prefetcher",
     "build_selector",
+    "build_workload",
     "ddr3_1600",
     "ddr4_2400",
     "get_profile",
+    "get_suite",
     "make_composite",
     "multicore_config",
     "register_composite",
     "register_experiment",
     "register_prefetcher",
     "register_selector",
+    "register_suite",
+    "register_workload",
     "simulate",
     "simulate_multicore",
 ]

@@ -20,15 +20,21 @@ Commands:
   (:mod:`repro.cpu.tracefile`): ``trace record`` streams a benchmark's
   synthetic access stream to a versioned ``repro.trace.v1`` file,
   ``trace replay`` simulates a trace file lazily (optionally proving the
-  result byte-identical to in-memory generation), and ``trace info``
-  inspects a file's provenance and record count.
-- ``list``: show available benchmarks, selectors, composites, and
-  experiments — all driven by registry introspection
+  result byte-identical to in-memory generation), ``trace info``
+  inspects a file's provenance and record count, and ``trace import``
+  ingests an external ChampSim-format (or ``repro.trace.v1``) trace
+  into the imports directory, registering it as a runnable workload
+  (:mod:`repro.cpu.champsim`).
+- ``list``: show available workloads, suites, selectors, composites,
+  and experiments — all driven by registry introspection
   (:mod:`repro.registry`), so newly registered components appear
   automatically.
 
 Selectors are given as registry *specs*: a name, optionally with
 declarative parameters, e.g. ``--selector alecto:fixed_degree=6``.
+Benchmarks accept workload specs the same way: a flat name (``mcf``), a
+suite-qualified name (``temporal/mcf``), or a parameterized scenario
+factory (``phased:period=2000``).
 """
 
 from __future__ import annotations
@@ -62,6 +68,20 @@ class _SelectorSpecError(Exception):
     """A selector spec the user typed could not be built."""
 
 
+class _WorkloadSpecError(Exception):
+    """A benchmark/workload spec the user typed could not be resolved."""
+
+
+def _resolve_benchmark(name: str):
+    """Look up a workload spec, converting registry errors to clean exits."""
+    from repro.workloads import get_profile
+
+    try:
+        return get_profile(name)
+    except (ValueError, TypeError) as exc:
+        raise _WorkloadSpecError(f"benchmark {name!r}: {exc}") from exc
+
+
 def _build_selector(args: argparse.Namespace, spec: str):
     from repro.registry import build_selector
 
@@ -80,10 +100,9 @@ def _build_selector(args: argparse.Namespace, spec: str):
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.sim import simulate
-    from repro.workloads import get_profile
 
     config = _system_config(args.config)
-    profile = get_profile(args.benchmark)
+    profile = _resolve_benchmark(args.benchmark)
     trace = profile.generate(args.accesses, seed=args.seed)
     baseline = simulate(trace, None, config=config, name=args.benchmark)
     selector = (
@@ -104,10 +123,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.sim import simulate
-    from repro.workloads import get_profile
 
     config = _system_config(args.config)
-    profile = get_profile(args.benchmark)
+    profile = _resolve_benchmark(args.benchmark)
     trace = profile.generate(args.accesses, seed=args.seed)
     baseline = simulate(trace, None, config=config, name=args.benchmark)
     print(f"{args.benchmark}: baseline ipc {baseline.ipc:.4f}")
@@ -318,13 +336,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from repro.cpu.tracefile import TraceWriter
-    from repro.workloads import get_profile
 
-    try:
-        profile = get_profile(args.benchmark)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
+    profile = _resolve_benchmark(args.benchmark)
     meta = {
         "benchmark": args.benchmark,
         "suite": profile.suite,
@@ -396,8 +409,6 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     print(render_result(result))
 
     if args.compare_inmemory:
-        from repro.workloads import get_profile
-
         meta = reader.meta
         missing = [k for k in ("benchmark", "accesses", "seed") if k not in meta]
         if missing:
@@ -407,7 +418,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        profile = get_profile(meta["benchmark"])
+        profile = _resolve_benchmark(meta["benchmark"])
         records = profile.generate(
             meta["accesses"],
             seed=meta["seed"],
@@ -433,6 +444,48 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             json.dump(result.to_dict(), handle, indent=2, default=float)
             handle.write("\n")
         print(f"wrote replay result to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from repro.cpu.champsim import import_trace, imports_dir
+    from repro.cpu.tracefile import TraceFormatError
+
+    try:
+        workload = import_trace(
+            args.path,
+            name=args.name,
+            directory=args.dir,
+            limit=args.limit,
+        )
+    except (OSError, TraceFormatError) as exc:
+        print(f"cannot import {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    meta = workload.meta
+    print(
+        f"imported {meta['accesses']} record(s) "
+        f"({meta['source_format']}) to {workload.path}"
+    )
+    # The flat name may be owned by a builtin benchmark (imports never
+    # shadow them); hint the spelling that actually runs this trace.
+    from repro.registry import WORKLOADS
+
+    run_name = (
+        workload.name
+        if WORKLOADS.get(workload.name) is workload
+        else f"{workload.suite}/{workload.name}"
+    )
+    print(
+        f"registered workload {workload.name!r} "
+        f"(suite {workload.suite!r}, mem_ratio {workload.mem_ratio:.3f}); "
+        f"run it with: repro run {run_name}"
+    )
+    if args.dir and args.dir != imports_dir():
+        print(
+            f"note: {args.dir!r} is not the default imports directory; "
+            f"set REPRO_IMPORTS={args.dir} for later runs to re-discover it",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -466,13 +519,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.registry import (
         EXPERIMENTS,
         SELECTORS,
+        WORKLOADS,
+        get_suite,
         list_composites,
         list_experiments,
         list_prefetchers,
         list_selectors,
+        list_suites,
     )
-    from repro.workloads import ALL_SUITES
-    from repro.workloads.temporal_suite import TEMPORAL_PROFILES
 
     print("experiments:", ", ".join(list_experiments()))
     if args.verbose:
@@ -486,9 +540,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("composites: ", ", ".join(list_composites()))
     print("prefetchers:", ", ".join(list_prefetchers()))
     print("configs:    ", ", ".join(CONFIG_PRESETS))
-    for suite, profiles in ALL_SUITES.items():
-        print(f"{suite}: {', '.join(sorted(profiles))}")
-    print(f"temporal: {', '.join(sorted(TEMPORAL_PROFILES))}")
+    # Workload factories: registered names that build parameterized
+    # profiles from spec strings rather than naming a static benchmark.
+    factories = [
+        name for name in WORKLOADS.names()
+        if callable(WORKLOADS.get(name))
+    ]
+    if factories:
+        print("workload factories:", ", ".join(factories))
+    for suite in list_suites():
+        print(f"{suite}: {', '.join(sorted(get_suite(suite)))}")
     return 0
 
 
@@ -526,7 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="simulate one benchmark under one selector")
-    run.add_argument("benchmark")
+    run.add_argument(
+        "benchmark",
+        help="workload spec: a flat name (mcf), suite-qualified "
+        "(temporal/mcf), or a factory spec (phased:period=2000)",
+    )
     run.add_argument(
         "--selector",
         default="alecto",
@@ -705,6 +770,26 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--json", action="store_true", help="JSON output")
     info.set_defaults(func=_cmd_trace_info)
 
+    imp_trace = tsub.add_parser(
+        "import",
+        help="ingest an external ChampSim-format (or repro.trace.v1) "
+        "trace as a registered workload",
+    )
+    imp_trace.add_argument("path")
+    imp_trace.add_argument(
+        "--name", default=None,
+        help="workload name (default: the source file's base name)",
+    )
+    imp_trace.add_argument(
+        "--dir", default=None, metavar="PATH",
+        help="imports directory (default: $REPRO_IMPORTS or .repro-imports)",
+    )
+    imp_trace.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="keep only the first N memory accesses",
+    )
+    imp_trace.set_defaults(func=_cmd_trace_import)
+
     bench = sub.add_parser(
         "bench",
         help="time simulate() on canonical profiles (writes BENCH_<rev>.json)",
@@ -727,7 +812,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except _SelectorSpecError as exc:
+    except (_SelectorSpecError, _WorkloadSpecError) as exc:
         print(exc, file=sys.stderr)
         return 2
 

@@ -49,6 +49,8 @@ EXPERIMENT_MODULES = (
     "ablation_boundaries",
     "ablation_epoch",
     "ablation_sandbox",
+    "scenario_phase",
+    "scenario_external",
 )
 
 

@@ -12,6 +12,13 @@ of hand-maintained if/elif chains:
 - :func:`register_selector` / :func:`build_selector` — selection
   algorithms, built from a *spec string* that may carry parameters, e.g.
   ``"alecto:fixed_degree=6"`` or ``"ipcp:degree=4"``.
+- :func:`register_workload` / :func:`build_workload` — benchmark
+  workloads: either a ready :class:`~repro.workloads.profiles.\
+BenchmarkProfile` (``"mcf"``) or a parameterized factory built from a
+  spec string (``"phased:period=2000"``).
+- :func:`register_suite` / :func:`get_suite` — named workload suites
+  (``"spec06"``, ``"scenarios"``, ...): mappings of benchmark name to
+  profile.
 - :func:`register_experiment` — paper figures/tables as
   :class:`~repro.experiments.runner.Experiment` objects.
 
@@ -31,16 +38,22 @@ __all__ = [
     "build_composite",
     "build_prefetcher",
     "build_selector",
+    "build_workload",
     "get_experiment",
+    "get_suite",
     "list_composites",
     "list_experiments",
     "list_prefetchers",
     "list_selectors",
+    "list_suites",
+    "list_workloads",
     "parse_spec",
     "register_composite",
     "register_experiment",
     "register_prefetcher",
     "register_selector",
+    "register_suite",
+    "register_workload",
 ]
 
 
@@ -114,12 +127,28 @@ class Registry:
         finally:
             self._loading = False
 
+    #: Above this many entries, unknown-name errors switch from the full
+    #: name list to close matches (the workload registry holds hundreds).
+    _FULL_LISTING_LIMIT = 24
+
     def get(self, name: str) -> Any:
         self._ensure_loaded()
         try:
             return self._entries[name]
         except KeyError:
-            known = ", ".join(self.names()) or "(none)"
+            names = self.names()
+            if len(names) > self._FULL_LISTING_LIMIT:
+                import difflib
+
+                close = difflib.get_close_matches(name, names, n=5, cutoff=0.5)
+                hint = (
+                    f"did you mean: {', '.join(close)}? " if close else ""
+                )
+                known = (
+                    f"{hint}{len(names)} registered — see `repro list`"
+                )
+            else:
+                known = ", ".join(names) or "(none)"
             raise ValueError(
                 f"unknown {self.kind}: {name!r} (known: {known})"
             ) from None
@@ -183,10 +212,16 @@ def _load_experiments() -> None:
     repro.experiments.load_all()
 
 
+def _load_workloads() -> None:
+    import repro.workloads  # noqa: F401  (registration side effects)
+
+
 PREFETCHERS = Registry("prefetcher", _load_prefetchers)
 COMPOSITES = Registry("composite", _load_prefetchers)
 SELECTORS = Registry("selector", _load_selectors)
 EXPERIMENTS = Registry("experiment", _load_experiments)
+WORKLOADS = Registry("workload", _load_workloads)
+SUITES = Registry("suite", _load_workloads)
 
 
 def register_prefetcher(name: str, **metadata: Any) -> Callable:
@@ -212,6 +247,36 @@ def register_selector(name: str, **metadata: Any) -> Callable:
     cached simulation cells on it (see :meth:`Registry.fingerprint`).
     """
     return SELECTORS.register(name, **metadata)
+
+
+def register_workload(name: str, **metadata: Any) -> Callable:
+    """Decorator registering a workload under ``name``.
+
+    The registered object is either a ready
+    :class:`~repro.workloads.profiles.BenchmarkProfile` (static
+    workloads — every SPEC06/SPEC17/PARSEC/Ligra/temporal benchmark is
+    one) or a *factory*: a callable whose keyword arguments (all with
+    defaults) come from the spec string handed to
+    :func:`build_workload`, e.g. ``"phased:period=2000"``.
+
+    Like selectors, a registration may carry ``fingerprint=N``: the
+    result store folds every workload registration into
+    :func:`repro.store.keys.workload_fingerprint`, so registering (or
+    bumping) a workload invalidates cached whole-experiment records
+    while each untouched benchmark's simulation cells stay valid.
+    """
+    return WORKLOADS.register(name, **metadata)
+
+
+def register_suite(name: str, **metadata: Any) -> Callable:
+    """Decorator/registration for a named workload suite.
+
+    A suite is a mapping of benchmark name to
+    :class:`~repro.workloads.profiles.BenchmarkProfile` (the shape of
+    ``SPEC06_PROFILES``); experiments iterate suites, the CLI lists
+    them.
+    """
+    return SUITES.register(name, **metadata)
 
 
 def register_experiment(
@@ -358,6 +423,41 @@ def build_selector(
     return factory(prefetchers, ctx, **params)
 
 
+def build_workload(spec: str):
+    """Resolve a workload spec string into a benchmark profile.
+
+    A spec is a registered workload name, optionally with parameters
+    for a factory registration:
+
+    - ``"mcf"`` — a static profile, returned as-is;
+    - ``"temporal/mcf"`` — the same benchmark name inside a specific
+      suite (every suite member is also registered under its
+      ``suite/name`` qualified form, so suite collisions like the
+      spec06 and temporal ``mcf`` stay addressable);
+    - ``"phased:period=2000"`` — a factory registration called with the
+      coerced spec parameters.
+
+    Raises the registries' uniform did-you-mean ``ValueError`` for
+    unknown names, and ``ValueError`` when parameters are handed to a
+    static (non-factory) workload.
+    """
+    name, params = parse_spec(spec)
+    entry = WORKLOADS.get(name)
+    if callable(entry):
+        return entry(**params)
+    if params:
+        raise ValueError(
+            f"workload {name!r} is a static profile and takes no "
+            f"parameters (got {sorted(params)})"
+        )
+    return entry
+
+
+def get_suite(name: str):
+    """Look up a registered workload suite (name -> profile mapping)."""
+    return SUITES.get(name)
+
+
 def get_experiment(name: str):
     """Look up a registered :class:`Experiment` by name."""
     return EXPERIMENTS.get(name)
@@ -377,3 +477,11 @@ def list_selectors() -> List[str]:
 
 def list_experiments() -> List[str]:
     return EXPERIMENTS.names()
+
+
+def list_workloads() -> List[str]:
+    return WORKLOADS.names()
+
+
+def list_suites() -> List[str]:
+    return SUITES.names()

@@ -15,6 +15,7 @@ from repro.sim.simulator import (
     SimulationResult,
     simulate,
     simulate_multicore,
+    simulate_phases,
     simulation_count,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "simulate_multicore",
+    "simulate_phases",
     "simulation_count",
 ]

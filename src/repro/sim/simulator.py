@@ -334,6 +334,80 @@ def simulate(
     return context.result(name, config)
 
 
+def simulate_phases(
+    trace: Iterable[TraceRecord],
+    selector: Optional[SelectionAlgorithm] = None,
+    config: Optional[SystemConfig] = None,
+    name: str = "run",
+    phase_length: int = 5000,
+) -> tuple:
+    """Run one trace on a single core, snapshotting per-phase counters.
+
+    One continuous simulation (selector and prefetcher state carries
+    across boundaries — that is the point: the ``scenario_phase``
+    experiment measures how selection *re-adapts* right after a phase
+    change), with IPC / accuracy / coverage derived from counter deltas
+    every ``phase_length`` accesses.
+
+    Returns ``(SimulationResult, phases)`` where ``phases`` is a list of
+    per-phase row dicts (``accesses``, ``ipc``, and — under a selector —
+    ``accuracy`` / ``coverage`` / ``issued`` computed from that phase's
+    counter deltas alone).  Because prefetches issued near a boundary
+    may only be *used* in the next phase, a phase's delta-accuracy can
+    legitimately exceed 1 — that spill-over credit is part of the
+    boundary behaviour being measured, not an error.  The final
+    ``SimulationResult`` is identical to what :func:`simulate` returns
+    for the same inputs; counts as one simulation for
+    :func:`simulation_count`.
+    """
+    from itertools import islice
+
+    global _SIMULATIONS_EXECUTED
+    _SIMULATIONS_EXECUTED += 1
+    if phase_length <= 0:
+        raise ValueError("phase_length must be positive")
+    config = config or SystemConfig()
+    context = _CoreContext(0, (), config, selector, shared=None)
+    records = iter(trace)
+    metrics = context.metrics
+    stats = context.core.stats
+    phases: List[Dict[str, float]] = []
+    last = {
+        "instructions": 0, "cycles": 0.0, "issued": 0,
+        "useful": 0, "misses": 0,
+    }
+    while True:
+        before = context.position
+        context._run_records(islice(records, phase_length))
+        accesses = context.position - before
+        if accesses == 0:
+            break
+        now = {
+            "instructions": stats.instructions,
+            "cycles": stats.cycles,
+            "issued": metrics.issued,
+            "useful": metrics.useful,
+            "misses": metrics.total_misses,
+        }
+        cycles = now["cycles"] - last["cycles"]
+        row: Dict[str, float] = {
+            "accesses": accesses,
+            "ipc": (now["instructions"] - last["instructions"]) / cycles
+            if cycles else 0.0,
+        }
+        if selector is not None:
+            issued = now["issued"] - last["issued"]
+            useful = now["useful"] - last["useful"]
+            misses = now["misses"] - last["misses"]
+            row["accuracy"] = useful / issued if issued else 0.0
+            row["coverage"] = useful / misses if misses else 0.0
+            row["issued"] = issued
+        phases.append(row)
+        last = now
+    context.finish()
+    return context.result(name, config), phases
+
+
 def simulate_multicore(
     traces: Sequence[Iterable[TraceRecord]],
     selector_factory,

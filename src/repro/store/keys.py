@@ -151,16 +151,31 @@ def component_fingerprints() -> Dict[str, int]:
 
 
 def workload_fingerprint() -> int:
-    """Stable hash over every benchmark profile's full definition.
+    """Stable hash over every benchmark workload's full definition.
 
     Cell keys already track their own profile via
     :func:`trace_identity`; experiment-level keys need the same
     sensitivity — an edited pattern mix must not leave a whole
     experiment record looking fresh — so they embed this conservative
-    hash of all suites (any workload edit invalidates every cached
-    experiment, which then replays its unaffected cells).
+    hash over the whole workload surface (any workload edit or new
+    registration invalidates every cached experiment, which then
+    replays its unaffected cells — a new workload's *cells* are the
+    only cells that actually simulate).
+
+    Covered: the legacy ``ALL_SUITES``/``TEMPORAL_PROFILES`` mappings
+    (kept so in-place suite edits stay visible even if the registry
+    holds the original objects) plus every entry of the
+    :data:`repro.registry.WORKLOADS` registry — static profiles by
+    their full ``repr``, parameterized factories by the ``repr`` of
+    their default-built profile, both folded with the registration's
+    declared ``fingerprint``.  The ambient ``imported`` suite is
+    excluded on purpose: imported traces only reach an experiment
+    through an explicit parameter (already in its key), and keying
+    every experiment on unrelated ``repro trace import`` runs would
+    invalidate caches without changing any value.
     """
     from repro.common.hashing import stable_hash
+    from repro.registry import WORKLOADS
     from repro.workloads import ALL_SUITES
     from repro.workloads.temporal_suite import TEMPORAL_PROFILES
 
@@ -170,6 +185,14 @@ def workload_fingerprint() -> int:
             parts.append(f"{suite}/{name}={profile!r}")
     for name, profile in sorted(TEMPORAL_PROFILES.items()):
         parts.append(f"temporal/{name}={profile!r}")
+    for name in WORKLOADS.names():
+        if WORKLOADS.metadata(name).get("suite") == "imported":
+            continue
+        entry = WORKLOADS.get(name)
+        definition = repr(entry() if callable(entry) else entry)
+        parts.append(
+            f"workload/{name}@{WORKLOADS.fingerprint(name)}={definition}"
+        )
     return stable_hash("\n".join(parts))
 
 
@@ -235,16 +258,20 @@ def current_profile_hash(benchmark: str, suite: str) -> Optional[int]:
     Used by ``repro store gc``: a cell whose stored ``profile_hash`` no
     longer matches the current definition (edited pattern mix, renamed
     or removed benchmark, ad-hoc test profile) can never be hit again
-    and is reclaimable.
+    and is reclaimable.  Resolution goes through the suite registry
+    (:data:`repro.registry.SUITES`), so scenario and imported-trace
+    cells are checked against their live definitions too; the legacy
+    ``ALL_SUITES`` mappings are consulted first so monkeypatched
+    in-place edits stay visible.
     """
     from repro.common.hashing import stable_hash
+    from repro.registry import SUITES
     from repro.workloads import ALL_SUITES
-    from repro.workloads.temporal_suite import TEMPORAL_PROFILES
 
     profiles = ALL_SUITES.get(suite)
     profile = profiles.get(benchmark) if profiles else None
-    if profile is None and suite == "temporal":
-        profile = TEMPORAL_PROFILES.get(benchmark)
+    if profile is None and suite in SUITES:
+        profile = SUITES.get(suite).get(benchmark)
     if profile is None:
         return None
     return stable_hash(repr(profile))

@@ -4,7 +4,10 @@ Each pattern is an infinite deterministic stream of (address, dependent)
 pairs for one PC, covering the taxonomy the paper builds on
 (Section I / Fig. 6): stream, stride, complex delta sequences, spatial
 region footprints, temporal recurrences, pointer chasing, and
-non-recurrent random noise.
+non-recurrent random noise — plus the scenario families used by
+:mod:`repro.workloads.scenarios` to stress selector *adaptivity*:
+phase-alternating composites, drifting strides, hash-join gathers,
+producer–consumer rings, and GC bursts.
 """
 
 from __future__ import annotations
@@ -322,6 +325,287 @@ class RandomPattern(Pattern):
         return self.base + self.rng.randrange(self.footprint // LINE) * LINE, False
 
 
+class PhasedPattern(Pattern):
+    """Phase-alternating composite: switches sub-pattern every ``period``.
+
+    Models program phase behaviour — a loop nest that streams, then a
+    graph traversal, then back — the regime where a static selector
+    locked to one prefetcher loses and per-request selection can
+    re-adapt at every boundary.  Each phase is a ``(kind, params)``
+    child pattern; phases rotate in order, each owning a private PC and
+    a private address window inside the parent's, so the phase change
+    is visible both in the access pattern and in the PC stream.
+    """
+
+    #: Address-window stride separating child phases (per parent base).
+    CHILD_WINDOW = 1 << 28
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        phases: Tuple[Tuple[str, dict], ...] = (
+            ("stream", {"footprint": 8 << 20, "run_length": 400}),
+            ("pointer_chase", {"nodes": 1 << 12}),
+        ),
+        period: int = 2000,
+        base: int = 0,
+    ):
+        super().__init__(pc, rng)
+        if len(phases) < 2:
+            raise ValueError("phased pattern needs at least two phases")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self.base = base
+        self._children: List[Pattern] = []
+        for index, (kind, params) in enumerate(phases):
+            params = dict(params)
+            params.setdefault("base", base + index * self.CHILD_WINDOW)
+            child_pc = pc + index * 0x100
+            self._children.append(make_pattern(kind, child_pc, rng, **params))
+        self._phase = 0
+        self._remaining = period
+
+    @property
+    def phase(self) -> int:
+        """Index of the currently active phase (for tests/diagnostics)."""
+        return self._phase
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._remaining <= 0:
+            self._phase = (self._phase + 1) % len(self._children)
+            self._remaining = self.period
+        self._remaining -= 1
+        child = self._children[self._phase]
+        address, dependent = child.next_address()
+        self.pc = child.pc
+        return address, dependent
+
+
+class DriftingStridePattern(Pattern):
+    """Constant-stride accesses whose stride slowly drifts over time.
+
+    Models loop tiling and column sweeps over resizing matrices: the
+    stride is locally constant (a stride predictor trains and covers),
+    then shifts by ``drift`` every ``drift_period`` accesses, reflecting
+    between ``min_stride`` and ``max_stride`` — continuous concept
+    drift rather than a sharp phase boundary.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        stride: int = 256,
+        drift: int = 64,
+        drift_period: int = 512,
+        min_stride: int = 64,
+        max_stride: int = 2048,
+        footprint: int = 64 << 20,
+        base: int = 0,
+    ):
+        super().__init__(pc, rng)
+        if drift_period <= 0:
+            raise ValueError("drift_period must be positive")
+        if not (0 < min_stride <= stride <= max_stride):
+            raise ValueError("need 0 < min_stride <= stride <= max_stride")
+        self.stride = stride
+        self.drift = drift
+        self.drift_period = drift_period
+        self.min_stride = min_stride
+        self.max_stride = max_stride
+        self.footprint = footprint
+        self.base = base
+        self._position = rng.randrange(footprint // LINE) * LINE
+        self._until_drift = drift_period
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._until_drift <= 0:
+            self._until_drift = self.drift_period
+            stride = self.stride + self.drift
+            if stride > self.max_stride or stride < self.min_stride:
+                self.drift = -self.drift  # reflect at the bounds
+                stride = self.stride + self.drift
+            # A |drift| wider than the band overshoots even after
+            # reflecting; clamp so the invariant always holds.
+            self.stride = min(max(stride, self.min_stride), self.max_stride)
+        self._until_drift -= 1
+        address = self.base + self._position % self.footprint
+        self._position += self.stride
+        return address, False
+
+
+class HashJoinPattern(Pattern):
+    """Database hash-join probe: sequential scan + dependent bucket gathers.
+
+    Each probe row is read sequentially from the probe relation (a
+    streaming component prefetchers cover), then hashed into a bucket
+    array — a data-dependent gather whose address cannot be predicted
+    from the probe stream (the classic database-operator shape).
+    ``matches`` payload accesses follow each gather within the bucket's
+    line, modelling tuple materialization.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        probe_footprint: int = 32 << 20,
+        buckets: int = 1 << 15,
+        row_bytes: int = 32,
+        matches: int = 1,
+        base: int = 0,
+    ):
+        super().__init__(pc, rng)
+        if buckets < 2:
+            raise ValueError("need at least two buckets")
+        if matches < 1:
+            raise ValueError("matches must be >= 1")
+        if row_bytes <= 0:
+            raise ValueError("row_bytes must be positive")
+        self.probe_footprint = probe_footprint
+        self.buckets = buckets
+        self.row_bytes = row_bytes
+        self.matches = matches
+        self.base = base
+        #: Bucket array lives in its own window above the probe relation.
+        self._bucket_base = base + (1 << 30)
+        self._probe_position = rng.randrange(probe_footprint // LINE) * LINE
+        self._probe_pc = pc
+        self._gather_pc = pc + 4
+        self._pending_gathers = 0
+        self._bucket = 0
+        self._match_index = 0
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._pending_gathers:
+            self._pending_gathers -= 1
+            offset = (self._match_index * 8) % LINE
+            self._match_index += 1
+            self.pc = self._gather_pc
+            address = self._bucket_base + self._bucket * LINE + offset
+            return address, True  # address came from the probed key
+        # Sequential probe-side scan: one row per step.
+        self.pc = self._probe_pc
+        address = self.base + self._probe_position % self.probe_footprint
+        self._probe_position += self.row_bytes
+        self._bucket = self.rng.randrange(self.buckets)
+        self._pending_gathers = self.matches
+        self._match_index = 0
+        return address, False
+
+
+class ProducerConsumerPattern(Pattern):
+    """Two cursors over a shared ring buffer with a fixed lag.
+
+    The producer writes lines at the head in bursts; the consumer reads
+    the same lines back ``lag`` lines behind the head — a pipeline/queue
+    shape with a fixed reuse lag.  Small lags stay cache-resident; large
+    lags make the consumer a second stream over lines the producer
+    already evicted, which temporal and stream prefetchers handle very
+    differently.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        ring_bytes: int = 4 << 20,
+        lag: int = 2048,
+        burst: int = 8,
+        base: int = 0,
+    ):
+        super().__init__(pc, rng)
+        lines = ring_bytes // LINE
+        if lines < 2:
+            raise ValueError("ring must hold at least two lines")
+        if not (0 < lag < lines):
+            raise ValueError("lag must be in (0, ring lines)")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.ring_lines = lines
+        self.lag = lag
+        self.burst = burst
+        self.base = base
+        self._producer_pc = pc
+        self._consumer_pc = pc + 4
+        self._head = rng.randrange(lines)
+        self._producing = True
+        self._step = 0
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._producing:
+            self.pc = self._producer_pc
+            line = self._head % self.ring_lines
+            self._head += 1
+        else:
+            self.pc = self._consumer_pc
+            line = (self._head - self.lag + self._step) % self.ring_lines
+        self._step += 1
+        if self._step >= self.burst:
+            self._step = 0
+            self._producing = not self._producing
+        return self.base + line * LINE, False
+
+
+class GCBurstPattern(Pattern):
+    """Bump-pointer allocation punctuated by mark-phase GC bursts.
+
+    The mutator allocates sequentially through the heap (a stream any
+    prefetcher covers); every ``gc_every`` accesses a collection runs
+    for ``gc_length`` accesses, walking randomly over everything
+    allocated so far — dependent, unpredictable traffic that abruptly
+    changes the profitable prefetcher and then vanishes again (the
+    managed-runtime shape).
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        rng: random.Random,
+        heap_bytes: int = 32 << 20,
+        gc_every: int = 4096,
+        gc_length: int = 1024,
+        base: int = 0,
+    ):
+        super().__init__(pc, rng)
+        if gc_every <= 0 or gc_length <= 0:
+            raise ValueError("gc_every and gc_length must be positive")
+        self.heap_lines = max(2, heap_bytes // LINE)
+        self.gc_every = gc_every
+        self.gc_length = gc_length
+        self.base = base
+        self._alloc_pc = pc
+        self._mark_pc = pc + 4
+        self._alloc_line = 0
+        self._until_gc = gc_every
+        self._gc_remaining = 0
+
+    @property
+    def in_gc(self) -> bool:
+        """Whether the pattern is currently inside a GC burst."""
+        return self._gc_remaining > 0
+
+    def next_address(self) -> Tuple[int, bool]:
+        if self._gc_remaining > 0:
+            self._gc_remaining -= 1
+            self.pc = self._mark_pc
+            # Mark phase: chase references across the allocated prefix.
+            allocated = max(1, min(self._alloc_line, self.heap_lines))
+            line = self.rng.randrange(allocated)
+            return self.base + line * LINE, True
+        if self._until_gc <= 0:
+            self._until_gc = self.gc_every
+            self._gc_remaining = self.gc_length
+            return self.next_address()
+        self._until_gc -= 1
+        self.pc = self._alloc_pc
+        line = self._alloc_line % self.heap_lines
+        self._alloc_line += 1
+        return self.base + line * LINE, False
+
+
 #: Registry used by the declarative profile specs.
 PATTERN_KINDS = {
     "stream": StreamPattern,
@@ -331,6 +615,11 @@ PATTERN_KINDS = {
     "temporal": TemporalPattern,
     "pointer_chase": PointerChasePattern,
     "random": RandomPattern,
+    "phased": PhasedPattern,
+    "drifting_stride": DriftingStridePattern,
+    "hash_join": HashJoinPattern,
+    "producer_consumer": ProducerConsumerPattern,
+    "gc_burst": GCBurstPattern,
 }
 
 

@@ -1,0 +1,142 @@
+"""Scenario workloads: phase changes, drift, and adversarial shapes.
+
+The paper's core claim is that per-request selection adapts where a
+static selector cannot — but the SPEC/PARSEC/Ligra profiles are fixed
+mixtures with no phase structure, so nothing in the original suites
+actually *moves* under a selector's feet.  This module opens that axis
+with profiles built from the scenario pattern families in
+:mod:`repro.workloads.patterns`:
+
+- ``phase_flip`` / the ``phased`` factory — hard phase boundaries
+  between a streaming regime and an irregular pointer/temporal regime
+  (the ``scenario_phase`` experiment measures per-phase selector
+  accuracy and coverage on exactly this profile);
+- ``drift_sweep`` — continuous stride drift, no boundary to re-train at;
+- ``hash_join`` — the database-operator gather: a prefetchable probe
+  scan feeding unpredictable dependent bucket lookups;
+- ``ring_pipeline`` — producer–consumer ring with a fixed reuse lag;
+- ``gc_churn`` — bump-pointer allocation punctuated by GC mark bursts.
+
+Static profiles register under their plain names; ``phased`` and
+``drifting`` are *factory* registrations whose parameters come from a
+workload spec string (``"phased:period=2000"``), so scenarios are
+sweepable from the CLI and experiments without new code.
+"""
+
+from __future__ import annotations
+
+from repro.registry import register_workload
+from repro.workloads.profiles import BenchmarkProfile, profile
+
+MB = 1 << 20
+
+__all__ = ["SCENARIO_PROFILES", "drifting", "phased"]
+
+
+def _mk(name, mem_ratio, patterns, store_ratio=0.25):
+    return profile(
+        name=name,
+        suite="scenarios",
+        memory_intensive=True,
+        mem_ratio=mem_ratio,
+        patterns=patterns,
+        store_ratio=store_ratio,
+    )
+
+
+#: The two regimes the phased scenarios alternate between: a streaming
+#: phase a GS/stride prefetcher owns, and an irregular phase where only
+#: temporal/aggressive-PMP style prefetching helps.  Kept as one tuple
+#: so the static profile and the ``phased`` factory stay in sync.
+PHASE_REGIMES = (
+    ("stream", {"footprint": 32 * MB, "run_length": 600}),
+    ("pointer_chase", {"nodes": 1 << 13}),
+    ("spatial", {"offsets": (0, 2, 3, 7, 9, 12), "footprint": 32 * MB}),
+    ("temporal", {"sequence_length": 1500, "footprint": 16 * MB}),
+)
+
+
+@register_workload("phased")
+def phased(period: int = 2000, regimes: int = 4) -> BenchmarkProfile:
+    """Phase-alternating scenario: one regime per ``period`` accesses.
+
+    The profile is a single weight-1.0 phased pattern, so the pattern's
+    phase boundaries land at exact multiples of ``period`` in the
+    generated trace — which is what lets ``scenario_phase`` report
+    true per-phase rows instead of approximate windows.
+
+    Args:
+        period: accesses per phase before switching to the next regime.
+        regimes: how many of :data:`PHASE_REGIMES` to rotate through
+            (2..4; 2 gives the classic stream/pointer flip).
+    """
+    if not 2 <= regimes <= len(PHASE_REGIMES):
+        raise ValueError(f"regimes must be in [2, {len(PHASE_REGIMES)}]")
+    return _mk(f"phased[period={period},regimes={regimes}]", 0.32, [
+        (1.0, "phased", {
+            "period": period,
+            "phases": PHASE_REGIMES[:regimes],
+        }),
+    ])
+
+
+@register_workload("drifting")
+def drifting(
+    stride: int = 256, drift: int = 64, drift_period: int = 512
+) -> BenchmarkProfile:
+    """Drifting-stride scenario: locally constant, globally moving."""
+    return _mk(f"drifting[stride={stride},drift={drift}]", 0.30, [
+        (0.70, "drifting_stride", {
+            "stride": stride,
+            "drift": drift,
+            "drift_period": drift_period,
+            "footprint": 64 * MB,
+        }),
+        (0.20, "stream", {"footprint": 16 * MB, "run_length": 300}),
+        (0.10, "random", {"footprint": 2 * MB, "pc_count": 8}),
+    ])
+
+
+SCENARIO_PROFILES = {
+    p.name: p
+    for p in [
+        # Hard phase boundaries: the default phased factory, materialized
+        # under a stable benchmark name for suites and `repro list`.
+        _mk("phase_flip", 0.32, [
+            (1.0, "phased", {"period": 2000, "phases": PHASE_REGIMES[:2]}),
+        ]),
+        _mk("drift_sweep", 0.30, [
+            (0.60, "drifting_stride", {
+                "stride": 192, "drift": 64, "drift_period": 400,
+                "footprint": 64 * MB,
+            }),
+            (0.25, "drifting_stride", {
+                "stride": 1024, "drift": -128, "drift_period": 600,
+                "min_stride": 128, "max_stride": 2048,
+                "footprint": 64 * MB,
+            }),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ]),
+        _mk("hash_join", 0.35, [
+            (0.70, "hash_join", {
+                "probe_footprint": 32 * MB, "buckets": 1 << 15, "matches": 1,
+            }),
+            (0.20, "stream", {"footprint": 32 * MB, "run_length": 500}),
+            (0.10, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ], store_ratio=0.10),
+        _mk("ring_pipeline", 0.33, [
+            (0.60, "producer_consumer", {
+                "ring_bytes": 8 * MB, "lag": 4096, "burst": 8,
+            }),
+            (0.25, "stride", {"stride": 256, "footprint": 16 * MB, "dwell": 2}),
+            (0.15, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ], store_ratio=0.45),
+        _mk("gc_churn", 0.30, [
+            (0.70, "gc_burst", {
+                "heap_bytes": 32 * MB, "gc_every": 4096, "gc_length": 1024,
+            }),
+            (0.20, "temporal", {"sequence_length": 1200, "footprint": 8 * MB}),
+            (0.10, "random", {"footprint": 2 * MB, "pc_count": 8}),
+        ], store_ratio=0.35),
+    ]
+}

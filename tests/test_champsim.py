@@ -1,0 +1,309 @@
+"""Tests for ChampSim trace ingestion (repro.cpu.champsim)."""
+
+import gzip
+import os
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.cpu.champsim import (
+    CHAMPSIM_RECORD,
+    ChampSimReader,
+    import_trace,
+    iter_champsim,
+    write_champsim,
+)
+from repro.cpu.tracefile import TraceFormatError, TraceReader
+from repro.cpu.trace import TraceRecord
+from repro.workloads import get_profile
+
+
+def _records(n=300, benchmark="gcc", seed=1):
+    return get_profile(benchmark).generate(n, seed=seed)
+
+
+class TestChampSimCodec:
+    def test_record_is_64_bytes(self):
+        assert CHAMPSIM_RECORD.size == 64
+
+    @pytest.mark.parametrize("suffix", ["", ".gz", ".xz"])
+    def test_round_trip_per_compression(self, tmp_path, suffix):
+        records = _records(120)
+        path = str(tmp_path / f"t.champsim{suffix}")
+        write_champsim(path, records)
+        back = list(iter_champsim(path))
+        assert [(r.pc, r.address, r.access_type, r.nonmem_before)
+                for r in back] == [
+            (r.pc, r.address, r.access_type, r.nonmem_before)
+            for r in records
+        ]
+
+    def test_instruction_count_matches_trace_semantics(self, tmp_path):
+        records = _records(100)
+        path = str(tmp_path / "t.champsim.gz")
+        instructions = write_champsim(path, records)
+        assert instructions == sum(r.instructions for r in records)
+
+    def test_loads_and_stores_preserved(self, tmp_path):
+        records = [
+            TraceRecord(pc=0x400, address=0x1000,
+                        access_type=AccessType.LOAD, nonmem_before=2),
+            TraceRecord(pc=0x404, address=0x2040,
+                        access_type=AccessType.STORE, nonmem_before=0),
+        ]
+        path = str(tmp_path / "t.champsim")
+        write_champsim(path, records)
+        back = list(iter_champsim(path))
+        assert back[0].access_type is AccessType.LOAD
+        assert back[1].access_type is AccessType.STORE
+        assert back[0].nonmem_before == 2
+
+    def test_multi_slot_instruction_emits_multiple_records(self, tmp_path):
+        # One instruction with two loads and one store -> three records,
+        # loads first (ChampSim's execute order).
+        path = str(tmp_path / "t.champsim")
+        with open(path, "wb") as fh:
+            fh.write(CHAMPSIM_RECORD.pack(
+                0x400, 0, 0, 0, 0, 0, 0, 0, 0,
+                0x3000, 0,            # destination_memory (store)
+                0x1000, 0x2000, 0, 0,  # source_memory (loads)
+            ))
+        back = list(iter_champsim(path))
+        assert [(r.address, r.access_type) for r in back] == [
+            (0x1000, AccessType.LOAD),
+            (0x2000, AccessType.LOAD),
+            (0x3000, AccessType.STORE),
+        ]
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = str(tmp_path / "t.champsim")
+        write_champsim(path, _records(20))
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-7])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(iter_champsim(path))
+
+    def test_reader_is_reiterable(self, tmp_path):
+        path = str(tmp_path / "t.champsim.gz")
+        write_champsim(path, _records(50))
+        reader = ChampSimReader(path)
+        assert list(reader) == list(reader)
+
+    def test_reader_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            ChampSimReader(str(tmp_path / "nope.champsim"))
+
+
+class TestImport:
+    def test_import_champsim_end_to_end(self, tmp_path):
+        records = _records(200)
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, records)
+        workload = import_trace(
+            src, name="demo", directory=str(tmp_path / "imports"),
+            register=False,
+        )
+        assert workload.name == "demo"
+        assert workload.suite == "imported"
+        assert workload.accesses == 200
+        got = workload.generate(200)
+        assert [(r.pc, r.address, r.access_type, r.nonmem_before)
+                for r in got] == [
+            (r.pc, r.address, r.access_type, r.nonmem_before)
+            for r in records
+        ]
+
+    def test_import_trace_v1_source(self, tmp_path):
+        from repro.cpu.tracefile import write_trace
+
+        records = _records(150)
+        src = str(tmp_path / "src.trace.gz")
+        write_trace(src, records, meta={"benchmark": "gcc"})
+        workload = import_trace(
+            src, name="fromv1", directory=str(tmp_path / "imports"),
+            register=False,
+        )
+        assert workload.meta["source_format"] == "repro.trace.v1"
+        # v1 sources keep the dependent flag (ChampSim ones cannot).
+        assert [r.dependent for r in workload.generate(150)] == [
+            r.dependent for r in records
+        ]
+
+    def test_import_limit(self, tmp_path):
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, _records(300))
+        workload = import_trace(
+            src, name="trimmed", directory=str(tmp_path / "i"),
+            limit=100, register=False,
+        )
+        assert workload.accesses == 100
+
+    def test_import_provenance_meta(self, tmp_path):
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, _records(80))
+        workload = import_trace(
+            src, directory=str(tmp_path / "i"), register=False
+        )
+        meta = workload.meta
+        assert meta["source_file"] == "demo.champsim.gz"
+        assert len(meta["source_sha256"]) == 64
+        assert 0 < meta["mem_ratio"] <= 1
+        assert meta["benchmark"] == "demo"  # suffixes stripped
+
+    def test_import_empty_raises_and_leaves_nothing(self, tmp_path):
+        src = str(tmp_path / "empty.champsim")
+        open(src, "wb").close()
+        out_dir = str(tmp_path / "i")
+        with pytest.raises(TraceFormatError, match="no memory accesses"):
+            import_trace(src, directory=out_dir, register=False)
+        assert os.listdir(out_dir) == []
+
+    def test_wrap_around_and_empty_request(self, tmp_path):
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, _records(50))
+        workload = import_trace(
+            src, directory=str(tmp_path / "i"), register=False
+        )
+        wrapped = workload.generate(120)
+        assert len(wrapped) == 120
+        assert wrapped[50:100] == wrapped[:50]  # replays from the start
+        assert workload.generate(0) == []
+
+    def test_repr_is_content_addressed_not_path_addressed(self, tmp_path):
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, _records(60))
+        a = import_trace(src, name="same", directory=str(tmp_path / "a"),
+                         register=False)
+        b = import_trace(src, name="same", directory=str(tmp_path / "b"),
+                         register=False)
+        assert repr(a) == repr(b)
+        assert str(tmp_path) not in repr(a)
+
+
+class TestRegistration:
+    def test_registration_and_rediscovery(self, tmp_path):
+        from repro.cpu.champsim import register_imported_traces
+        from repro.registry import SUITES, WORKLOADS
+
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, _records(70))
+        imports = str(tmp_path / "imports")
+        workload = import_trace(src, name="zz_imported", directory=imports)
+        try:
+            assert "imported/zz_imported" in WORKLOADS
+            assert "zz_imported" in SUITES.get("imported")
+            # A fresh scan (what a new process does) re-registers it.
+            found = register_imported_traces(imports)
+            assert [w.name for w in found] == ["zz_imported"]
+        finally:
+            from repro.cpu.champsim import IMPORTED_PROFILES
+
+            IMPORTED_PROFILES.pop("zz_imported", None)
+            for key in ("zz_imported", "imported/zz_imported"):
+                WORKLOADS._entries.pop(key, None)
+                WORKLOADS._metadata.pop(key, None)
+
+    def test_reimport_same_name_refreshes_flat_registration(self, tmp_path):
+        # Re-importing different content under the same name must not
+        # leave the flat name serving the stale TraceWorkload (its
+        # meta/repr would describe the old content in store keys).
+        from repro.registry import WORKLOADS, build_workload
+
+        first = str(tmp_path / "a.champsim.gz")
+        second = str(tmp_path / "b.champsim.gz")
+        write_champsim(first, _records(30, seed=1))
+        write_champsim(second, _records(60, seed=2))
+        imports = str(tmp_path / "i")
+        import_trace(first, name="zz_re", directory=imports)
+        try:
+            assert build_workload("zz_re").accesses == 30
+            refreshed = import_trace(second, name="zz_re", directory=imports)
+            assert build_workload("zz_re") is refreshed
+            assert build_workload("zz_re").accesses == 60
+            assert build_workload("imported/zz_re") is refreshed
+        finally:
+            from repro.cpu.champsim import IMPORTED_PROFILES
+
+            IMPORTED_PROFILES.pop("zz_re", None)
+            for key in ("zz_re", "imported/zz_re"):
+                WORKLOADS._entries.pop(key, None)
+                WORKLOADS._metadata.pop(key, None)
+
+    def test_import_cli_hints_qualified_name_for_shadowed_flat(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+        from repro.registry import WORKLOADS
+
+        src = str(tmp_path / "mcf.champsim.gz")
+        write_champsim(src, _records(30))
+        try:
+            assert main([
+                "trace", "import", src, "--name", "mcf",
+                "--dir", str(tmp_path / "i"),
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "repro run imported/mcf" in out
+        finally:
+            from repro.cpu.champsim import IMPORTED_PROFILES
+
+            IMPORTED_PROFILES.pop("mcf", None)
+            WORKLOADS._entries.pop("imported/mcf", None)
+            WORKLOADS._metadata.pop("imported/mcf", None)
+
+    def test_imported_flat_name_never_shadows_builtin(self, tmp_path):
+        from repro.registry import WORKLOADS, build_workload
+
+        src = str(tmp_path / "mcf.champsim.gz")
+        write_champsim(src, _records(30))
+        import_trace(src, name="mcf", directory=str(tmp_path / "i"))
+        try:
+            assert build_workload("mcf").suite == "spec06"
+            assert build_workload("imported/mcf").suite == "imported"
+        finally:
+            from repro.cpu.champsim import IMPORTED_PROFILES
+
+            IMPORTED_PROFILES.pop("mcf", None)
+            WORKLOADS._entries.pop("imported/mcf", None)
+            WORKLOADS._metadata.pop("imported/mcf", None)
+
+    def test_scan_skips_corrupt_trace(self, tmp_path, capsys):
+        from repro.cpu.champsim import register_imported_traces
+
+        imports = tmp_path / "imports"
+        imports.mkdir()
+        (imports / "bad.trace.gz").write_bytes(gzip.compress(b"not a trace"))
+        assert register_imported_traces(str(imports)) == []
+        assert "skipping unreadable" in capsys.readouterr().err
+
+
+class TestSimulation:
+    def test_imported_trace_simulates_under_selector(self, tmp_path):
+        from repro.experiments.common import make_selector
+        from repro.sim import simulate
+
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, get_profile("hash_join").generate(800, seed=1))
+        workload = import_trace(
+            src, directory=str(tmp_path / "i"), register=False
+        )
+        baseline = simulate(workload.generate(800), None, name=workload.name)
+        result = simulate(
+            workload.generate(800), make_selector("alecto"),
+            name=workload.name,
+        )
+        assert result.ipc > 0 and baseline.ipc > 0
+        assert result.metrics.issued > 0
+
+    def test_imported_trace_rows_deterministic(self, tmp_path):
+        from repro.experiments.runner import replay_experiment
+
+        src = str(tmp_path / "demo.champsim.gz")
+        write_champsim(src, _records(300))
+        workload = import_trace(
+            src, directory=str(tmp_path / "i"), register=False
+        )
+        reader = TraceReader(workload.path)
+        one = replay_experiment(reader, selector_spec="ipcp")
+        two = replay_experiment(reader, selector_spec="ipcp")
+        assert one.rows == two.rows

@@ -46,8 +46,19 @@ class TestSuiteCompleteness:
     def test_lookup_across_suites(self):
         assert get_profile("mcf").suite in ("spec06", "temporal")
         assert get_profile("pagerank").suite == "ligra"
-        with pytest.raises(KeyError):
+
+    def test_suite_qualified_lookup(self):
+        # spec06 owns the flat "mcf"; the temporal one stays reachable.
+        assert get_profile("mcf").suite == "spec06"
+        assert get_profile("temporal/mcf").suite == "temporal"
+
+    def test_unknown_name_raises_did_you_mean_value_error(self):
+        # The registry path replaced the old bare KeyError with the
+        # uniform did-you-mean ValueError every other registry raises.
+        with pytest.raises(ValueError, match="unknown workload"):
             get_profile("not_a_benchmark")
+        with pytest.raises(ValueError, match="did you mean: mcf"):
+            get_profile("mfc")
 
 
 class TestGeneration:

@@ -1,0 +1,103 @@
+"""Tests for simulate_phases and the two scenario experiments."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import make_selector
+from repro.registry import build_workload, get_experiment
+from repro.sim import simulate, simulate_phases, simulation_count
+
+
+class TestSimulatePhases:
+    def test_final_result_identical_to_simulate(self):
+        profile = build_workload("phased:period=200")
+        trace = profile.generate(800, seed=1)
+        whole = simulate(trace, make_selector("ipcp"), name="x")
+        phased, phases = simulate_phases(
+            trace, make_selector("ipcp"), name="x", phase_length=200
+        )
+        assert phased.ipc == whole.ipc
+        assert phased.core.cycles == whole.core.cycles
+        assert phased.metrics.issued == whole.metrics.issued
+        assert len(phases) == 4
+        assert sum(p["accesses"] for p in phases) == 800
+
+    def test_short_final_phase(self):
+        profile = build_workload("phased:period=300")
+        _, phases = simulate_phases(
+            profile.generate(700, seed=1), None, phase_length=300
+        )
+        assert [p["accesses"] for p in phases] == [300, 300, 100]
+
+    def test_baseline_rows_have_no_selector_columns(self):
+        profile = build_workload("phased:period=200")
+        _, phases = simulate_phases(
+            profile.generate(400, seed=1), None, phase_length=200
+        )
+        assert all(set(p) == {"accesses", "ipc"} for p in phases)
+
+    def test_counts_as_one_simulation(self):
+        profile = build_workload("phased:period=100")
+        before = simulation_count()
+        simulate_phases(profile.generate(200, seed=1), None, phase_length=100)
+        assert simulation_count() == before + 1
+
+    def test_rejects_bad_phase_length(self):
+        with pytest.raises(ValueError):
+            simulate_phases([], None, phase_length=0)
+
+
+class TestScenarioExperiments:
+    def test_scenario_phase_deterministic(self):
+        experiment = get_experiment("scenario_phase")
+        one = experiment.run(**experiment.fast_params)
+        two = experiment.run(**experiment.fast_params)
+        assert one.rows == two.rows
+
+    def test_scenario_external_deterministic(self):
+        experiment = get_experiment("scenario_external")
+        one = experiment.run(**experiment.fast_params)
+        two = experiment.run(**experiment.fast_params)
+        assert one.rows == two.rows
+        assert set(one.rows) == {
+            "baseline", "ipcp", "dol", "bandit3", "bandit6", "alecto",
+        }
+
+    def test_scenario_external_accepts_external_v1_trace(self, tmp_path):
+        from repro.cpu.tracefile import write_trace
+        from repro.workloads import get_profile
+
+        path = str(tmp_path / "ext.trace.gz")
+        write_trace(
+            path, get_profile("gcc").stream(600, seed=2),
+            meta={"benchmark": "gcc"},
+        )
+        rows = get_experiment("scenario_external").run(
+            trace=path, accesses=600
+        ).rows
+        assert rows["baseline"]["ipc"] > 0
+
+    def test_suite_cold_then_warm_byte_identical(self, tmp_path, capsys):
+        """`repro suite scenario_phase scenario_external` populates the
+        store cold and replays warm with zero simulations and
+        byte-identical rows (the PR's acceptance criterion)."""
+        store = str(tmp_path / "store")
+        cold_json = str(tmp_path / "cold.json")
+        warm_json = str(tmp_path / "warm.json")
+        args = ["suite", "scenario_phase", "scenario_external",
+                "--fast", "-q", "--store", store]
+        assert main(args + ["--json", cold_json]) == 0
+        cold_out = capsys.readouterr().out
+        assert "2 experiment(s) cached" not in cold_out
+        assert main(args + ["--json", warm_json]) == 0
+        warm_out = capsys.readouterr().out
+        assert "2 experiment(s) cached, 0 computed" in warm_out
+        assert "0 simulation(s) executed" in warm_out
+        cold = json.load(open(cold_json))["results"]
+        warm = json.load(open(warm_json))["results"]
+        for c, w in zip(cold, warm):
+            assert json.dumps(c["rows"], sort_keys=True) == json.dumps(
+                w["rows"], sort_keys=True
+            ), c["name"]

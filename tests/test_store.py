@@ -215,6 +215,71 @@ class TestKeys:
         monkeypatch.setitem(ALL_SUITES, "spec06", suite)
         assert experiment_key("fig08", {"accesses": 500}).digest != base.digest
 
+    def test_new_workload_registration_invalidates_only_its_own_cells(self):
+        """Registering a workload must not move other workloads' cell keys.
+
+        Cells are keyed on their own profile's content
+        (``trace_identity``), so a new registration leaves every
+        existing cell record hittable — only experiment-tier records
+        (which embed ``workload_fingerprint()``) go stale and then
+        replay their untouched cells from the store."""
+        from repro.registry import WORKLOADS
+        from repro.store.keys import workload_fingerprint
+        from repro.workloads.profiles import profile as make_profile
+
+        gcc_cell = cell_store_key(get_profile("gcc"), "alecto", 500, 1, None, {})
+        baseline = cell_store_key(get_profile("gcc"), None, 500, 1, None, {})
+        experiment = experiment_key("fig08", {"accesses": 500})
+        fingerprint_before = workload_fingerprint()
+
+        fresh = make_profile("zz_fresh", "test", True, 0.3, [
+            (1.0, "drifting_stride", {"footprint": 1 << 22}),
+        ])
+        WORKLOADS.add("zz_fresh", fresh, suite="test")
+        try:
+            # Existing cells: byte-identical keys, still cache hits.
+            assert cell_store_key(
+                get_profile("gcc"), "alecto", 500, 1, None, {}
+            ).digest == gcc_cell.digest
+            assert cell_store_key(
+                get_profile("gcc"), None, 500, 1, None, {}
+            ).digest == baseline.digest
+            # The new workload's cells are their own, distinct keys.
+            assert cell_store_key(
+                fresh, "alecto", 500, 1, None, {}
+            ).digest != gcc_cell.digest
+            # The conservative experiment tier does go stale.
+            assert workload_fingerprint() != fingerprint_before
+            assert experiment_key(
+                "fig08", {"accesses": 500}
+            ).digest != experiment.digest
+        finally:
+            WORKLOADS._entries.pop("zz_fresh", None)
+            WORKLOADS._metadata.pop("zz_fresh", None)
+        assert workload_fingerprint() == fingerprint_before
+
+    def test_imported_traces_do_not_move_experiment_keys(self, tmp_path):
+        """Ambient `repro trace import` runs must not invalidate caches:
+        imported traces only reach an experiment through an explicit
+        parameter, which is already part of its key."""
+        from repro.cpu.champsim import IMPORTED_PROFILES, import_trace, write_champsim
+        from repro.registry import WORKLOADS
+        from repro.store.keys import workload_fingerprint
+
+        base = experiment_key("fig08", {"accesses": 500})
+        fingerprint_before = workload_fingerprint()
+        src = str(tmp_path / "zz.champsim.gz")
+        write_champsim(src, get_profile("gcc").generate(50, seed=1))
+        import_trace(src, name="zz_ambient", directory=str(tmp_path / "i"))
+        try:
+            assert workload_fingerprint() == fingerprint_before
+            assert experiment_key("fig08", {"accesses": 500}).digest == base.digest
+        finally:
+            IMPORTED_PROFILES.pop("zz_ambient", None)
+            for key in ("zz_ambient", "imported/zz_ambient"):
+                WORKLOADS._entries.pop(key, None)
+                WORKLOADS._metadata.pop(key, None)
+
 
 class TestResultStore:
     def test_put_get_roundtrip(self, store):

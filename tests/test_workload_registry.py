@@ -1,0 +1,260 @@
+"""Tests for the workload/suite registries and scenario pattern families."""
+
+import random
+
+import pytest
+
+from repro.registry import (
+    WORKLOADS,
+    build_workload,
+    get_suite,
+    list_suites,
+    list_workloads,
+)
+from repro.workloads import SUITE_PRECEDENCE, get_profile
+from repro.workloads.patterns import (
+    LINE,
+    DriftingStridePattern,
+    GCBurstPattern,
+    HashJoinPattern,
+    PATTERN_KINDS,
+    PhasedPattern,
+    ProducerConsumerPattern,
+    make_pattern,
+)
+from repro.workloads.scenarios import SCENARIO_PROFILES
+
+
+class TestWorkloadRegistry:
+    def test_every_suite_member_is_registered(self):
+        for suite_name in SUITE_PRECEDENCE:
+            for name in get_suite(suite_name):
+                assert f"{suite_name}/{name}" in WORKLOADS
+
+    def test_flat_name_precedence(self):
+        # spec06 precedes temporal, so the flat name resolves there.
+        assert build_workload("mcf").suite == "spec06"
+        assert build_workload("temporal/mcf").suite == "temporal"
+
+    def test_suites_registered(self):
+        assert {"spec06", "spec17", "parsec", "ligra", "temporal",
+                "scenarios"} <= set(list_suites())
+
+    def test_get_profile_goes_through_registry(self):
+        assert get_profile("phase_flip") is SCENARIO_PROFILES["phase_flip"]
+
+    def test_factory_spec(self):
+        profile = build_workload("phased:period=777,regimes=3")
+        assert profile.suite == "scenarios"
+        assert "period=777" in profile.name
+
+    def test_factory_bad_parameter(self):
+        with pytest.raises(TypeError):
+            build_workload("phased:bogus=1")
+
+    def test_factory_invalid_value(self):
+        with pytest.raises(ValueError, match="regimes"):
+            build_workload("phased:regimes=99")
+
+    def test_static_workload_rejects_parameters(self):
+        with pytest.raises(ValueError, match="static profile"):
+            build_workload("mcf:period=5")
+
+    def test_did_you_mean_error(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("definitely_not_registered")
+        with pytest.raises(ValueError, match="did you mean"):
+            build_workload("mfc")
+
+    def test_user_registration_wins_and_lists(self):
+        from repro.workloads.profiles import profile
+
+        custom = profile("zz_custom", "test", True, 0.3, [
+            (1.0, "stream", {"footprint": 1 << 20}),
+        ])
+        WORKLOADS.add("zz_custom", custom, suite="test")
+        try:
+            assert build_workload("zz_custom") is custom
+            assert "zz_custom" in list_workloads()
+        finally:
+            WORKLOADS._entries.pop("zz_custom", None)
+            WORKLOADS._metadata.pop("zz_custom", None)
+
+
+class TestScenarioProfiles:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PROFILES))
+    def test_deterministic_under_fixed_seed(self, name):
+        prof = SCENARIO_PROFILES[name]
+        assert prof.generate(400, seed=5) == prof.generate(400, seed=5)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PROFILES))
+    def test_stream_generate_parity(self, name):
+        prof = SCENARIO_PROFILES[name]
+        assert list(prof.stream(400, seed=2)) == prof.generate(400, seed=2)
+
+    def test_seeds_differ(self):
+        prof = SCENARIO_PROFILES["phase_flip"]
+        assert prof.generate(400, seed=1) != prof.generate(400, seed=2)
+
+    def test_factory_profiles_run_end_to_end(self):
+        from repro.sim import simulate
+
+        prof = build_workload("drifting:stride=128,drift=32")
+        result = simulate(prof.generate(600, seed=1), None, name=prof.name)
+        assert result.ipc > 0
+
+
+class TestPhasedPattern:
+    def test_switches_exactly_at_period(self):
+        pattern = PhasedPattern(0x400, random.Random(1), period=10)
+        phases = []
+        for _ in range(40):
+            pattern.next_address()
+            phases.append(pattern.phase)
+        assert phases[:10] == [0] * 10
+        assert phases[10:20] == [1] * 10
+        assert phases[20:30] == [0] * 10  # wraps back to the first phase
+
+    def test_children_have_distinct_pcs_and_windows(self):
+        pattern = PhasedPattern(0x400, random.Random(1), period=5)
+        seen = {}
+        for _ in range(20):
+            address, _ = pattern.next_address()
+            seen.setdefault(pattern.phase, set()).add(
+                address // PhasedPattern.CHILD_WINDOW
+            )
+        assert seen[0].isdisjoint(seen[1])
+
+    def test_needs_two_phases(self):
+        with pytest.raises(ValueError):
+            PhasedPattern(0x400, random.Random(1),
+                          phases=(("stream", {}),), period=10)
+
+    def test_profile_level_boundaries_are_exact(self):
+        # The weight-1.0 phased profile flips regime at exact multiples
+        # of period in the generated trace (what scenario_phase relies
+        # on): stream-phase records are never dependent, pointer-chase
+        # records always are.
+        prof = build_workload("phased:period=50,regimes=2")
+        trace = prof.generate(200, seed=3)
+        assert not any(r.dependent for r in trace[:50])
+        assert all(r.dependent for r in trace[50:100])
+        assert not any(r.dependent for r in trace[100:150])
+
+
+class TestDriftingStride:
+    def test_stride_constant_within_drift_period(self):
+        pattern = DriftingStridePattern(
+            0x400, random.Random(1), stride=128, drift=64, drift_period=8,
+            footprint=1 << 26,
+        )
+        addrs = [pattern.next_address()[0] for _ in range(8)]
+        deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+        assert deltas == {128}
+
+    def test_stride_drifts_and_reflects(self):
+        pattern = DriftingStridePattern(
+            0x400, random.Random(1), stride=128, drift=64, drift_period=4,
+            min_stride=64, max_stride=256, footprint=1 << 26,
+        )
+        strides = []
+        for _ in range(40):
+            pattern.next_address()
+            strides.append(pattern.stride)
+        assert {128, 192, 256} <= set(strides)
+        assert max(strides) <= 256 and min(strides) >= 64
+        assert any(a > b for a, b in zip(strides, strides[1:]))  # reflected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftingStridePattern(0x400, random.Random(1), stride=32,
+                                  min_stride=64)
+
+    def test_oversized_drift_clamps_to_bounds(self):
+        # |drift| wider than the [min, max] band overshoots even after
+        # reflecting; the stride must still stay inside the band.
+        pattern = DriftingStridePattern(
+            0x400, random.Random(1), stride=256, drift=4096, drift_period=2,
+            min_stride=64, max_stride=2048, footprint=1 << 26,
+        )
+        strides = set()
+        for _ in range(40):
+            pattern.next_address()
+            strides.add(pattern.stride)
+        assert all(64 <= s <= 2048 for s in strides)
+
+
+class TestHashJoin:
+    def test_gathers_are_dependent_and_in_bucket_window(self):
+        pattern = HashJoinPattern(0x400, random.Random(1), matches=1)
+        kinds = [pattern.next_address() for _ in range(40)]
+        dependents = [d for _, d in kinds]
+        # Alternating probe (independent) / gather (dependent).
+        assert dependents[0::2] == [False] * 20
+        assert dependents[1::2] == [True] * 20
+
+    def test_probe_side_is_sequential(self):
+        pattern = HashJoinPattern(
+            0x400, random.Random(1), matches=1, row_bytes=32
+        )
+        probes = [pattern.next_address()[0] for _ in range(20)][0::2]
+        deltas = {b - a for a, b in zip(probes, probes[1:])}
+        assert deltas == {32}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashJoinPattern(0x400, random.Random(1), buckets=1)
+
+
+class TestProducerConsumer:
+    def test_consumer_rereads_produced_lines(self):
+        pattern = ProducerConsumerPattern(
+            0x400, random.Random(1), ring_bytes=1 << 20, lag=64, burst=4
+        )
+        produced, consumed = set(), set()
+        for _ in range(4096):
+            address, _ = pattern.next_address()
+            line = address // LINE
+            if pattern.pc == pattern._producer_pc:
+                produced.add(line)
+            else:
+                consumed.add(line)
+        # Apart from the pre-existing window behind the initial head,
+        # every consumed line was produced earlier in the run.
+        assert len(consumed - produced) <= 64
+        assert len(consumed & produced) > 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerPattern(0x400, random.Random(1),
+                                    ring_bytes=1 << 20, lag=0)
+
+
+class TestGCBurst:
+    def test_bursts_are_periodic_and_dependent(self):
+        pattern = GCBurstPattern(
+            0x400, random.Random(1), gc_every=100, gc_length=20
+        )
+        flags = []
+        for _ in range(300):
+            _, dependent = pattern.next_address()
+            flags.append(dependent)
+        # Allocation prefix, then a 20-access dependent burst.
+        assert not any(flags[:100])
+        assert all(flags[100:120])
+        assert not any(flags[120:220])
+
+    def test_allocation_is_sequential(self):
+        pattern = GCBurstPattern(0x400, random.Random(1), gc_every=1000)
+        addrs = [pattern.next_address()[0] for _ in range(50)]
+        assert [b - a for a, b in zip(addrs, addrs[1:])] == [LINE] * 49
+
+
+class TestNewKindsInRegistry:
+    def test_all_new_kinds_registered_and_default_constructible(self):
+        for kind in ("phased", "drifting_stride", "hash_join",
+                     "producer_consumer", "gc_burst"):
+            assert kind in PATTERN_KINDS
+            pattern = make_pattern(kind, 0x400, random.Random(1))
+            address, dependent = pattern.next_address()
+            assert address >= 0
