@@ -17,12 +17,17 @@ Commands:
 - ``bench``: time ``simulate()`` on canonical profiles and write a
   ``BENCH_<rev>.json`` throughput record (see :mod:`repro.sim.bench`).
 - ``trace``: the record-once / replay-everywhere pipeline
-  (:mod:`repro.cpu.tracefile`): ``trace record`` streams a benchmark's
-  synthetic access stream to a versioned ``repro.trace.v1`` file,
-  ``trace replay`` simulates a trace file lazily (optionally proving the
-  result byte-identical to in-memory generation), ``trace info``
-  inspects a file's provenance and record count, and ``trace import``
-  ingests an external ChampSim-format (or ``repro.trace.v1``) trace
+  (:mod:`repro.cpu.tracefile` / :mod:`repro.cpu.blocktrace`):
+  ``trace record`` streams a benchmark's synthetic access stream to a
+  versioned trace file (seekable block-compressed ``repro.trace.v2`` by
+  default, ``--format v1`` for the gzip stream), ``trace convert``
+  rewrites between container formats without changing the trace's
+  identity, ``trace replay`` simulates a trace file lazily — optionally
+  proving the result byte-identical to in-memory generation, or
+  splitting a v2 file into ``--shards K`` independent replay cells
+  across ``--jobs N`` workers — ``trace info`` inspects a file's
+  provenance, record count, and block geometry in O(index) time, and
+  ``trace import`` ingests an external ChampSim-format (or repro) trace
   into the imports directory, registering it as a runnable workload
   (:mod:`repro.cpu.champsim`).
 - ``list``: show available workloads, suites, selectors, composites,
@@ -334,7 +339,33 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
+def _trace_v2_options(args: argparse.Namespace) -> dict:
+    """Extract the v2-only writer options shared by record/convert/import."""
+    return {
+        "codec": args.codec,
+        "block_records": args.block_records,
+        "align": args.align,
+    }
+
+
+def _reject_v2_options_for_v1(args: argparse.Namespace) -> None:
+    set_options = [
+        name
+        for name, value in (
+            ("--codec", args.codec),
+            ("--block-records", args.block_records),
+            ("--align", args.align),
+        )
+        if value is not None
+    ]
+    if set_options:
+        raise _SelectorSpecError(
+            f"{', '.join(set_options)}: only valid with --format v2"
+        )
+
+
 def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.cpu.blocktrace import BLOCK_RECORDS, BlockTraceWriter
     from repro.cpu.tracefile import TraceWriter
 
     profile = _resolve_benchmark(args.benchmark)
@@ -345,15 +376,47 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "mem_ratio_scale": args.mem_ratio_scale,
     }
-    with TraceWriter(args.out, meta=meta) as writer:
-        writer.write_all(
-            profile.stream(
-                args.accesses,
-                seed=args.seed,
-                mem_ratio_scale=args.mem_ratio_scale,
+    if args.format == "v1":
+        _reject_v2_options_for_v1(args)
+    try:
+        if args.format == "v1":
+            writer = TraceWriter(args.out, meta=meta)
+        else:
+            options = _trace_v2_options(args)
+            if options["block_records"] is None:
+                options["block_records"] = BLOCK_RECORDS
+            writer = BlockTraceWriter(args.out, meta=meta, **options)
+        with writer:
+            writer.write_all(
+                profile.stream(
+                    args.accesses,
+                    seed=args.seed,
+                    mem_ratio_scale=args.mem_ratio_scale,
+                )
             )
-        )
+    except ValueError as exc:
+        print(f"cannot record trace: {exc}", file=sys.stderr)
+        return 2
     print(f"recorded {writer.count} records to {args.out}")
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.cpu.tracefile import TraceFormatError, convert_trace
+
+    try:
+        if args.format == "v1":
+            _reject_v2_options_for_v1(args)
+        info = convert_trace(
+            args.path, args.out, format=args.format, **_trace_v2_options(args)
+        )
+    except (OSError, TraceFormatError, ValueError) as exc:
+        print(f"cannot convert {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    detail = f"schema {info['schema']}"
+    if "codec" in info:
+        detail += f", codec {info['codec']}, {info['blocks']} block(s)"
+    print(f"converted {info['count']} record(s) to {args.out} ({detail})")
     return 0
 
 
@@ -377,14 +440,73 @@ def _replay_result(args: argparse.Namespace, trace, meta: dict):
     )
 
 
+def _sharded_replay(args: argparse.Namespace, reader) -> int:
+    import json
+    import time
+
+    from repro.cpu.tracefile import TraceFormatError
+    from repro.experiments.runner import (
+        ExperimentResult,
+        SuiteRunner,
+        render_result,
+    )
+
+    meta = reader.meta
+    benchmark = meta.get("benchmark", "?")
+    started = time.perf_counter()
+    try:
+        rows = SuiteRunner(jobs=args.jobs).replay_shards(
+            args.path,
+            selector_spec=args.selector,
+            shards=args.shards,
+            config=_system_config(args.config),
+        )
+    except TraceFormatError as exc:
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot shard trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    result = ExperimentResult(
+        name="trace-replay-shards",
+        title=f"Sharded trace replay: {benchmark} under {args.selector}",
+        params={
+            "selector": args.selector,
+            "config": args.config,
+            "shards": args.shards,
+            "jobs": args.jobs,
+            "trace_meta": dict(meta),
+        },
+        rows=rows,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+    print(render_result(result))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, default=float)
+            handle.write("\n")
+        print(f"wrote replay result to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
     import json
 
-    from repro.cpu.tracefile import TraceFormatError, TraceReader
+    from repro.cpu.tracefile import TraceFormatError, open_trace
     from repro.experiments.runner import render_result
 
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.compare_inmemory:
+        print(
+            "--shards cannot be combined with --compare-inmemory "
+            "(each shard is an independent replay cell, not the whole stream)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        reader = TraceReader(args.path)
+        reader = open_trace(args.path)
     except (OSError, TraceFormatError) as exc:
         print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
         return 2
@@ -401,6 +523,10 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             raise _SelectorSpecError(
                 f"selector {args.selector!r}: {exc}"
             ) from exc
+
+    if args.shards > 1:
+        return _sharded_replay(args, reader)
+
     try:
         result = _replay_result(args, reader, reader.meta)
     except TraceFormatError as exc:
@@ -451,14 +577,18 @@ def _cmd_trace_import(args: argparse.Namespace) -> int:
     from repro.cpu.champsim import import_trace, imports_dir
     from repro.cpu.tracefile import TraceFormatError
 
+    if args.format == "v1":
+        _reject_v2_options_for_v1(args)
     try:
         workload = import_trace(
             args.path,
             name=args.name,
             directory=args.dir,
             limit=args.limit,
+            format=args.format,
+            **_trace_v2_options(args),
         )
-    except (OSError, TraceFormatError) as exc:
+    except (OSError, TraceFormatError, ValueError) as exc:
         print(f"cannot import {args.path!r}: {exc}", file=sys.stderr)
         return 2
     meta = workload.meta
@@ -504,6 +634,12 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         return 0
     print(f"schema:  {info['schema']}")
     print(f"records: {info['count']}")
+    if "codec" in info:
+        print(f"codec:   {info['codec']}")
+        print(
+            f"blocks:  {info['blocks']} "
+            f"(<= {info['block_records']} records each)"
+        )
     for key, value in sorted(info["meta"].items()):
         print(f"meta.{key}: {value}")
     return 0
@@ -720,9 +856,31 @@ def build_parser() -> argparse.ArgumentParser:
     store.set_defaults(func=_cmd_store)
 
     trace = sub.add_parser(
-        "trace", help="record / replay / inspect repro.trace.v1 trace files"
+        "trace",
+        help="record / replay / convert / inspect repro trace files "
+        "(v1 streaming, v2 seekable)",
     )
     tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_format_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--format", choices=("v1", "v2"), default="v2",
+            help="container format: v2 (seekable, block-compressed, "
+            "default) or v1 (gzip stream)",
+        )
+        parser.add_argument(
+            "--codec", default=None, choices=("zstd", "gzip", "none"),
+            help="v2 block codec (default: zstd when available, else gzip)",
+        )
+        parser.add_argument(
+            "--block-records", type=int, default=None, metavar="N",
+            help="v2 records per compressed block (default 4096)",
+        )
+        parser.add_argument(
+            "--align", type=int, default=None, metavar="N",
+            help="v2: force a block boundary every N records, so "
+            "phase-aligned slices decode no foreign blocks",
+        )
 
     record = tsub.add_parser(
         "record", help="stream a benchmark's access stream to a trace file"
@@ -730,7 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("benchmark")
     record.add_argument(
         "--out", "-o", required=True, metavar="PATH",
-        help="output trace file (conventionally *.trace.gz)",
+        help="output trace file (conventionally *.trace.v2 / *.trace.gz)",
     )
     record.add_argument("--accesses", type=int, default=15000)
     record.add_argument("--seed", type=int, default=1)
@@ -738,7 +896,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--mem-ratio-scale", type=float, default=1.0,
         help="scale memory intensity (see BenchmarkProfile.stream)",
     )
+    _add_format_options(record)
     record.set_defaults(func=_cmd_trace_record)
+
+    convert = tsub.add_parser(
+        "convert",
+        help="rewrite a trace into another container format "
+        "(meta preserved verbatim, so the trace identity is unchanged)",
+    )
+    convert.add_argument("path")
+    convert.add_argument(
+        "--out", "-o", required=True, metavar="PATH",
+        help="output trace file",
+    )
+    _add_format_options(convert)
+    convert.set_defaults(func=_cmd_trace_convert)
 
     replay = tsub.add_parser(
         "replay", help="simulate a recorded trace (streamed, O(1) memory)"
@@ -761,6 +933,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also regenerate the stream in memory from the trace's "
         "provenance and fail unless the results are byte-identical",
     )
+    replay.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="replay K disjoint shards of a v2 trace as independent "
+        "cells (SimPoint-style) and report per-shard + overall rows",
+    )
+    replay.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="process-pool workers for sharded replay (default serial)",
+    )
     replay.set_defaults(func=_cmd_trace_replay)
 
     info = tsub.add_parser(
@@ -772,8 +953,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     imp_trace = tsub.add_parser(
         "import",
-        help="ingest an external ChampSim-format (or repro.trace.v1) "
-        "trace as a registered workload",
+        help="ingest an external ChampSim-format (or repro trace) "
+        "file as a registered workload",
     )
     imp_trace.add_argument("path")
     imp_trace.add_argument(
@@ -788,6 +969,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="keep only the first N memory accesses",
     )
+    _add_format_options(imp_trace)
     imp_trace.set_defaults(func=_cmd_trace_import)
 
     bench = sub.add_parser(

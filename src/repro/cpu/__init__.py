@@ -9,11 +9,21 @@ window (memory-level parallelism) while dependent loads serialize —
 the distinction that makes pointer-chasing workloads latency-bound.
 
 Traces can be spooled to disk and replayed lazily through
-:mod:`repro.cpu.tracefile` (the versioned ``repro.trace.v1`` format), so
-every selection algorithm can be judged on the identical access stream
-without regenerating — or materializing — it.
+:mod:`repro.cpu.tracefile` (the streaming ``repro.trace.v1`` format) and
+:mod:`repro.cpu.blocktrace` (the seekable, block-compressed
+``repro.trace.v2`` format with indexed shards), so every selection
+algorithm can be judged on the identical access stream without
+regenerating — or materializing — it.  :func:`repro.cpu.tracefile.
+open_trace` dispatches on the container version.
 """
 
+from repro.cpu.blocktrace import (
+    TRACE_V2_SCHEMA,
+    BlockTraceReader,
+    BlockTraceWriter,
+    TraceSlice,
+    write_trace_v2,
+)
 from repro.cpu.core import CoreModel, CoreStats
 from repro.cpu.trace import TraceRecord, interleave_traces
 from repro.cpu.tracefile import (
@@ -21,19 +31,28 @@ from repro.cpu.tracefile import (
     TraceFormatError,
     TraceReader,
     TraceWriter,
+    convert_trace,
+    open_trace,
     read_info,
     write_trace,
 )
 
 __all__ = [
+    "BlockTraceReader",
+    "BlockTraceWriter",
     "CoreModel",
     "CoreStats",
     "TRACE_SCHEMA",
+    "TRACE_V2_SCHEMA",
     "TraceFormatError",
     "TraceReader",
     "TraceRecord",
+    "TraceSlice",
     "TraceWriter",
+    "convert_trace",
     "interleave_traces",
+    "open_trace",
     "read_info",
     "write_trace",
+    "write_trace_v2",
 ]

@@ -10,9 +10,11 @@ experiment exactly like a synthetic profile:
   trace (``.champsim.xz`` / ``.gz`` / raw) lazily into
   :class:`~repro.cpu.trace.TraceRecord` objects;
 - :func:`write_champsim` — the encoding inverse (tests, demo traces);
-- :func:`import_trace` — convert a ChampSim *or* ``repro.trace.v1``
-  file into the imports directory as a provenance-stamped
-  ``repro.trace.v1`` trace (the ``repro trace import`` command);
+- :func:`import_trace` — convert a ChampSim or repro-trace (either
+  version) file into the imports directory as a provenance-stamped
+  trace — a seekable block-compressed ``repro.trace.v2`` file by
+  default (the ``repro trace import`` command); previously imported
+  ``repro.trace.v1`` files stay registered and readable forever;
 - :class:`TraceWorkload` — wraps an imported trace in the
   ``BenchmarkProfile`` stream/generate API so registries, experiments,
   the result store, and the CLI treat it as just another benchmark;
@@ -46,12 +48,13 @@ import sys
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.common.types import AccessType
+from repro.cpu.blocktrace import BlockTraceWriter
 from repro.cpu.trace import TraceRecord
 from repro.cpu.tracefile import (
-    TRACE_MAGIC,
     TraceFormatError,
-    TraceReader,
     TraceWriter,
+    open_trace,
+    sniff_trace_version,
 )
 
 #: ChampSim input_instr: ip, is_branch, branch_taken, 2 dest regs,
@@ -209,21 +212,53 @@ def _sha256(path: str) -> str:
     return digest.hexdigest()
 
 
-def _is_trace_v1(path: str) -> bool:
-    """Whether ``path`` is a ``repro.trace.v1`` file (gzip + magic)."""
+def _repro_trace_schema(path: str) -> Optional[str]:
+    """The repro-trace schema of ``path``, or ``None`` for foreign files.
+
+    v2 is recognized by its raw magic, v1 by the magic inside the gzip
+    container; anything else (e.g. a ChampSim trace) returns ``None``.
+    """
+    from repro.cpu.blocktrace import TRACE_V2_SCHEMA
+    from repro.cpu.tracefile import TRACE_MAGIC, TRACE_SCHEMA
+
+    try:
+        if sniff_trace_version(path) == "v2":
+            return TRACE_V2_SCHEMA
+    except (OSError, TraceFormatError):
+        return None
     try:
         with gzip.open(path, "rb") as fh:
-            return fh.read(len(TRACE_MAGIC)) == TRACE_MAGIC
+            if fh.read(len(TRACE_MAGIC)) == TRACE_MAGIC:
+                return TRACE_SCHEMA
     except OSError:
-        return False
+        pass
+    return None
 
 
 def _default_name(path: str) -> str:
     name = os.path.basename(path)
-    for suffix in (".xz", ".lzma", ".gz", ".champsim", ".trace"):
+    for suffix in (".xz", ".lzma", ".gz", ".v2", ".champsim", ".trace"):
         if name.endswith(suffix):
             name = name[: -len(suffix)]
     return name or "imported"
+
+
+#: Import-file extension per container format.
+_IMPORT_EXTENSIONS = {"v1": ".trace.gz", "v2": ".trace.v2"}
+
+
+def _make_writer(path: str, meta: Dict[str, Any], format: str, **v2_options):
+    """A trace writer for ``format`` (v2 options rejected for v1)."""
+    if format == "v2":
+        return BlockTraceWriter(path, meta=meta, **v2_options)
+    if format == "v1":
+        if any(value is not None for value in v2_options.values()):
+            raise ValueError(
+                "codec/block_records/align are v2 options; the v1 container "
+                "is a single gzip stream"
+            )
+        return TraceWriter(path, meta=meta)
+    raise ValueError(f"unknown trace format {format!r} (known: v1, v2)")
 
 
 def import_trace(
@@ -232,14 +267,19 @@ def import_trace(
     directory: Optional[str] = None,
     limit: Optional[int] = None,
     register: bool = True,
+    format: str = "v2",
+    codec: Optional[str] = None,
+    block_records: Optional[int] = None,
+    align: Optional[int] = None,
 ) -> "TraceWorkload":
     """Convert an external trace into the imports directory and register it.
 
     Args:
         source: a ChampSim-format file (``.champsim.xz`` / ``.gz`` /
-            raw) or an existing ``repro.trace.v1`` file.
+            raw) or an existing repro trace of either version.
         name: workload name (default: the source's base name).  The
-            output lands at ``<imports dir>/<name>.trace.gz``.
+            output lands at ``<imports dir>/<name>.trace.v2`` (or
+            ``.trace.gz`` with ``format="v1"``).
         directory: imports directory (default: ``$REPRO_IMPORTS`` or
             ``.repro-imports``).
         limit: keep only the first ``limit`` records (trimming a
@@ -247,6 +287,13 @@ def import_trace(
         register: also register the workload in this process's
             registries (``False`` for throwaway conversions, e.g. the
             self-contained ``scenario_external`` experiment).
+        format: output container — ``"v2"`` (default: seekable block
+            compression, shardable across pool workers) or ``"v1"``.
+        codec: v2 block codec (default: zstd when available, else gzip).
+        block_records: v2 records per block.
+        align: force v2 block boundaries at every multiple of ``align``
+            records, so phase-grained replay (``simulate_phases``
+            windows of ``align`` accesses) never splits a block.
 
     Returns:
         The registered :class:`TraceWorkload` — immediately runnable
@@ -257,20 +304,33 @@ def import_trace(
     SHA-256, format, record count) plus the derived ``mem_ratio``, so
     result-store keys of imported-trace cells are content-addressed:
     re-importing a *different* trace under the same name changes every
-    affected key.
+    affected key.  Container choices (v1/v2, codec, block size) are
+    deliberately **not** part of the meta: the records are the workload,
+    so re-encoding a trace never moves a store key.
     """
     if name is None:
         name = _default_name(source)
-    if _is_trace_v1(source):
-        source_format = "repro.trace.v1"
-        reader: Iterable[TraceRecord] = TraceReader(source)
+    if format not in _IMPORT_EXTENSIONS:
+        raise ValueError(f"unknown trace format {format!r} (known: v1, v2)")
+    source_format = _repro_trace_schema(source)
+    if source_format is not None:
+        reader: Iterable[TraceRecord] = open_trace(source)
     else:
         source_format = "champsim"
         reader = ChampSimReader(source)
 
     out_dir = imports_dir(directory)
     os.makedirs(out_dir, exist_ok=True)
-    out_path = os.path.join(out_dir, f"{name}.trace.gz")
+    out_path = os.path.join(out_dir, f"{name}{_IMPORT_EXTENSIONS[format]}")
+    v2_options = {
+        "codec": codec,
+        "block_records": block_records,
+        "align": align,
+    }
+    if format == "v2":
+        from repro.cpu.blocktrace import BLOCK_RECORDS
+
+        v2_options["block_records"] = block_records or BLOCK_RECORDS
 
     count = 0
     instructions = 0
@@ -285,7 +345,7 @@ def import_trace(
     }
     if limit is not None:
         meta["limit"] = limit
-    with TraceWriter(out_path, meta=meta) as writer:
+    with _make_writer(out_path, meta, format, **v2_options) as writer:
         for record in reader:
             writer.write(record)
             count += 1
@@ -299,21 +359,27 @@ def import_trace(
         )
     # Re-write the header with the final counts: the writer streams, so
     # counts are only known after the pass.  Imported traces are bounded
-    # by `limit` anyway; a second pass keeps TraceWriter append-only.
+    # by `limit` anyway; a second pass keeps the writers append-only.
     meta["accesses"] = count
     meta["mem_ratio"] = round(count / instructions, 6)
-    final_reader = TraceReader(out_path)
+    final_reader = open_trace(out_path)
     tmp_path = out_path + ".tmp"
-    with TraceWriter(tmp_path, meta=meta) as writer:
+    with _make_writer(tmp_path, meta, format, **v2_options) as writer:
         writer.write_all(final_reader)
     os.replace(tmp_path, out_path)
+    # Drop a stale other-container import of the same name: the sorted
+    # registry scan would otherwise resurrect whichever sorts last.
+    for extension in _IMPORT_EXTENSIONS.values():
+        stale = os.path.join(out_dir, f"{name}{extension}")
+        if stale != out_path and os.path.exists(stale):
+            os.unlink(stale)
     if register:
         return register_trace_workload(out_path)
     return TraceWorkload(out_path)
 
 
 class TraceWorkload:
-    """An imported ``repro.trace.v1`` file with the profile stream API.
+    """An imported repro trace (either version) with the profile stream API.
 
     Quacks like a :class:`~repro.workloads.profiles.BenchmarkProfile`
     where the rest of the library cares — ``name`` / ``suite`` /
@@ -331,14 +397,16 @@ class TraceWorkload:
       studies use), so experiment defaults need no per-trace tuning.
 
     ``repr`` is content-addressed (the provenance meta, including the
-    source SHA-256 — never the local path), which is exactly what
-    :func:`repro.store.keys.trace_identity` folds into store keys.
+    source SHA-256 — never the local path or the container version),
+    which is exactly what :func:`repro.store.keys.trace_identity` folds
+    into store keys: converting an import between v1 and v2 containers
+    leaves every cell key byte-stable.
     """
 
     memory_intensive = True
 
     def __init__(self, path: str):
-        reader = TraceReader(path)  # validates magic/header eagerly
+        reader = open_trace(path)  # validates magic/header/index eagerly
         self.path = path
         self.meta: Dict[str, Any] = dict(reader.meta)
         self.name: str = str(self.meta.get("benchmark") or _default_name(path))
@@ -422,7 +490,7 @@ def register_imported_traces(
         return []
     registered = []
     for entry in sorted(os.listdir(root)):
-        if not entry.endswith(".trace.gz"):
+        if not entry.endswith((".trace.gz", ".trace.v2")):
             continue
         path = os.path.join(root, entry)
         try:

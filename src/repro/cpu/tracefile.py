@@ -13,6 +13,15 @@ replay-everywhere pipeline:
 - :func:`read_info` inspects a file (header metadata + record count)
   without materializing records.
 
+This module is also the **version dispatch point** for the whole trace
+subsystem: :func:`open_trace` sniffs a file and returns the right reader
+for its container — the v1 :class:`TraceReader` here, or the seekable
+block-compressed v2 :class:`~repro.cpu.blocktrace.BlockTraceReader`
+(:mod:`repro.cpu.blocktrace`) — and :func:`read_info` and
+:func:`convert_trace` dispatch the same way.  v1 stays fully readable
+forever (pinned by the committed fixture in ``tests/data/``); v2 is the
+format new recordings and imports default to.
+
 Layout of a ``repro.trace.v1`` file (all inside one gzip stream)::
 
     MAGIC (8 bytes: b"REPROTRC")
@@ -60,7 +69,10 @@ __all__ = [
     "TraceFormatError",
     "TraceReader",
     "TraceWriter",
+    "convert_trace",
+    "open_trace",
     "read_info",
+    "sniff_trace_version",
     "write_trace",
 ]
 
@@ -287,12 +299,8 @@ class TraceReader:
         return f"TraceReader(path={self.path!r}, meta={self.meta!r})"
 
 
-def read_info(path: str) -> Dict[str, Any]:
-    """Header metadata plus record count, without decoding records.
-
-    Frames are skipped wholesale (their payload is read but never
-    unpacked), so this is cheap even for large traces.
-    """
+def _read_info_v1(path: str) -> Dict[str, Any]:
+    """v1 info: frames are skipped wholesale (payload read, not unpacked)."""
     with gzip.open(path, "rb") as fh:
         header = _read_header(fh)
         total = 0
@@ -319,7 +327,110 @@ def write_trace(
     records: Iterable[TraceRecord],
     meta: Optional[Dict[str, Any]] = None,
 ) -> int:
-    """Write an entire record stream to ``path``; returns the count."""
+    """Write an entire record stream to a v1 ``path``; returns the count."""
     with TraceWriter(path, meta=meta) as writer:
         writer.write_all(records)
     return writer.count
+
+
+# -- version dispatch --------------------------------------------------------
+
+
+def sniff_trace_version(path: str) -> str:
+    """``"v1"`` or ``"v2"`` from the file's leading bytes.
+
+    v2 files open with the raw ``REPROTR2`` magic; v1 files are gzip
+    streams (the v1 magic sits inside the compression).  Anything else
+    raises :class:`TraceFormatError`; a missing file raises ``OSError``.
+    """
+    from repro.cpu.blocktrace import TRACE_V2_MAGIC
+
+    with open(path, "rb") as fh:
+        head = fh.read(len(TRACE_V2_MAGIC))
+    if head == TRACE_V2_MAGIC:
+        return "v2"
+    if head[:2] == b"\x1f\x8b":  # gzip magic: a candidate v1 container
+        return "v1"
+    raise TraceFormatError(
+        f"{path!r} is not a repro trace file (neither the v2 magic nor a "
+        f"gzip-wrapped v1 container)"
+    )
+
+
+def open_trace(path: str):
+    """Open a trace file of either version with the right reader.
+
+    Returns a :class:`TraceReader` for ``repro.trace.v1`` files or a
+    :class:`~repro.cpu.blocktrace.BlockTraceReader` for
+    ``repro.trace.v2`` files.  Both are lazy and re-iterable and carry
+    ``.meta``; only the v2 reader has ``.seek`` / ``.slice`` /
+    ``.shard`` (and a ``.count`` known before iteration).
+    """
+    if sniff_trace_version(path) == "v2":
+        from repro.cpu.blocktrace import BlockTraceReader
+
+        return BlockTraceReader(path)
+    return TraceReader(path)
+
+
+def read_info(path: str) -> Dict[str, Any]:
+    """Header metadata plus record count, for either trace version.
+
+    For v1 this scans frame headers (payloads read, never unpacked); for
+    v2 it is O(index) — the count and block geometry come straight from
+    the footer index, so inspecting a multi-GB trace is instant.
+    """
+    if sniff_trace_version(path) == "v2":
+        from repro.cpu.blocktrace import read_info_v2
+
+        return read_info_v2(path)
+    return _read_info_v1(path)
+
+
+def convert_trace(
+    source: str,
+    out: str,
+    format: str = "v2",
+    codec: Optional[str] = None,
+    block_records: Optional[int] = None,
+    align: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Re-encode a trace between containers; returns the output's info.
+
+    The record stream and the header ``meta`` are copied verbatim —
+    conversion changes the container, never the workload — so a
+    converted trace keeps the exact trace identity
+    (:func:`repro.store.keys.trace_identity`) of its source and every
+    result-store cell key stays byte-stable across container upgrades.
+
+    Args:
+        source: a trace file of either version.
+        out: output path (conventionally ``*.trace.v2`` / ``*.trace.gz``).
+        format: target container (``"v2"`` or ``"v1"``).
+        codec: v2 block codec (default :func:`~repro.cpu.blocktrace.
+            default_codec`); rejected for v1.
+        block_records: v2 records per block; rejected for v1.
+        align: v2 phase-edge alignment; rejected for v1.
+    """
+    reader = open_trace(source)
+    if format == "v2":
+        from repro.cpu.blocktrace import BLOCK_RECORDS, write_trace_v2
+
+        write_trace_v2(
+            out,
+            reader,
+            meta=dict(reader.meta),
+            codec=codec,
+            block_records=block_records or BLOCK_RECORDS,
+            align=align,
+        )
+    elif format == "v1":
+        if codec is not None or block_records is not None or align is not None:
+            raise ValueError(
+                "codec/block_records/align are v2 options; the v1 container "
+                "is a single gzip stream"
+            )
+        write_trace(out, reader, meta=dict(reader.meta))
+    else:
+        raise ValueError(f"unknown trace format {format!r} (known: v1, v2)")
+    return read_info(out)

@@ -16,8 +16,12 @@ and diffed mechanically.
   :func:`repro.experiments.common.speedup_suite` when ``jobs > 1``),
 
 with the benchmark's access stream recorded **once** — spooled to an
-on-disk ``repro.trace.v1`` file (:mod:`repro.cpu.tracefile`) by the parent
-and replayed lazily by every worker — instead of regenerated per job.
+on-disk block-compressed ``repro.trace.v2`` file
+(:mod:`repro.cpu.blocktrace`) by the parent and replayed lazily by every
+worker — instead of regenerated per job.
+:meth:`SuiteRunner.replay_shards` adds a third grain: the disjoint
+shards of a *single* trace (v2 shard cursors), so one multi-GB import
+can be decoded and replayed across the whole pool at once.
 Traces are seeded with a process-stable hash
 (:func:`repro.common.hashing.stable_hash`), and the trace file round-trips
 records exactly, so parallel results are numerically identical to serial
@@ -438,13 +442,13 @@ def _trace_cell_worker(
 ) -> Dict[str, Any]:
     """Simulate one cell by lazily replaying a spooled trace file.
 
-    The reader streams records straight into the simulator — the worker
-    never materializes the access list, so worker memory stays O(1) in
-    the trace length.
+    The reader (either trace version, via ``open_trace``) streams
+    records straight into the simulator — the worker never materializes
+    the access list, so worker memory stays O(1) in the trace length.
     """
-    from repro.cpu.tracefile import TraceReader
+    from repro.cpu.tracefile import open_trace
 
-    reader = TraceReader(trace_path)
+    reader = open_trace(trace_path)
     selector = (
         make_selector(selector_name, **selector_kwargs)
         if selector_name is not None
@@ -460,26 +464,80 @@ def _spool_traces(
 ) -> Dict[str, str]:
     """Record every profile's stream once into ``spool_dir``.
 
-    Streams ``profile.stream()`` through a :class:`TraceWriter`, so the
-    parent's memory stays O(1) no matter the access count.  Returns
+    Streams ``profile.stream()`` through a block-compressed
+    ``repro.trace.v2`` :class:`~repro.cpu.blocktrace.BlockTraceWriter`
+    (independently compressed blocks decode faster than the v1
+    monolithic gzip stream, and every worker cell replays the spool), so
+    the parent's memory stays O(1) no matter the access count.  Returns
     ``{benchmark: trace path}``.
     """
-    from repro.cpu.tracefile import TraceWriter
+    from repro.cpu.blocktrace import BlockTraceWriter
 
     paths: Dict[str, str] = {}
     for index, (bench, profile) in enumerate(profiles.items()):
         safe = re.sub(r"[^A-Za-z0-9._-]", "_", bench)
-        path = os.path.join(spool_dir, f"{index:03d}_{safe}.trace.gz")
+        path = os.path.join(spool_dir, f"{index:03d}_{safe}.trace.v2")
         meta = {
             "benchmark": bench,
             "suite": getattr(profile, "suite", ""),
             "accesses": accesses,
             "seed": seed,
         }
-        with TraceWriter(path, meta=meta) as writer:
+        with BlockTraceWriter(path, meta=meta) as writer:
             writer.write_all(profile.stream(accesses, seed=seed))
         paths[bench] = path
     return paths
+
+
+def _shard_replay_worker(
+    trace_path: str,
+    shard_index: int,
+    shards: int,
+    selector_spec: Optional[str],
+    config,
+) -> Dict[str, Any]:
+    """Replay one shard of a trace file; returns its summary rows.
+
+    Workers receive ``(path, index, shards)`` — never a reader — and
+    open their own shard cursor, so each decodes exactly the blocks its
+    records live in.  With ``shards == 1`` the whole file replays (and
+    any trace version is accepted); the rows are then identical to a
+    serial whole-file replay by construction.
+    """
+    from repro.cpu.tracefile import open_trace
+
+    reader = open_trace(trace_path)
+    trace = reader.shard(shard_index, shards) if shards > 1 else reader
+    result = replay_experiment(
+        trace,
+        selector_spec=selector_spec,
+        config=config,
+        name=f"shard{shard_index}",
+    )
+    return result.rows
+
+
+def _aggregate_shard_rows(
+    shard_rows: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Whole-trace totals from per-shard rows (counters sum; IPC derives)."""
+    out: Dict[str, Any] = {
+        "selector": shard_rows[0]["selector"] if shard_rows else "none",
+        "shards": len(shard_rows),
+    }
+    for counter in (
+        "instructions",
+        "cycles",
+        "dram_reads",
+        "dram_prefetch_reads",
+        "issued",
+        "table_misses",
+    ):
+        if all(counter in rows for rows in shard_rows):
+            out[counter] = sum(rows[counter] for rows in shard_rows)
+    cycles = out.get("cycles", 0)
+    out["ipc"] = out.get("instructions", 0) / cycles if cycles else 0.0
+    return out
 
 
 def _cell_meta(benchmark: str, selector_spec: Optional[str]) -> Dict[str, Any]:
@@ -700,6 +758,78 @@ class SuiteRunner:
                 )
                 for selector in selector_names
             }
+        return rows
+
+    # -- sharded trace replay ----------------------------------------------
+
+    def replay_shards(
+        self,
+        trace_path: str,
+        selector_spec: Optional[str] = None,
+        shards: int = 1,
+        config=None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Replay ``shards`` disjoint, contiguous shards of one trace.
+
+        Each shard is an independent replay cell (fresh simulator state,
+        SimPoint-style) fed by a ``repro.trace.v2`` shard cursor
+        (:meth:`repro.cpu.blocktrace.BlockTraceReader.shard`), so the
+        process pool decodes and simulates disjoint parts of one
+        multi-GB trace concurrently — no worker reads a byte outside its
+        shard's blocks.  Rows are byte-identical whether shards run in
+        pool workers or serially in-process (pinned by tests), and
+        ``shards=1`` is byte-identical to a serial whole-file replay.
+
+        Returns ``{"shard0": rows, ..., "overall": totals}`` (the
+        ``overall`` entry — summed counters, derived IPC — only when
+        ``shards > 1``).
+        """
+        from repro.cpu.tracefile import open_trace
+
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        reader = open_trace(trace_path)
+        if shards > 1 and not hasattr(reader, "shard"):
+            raise ValueError(
+                f"sharded replay needs a seekable repro.trace.v2 file; "
+                f"{trace_path!r} is {reader.schema} — convert it with "
+                f"`repro trace convert`"
+            )
+        rows: Dict[str, Dict[str, Any]] = {}
+        if self.jobs == 1 or shards == 1:
+            for index in range(shards):
+                rows[f"shard{index}"] = _shard_replay_worker(
+                    trace_path, index, shards, selector_spec, config
+                )
+        else:
+            pool = _get_pool(self.jobs)
+            try:
+                futures = {
+                    pool.submit(
+                        _shard_replay_worker,
+                        trace_path,
+                        index,
+                        shards,
+                        selector_spec,
+                        config,
+                    ): index
+                    for index in range(shards)
+                }
+                collected: Dict[int, Dict[str, Any]] = {}
+                global _POOL_SIMULATIONS
+                for future in as_completed(futures):
+                    collected[futures[future]] = future.result()
+                    # Baseline replay, plus the selector replay if any.
+                    _POOL_SIMULATIONS += (
+                        2 if selector_spec not in (None, "none") else 1
+                    )
+                for index in sorted(collected):
+                    rows[f"shard{index}"] = collected[index]
+            except Exception:
+                _evict_pool(self.jobs)
+                raise
+        if shards > 1:
+            rows["overall"] = _aggregate_shard_rows(list(rows.values()))
         return rows
 
     # -- whole experiments -------------------------------------------------

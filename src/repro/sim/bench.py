@@ -7,7 +7,9 @@ measured, not guessed.  Trace generation and selector construction happen
 outside the timed region: the numbers isolate the per-access loop
 (`_CoreContext.step` -> `MemoryHierarchy.demand_access` -> `Cache` /
 `SetAssociativeTable`), which is what every paper figure multiplies by
-millions of accesses.
+millions of accesses.  Two extra cases time full-file trace *decode*
+(``trace-decode``/``v1`` and ``/v2``, :func:`run_decode_case`) so the
+replay pipeline's read side is gated alongside the simulator.
 
 The record can also be used as a regression gate: ``--check PATH`` compares
 the current run against a previously committed record and fails when any
@@ -94,6 +96,63 @@ def run_case(
     }
 
 
+def run_decode_case(
+    format: str,
+    accesses: int,
+    repeats: int,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Time a full-file decode of one on-disk trace container format.
+
+    No simulation runs: the timed region is ``open_trace`` + iterating
+    every record, i.e. the read side of the record-once /
+    replay-everywhere pipeline.  Reported under the synthetic benchmark
+    name ``"trace-decode"`` with the container version as the selector,
+    so ``check_against`` gates decode throughput exactly like the
+    simulation cases.
+    """
+    import os
+    import tempfile
+
+    from repro.cpu.blocktrace import write_trace_v2
+    from repro.cpu.tracefile import open_trace, write_trace
+    from repro.workloads import get_profile
+
+    records = get_profile("mcf").generate(accesses, seed=seed)
+    meta = {"benchmark": "mcf", "accesses": accesses, "seed": seed}
+    suffix = ".trace.gz" if format == "v1" else ".trace.v2"
+    handle, path = tempfile.mkstemp(prefix="bench-decode-", suffix=suffix)
+    os.close(handle)
+    try:
+        if format == "v1":
+            write_trace(path, records, meta=meta)
+        else:
+            write_trace_v2(path, records, meta=meta)
+        best_seconds = None
+        decoded = 0
+        for _ in range(max(1, repeats)):
+            reader = open_trace(path)
+            start = time.perf_counter()
+            decoded = sum(1 for _ in reader)
+            elapsed = time.perf_counter() - start
+            if best_seconds is None or elapsed < best_seconds:
+                best_seconds = elapsed
+    finally:
+        os.unlink(path)
+    return {
+        "benchmark": "trace-decode",
+        "selector": format,
+        "accesses": decoded,
+        "best_seconds": best_seconds,
+        "accesses_per_sec": decoded / best_seconds if best_seconds else 0.0,
+        "ipc": 0.0,
+    }
+
+
+#: Trace container formats timed by the decode microbenchmark.
+DECODE_FORMATS = ("v1", "v2")
+
+
 def run_bench(
     cases: Sequence = DEFAULT_CASES,
     accesses: int = DEFAULT_ACCESSES,
@@ -107,6 +166,8 @@ def run_bench(
     results: List[Dict[str, Any]] = []
     for benchmark, selector_spec in cases:
         results.append(run_case(benchmark, selector_spec, accesses, repeats, seed))
+    for format in DECODE_FORMATS:
+        results.append(run_decode_case(format, accesses, repeats, seed))
     hot_loop = next(
         (c["accesses_per_sec"] for c in results if c["selector"] == "none"), None
     )
@@ -157,11 +218,11 @@ def render_record(record: Dict[str, Any]) -> str:
         f"bench @ {record['rev']}  (python {record['python']}, "
         f"accesses={record['accesses']}, repeats={record['repeats']}"
         f"{', fast' if record.get('fast') else ''})",
-        f"{'benchmark':<12}{'selector':<12}{'acc/s':>12}{'wall s':>10}{'ipc':>10}",
+        f"{'benchmark':<14}{'selector':<12}{'acc/s':>12}{'wall s':>10}{'ipc':>10}",
     ]
     for case in record["cases"]:
         lines.append(
-            f"{case['benchmark']:<12}{case['selector']:<12}"
+            f"{case['benchmark']:<14}{case['selector']:<12}"
             f"{case['accesses_per_sec']:>12,.0f}{case['best_seconds']:>10.3f}"
             f"{case['ipc']:>10.4f}"
         )

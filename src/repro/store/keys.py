@@ -4,10 +4,15 @@ A key names *everything that determines a result's value* — and nothing
 else — so that equal keys imply byte-identical rows and any relevant
 change produces a different key:
 
-- **trace identity**: either the provenance meta of a ``repro.trace.v1``
+- **trace identity**: either the provenance meta of an on-disk trace
   file or the :func:`~repro.common.hashing.stable_hash` of a
   :class:`~repro.workloads.profiles.BenchmarkProfile`'s full definition,
-  plus the access count and seed;
+  plus the access count and seed.  Trace identity is
+  *container-agnostic*: the meta describes where the records came from,
+  never how they are stored, so converting a ``repro.trace.v1`` file to
+  ``repro.trace.v2`` (or changing its codec/block size) addresses the
+  same cells — the ``"trace.v1"`` source tag below is the identity
+  schema's name, not the container version;
 - **selector identity**: the declarative spec string
   (``"alecto:fixed_degree=6"``) together with the build context
   (composite, temporal options, Alecto overrides) and the selector
@@ -207,9 +212,15 @@ def trace_identity(
             its full definition (patterns, ratios) is folded to a stable
             hash so a same-named profile with different patterns never
             aliases.
-        meta: alternatively, the provenance meta of a ``repro.trace.v1``
+        meta: alternatively, the provenance meta of an on-disk trace
             file (``benchmark``/``accesses``/``seed``/...), used
-            verbatim.
+            verbatim.  Both container formats carry the same meta —
+            ``convert_trace`` copies it byte-for-byte — and container
+            choices (codec, block size) are never part of it, so a v1
+            file and its v2 conversion address identical cells.  The
+            literal ``"trace.v1"`` source tag is the *identity schema*
+            version and stays fixed across container versions; bumping
+            it would orphan every stored cell.
     """
     if (profile is None) == (meta is None):
         raise ValueError("trace_identity takes exactly one of profile or meta")

@@ -4,6 +4,7 @@ import json
 
 from repro.sim.bench import (
     BENCH_SCHEMA,
+    DECODE_FORMATS,
     check_against,
     main,
     render_record,
@@ -26,13 +27,24 @@ class TestRunBench:
         record = tiny_record()
         assert record["schema"] == BENCH_SCHEMA
         assert record["hot_loop_accesses_per_sec"] > 0
-        assert len(record["cases"]) == 2
+        # The requested cases plus one decode case per container format.
+        assert len(record["cases"]) == 2 + len(DECODE_FORMATS)
         for case in record["cases"]:
             assert case["accesses"] == 400
             assert case["accesses_per_sec"] > 0
             assert case["best_seconds"] > 0
         assert record["cases"][0]["selector"] == "none"
         json.dumps(record)  # must be serializable as written
+
+    def test_decode_cases_cover_both_formats(self):
+        record = tiny_record()
+        decode = [
+            c for c in record["cases"] if c["benchmark"] == "trace-decode"
+        ]
+        assert sorted(c["selector"] for c in decode) == ["v1", "v2"]
+        for case in decode:
+            assert case["ipc"] == 0.0
+            assert case["accesses_per_sec"] > 0
 
     def test_render(self):
         text = render_record(tiny_record())

@@ -1,0 +1,414 @@
+"""Tests for the seekable block-compressed trace subsystem (``repro.trace.v2``)."""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import AccessType
+from repro.cpu.blocktrace import (
+    BLOCK_RECORDS,
+    INDEX_MAGIC,
+    TRACE_V2_MAGIC,
+    TRACE_V2_SCHEMA,
+    BlockTraceReader,
+    BlockTraceWriter,
+    TraceSlice,
+    available_codecs,
+    default_codec,
+    read_info_v2,
+    write_trace_v2,
+)
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracefile import (
+    TraceFormatError,
+    TraceReader,
+    convert_trace,
+    open_trace,
+    read_info,
+    sniff_trace_version,
+    write_trace,
+)
+
+record_strategy = st.builds(
+    TraceRecord,
+    pc=st.integers(min_value=0, max_value=2**64 - 1),
+    address=st.integers(min_value=0, max_value=2**64 - 1),
+    access_type=st.sampled_from([AccessType.LOAD, AccessType.STORE]),
+    nonmem_before=st.integers(min_value=0, max_value=2**32 - 1),
+    dependent=st.booleans(),
+)
+
+#: Codecs testable in any environment (zstd only where installed).
+_PORTABLE_CODECS = [c for c in available_codecs() if c != "zstd"]
+
+
+def lcg_records(n, seed=1):
+    state = (seed * 0x9E3779B97F4A7C15) & (2**64 - 1) or 1
+    records = []
+    for _ in range(n):
+        state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+        records.append(
+            TraceRecord(
+                pc=state >> 24,
+                address=(state >> 4) & (2**44 - 1),
+                access_type=(
+                    AccessType.STORE if state % 5 == 0 else AccessType.LOAD
+                ),
+                nonmem_before=state % 300,
+                dependent=state % 7 == 0,
+            )
+        )
+    return records
+
+
+def write_fixture(path, records, **options):
+    options.setdefault("codec", "gzip")
+    options.setdefault("block_records", 32)
+    write_trace_v2(str(path), records, **options)
+    return str(path)
+
+
+class TestRoundTrip:
+    @given(
+        records=st.lists(record_strategy, max_size=80),
+        block_records=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_identity(self, records, block_records, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("prop") / "t.trace.v2")
+        assert write_trace_v2(
+            path, records, codec="gzip", block_records=block_records
+        ) == len(records)
+        reader = BlockTraceReader(path)
+        assert list(reader) == records
+        assert reader.count == len(records)
+
+    @pytest.mark.parametrize("codec", _PORTABLE_CODECS)
+    def test_codecs_round_trip(self, tmp_path, codec):
+        records = lcg_records(300)
+        path = write_fixture(tmp_path / "t.trace.v2", records, codec=codec)
+        reader = BlockTraceReader(path)
+        assert reader.codec == codec
+        assert list(reader) == records
+
+    def test_zstd_round_trip_where_available(self, tmp_path):
+        pytest.importorskip("zstandard")
+        records = lcg_records(300)
+        path = write_fixture(tmp_path / "t.trace.v2", records, codec="zstd")
+        assert BlockTraceReader(path).codec == "zstd"
+        assert list(BlockTraceReader(path)) == records
+
+    def test_zstd_unavailable_is_a_clear_error(self, tmp_path):
+        if "zstd" in available_codecs():
+            pytest.skip("zstandard installed")
+        with pytest.raises(ValueError, match="zstd"):
+            BlockTraceWriter(str(tmp_path / "t.trace.v2"), codec="zstd")
+
+    def test_default_codec_is_available(self):
+        assert default_codec() in available_codecs()
+
+    @pytest.mark.parametrize("count", [0, 1, 31, 32, 33, 64, 100])
+    def test_block_boundaries(self, tmp_path, count):
+        records = lcg_records(count, seed=count + 1)
+        path = write_fixture(tmp_path / "t.trace.v2", records)
+        reader = BlockTraceReader(path)
+        assert list(reader) == records
+        assert read_info(path)["count"] == count
+
+    def test_reader_is_reiterable(self, tmp_path):
+        records = lcg_records(50)
+        path = write_fixture(tmp_path / "t.trace.v2", records)
+        reader = BlockTraceReader(path)
+        assert list(reader) == records
+        assert list(reader) == records  # baseline + selector run pattern
+
+    def test_align_forces_phase_edges(self, tmp_path):
+        # With align=N, no block spans a multiple of N: a phase-aligned
+        # slice decodes no block shared with a neighbouring phase.
+        records = lcg_records(250)
+        path = write_fixture(
+            tmp_path / "t.trace.v2", records, block_records=32, align=100
+        )
+        reader = BlockTraceReader(path)
+        assert list(reader) == records
+        for entry in reader.blocks:
+            first_edge = (entry.start // 100 + 1) * 100
+            # a block never crosses a phase edge strictly inside it
+            assert not (entry.start < first_edge < entry.start + entry.records)
+
+
+class TestSeek:
+    @given(
+        n=st.integers(min_value=0, max_value=120),
+        total=st.integers(min_value=0, max_value=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_seek_equals_skip(self, n, total, tmp_path_factory):
+        n = min(n, total)
+        records = lcg_records(total, seed=total + 3)
+        path = write_fixture(
+            tmp_path_factory.mktemp("seek") / "t.trace.v2", records,
+            block_records=16,
+        )
+        assert list(BlockTraceReader(path).seek(n)) == records[n:]
+
+    def test_seek_decodes_at_most_one_block_before_first_yield(self, tmp_path):
+        records = lcg_records(320)
+        path = write_fixture(tmp_path / "t.trace.v2", records, block_records=32)
+        reader = BlockTraceReader(path)
+        iterator = reader.seek(200)
+        first = next(iterator)
+        assert first == records[200]
+        assert reader.blocks_decoded == 1
+
+    def test_seek_out_of_range(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(10))
+        reader = BlockTraceReader(path)
+        with pytest.raises(IndexError):
+            reader.seek(11)
+        with pytest.raises(IndexError):
+            reader.seek(-1)
+        assert list(reader.seek(10)) == []
+
+    def test_slice_window(self, tmp_path):
+        records = lcg_records(100)
+        path = write_fixture(tmp_path / "t.trace.v2", records, block_records=8)
+        reader = BlockTraceReader(path)
+        window = reader.slice(17, 53)
+        assert isinstance(window, TraceSlice)
+        assert window.count == 36
+        assert list(window) == records[17:53]
+        assert list(window) == records[17:53]  # re-iterable
+
+    def test_slice_decodes_only_covering_blocks(self, tmp_path):
+        records = lcg_records(320)
+        path = write_fixture(tmp_path / "t.trace.v2", records, block_records=32)
+        reader = BlockTraceReader(path)
+        assert list(reader.slice(64, 96)) == records[64:96]
+        assert reader.blocks_decoded == 1  # exactly the covering block
+
+
+class TestShard:
+    @given(
+        total=st.integers(min_value=0, max_value=150),
+        shards=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shard_concatenation_is_the_full_stream(
+        self, total, shards, tmp_path_factory
+    ):
+        records = lcg_records(total, seed=total + 11)
+        path = write_fixture(
+            tmp_path_factory.mktemp("shard") / "t.trace.v2", records,
+            block_records=16,
+        )
+        reader = BlockTraceReader(path)
+        combined = []
+        for index in range(shards):
+            combined.extend(reader.shard(index, shards))
+        assert combined == records
+
+    def test_shards_are_balanced(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(100))
+        reader = BlockTraceReader(path)
+        sizes = [reader.shard(i, 7).count for i in range(7)]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bad_shard_arguments(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(10))
+        reader = BlockTraceReader(path)
+        with pytest.raises(ValueError):
+            reader.shard(0, 0)
+        with pytest.raises(ValueError):
+            reader.shard(3, 3)
+
+
+class TestConvert:
+    @given(records=st.lists(record_strategy, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_v1_to_v2_round_trip(self, records, tmp_path_factory):
+        base = tmp_path_factory.mktemp("conv")
+        v1 = str(base / "t.trace.gz")
+        v2 = str(base / "t.trace.v2")
+        write_trace(v1, records, meta={"benchmark": "x", "seed": 1})
+        info = convert_trace(v1, v2, format="v2", codec="gzip")
+        assert info["count"] == len(records)
+        reader = open_trace(v2)
+        assert isinstance(reader, BlockTraceReader)
+        assert list(reader) == records
+        assert reader.meta == {"benchmark": "x", "seed": 1}
+
+    def test_v2_to_v1_round_trip(self, tmp_path):
+        records = lcg_records(77)
+        meta = {"benchmark": "y", "accesses": 77}
+        v2 = write_fixture(
+            tmp_path / "t.trace.v2", records, meta=meta, align=25
+        )
+        v1 = str(tmp_path / "t.trace.gz")
+        convert_trace(v2, v1, format="v1")
+        reader = open_trace(v1)
+        assert isinstance(reader, TraceReader)
+        assert list(reader) == records
+        # meta copied verbatim: the container changed, the identity didn't
+        assert reader.meta == meta
+
+    def test_v2_options_rejected_for_v1_target(self, tmp_path):
+        v2 = write_fixture(tmp_path / "t.trace.v2", lcg_records(5))
+        with pytest.raises(ValueError, match="v1"):
+            convert_trace(v2, str(tmp_path / "o.trace.gz"),
+                          format="v1", codec="gzip")
+
+    def test_open_trace_dispatches_both_formats(self, tmp_path):
+        records = lcg_records(20)
+        v1 = str(tmp_path / "a.trace.gz")
+        write_trace(v1, records)
+        v2 = write_fixture(tmp_path / "a.trace.v2", records)
+        assert sniff_trace_version(v1) == "v1"
+        assert sniff_trace_version(v2) == "v2"
+        assert isinstance(open_trace(v1), TraceReader)
+        assert isinstance(open_trace(v2), BlockTraceReader)
+        assert list(open_trace(v1)) == list(open_trace(v2))
+
+    def test_sniff_garbage(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"neither format at all")
+        with pytest.raises(TraceFormatError):
+            sniff_trace_version(str(path))
+
+
+class TestWriter:
+    def test_meta_and_header_round_trip(self, tmp_path):
+        meta = {"benchmark": "mcf", "accesses": 9, "seed": 2}
+        path = str(tmp_path / "t.trace.v2")
+        with BlockTraceWriter(path, meta=meta, codec="gzip") as writer:
+            writer.write_all(lcg_records(9))
+        reader = BlockTraceReader(path)
+        assert reader.meta == meta
+        assert reader.schema == TRACE_V2_SCHEMA
+        assert reader.block_records == BLOCK_RECORDS
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = BlockTraceWriter(str(tmp_path / "t.trace.v2"), codec="gzip")
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(lcg_records(1)[0])
+
+    def test_unknown_codec_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="codec"):
+            BlockTraceWriter(str(tmp_path / "t.trace.v2"), codec="lz4")
+
+    def test_bad_block_records_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            BlockTraceWriter(
+                str(tmp_path / "t.trace.v2"), codec="gzip", block_records=0
+            )
+
+    def test_interrupted_write_leaves_loudly_truncated_file(self, tmp_path):
+        path = str(tmp_path / "t.trace.v2")
+        with pytest.raises(RuntimeError):
+            with BlockTraceWriter(path, codec="gzip") as writer:
+                writer.write_all(lcg_records(3))
+                raise RuntimeError("interrupted")
+        with pytest.raises(TraceFormatError, match="trailer"):
+            BlockTraceReader(path)
+
+
+class TestCorruption:
+    def _trailer_offset(self, blob):
+        return len(blob) - struct.calcsize("<Q8s")
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(200))
+        blob = open(path, "rb").read()
+        clipped = tmp_path / "clipped.trace.v2"
+        clipped.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError, match="trailer|truncated"):
+            BlockTraceReader(str(clipped))
+
+    def test_truncated_block_detected(self, tmp_path):
+        # Clip bytes out of a block body but keep the index + trailer:
+        # the index's byte-offset chain no longer adds up.
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(200))
+        blob = open(path, "rb").read()
+        reader = BlockTraceReader(path)
+        victim = reader.blocks[2]
+        doctored = (
+            blob[: victim.offset] + blob[victim.offset + 5 :]
+        )
+        bad = tmp_path / "bad.trace.v2"
+        bad.write_bytes(doctored)
+        with pytest.raises(TraceFormatError):
+            list(BlockTraceReader(str(bad)))
+
+    def test_flipped_payload_bit_detected(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(200))
+        blob = bytearray(open(path, "rb").read())
+        reader = BlockTraceReader(path)
+        entry = reader.blocks[1]
+        # flip one bit inside block 1's compressed payload
+        blob[entry.offset + 4 + entry.compressed_bytes // 2] ^= 0x40
+        bad = tmp_path / "bad.trace.v2"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="checksum|block"):
+            list(BlockTraceReader(str(bad)))
+
+    def test_doctored_index_count_detected(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(64))
+        blob = open(path, "rb").read()
+        assert blob.count(b'"count": 64') == 1
+        doctored = blob.replace(b'"count": 64', b'"count": 65')
+        bad = tmp_path / "bad.trace.v2"
+        bad.write_bytes(doctored)
+        with pytest.raises(TraceFormatError):
+            BlockTraceReader(str(bad))
+
+    def test_stripped_trailer_detected(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(10))
+        blob = open(path, "rb").read()
+        assert blob.endswith(INDEX_MAGIC)
+        bad = tmp_path / "bad.trace.v2"
+        bad.write_bytes(blob[: self._trailer_offset(blob)])
+        with pytest.raises(TraceFormatError, match="trailer"):
+            BlockTraceReader(str(bad))
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trace.v2"
+        path.write_bytes(b"NOTATRACEATALL" + b"\x00" * 64)
+        with pytest.raises(TraceFormatError):
+            BlockTraceReader(str(path))
+        assert TRACE_V2_MAGIC not in path.read_bytes()
+
+
+class TestInfo:
+    def test_info_reports_geometry(self, tmp_path):
+        records = lcg_records(100)
+        path = write_fixture(tmp_path / "t.trace.v2", records, block_records=32)
+        info = read_info_v2(path)
+        assert info["schema"] == TRACE_V2_SCHEMA
+        assert info["count"] == 100
+        assert info["codec"] == "gzip"
+        assert info["blocks"] == 4  # ceil(100/32)
+        geometry = info["block_geometry"]
+        assert geometry["blocks"] == 4
+        assert geometry["packed_bytes"] == 100 * 21
+        assert geometry["max_records"] <= 32
+        json.dumps(info)  # --json output must serialize as-is
+
+    def test_read_info_dispatches(self, tmp_path):
+        records = lcg_records(12)
+        v1 = str(tmp_path / "a.trace.gz")
+        write_trace(v1, records)
+        v2 = write_fixture(tmp_path / "a.trace.v2", records)
+        assert read_info(v1)["schema"] == "repro.trace.v1"
+        assert read_info(v2)["schema"] == TRACE_V2_SCHEMA
+        assert read_info(v1)["count"] == read_info(v2)["count"] == 12
+
+    def test_info_is_o_index_not_o_file(self, tmp_path):
+        path = write_fixture(tmp_path / "t.trace.v2", lcg_records(500))
+        reader = BlockTraceReader(path)
+        assert reader.blocks_decoded == 0  # open touches header+index only
+        read_info_v2(path)  # info never decodes a block either

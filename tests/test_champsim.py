@@ -13,7 +13,7 @@ from repro.cpu.champsim import (
     iter_champsim,
     write_champsim,
 )
-from repro.cpu.tracefile import TraceFormatError, TraceReader
+from repro.cpu.tracefile import TraceFormatError, open_trace
 from repro.cpu.trace import TraceRecord
 from repro.workloads import get_profile
 
@@ -303,7 +303,7 @@ class TestSimulation:
         workload = import_trace(
             src, directory=str(tmp_path / "i"), register=False
         )
-        reader = TraceReader(workload.path)
+        reader = open_trace(workload.path)
         one = replay_experiment(reader, selector_spec="ipcp")
         two = replay_experiment(reader, selector_spec="ipcp")
         assert one.rows == two.rows

@@ -159,7 +159,7 @@ class TestTraceCLI:
         path = str(tmp_path / "gcc.trace.gz")
         assert main(
             ["trace", "record", "gcc", "--accesses", "800", "--seed", "1",
-             "-o", path]
+             "--format", "v1", "-o", path]
         ) == 0
         assert "recorded 800 records" in capsys.readouterr().out
 
@@ -213,7 +213,8 @@ class TestTraceCLI:
 
         path = str(tmp_path / "t.trace.gz")
         assert main(
-            ["trace", "record", "gcc", "--accesses", "60", "-o", path]
+            ["trace", "record", "gcc", "--accesses", "60", "--format", "v1",
+             "-o", path]
         ) == 0
         payload = gzip.decompress(open(path, "rb").read())
         doctored = payload.replace(b'{"count": 60}', b'{"count": 61}')

@@ -1,0 +1,181 @@
+"""Backwards-compatibility pins for committed on-disk trace fixtures.
+
+``repro.trace.v1`` files recorded by any past release must stay readable
+forever: traces are the repository's archival interchange format, and a
+reader change that silently reinterprets old bytes would corrupt every
+previously recorded experiment.  The fixtures under ``tests/data/`` were
+written once and committed; these tests decode those exact bytes — they
+never regenerate the files — so any decode-path change that breaks old
+traces fails here first.
+
+The record payload comes from :func:`fixture_records`, a self-contained
+LCG (no ``random`` module, whose stream could drift across Python
+versions), so the expected records are re-derivable from source alone.
+
+Regenerate the fixtures (only when *adding* one, never to paper over a
+failure) with::
+
+    PYTHONPATH=src python tests/test_trace_v1_compat.py
+"""
+
+import gzip
+import os
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.cpu.blocktrace import BlockTraceReader
+from repro.cpu.trace import TraceRecord
+from repro.cpu.tracefile import (
+    TRACE_SCHEMA,
+    TraceFormatError,
+    TraceReader,
+    open_trace,
+    read_info,
+    sniff_trace_version,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+FIXTURE_V1 = os.path.join(DATA_DIR, "fixture_lcg.trace.gz")
+FIXTURE_V2 = os.path.join(DATA_DIR, "fixture_lcg.trace.v2")
+
+FIXTURE_COUNT = 257
+FIXTURE_META = {
+    "benchmark": "fixture-lcg",
+    "accesses": FIXTURE_COUNT,
+    "seed": 0,
+    "note": "committed compat fixture; see tests/data/README.md",
+}
+
+_LCG_MULTIPLIER = 6364136223846793005
+_LCG_INCREMENT = 1442695040888963407
+_MASK64 = 2**64 - 1
+
+
+def fixture_records(n=FIXTURE_COUNT):
+    """The fixture payload, re-derived from source (pure LCG, no stdlib RNG)."""
+    state = 0x2545F4914F6CDD1D
+    records = []
+    for _ in range(n):
+        state = (state * _LCG_MULTIPLIER + _LCG_INCREMENT) & _MASK64
+        pc = (state >> 16) & (2**48 - 1)
+        state = (state * _LCG_MULTIPLIER + _LCG_INCREMENT) & _MASK64
+        address = state >> 20
+        records.append(
+            TraceRecord(
+                pc=pc,
+                address=address,
+                access_type=(
+                    AccessType.STORE if state % 4 == 0 else AccessType.LOAD
+                ),
+                nonmem_before=state % 500,
+                dependent=state % 10 == 0,
+            )
+        )
+    return records
+
+
+class TestCommittedV1Fixture:
+    def test_fixture_is_committed(self):
+        assert os.path.exists(FIXTURE_V1), (
+            "tests/data/fixture_lcg.trace.gz is missing — it must be "
+            "committed, not generated at test time"
+        )
+
+    def test_decodes_to_known_records(self):
+        assert list(TraceReader(FIXTURE_V1)) == fixture_records()
+
+    def test_open_trace_dispatches_to_v1_reader(self):
+        reader = open_trace(FIXTURE_V1)
+        assert isinstance(reader, TraceReader)
+        assert sniff_trace_version(FIXTURE_V1) == "v1"
+        assert list(reader) == fixture_records()
+
+    def test_info_unchanged(self):
+        info = read_info(FIXTURE_V1)
+        assert info["schema"] == TRACE_SCHEMA
+        assert info["count"] == FIXTURE_COUNT
+        assert info["meta"] == FIXTURE_META
+        assert info["record_bytes"] == 21
+
+    def test_replay_rows_match_in_memory_generation(self):
+        # The archival promise is not just "same records" but "same
+        # results": replaying the committed bytes must equal simulating
+        # the re-derived in-memory records.
+        from repro.experiments.runner import replay_experiment
+
+        from_disk = replay_experiment(
+            open_trace(FIXTURE_V1), selector_spec="alecto"
+        )
+        in_memory = replay_experiment(
+            fixture_records(), selector_spec="alecto"
+        )
+        assert from_disk.rows == in_memory.rows
+
+    def test_truncation_still_detected(self, tmp_path):
+        payload = gzip.decompress(open(FIXTURE_V1, "rb").read())
+        clipped = tmp_path / "clipped.trace.gz"
+        with gzip.open(clipped, "wb") as fh:
+            fh.write(payload[:-40])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(TraceReader(str(clipped)))
+
+    def test_doctored_footer_still_detected(self, tmp_path):
+        payload = gzip.decompress(open(FIXTURE_V1, "rb").read())
+        doctored = payload.replace(
+            b'{"count": 257}', b'{"count": 258}'
+        )
+        assert doctored != payload
+        bad = tmp_path / "bad.trace.gz"
+        with gzip.open(bad, "wb") as fh:
+            fh.write(doctored)
+        with pytest.raises(TraceFormatError, match="footer declares"):
+            list(TraceReader(str(bad)))
+
+
+class TestCommittedV2Fixture:
+    def test_fixture_is_committed(self):
+        assert os.path.exists(FIXTURE_V2)
+
+    def test_decodes_to_known_records(self):
+        reader = open_trace(FIXTURE_V2)
+        assert isinstance(reader, BlockTraceReader)
+        assert sniff_trace_version(FIXTURE_V2) == "v2"
+        assert list(reader) == fixture_records()
+
+    def test_info_unchanged(self):
+        info = read_info(FIXTURE_V2)
+        assert info["count"] == FIXTURE_COUNT
+        assert info["meta"] == FIXTURE_META
+        assert info["codec"] == "gzip"
+        assert info["block_records"] == 64
+        assert info["blocks"] == 5  # ceil(257 / 64)
+
+    def test_containers_replay_identically(self):
+        # Same identity, different container: rows must be byte-equal.
+        from repro.experiments.runner import replay_experiment
+
+        v1_rows = replay_experiment(
+            open_trace(FIXTURE_V1), selector_spec="alecto"
+        ).rows
+        v2_rows = replay_experiment(
+            open_trace(FIXTURE_V2), selector_spec="alecto"
+        ).rows
+        assert v1_rows == v2_rows
+
+
+def _regenerate():
+    from repro.cpu.blocktrace import write_trace_v2
+    from repro.cpu.tracefile import write_trace
+
+    os.makedirs(DATA_DIR, exist_ok=True)
+    records = fixture_records()
+    write_trace(FIXTURE_V1, records, meta=FIXTURE_META)
+    write_trace_v2(
+        FIXTURE_V2, records, meta=FIXTURE_META, codec="gzip", block_records=64
+    )
+    print(f"wrote {FIXTURE_V1} and {FIXTURE_V2} ({len(records)} records)")
+
+
+if __name__ == "__main__":
+    _regenerate()
