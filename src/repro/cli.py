@@ -231,7 +231,12 @@ def _open_store(args: argparse.Namespace):
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import render_result, write_results_json
+    from repro.experiments.runner import (
+        RetryPolicy,
+        SuiteExecutionError,
+        render_result,
+        write_results_json,
+    )
     from repro.sim import simulation_count
     from repro.store import run_suite
 
@@ -245,16 +250,38 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
     from repro.store import suppress_store
 
+    policy_kwargs = {}
+    if args.max_attempts is not None:
+        if args.max_attempts < 1:
+            print("--max-attempts must be >= 1", file=sys.stderr)
+            return 2
+        policy_kwargs["max_attempts"] = args.max_attempts
+    if args.deadline is not None:
+        policy_kwargs["experiment_deadline"] = args.deadline
+    if args.cell_deadline is not None:
+        policy_kwargs["cell_deadline"] = args.cell_deadline
+    policy = RetryPolicy(**policy_kwargs)
+
     # --no-store must mean no caching at all: suppress the $REPRO_STORE
     # env fallback too, or cells would still read/write that store.
     store = None if args.no_store else _open_store(args)
     guard = suppress_store() if args.no_store else nullcontext()
     sims_before = simulation_count()
-    with guard:
-        report = run_suite(
-            names, jobs=args.jobs, fast=args.fast, overrides=overrides,
-            store=store,
-        )
+    try:
+        with guard:
+            report = run_suite(
+                names, jobs=args.jobs, fast=args.fast, overrides=overrides,
+                store=store, keep_going=args.keep_going, policy=policy,
+            )
+    except SuiteExecutionError as exc:
+        for failure in exc.failures:
+            print(
+                f"[  failed] {failure.label} after {failure.attempts} "
+                f"attempt(s): {failure.error}",
+                file=sys.stderr,
+            )
+        print(f"suite aborted: {exc}", file=sys.stderr)
+        return 1
     # Workers' simulations count too — with --jobs N all the computing
     # happens in the pool and the parent's own counter stays at 0.
     sims = simulation_count() - sims_before + report.worker_simulations
@@ -266,27 +293,46 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(render_result(result))
             print()
+    for failure in report.failures:
+        print(
+            f"[  failed] {failure.label} after {failure.attempts} "
+            f"attempt(s): {failure.error}",
+            file=sys.stderr,
+        )
+    # Recovery detail goes on the summary line only when something was
+    # recovered (or lost): a clean run's line stays byte-identical to
+    # what log-scraping consumers (CI's store-smoke) already parse.
+    recovery = ""
+    if report.failed:
+        recovery += f", {len(report.failed)} failed"
+    if report.retries:
+        recovery += f"; {report.retries} retr{'y' if report.retries == 1 else 'ies'}"
+    if report.pool_respawns:
+        recovery += f"; {report.pool_respawns} pool respawn(s)"
     if store is not None:
         stats = store.stats
         print(
             f"suite: {len(report.cached)} experiment(s) cached, "
-            f"{len(report.computed)} computed; store: {stats.hits} hit(s), "
+            f"{len(report.computed)} computed{recovery}; "
+            f"store: {stats.hits} hit(s), "
             f"{stats.puts} record(s) written; {sims} simulation(s) executed "
             f"({report.elapsed_seconds:.1f}s)",
         )
     else:
         print(
-            f"suite: {len(report.computed)} experiment(s) computed, "
+            f"suite: {len(report.computed)} experiment(s) computed{recovery}, "
             f"store disabled; {sims} simulation(s) executed "
             f"({report.elapsed_seconds:.1f}s)",
         )
+    if report.journal_path is not None and (report.failed or not args.quiet):
+        print(f"journal: {report.journal_path}", file=sys.stderr)
     if args.json:
         write_results_json(report.results, args.json)
         print(
             f"wrote {len(report.results)} result(s) to {args.json}",
             file=sys.stderr,
         )
-    return 0
+    return 3 if report.failed else 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -819,6 +865,25 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress the rendered tables (status lines only)",
+    )
+    suite.add_argument(
+        "--keep-going", "-k", action="store_true",
+        help="record permanently failing experiments and keep running "
+        "(exit 3 on a partial run) instead of aborting at the first one",
+    )
+    suite.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="tries per experiment before it counts as failed (default 3)",
+    )
+    suite.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per experiment under --jobs; stragglers "
+        "are cancelled, charged an attempt, and re-queued",
+    )
+    suite.add_argument(
+        "--cell-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per (benchmark, selector) cell fanned "
+        "out by a single experiment under --jobs",
     )
     suite.set_defaults(func=_cmd_suite)
 

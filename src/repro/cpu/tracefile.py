@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 import struct
 from typing import Any, Dict, Iterable, Iterator, Optional
 
@@ -365,7 +366,15 @@ def open_trace(path: str):
     ``repro.trace.v2`` files.  Both are lazy and re-iterable and carry
     ``.meta``; only the v2 reader has ``.seek`` / ``.slice`` /
     ``.shard`` (and a ``.count`` known before iteration).
+
+    Carries the ``trace_read_io`` fault-injection site (the chaos
+    harness's stand-in for a flaky network filesystem): the token is the
+    file's basename, so decisions are stable across the randomly named
+    spool directories each suite run creates.
     """
+    from repro import faults
+
+    faults.fire("trace_read_io", os.path.basename(path))
     if sniff_trace_version(path) == "v2":
         from repro.cpu.blocktrace import BlockTraceReader
 

@@ -42,19 +42,32 @@ experiment caching on top; see :mod:`repro.store`.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
+import itertools
 import json
 import os
 import re
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro import __version__
+from repro import faults
 from repro.experiments.common import format_table, make_selector
+from repro.log import get_logger
 from repro.registry import get_experiment, list_experiments
 from repro.sim import simulate
 
@@ -65,11 +78,17 @@ RESULT_SCHEMA = "repro.experiment-result.v1"
 #: second process pool.
 _WORKER_ENV = "REPRO_POOL_WORKER"
 
+_log = get_logger("runner")
+
 __all__ = [
+    "DispatchStats",
     "Experiment",
     "ExperimentResult",
     "RESULT_SCHEMA",
+    "RetryPolicy",
+    "SuiteExecutionError",
     "SuiteRunner",
+    "TaskFailure",
     "experiment_main",
     "render_result",
     "replay_experiment",
@@ -394,6 +413,498 @@ def _worker_init() -> None:
     os.environ[_WORKER_ENV] = "1"
 
 
+def _terminate_pool(jobs: int) -> None:
+    """Kill a pool's worker processes and drop it from the cache.
+
+    Used for ``BrokenProcessPool`` recovery (the workers are already
+    dying) and for deadline enforcement: ``shutdown(wait=False)`` alone
+    never interrupts a *running* worker, so a straggler would keep
+    occupying its pool slot — and its memory — indefinitely.  Killing
+    the processes outright is the only cancellation the stdlib pool
+    supports; every in-flight task is re-dispatched to the replacement
+    pool by the caller.
+    """
+    entry = _POOLS.pop(jobs, None)
+    if entry is None:
+        return
+    pool = entry[1]
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # a broken pool may refuse further calls
+        pass
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:
+            pass
+
+
+# -- fault-tolerant dispatch -------------------------------------------------
+
+
+def _jitter_draw(token: str) -> float:
+    """Deterministic uniform [0, 1) draw for backoff jitter."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the suite runner survives failing, crashing, or stalled work.
+
+    Attributes:
+        max_attempts: total tries per work unit (first attempt included)
+            before it is declared failed.  Pool crashes do **not** consume
+            attempts — the crashed unit cannot be told apart from its
+            innocent pool-mates, so charging any of them would let one
+            poisoned cell exhaust everyone's budget; crashes draw from
+            the separate respawn budget instead.
+        backoff_base: delay before the first retry, seconds.
+        backoff_factor: multiplier per subsequent retry (exponential).
+        backoff_max: ceiling on the un-jittered delay.
+        backoff_jitter: +/- fraction of deterministic jitter applied to
+            every delay (a pure hash of the work unit's label and retry
+            number — reproducible, yet de-synchronized across units so
+            retried cells do not stampede the pool in lockstep).
+        cell_deadline: wall-clock seconds one (benchmark, selector) cell
+            may run before it is cancelled and re-queued (``None`` = no
+            deadline).  Enforced only under a process pool: a stalled
+            serial run has no supervisor left to cancel it.
+        experiment_deadline: same, for one whole experiment.
+        max_pool_respawns: ``BrokenProcessPool`` recoveries allowed per
+            dispatch before aborting; ``None`` scales with the task
+            count (``4 + 2 x tasks``).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    backoff_jitter: float = 0.25
+    cell_deadline: Optional[float] = None
+    experiment_deadline: Optional[float] = None
+    max_pool_respawns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+
+    def backoff_delay(self, failures: int, token: str) -> float:
+        """Delay before retry number ``failures`` of work unit ``token``."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, failures - 1),
+        )
+        if self.backoff_jitter <= 0 or base <= 0:
+            return base
+        draw = _jitter_draw(f"backoff|{token}|{failures}")
+        return base * (1.0 + self.backoff_jitter * (2.0 * draw - 1.0))
+
+    def respawn_budget(self, tasks: int) -> int:
+        if self.max_pool_respawns is not None:
+            return self.max_pool_respawns
+        return 4 + 2 * tasks
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form recorded in suite journals."""
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max": self.backoff_max,
+            "backoff_jitter": self.backoff_jitter,
+            "cell_deadline": self.cell_deadline,
+            "experiment_deadline": self.experiment_deadline,
+            "max_pool_respawns": self.max_pool_respawns,
+        }
+
+
+def _traceback_digest(exc: BaseException) -> str:
+    """Short stable digest of an exception's formatted traceback.
+
+    Journals and failure records carry the digest, not the traceback:
+    it groups repeats of the same failure across runs without dumping
+    multi-KB tracebacks into structured output.
+    """
+    text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass
+class TaskFailure:
+    """One work unit that exhausted its retry budget.
+
+    Attributes:
+        label: the unit (``"experiment/fig08"``, ``"cell/mcf/alecto"``).
+        attempts: dispatches consumed (including crash re-dispatches).
+        kind: ``"exception"`` (the unit raised), ``"deadline"`` (it
+            outlived its wall-clock budget), or ``"pool"`` (the pool
+            respawn budget ran out underneath it).
+        site: the fault-injection site, when the final error was an
+            injected fault (``None`` for organic failures).
+        error: ``TypeName: message`` of the final error.
+        traceback_digest: :func:`_traceback_digest` of the final error.
+    """
+
+    label: str
+    attempts: int
+    kind: str
+    error: str
+    site: Optional[str] = None
+    traceback_digest: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "site": self.site,
+            "error": self.error,
+            "traceback_digest": self.traceback_digest,
+        }
+
+
+@dataclass
+class DispatchStats:
+    """Counters accumulated by one fault-tolerant dispatch.
+
+    Attributes:
+        retries: re-dispatches after a charged failure (exception or
+            deadline; crash re-dispatches are counted in
+            ``pool_respawns`` instead).
+        pool_respawns: times a broken pool was replaced.
+        deadline_requeues: work units cancelled past their deadline.
+        attempts: dispatch count per work-unit label.
+        failures: units that exhausted their budget (kept by
+            keep-going callers; fatal otherwise).
+    """
+
+    retries: int = 0
+    pool_respawns: int = 0
+    deadline_requeues: int = 0
+    attempts: Dict[str, int] = field(default_factory=dict)
+    failures: List[TaskFailure] = field(default_factory=list)
+
+
+class SuiteExecutionError(RuntimeError):
+    """A work unit failed permanently (and keep-going was off).
+
+    The message embeds every failure's label and final error, so callers
+    matching on the underlying error text (or users reading the abort
+    line) see the root cause, not just "something failed".
+    """
+
+    def __init__(self, failures: Sequence[TaskFailure]):
+        self.failures = list(failures)
+        detail = "; ".join(
+            f"{f.label} failed after {f.attempts} attempt(s): {f.error}"
+            for f in self.failures
+        )
+        super().__init__(detail or "suite execution failed")
+
+
+class _Task:
+    """One dispatchable work unit inside :func:`_dispatch_pool`."""
+
+    __slots__ = ("key", "label", "fn", "make_args", "deadline",
+                 "dispatches", "errors", "started")
+
+    def __init__(self, key, label, fn, make_args, deadline=None):
+        self.key = key
+        self.label = label
+        self.fn = fn
+        #: ``make_args(attempt) -> tuple`` — the attempt index is baked
+        #: into the submitted args so fault sites and logs can tell
+        #: dispatches apart.
+        self.make_args = make_args
+        self.deadline = deadline
+        self.dispatches = 0
+        self.errors = 0
+        self.started = 0.0
+
+
+class _DeadlineExceeded(Exception):
+    """Internal marker: a task outlived its wall-clock deadline."""
+
+
+def _charge_failure(
+    task: _Task,
+    exc: BaseException,
+    kind: str,
+    policy: RetryPolicy,
+    stats: DispatchStats,
+    waiting: List[Tuple[float, int, _Task]],
+    counter,
+) -> Optional[TaskFailure]:
+    """Record one failed attempt; schedule a retry or return the failure."""
+    task.errors += 1
+    if task.errors < policy.max_attempts:
+        stats.retries += 1
+        delay = policy.backoff_delay(task.errors, task.label)
+        _log.warning(
+            "%s failed (%s, attempt %d/%d): %s; retrying in %.2fs",
+            task.label, kind, task.errors, policy.max_attempts, exc, delay,
+        )
+        heappush(waiting, (time.monotonic() + delay, next(counter), task))
+        return None
+    failure = TaskFailure(
+        label=task.label,
+        attempts=task.dispatches,
+        kind=kind,
+        site=getattr(exc, "site", None),
+        error=f"{type(exc).__name__}: {exc}",
+        traceback_digest=_traceback_digest(exc),
+    )
+    stats.failures.append(failure)
+    _log.error(
+        "%s failed permanently after %d attempt(s): %s",
+        task.label, task.dispatches, failure.error,
+    )
+    return failure
+
+
+def _dispatch_pool(
+    jobs: int,
+    tasks: Sequence[_Task],
+    policy: RetryPolicy,
+    stats: DispatchStats,
+    keep_going: bool = False,
+    absorbed: Optional[Callable[[_Task], Optional[Any]]] = None,
+) -> Iterator[Tuple[_Task, str, Any]]:
+    """Run ``tasks`` on the shared pool, surviving faults per ``policy``.
+
+    Yields ``(task, status, value)`` as units finalize, where status is
+    ``"ok"`` (value = the worker's return), ``"absorbed"`` (the store
+    already held the result when the unit came up for re-dispatch;
+    value = that result), or ``"failed"`` (keep-going only; value = the
+    :class:`TaskFailure`, also recorded in ``stats``).
+
+    Recovery semantics:
+
+    - a task that **raises** is retried with exponential backoff up to
+      ``policy.max_attempts``, then declared failed (fatal via
+      :class:`SuiteExecutionError` unless ``keep_going``);
+    - a **deadline** expiry cancels the straggler *for real* — the pool
+      is recycled (stdlib pools cannot kill one worker), the straggler
+      is charged a failed attempt and re-queued, and innocent in-flight
+      tasks are re-dispatched uncharged;
+    - a ``BrokenProcessPool`` (worker SIGKILLed: OOM, segfault,
+      injected ``worker_crash``) respawns the pool and re-dispatches
+      every in-flight task, *minus* any ``absorbed`` by the store in
+      the meantime; nobody is charged an attempt, but respawns draw
+      from ``policy.respawn_budget`` so a reliably crashing unit cannot
+      loop forever.
+    """
+    counter = itertools.count()
+    ready = deque(tasks)
+    waiting: List[Tuple[float, int, _Task]] = []
+    pending: Dict[Any, _Task] = {}
+    respawns = 0
+    budget = policy.respawn_budget(len(tasks))
+    pool = _get_pool(jobs)
+
+    def recover_pool(reason: str, charge_budget: bool) -> None:
+        nonlocal pool, respawns
+        stats.pool_respawns += 1
+        if charge_budget:
+            respawns += 1
+            if respawns > budget:
+                raise SuiteExecutionError(
+                    [
+                        TaskFailure(
+                            label=task.label,
+                            attempts=task.dispatches,
+                            kind="pool",
+                            error=(
+                                f"pool respawn budget ({budget}) exhausted: "
+                                f"{reason}"
+                            ),
+                        )
+                        for task in (
+                            list(pending.values()) + list(ready)
+                            + [entry[2] for entry in waiting]
+                        )
+                    ]
+                )
+        for future, task in pending.items():
+            future.cancel()
+            ready.append(task)
+        pending.clear()
+        _terminate_pool(jobs)
+        pool = _get_pool(jobs)
+        _log.warning(
+            "process pool respawned (%s); %d task(s) re-queued",
+            reason, len(ready),
+        )
+
+    while ready or waiting or pending:
+        now = time.monotonic()
+        while waiting and waiting[0][0] <= now:
+            ready.append(heappop(waiting)[2])
+
+        submitted_broken = None
+        while ready:
+            task = ready.popleft()
+            # Re-dispatch only work the store has not already absorbed
+            # (an experiment persisted by a worker that died *after*
+            # putting it, a cell another process computed meanwhile).
+            if absorbed is not None and task.dispatches > 0:
+                value = absorbed(task)
+                if value is not None:
+                    yield task, "absorbed", value
+                    continue
+            attempt = task.dispatches
+            task.dispatches += 1
+            stats.attempts[task.label] = task.dispatches
+            task.started = time.monotonic()
+            try:
+                future = pool.submit(task.fn, *task.make_args(attempt))
+            except (BrokenProcessPool, RuntimeError) as exc:
+                # The pool broke between completions; put the task back
+                # (uncharged) and respawn.
+                task.dispatches -= 1
+                stats.attempts[task.label] = task.dispatches
+                ready.appendleft(task)
+                submitted_broken = exc
+                break
+            pending[future] = task
+        if submitted_broken is not None:
+            recover_pool(str(submitted_broken) or "submit failed", True)
+            continue
+
+        if not pending:
+            if waiting:
+                time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
+            continue
+
+        timeout = None
+        if waiting:
+            timeout = max(0.0, waiting[0][0] - now)
+        for task in pending.values():
+            if task.deadline is not None:
+                remaining = task.deadline - (now - task.started)
+                timeout = remaining if timeout is None else min(timeout, remaining)
+        if timeout is not None:
+            timeout = max(timeout, 0.01)
+        done, _ = wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+
+        broken = None
+        for future in done:
+            task = pending.pop(future)
+            try:
+                value = future.result()
+            except BrokenProcessPool as exc:
+                broken = exc
+                ready.append(task)  # uncharged: the culprit is unknowable
+            except Exception as exc:
+                failure = _charge_failure(
+                    task, exc, "exception", policy, stats, waiting, counter
+                )
+                if failure is not None:
+                    if not keep_going:
+                        raise SuiteExecutionError([failure])
+                    yield task, "failed", failure
+            else:
+                yield task, "ok", value
+        if broken is not None:
+            recover_pool(str(broken) or "worker died abruptly", True)
+            continue
+
+        now = time.monotonic()
+        expired = [
+            task for task in pending.values()
+            if task.deadline is not None and now - task.started > task.deadline
+        ]
+        if expired:
+            stats.deadline_requeues += len(expired)
+            expired_set = set(id(task) for task in expired)
+            survivors = [
+                task for task in pending.values()
+                if id(task) not in expired_set
+            ]
+            pending.clear()
+            failures = []
+            for task in expired:
+                exc = _DeadlineExceeded(
+                    f"{task.label} exceeded its {task.deadline:.1f}s deadline"
+                )
+                failure = _charge_failure(
+                    task, exc, "deadline", policy, stats, waiting, counter
+                )
+                if failure is not None:
+                    failures.append((task, failure))
+            # Killing the straggler means recycling the pool; innocents
+            # re-queue uncharged.  Deadline recycles are bounded by
+            # max_attempts per task, so they do not draw on the crash
+            # respawn budget.
+            ready.extend(survivors)
+            _terminate_pool(jobs)
+            pool = _get_pool(jobs)
+            stats.pool_respawns += 1
+            _log.warning(
+                "deadline exceeded by %d task(s); pool recycled, %d "
+                "innocent task(s) re-queued",
+                len(expired), len(survivors),
+            )
+            for task, failure in failures:
+                if not keep_going:
+                    raise SuiteExecutionError([failure])
+                yield task, "failed", failure
+
+
+def _run_serial_attempts(
+    label: str,
+    call: Callable[[int], Any],
+    policy: RetryPolicy,
+    stats: DispatchStats,
+) -> Tuple[bool, Any]:
+    """In-process twin of :func:`_dispatch_pool` for one work unit.
+
+    Retries ``call(attempt)`` with the same charged-failure accounting
+    (no deadlines — a stalled serial run has no supervisor to cancel
+    it, and no crash recovery — there is no worker to lose).  Returns
+    ``(True, value)`` or ``(False, TaskFailure)``.
+    """
+    errors = 0
+    while True:
+        attempt = stats.attempts.get(label, 0)
+        stats.attempts[label] = attempt + 1
+        try:
+            return True, call(attempt)
+        except Exception as exc:
+            errors += 1
+            if errors < policy.max_attempts:
+                stats.retries += 1
+                delay = policy.backoff_delay(errors, label)
+                _log.warning(
+                    "%s failed (attempt %d/%d): %s; retrying in %.2fs",
+                    label, errors, policy.max_attempts, exc, delay,
+                )
+                time.sleep(delay)
+                continue
+            failure = TaskFailure(
+                label=label,
+                attempts=stats.attempts[label],
+                kind="exception",
+                site=getattr(exc, "site", None),
+                error=f"{type(exc).__name__}: {exc}",
+                traceback_digest=_traceback_digest(exc),
+            )
+            stats.failures.append(failure)
+            _log.error(
+                "%s failed permanently after %d attempt(s): %s",
+                label, failure.attempts, failure.error,
+            )
+            return False, failure
+
+
 def _cached_trace(profile, accesses: int, seed: int):
     # Key on the profile's full definition, not just its name: pool
     # workers outlive a single suite call, and a same-named profile with
@@ -409,6 +920,17 @@ def _cached_trace(profile, accesses: int, seed: int):
     return trace
 
 
+def _fire_cell_faults(token: str, attempt: int) -> None:
+    """Fire the per-work-unit fault sites at the top of a work unit.
+
+    Sits *outside* the simulate loop: injection decides per cell, never
+    per access, so a disarmed plan costs one dict lookup per cell.
+    """
+    faults.fire("worker_crash", token, attempt)
+    faults.fire("cell_exception", token, attempt)
+    faults.fire("cell_stall", token, attempt)
+
+
 def _cell_worker(
     profile,
     selector_name: Optional[str],
@@ -416,21 +938,26 @@ def _cell_worker(
     seed: int,
     config,
     selector_kwargs: Dict[str, Any],
+    attempt: int = 0,
 ) -> Dict[str, Any]:
     """Simulate one (benchmark, selector) cell; returns its summary rows.
 
     In-memory fallback used when trace spooling is disabled: each worker
     regenerates (and caches) the benchmark's stream itself.
     """
-    trace = _cached_trace(profile, accesses, seed)
-    selector = (
-        make_selector(selector_name, **selector_kwargs)
-        if selector_name is not None
-        else None
-    )
-    return simulation_rows(
-        simulate(trace, selector, config=config, name=profile.name)
-    )
+    with faults.attempt_context(attempt):
+        _fire_cell_faults(
+            f"cell/{profile.name}/{selector_name or 'none'}", attempt
+        )
+        trace = _cached_trace(profile, accesses, seed)
+        selector = (
+            make_selector(selector_name, **selector_kwargs)
+            if selector_name is not None
+            else None
+        )
+        return simulation_rows(
+            simulate(trace, selector, config=config, name=profile.name)
+        )
 
 
 def _trace_cell_worker(
@@ -439,6 +966,7 @@ def _trace_cell_worker(
     selector_name: Optional[str],
     config,
     selector_kwargs: Dict[str, Any],
+    attempt: int = 0,
 ) -> Dict[str, Any]:
     """Simulate one cell by lazily replaying a spooled trace file.
 
@@ -448,15 +976,17 @@ def _trace_cell_worker(
     """
     from repro.cpu.tracefile import open_trace
 
-    reader = open_trace(trace_path)
-    selector = (
-        make_selector(selector_name, **selector_kwargs)
-        if selector_name is not None
-        else None
-    )
-    return simulation_rows(
-        simulate(reader, selector, config=config, name=benchmark)
-    )
+    with faults.attempt_context(attempt):
+        _fire_cell_faults(f"cell/{benchmark}/{selector_name or 'none'}", attempt)
+        reader = open_trace(trace_path)
+        selector = (
+            make_selector(selector_name, **selector_kwargs)
+            if selector_name is not None
+            else None
+        )
+        return simulation_rows(
+            simulate(reader, selector, config=config, name=benchmark)
+        )
 
 
 def _spool_traces(
@@ -504,17 +1034,25 @@ def _shard_replay_worker(
     any trace version is accepted); the rows are then identical to a
     serial whole-file replay by construction.
     """
-    from repro.cpu.tracefile import open_trace
+    from repro.cpu.tracefile import TraceFormatError, open_trace
 
-    reader = open_trace(trace_path)
-    trace = reader.shard(shard_index, shards) if shards > 1 else reader
-    result = replay_experiment(
-        trace,
-        selector_spec=selector_spec,
-        config=config,
-        name=f"shard{shard_index}",
-    )
-    return result.rows
+    try:
+        reader = open_trace(trace_path)
+        trace = reader.shard(shard_index, shards) if shards > 1 else reader
+        result = replay_experiment(
+            trace,
+            selector_spec=selector_spec,
+            config=config,
+            name=f"shard{shard_index}",
+        )
+        return result.rows
+    except TraceFormatError as exc:
+        # Under a pool the parent sees errors from many concurrent
+        # shards of possibly many files; a bare byte offset does not say
+        # *which* shard of *which* file is corrupt.
+        raise TraceFormatError(
+            f"shard {shard_index}/{shards} of {trace_path!r}: {exc}"
+        ) from exc
 
 
 def _aggregate_shard_rows(
@@ -549,8 +1087,25 @@ def _cell_meta(benchmark: str, selector_spec: Optional[str]) -> Dict[str, Any]:
     }
 
 
+def _run_experiment_attempt(
+    name: str, overrides: Dict[str, Any], attempt: int
+) -> ExperimentResult:
+    """Run one experiment attempt with its fault sites armed.
+
+    Shared by the serial retry loop and :func:`_experiment_worker`, so
+    the ``experiment/<name>`` fault tokens — and hence any spec's
+    deterministic decisions — are identical at every job count.
+    """
+    with faults.attempt_context(attempt):
+        _fire_cell_faults(f"experiment/{name}", attempt)
+        return get_experiment(name).run(**overrides)
+
+
 def _experiment_worker(
-    name: str, overrides: Dict[str, Any], store_root: Optional[str] = None
+    name: str,
+    overrides: Dict[str, Any],
+    store_root: Optional[str] = None,
+    attempt: int = 0,
 ) -> Tuple[ExperimentResult, Dict[str, Any]]:
     """Run one experiment in a pool worker.
 
@@ -568,14 +1123,14 @@ def _experiment_worker(
 
     sims_before = simulation_count()
     if store_root is None:
-        result = get_experiment(name).run(**overrides)
+        result = _run_experiment_attempt(name, overrides, attempt)
         store_stats: Dict[str, int] = {}
     else:
         from repro.store import ResultStore, activate
 
         store = ResultStore(store_root)
         with activate(store):
-            result = get_experiment(name).run(**overrides)
+            result = _run_experiment_attempt(name, overrides, attempt)
         store_stats = store.stats.as_dict()
     stats = {
         "simulations": simulation_count() - sims_before,
@@ -627,13 +1182,19 @@ class SuiteRunner:
             :func:`repro.store.run_suite`.
     """
 
-    def __init__(self, jobs: int = 1, store=None):
+    def __init__(
+        self, jobs: int = 1, store=None, policy: Optional[RetryPolicy] = None
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if os.environ.get(_WORKER_ENV):
             jobs = 1  # never nest process pools
         self.jobs = jobs
         self.store = store
+        #: Retry / deadline / pool-respawn behaviour (see
+        #: :class:`RetryPolicy`); ``RetryPolicy()`` by default, so every
+        #: caller gets bounded retries without opting in.
+        self.policy = policy if policy is not None else RetryPolicy()
 
     # -- (benchmark, selector) cells ---------------------------------------
 
@@ -694,7 +1255,6 @@ class SuiteRunner:
         spool_dir = None
         try:
             if missing:
-                pool = _get_pool(self.jobs)
                 if spool_traces:
                     spool_dir = tempfile.mkdtemp(prefix="repro-trace-spool-")
                     benches = {cell[0] for cell in missing}
@@ -702,45 +1262,60 @@ class SuiteRunner:
                         {b: profiles[b] for b in profiles if b in benches},
                         accesses, seed, spool_dir,
                     )
-                    futures = {
-                        pool.submit(
-                            _trace_cell_worker,
-                            paths[cell[0]],
-                            cell[0],
-                            cell[1],
-                            config,
-                            selector_kwargs,
-                        ): cell
-                        for cell in missing
-                    }
+
+                    def make_task(cell):
+                        return _Task(
+                            key=cell,
+                            label=f"cell/{cell[0]}/{cell[1] or 'none'}",
+                            fn=_trace_cell_worker,
+                            make_args=lambda attempt, cell=cell: (
+                                paths[cell[0]], cell[0], cell[1],
+                                config, selector_kwargs, attempt,
+                            ),
+                            deadline=self.policy.cell_deadline,
+                        )
                 else:
-                    futures = {
-                        pool.submit(
-                            _cell_worker,
-                            profiles[cell[0]],
-                            cell[1],
-                            accesses,
-                            seed,
-                            config,
-                            selector_kwargs,
-                        ): cell
-                        for cell in missing
-                    }
+
+                    def make_task(cell):
+                        return _Task(
+                            key=cell,
+                            label=f"cell/{cell[0]}/{cell[1] or 'none'}",
+                            fn=_cell_worker,
+                            make_args=lambda attempt, cell=cell: (
+                                profiles[cell[0]], cell[1], accesses, seed,
+                                config, selector_kwargs, attempt,
+                            ),
+                            deadline=self.policy.cell_deadline,
+                        )
+
+                tasks = [make_task(cell) for cell in missing]
+                absorbed = None
+                if store is not None:
+                    # On re-dispatch (after a pool crash or deadline
+                    # recycle), skip any cell another worker already
+                    # persisted — the store is the arbiter of progress.
+                    def absorbed(task):
+                        return store.get_value(keys[task.key])
+
                 # Persist each cell as it completes (not in submission
                 # order), so an interrupted fan-out resumes from every
                 # cell that actually finished.
                 global _POOL_SIMULATIONS
-                for future in as_completed(futures):
-                    cell = futures[future]
-                    value = future.result()
-                    _POOL_SIMULATIONS += 1  # one simulate() per cell
-                    summaries[cell] = value
-                    if store is not None:
-                        store.put(
-                            keys[cell],
-                            value,
-                            meta=_cell_meta(cell[0], cell[1]),
-                        )
+                stats = DispatchStats()
+                for task, status, value in _dispatch_pool(
+                    self.jobs, tasks, self.policy, stats, absorbed=absorbed
+                ):
+                    if status == "ok":
+                        _POOL_SIMULATIONS += 1  # one simulate() per cell
+                        if store is not None:
+                            store.put(
+                                keys[task.key],
+                                value,
+                                meta=_cell_meta(task.key[0], task.key[1]),
+                            )
+                    # "absorbed": another process simulated and stored
+                    # the cell; use it without charging a simulation.
+                    summaries[task.key] = value
         except Exception:
             _evict_pool(self.jobs)
             raise
@@ -847,8 +1422,33 @@ class SuiteRunner:
             meta={"created": time.time(), "experiment": name},
         )
 
+    def _absorbed_experiment(self, name: str, params: Dict[str, Any]):
+        """The store's record of this experiment, as a worker-style result.
+
+        Consulted before *re*-dispatching an experiment after a pool
+        crash: a worker that died after persisting its result must not
+        be re-run.  Returns ``(result, stats)`` shaped like
+        :func:`_experiment_worker`'s return, or ``None``.
+        """
+        if self.store is None:
+            return None
+        from repro.store.keys import experiment_key
+        from repro.store.orchestrator import _result_from_record
+
+        record = self.store.get(experiment_key(name, params))
+        if record is None:
+            return None
+        try:
+            result = _result_from_record(record)
+        except Exception:
+            return None
+        return result, {"simulations": 0, "store": {}}
+
     def run_resolved(
-        self, resolved: Sequence[Tuple[str, Dict[str, Any], Dict[str, Any]]]
+        self,
+        resolved: Sequence[Tuple[str, Dict[str, Any], Dict[str, Any]]],
+        keep_going: bool = False,
+        stats: Optional[DispatchStats] = None,
     ) -> Iterator[Tuple[str, ExperimentResult]]:
         """Execute ``(name, applied, params)`` triples, yielding on completion.
 
@@ -858,9 +1458,19 @@ class SuiteRunner:
         in-flight experiments.  The store, when set, is also made the
         ambient :func:`~repro.store.resultstore.active_store` so cell
         caching applies inside the experiments themselves.
+
+        Execution is governed by ``self.policy``: failing experiments
+        are retried with backoff; under a pool, stragglers past
+        ``experiment_deadline`` are cancelled and re-queued, and broken
+        pools are respawned.  An experiment that exhausts its attempts
+        raises :class:`SuiteExecutionError` — unless ``keep_going``, in
+        which case it is recorded in ``stats.failures`` (pass a
+        :class:`DispatchStats` to collect them) and skipped.
         """
         from repro.store.resultstore import activate
 
+        if stats is None:
+            stats = DispatchStats()
         with activate(self.store):
             if self.jobs == 1 or len(resolved) == 1:
                 # A single experiment still profits from parallelism:
@@ -869,33 +1479,71 @@ class SuiteRunner:
                     experiment = get_experiment(name)
                     if self.jobs > 1 and "jobs" in experiment.params:
                         applied = {**applied, "jobs": self.jobs}
-                    result = experiment.run(**applied)
-                    self._put_experiment(name, params, result)
-                    yield name, result
+                    ok, value = _run_serial_attempts(
+                        f"experiment/{name}",
+                        lambda attempt, name=name, applied=applied: (
+                            _run_experiment_attempt(name, applied, attempt)
+                        ),
+                        self.policy,
+                        stats,
+                    )
+                    if not ok:
+                        if not keep_going:
+                            raise SuiteExecutionError([value])
+                        continue
+                    self._put_experiment(name, params, value)
+                    yield name, value
                 return
 
-            pool = _get_pool(self.jobs)
             store_root = self.store.root if self.store is not None else None
+            tasks = [
+                _Task(
+                    key=(name, tuple(sorted(params.items()))),
+                    label=f"experiment/{name}",
+                    fn=_experiment_worker,
+                    make_args=lambda attempt, name=name, applied=applied: (
+                        name, applied, store_root, attempt,
+                    ),
+                    deadline=self.policy.experiment_deadline,
+                )
+                for name, applied, params in resolved
+            ]
+            params_by_key = {
+                task.key: params
+                for task, (name, _, params) in zip(tasks, resolved)
+            }
+
+            def absorbed(task):
+                return self._absorbed_experiment(
+                    task.key[0], params_by_key[task.key]
+                )
+
+            global _POOL_SIMULATIONS
             try:
-                futures = {
-                    pool.submit(
-                        _experiment_worker, name, applied, store_root
-                    ): (name, params)
-                    for name, applied, params in resolved
-                }
-                global _POOL_SIMULATIONS
-                for future in as_completed(futures):
-                    name, params = futures[future]
-                    result, stats = future.result()
-                    _POOL_SIMULATIONS += stats["simulations"]
+                for task, status, value in _dispatch_pool(
+                    self.jobs,
+                    tasks,
+                    self.policy,
+                    stats,
+                    keep_going=keep_going,
+                    absorbed=absorbed if self.store is not None else None,
+                ):
+                    if status == "failed":
+                        continue  # recorded in stats.failures
+                    name = task.key[0]
+                    result, worker_stats = value
+                    _POOL_SIMULATIONS += worker_stats["simulations"]
                     if self.store is not None:
-                        for field_name, count in stats["store"].items():
+                        for field_name, count in worker_stats["store"].items():
                             setattr(
                                 self.store.stats,
                                 field_name,
                                 getattr(self.store.stats, field_name) + count,
                             )
-                    self._put_experiment(name, params, result)
+                    if status == "ok":
+                        self._put_experiment(
+                            name, params_by_key[task.key], result
+                        )
                     yield name, result
             except Exception:
                 _evict_pool(self.jobs)

@@ -1,0 +1,342 @@
+"""Deterministic, seed-driven fault injection for the orchestration stack.
+
+Every recovery path in the suite runner — retry-on-exception, deadline
+re-queue, ``BrokenProcessPool`` respawn, store/trace I/O retries — must
+be testable *on demand*, not only when a worker happens to OOM.  This
+module defines named **injection sites** threaded through the execution
+layer; a site does nothing unless a fault plan activates it, so the
+cost of a disarmed site is one dict lookup per work unit (never per
+simulated access — no site lives in the hot loop).
+
+Sites (:data:`FAULT_SITES`):
+
+- ``worker_crash`` — SIGKILL the current *pool worker* process (the
+  parent observes ``BrokenProcessPool``, exactly like an OOM kill or a
+  segfault).  Fires only inside pool workers; a serial run never dies.
+- ``cell_exception`` — raise :class:`FaultError` at the start of a work
+  unit (a suite cell or an experiment), exercising the retry policy.
+- ``cell_stall`` — sleep ``s`` seconds inside the work unit, exercising
+  wall-clock deadlines (bounded, so an abandoned worker is reclaimed).
+- ``store_put_io`` — raise :class:`FaultIOError` from
+  :meth:`repro.store.ResultStore.put`'s write path.
+- ``trace_read_io`` — raise :class:`FaultIOError` from
+  :func:`repro.cpu.tracefile.open_trace`.
+
+Activation — the ``REPRO_FAULTS`` environment variable, a comma-joined
+list of site clauses::
+
+    REPRO_FAULTS="worker_crash:p=0.2:seed=1,cell_exception:p=0.1:seed=2"
+
+Clause grammar (parameters in any order, each at most once)::
+
+    clause   := SITE (":" param)*
+    param    := "p=" FLOAT      probability per decision   (default 1.0)
+              | "seed=" INT     decision seed              (default 0)
+              | "attempts=" INT fire only while the work unit's attempt
+                                index is < this            (default: always)
+              | "s=" FLOAT      cell_stall sleep seconds   (default 30.0)
+
+Decisions are **deterministic**: whether a site fires is a pure function
+of ``(site, seed, token, attempt)`` — the token names the work unit
+(``"experiment/fig08"``, ``"cell/mcf/alecto"``) and the attempt index
+increments per dispatch — hashed to a uniform draw compared against
+``p``.  The same spec therefore injects the same faults on every run, in
+every process: pool workers inherit ``REPRO_FAULTS`` through the
+environment and compile the identical plan.  Because the attempt index
+participates in the draw, a retried work unit re-rolls rather than
+failing forever (and ``attempts=1`` pins the classic test shape: first
+try always fails, first retry always succeeds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.log import get_logger
+
+#: Environment variable carrying the fault plan spec.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every named injection site threaded through the execution layer.
+FAULT_SITES = (
+    "worker_crash",
+    "cell_exception",
+    "cell_stall",
+    "store_put_io",
+    "trace_read_io",
+)
+
+#: Set in pool workers (mirrors ``repro.experiments.runner._WORKER_ENV``;
+#: duplicated here so this leaf module never imports the runner).
+_WORKER_ENV = "REPRO_POOL_WORKER"
+
+_log = get_logger("faults")
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULT_SITES",
+    "FaultError",
+    "FaultIOError",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "attempt_context",
+    "current_attempt",
+    "fire",
+    "parse_fault_plan",
+]
+
+
+class FaultError(RuntimeError):
+    """An injected (non-I/O) fault; carries the site that raised it."""
+
+    def __init__(self, site: str, message: str):
+        super().__init__(message)
+        self.site = site
+
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with
+        # ``args == (message,)`` and loses ``site`` — and an exception
+        # that cannot round-trip from a pool worker takes the whole
+        # pool down as BrokenProcessPool instead of failing one future.
+        return (type(self), (self.site, str(self)))
+
+
+class FaultIOError(OSError):
+    """An injected I/O fault; carries the site that raised it."""
+
+    def __init__(self, site: str, message: str):
+        super().__init__(message)
+        self.site = site
+
+    def __reduce__(self):
+        return (type(self), (self.site, str(self)))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One compiled site clause of a fault plan."""
+
+    site: str
+    probability: float = 1.0
+    seed: int = 0
+    attempts: Optional[int] = None
+    stall_seconds: float = 30.0
+
+    def clause(self) -> str:
+        """The canonical spec-string clause (round-trips via parse)."""
+        parts = [self.site, f"p={self.probability:g}", f"seed={self.seed}"]
+        if self.attempts is not None:
+            parts.append(f"attempts={self.attempts}")
+        if self.site == "cell_stall":
+            parts.append(f"s={self.stall_seconds:g}")
+        return ":".join(parts)
+
+
+def _draw(site: str, seed: int, token: str, attempt: int) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    digest = hashlib.blake2b(
+        f"{site}|{seed}|{token}|{attempt}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class FaultPlan:
+    """A compiled ``REPRO_FAULTS`` spec: at most one clause per site."""
+
+    def __init__(self, specs: Dict[str, FaultSpec]):
+        self.specs = dict(specs)
+
+    def spec_string(self) -> str:
+        """Canonical spec string (parses back to an equal plan)."""
+        return ",".join(spec.clause() for spec in self.specs.values())
+
+    def should_fire(self, site: str, token: str, attempt: int) -> bool:
+        """Whether ``site`` fires for this (token, attempt) — pure."""
+        spec = self.specs.get(site)
+        if spec is None:
+            return False
+        if spec.attempts is not None and attempt >= spec.attempts:
+            return False
+        return _draw(site, spec.seed, token, attempt) < spec.probability
+
+    def fire(self, site: str, token: str, attempt: Optional[int] = None) -> None:
+        """Act out ``site`` for this work unit, if the plan says so.
+
+        ``attempt`` defaults to the ambient :func:`current_attempt`
+        (set by pool workers around their work unit).
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r} (known: {', '.join(FAULT_SITES)})"
+            )
+        if attempt is None:
+            attempt = current_attempt()
+        if not self.should_fire(site, token, attempt):
+            return
+        spec = self.specs[site]
+        where = f"{token} (attempt {attempt})"
+        if site == "worker_crash":
+            # Only a *pool worker* may die: crashing a serial run (or the
+            # orchestrating parent) would turn the chaos harness into the
+            # outage it exists to survive.
+            if not os.environ.get(_WORKER_ENV):
+                return
+            _log.debug("injected worker_crash at %s: SIGKILL", where)
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover — unreachable
+        if site == "cell_stall":
+            _log.debug(
+                "injected cell_stall at %s: sleeping %.3fs",
+                where,
+                spec.stall_seconds,
+            )
+            time.sleep(spec.stall_seconds)
+            return
+        _log.debug("injected %s at %s", site, where)
+        if site == "cell_exception":
+            raise FaultError(site, f"injected cell_exception at {where}")
+        raise FaultIOError(site, f"injected {site} at {where}")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self.specs == other.specs
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec_string()!r})"
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Compile a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`.
+
+    Raises ``ValueError`` naming the offending clause on any grammar
+    violation: unknown site, unknown/duplicate parameter, a probability
+    outside [0, 1], a non-positive ``attempts``, a negative stall.
+    """
+    specs: Dict[str, FaultSpec] = {}
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        site, _, rest = clause.partition(":")
+        site = site.strip()
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r} in clause {clause!r} "
+                f"(known: {', '.join(FAULT_SITES)})"
+            )
+        if site in specs:
+            raise ValueError(f"duplicate clause for fault site {site!r}")
+        params: Dict[str, Tuple[str, str]] = {}
+        if rest:
+            for raw in rest.split(":"):
+                name, eq, value = raw.partition("=")
+                name = name.strip()
+                if not eq or name not in ("p", "seed", "attempts", "s"):
+                    raise ValueError(
+                        f"bad parameter {raw!r} in clause {clause!r} "
+                        "(expected p=FLOAT, seed=INT, attempts=INT, s=FLOAT)"
+                    )
+                if name in params:
+                    raise ValueError(
+                        f"duplicate parameter {name!r} in clause {clause!r}"
+                    )
+                params[name] = (raw, value.strip())
+        try:
+            probability = float(params.get("p", ("", "1.0"))[1])
+            seed = int(params.get("seed", ("", "0"))[1])
+            attempts = (
+                int(params["attempts"][1]) if "attempts" in params else None
+            )
+            stall = float(params.get("s", ("", "30.0"))[1])
+        except ValueError as exc:
+            raise ValueError(
+                f"unparseable parameter value in clause {clause!r}: {exc}"
+            ) from exc
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"probability {probability} outside [0, 1] in clause {clause!r}"
+            )
+        if attempts is not None and attempts < 1:
+            raise ValueError(f"attempts must be >= 1 in clause {clause!r}")
+        if stall < 0:
+            raise ValueError(f"stall seconds must be >= 0 in clause {clause!r}")
+        if "s" in params and site != "cell_stall":
+            raise ValueError(
+                f"parameter s= only applies to cell_stall, not {site!r}"
+            )
+        specs[site] = FaultSpec(
+            site=site,
+            probability=probability,
+            seed=seed,
+            attempts=attempts,
+            stall_seconds=stall,
+        )
+    return FaultPlan(specs)
+
+
+# -- the ambient plan ---------------------------------------------------------
+
+#: (env string, compiled plan) — recompiled only when the env changes.
+_CACHED: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan compiled from ``REPRO_FAULTS``, or ``None`` when unset.
+
+    Compiled once per distinct env value and cached, so a disarmed site
+    costs one env lookup + tuple compare per work unit.  A malformed
+    spec raises loudly at the first site reached — injection that
+    silently never arms would invalidate every chaos test built on it.
+    """
+    global _CACHED
+    raw = os.environ.get(FAULTS_ENV)
+    if raw == _CACHED[0]:
+        return _CACHED[1]
+    plan = parse_fault_plan(raw) if raw else None
+    if plan is not None and not plan.specs:
+        plan = None
+    _CACHED = (raw, plan)
+    if plan is not None:
+        _log.info("fault plan armed: %s", plan.spec_string())
+    return plan
+
+
+def fire(site: str, token: str, attempt: Optional[int] = None) -> None:
+    """Fire ``site`` per the ambient plan; a no-op when no plan is set."""
+    plan = active_plan()
+    if plan is not None:
+        plan.fire(site, token, attempt)
+
+
+# -- ambient attempt index ----------------------------------------------------
+
+_ATTEMPT = 0
+
+
+def current_attempt() -> int:
+    """The ambient attempt index (see :func:`attempt_context`)."""
+    return _ATTEMPT
+
+
+@contextmanager
+def attempt_context(attempt: int) -> Iterator[None]:
+    """Set the ambient attempt index for the dynamic extent.
+
+    Pool workers wrap each work unit in this so sites fired from deep
+    call stacks (``open_trace``, ``ResultStore.put``) draw against the
+    dispatch attempt they belong to — a retried unit re-rolls its I/O
+    faults instead of hitting the identical decision forever.
+    """
+    global _ATTEMPT
+    previous = _ATTEMPT
+    _ATTEMPT = attempt
+    try:
+        yield
+    finally:
+        _ATTEMPT = previous

@@ -1,0 +1,106 @@
+"""Library-wide logging: one ``repro``-rooted stdlib logger hierarchy.
+
+The store and orchestration layers used to report anomalies (corrupt
+records, invalid cached results) with bare ``print(..., file=sys.stderr)``
+calls.  Those messages are real telemetry — suite runs under ``--json``
+must keep stdout parseable, and chaos runs produce a *stream* of retry /
+respawn events worth filtering — so they now flow through stdlib
+``logging``:
+
+- :func:`get_logger` returns a child of the ``repro`` root logger
+  (``get_logger("store")`` → ``repro.store``), configured exactly once;
+- the default level is ``WARNING``, overridable with the
+  ``REPRO_LOG_LEVEL`` environment variable (``DEBUG``/``INFO``/
+  ``WARNING``/``ERROR``/``CRITICAL`` or a numeric level) — read at first
+  use, so pool workers forked later inherit the same verbosity;
+- output goes to **stderr, resolved at emit time** (not captured at
+  import), so test harnesses that swap ``sys.stderr`` per-test (pytest's
+  capsys) observe the messages, and stdout stays reserved for data;
+- messages propagate up the hierarchy, so applications that configure
+  the root logger (or pytest's caplog) see them too.
+
+Nothing here touches the root logger's configuration: embedding
+applications keep full control, and plain library use never prints below
+WARNING.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+#: Environment variable selecting the default log level.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+__all__ = ["LOG_LEVEL_ENV", "get_logger"]
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """A stderr handler that looks ``sys.stderr`` up at *emit* time.
+
+    ``logging.StreamHandler()`` captures ``sys.stderr`` at construction;
+    a harness that replaces the stream afterwards (pytest's capsys, an
+    application redirecting stderr) would silently stop seeing library
+    warnings.  Resolving the stream per-record keeps the handler honest.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.setStream compatibility
+        pass
+
+
+def _resolve_level() -> int:
+    raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if not raw:
+        return logging.WARNING
+    if raw.isdigit():
+        return int(raw)
+    level = logging.getLevelName(raw.upper())
+    if isinstance(level, int):
+        return level
+    # An unknown name must not crash library import; warn once via the
+    # freshly configured logger instead (caller sees the fallback).
+    return logging.WARNING
+
+
+_CONFIGURED = False
+
+
+def _configure_root() -> logging.Logger:
+    """Attach the stderr handler + level to the ``repro`` root, once."""
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter("repro: %(levelname)s: %(message)s"))
+        root.addHandler(handler)
+        root.setLevel(_resolve_level())
+        _CONFIGURED = True
+        raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+        if raw and not raw.isdigit() and not isinstance(
+            logging.getLevelName(raw.upper()), int
+        ):
+            root.warning(
+                "unknown %s value %r; using WARNING", LOG_LEVEL_ENV, raw
+            )
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a named child (``get_logger("store")``).
+
+    Configuration (stderr handler, ``REPRO_LOG_LEVEL``) happens on the
+    first call and only touches the ``repro`` subtree — the root logger
+    is never modified, so applications embedding this library keep full
+    control of their own logging.
+    """
+    root = _configure_root()
+    return root.getChild(name) if name else root

@@ -33,7 +33,7 @@ from repro.store.keys import (
     trace_identity,
     workload_fingerprint,
 )
-from repro.store.orchestrator import SuiteReport, run_suite
+from repro.store.orchestrator import JOURNAL_SCHEMA, SuiteReport, run_suite
 from repro.store.resultstore import (
     EXPORT_SCHEMA,
     STORE_ENV,
@@ -46,6 +46,7 @@ from repro.store.resultstore import (
 
 __all__ = [
     "EXPORT_SCHEMA",
+    "JOURNAL_SCHEMA",
     "SIM_FINGERPRINT",
     "STORE_ENV",
     "STORE_SCHEMA",

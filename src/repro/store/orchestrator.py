@@ -14,22 +14,45 @@ inside :func:`repro.experiments.common.speedup_suite` sees it too: when
 a code-fingerprint bump invalidates an experiment record, re-running it
 replays every untouched (benchmark × selector × config) cell from the
 store and simulates only the cells the bump actually touched.
+
+Execution is fault-tolerant (see :mod:`repro.experiments.runner` and
+``docs/robustness.md``): failing experiments retry with backoff, broken
+pools respawn, and with ``keep_going=True`` an experiment that exhausts
+its retry budget is recorded as a structured :class:`TaskFailure` in the
+report instead of aborting the suite.  Every store-backed run also
+writes a **journal** — a small JSON manifest under
+``<store>/journal/`` capturing what ran, what failed, and the retry
+policy in force — so post-mortems of long unattended runs do not depend
+on scrollback.
 """
 
 from __future__ import annotations
 
-import sys
+import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
+from repro.log import get_logger
 from repro.store.keys import experiment_key
 from repro.store.resultstore import ResultStore, activate
 
 if TYPE_CHECKING:  # pragma: no cover — avoids importing the experiments
-    from repro.experiments.runner import ExperimentResult  # package eagerly
+    from repro.experiments.runner import (  # package eagerly
+        DispatchStats,
+        ExperimentResult,
+        RetryPolicy,
+        TaskFailure,
+    )
 
-__all__ = ["SuiteReport", "run_suite"]
+_log = get_logger("store")
+
+#: Schema identifier written into every run journal.
+JOURNAL_SCHEMA = "repro.suite-journal.v1"
+
+__all__ = ["JOURNAL_SCHEMA", "SuiteReport", "run_suite"]
 
 
 @dataclass
@@ -37,11 +60,23 @@ class SuiteReport:
     """Outcome of one :func:`run_suite` call.
 
     Attributes:
-        results: one :class:`ExperimentResult` per requested experiment,
-            in request order (cached and computed alike).
+        results: one :class:`ExperimentResult` per requested experiment
+            that *completed*, in request order (cached and computed
+            alike); with ``keep_going``, failed experiments are absent.
         cached: names served from the store.
         computed: names that executed this run.
+        failed: names that exhausted their retry budget (non-empty only
+            under ``keep_going``; otherwise the run raises instead).
+        failures: one structured :class:`TaskFailure` (attempts, kind,
+            fault site, error, traceback digest) per entry in ``failed``.
+        retries: work-unit re-dispatches after charged failures.
+        pool_respawns: times a broken/recycled process pool was replaced.
+        deadline_requeues: work units cancelled past their deadline.
+        attempts: dispatch count per work-unit label (experiments here;
+            cell-grain attempts are accounted inside their experiment).
         store: the store used, or ``None`` when caching was off.
+        journal_path: the run-journal JSON written under
+            ``<store>/journal/`` (``None`` without a store).
         elapsed_seconds: wall-clock duration of the whole call.
         worker_simulations: simulations executed inside pool workers
             (``jobs > 1``); the caller's own process count comes from
@@ -51,9 +86,27 @@ class SuiteReport:
     results: List[ExperimentResult]
     cached: List[str] = field(default_factory=list)
     computed: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    failures: List[TaskFailure] = field(default_factory=list)
+    retries: int = 0
+    pool_respawns: int = 0
+    deadline_requeues: int = 0
+    attempts: Dict[str, int] = field(default_factory=dict)
     store: Optional[ResultStore] = None
+    journal_path: Optional[str] = None
     elapsed_seconds: float = 0.0
     worker_simulations: int = 0
+
+    @property
+    def status(self) -> str:
+        """``"clean"`` (no failures), ``"partial"``, or ``"failed"``.
+
+        ``"failed"`` means *nothing* completed; any completed result
+        alongside failures is ``"partial"`` (the keep-going outcome).
+        """
+        if not self.failed:
+            return "clean"
+        return "failed" if not self.results else "partial"
 
 
 def _result_from_record(record: Dict[str, Any]) -> "ExperimentResult":
@@ -72,12 +125,62 @@ def _result_from_record(record: Dict[str, Any]) -> "ExperimentResult":
     )
 
 
+_JOURNAL_COUNTER = 0
+
+
+def _journal_run_id() -> str:
+    """A filesystem-safe run id: timestamp + pid + per-process counter.
+
+    Unique across concurrent suite processes sharing one store (pid) and
+    across rapid back-to-back runs in one process (counter); sortable by
+    start time for humans listing the journal directory.
+    """
+    global _JOURNAL_COUNTER
+    _JOURNAL_COUNTER += 1
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}-{_JOURNAL_COUNTER:03d}"
+
+
+def _write_journal(
+    store: ResultStore,
+    run_id: str,
+    document: Dict[str, Any],
+) -> Optional[str]:
+    """Atomically write one run journal; never raises.
+
+    The journal is telemetry about a run that already happened — failing
+    to record it must not turn a successful (or already-failing) suite
+    into a different outcome.
+    """
+    journal_dir = os.path.join(store.root, "journal")
+    path = os.path.join(journal_dir, f"{run_id}.json")
+    try:
+        os.makedirs(journal_dir, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=journal_dir, prefix=f".{run_id}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, indent=2, default=float)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError as exc:
+        _log.warning("could not write suite journal %s: %s", path, exc)
+        return None
+    return path
+
+
 def run_suite(
     names: Optional[Sequence[str]] = None,
     jobs: int = 1,
     fast: bool = False,
     overrides: Optional[Mapping[str, Any]] = None,
     store: Optional[ResultStore] = None,
+    keep_going: bool = False,
+    policy: Optional["RetryPolicy"] = None,
 ) -> SuiteReport:
     """Run experiments incrementally against ``store``.
 
@@ -92,10 +195,31 @@ def run_suite(
             each key.
         store: the result store; ``None`` disables caching and behaves
             exactly like :class:`~repro.experiments.runner.SuiteRunner`.
+        keep_going: record experiments that exhaust their retry budget
+            as structured failures in the report (``failed`` /
+            ``failures``) and keep running, instead of raising
+            :class:`~repro.experiments.runner.SuiteExecutionError` at
+            the first permanent failure.
+        policy: the :class:`~repro.experiments.runner.RetryPolicy`
+            (retries, backoff, deadlines, respawn budget); default
+            ``RetryPolicy()``.
+
+    Raises:
+        repro.experiments.runner.SuiteExecutionError: an experiment
+            failed permanently and ``keep_going`` was off.  The journal
+            (when a store is set) is still written, with
+            ``status: "aborted"``.
     """
-    from repro.experiments.runner import SuiteRunner, resolve_experiments
+    from repro.experiments.runner import (
+        DispatchStats,
+        RetryPolicy,
+        SuiteRunner,
+        resolve_experiments,
+    )
 
     start = time.perf_counter()
+    if policy is None:
+        policy = RetryPolicy()
     resolved = resolve_experiments(names, fast=fast, overrides=overrides)
     report = SuiteReport(results=[], store=store)
 
@@ -120,10 +244,10 @@ def run_suite(
                     store.stats.hits -= 1
                     store.stats.misses += 1
                     store.stats.corrupt += 1
-                    print(
-                        f"repro store: recomputing {name!r}: cached result "
-                        f"record is invalid ({exc})",
-                        file=sys.stderr,
+                    _log.warning(
+                        "recomputing %r: cached result record is invalid (%s)",
+                        name,
+                        exc,
                     )
             if result is None:
                 misses.append((name, applied, params))
@@ -131,19 +255,69 @@ def run_suite(
                 hits[name] = result
                 report.cached.append(name)
 
-    if misses:
-        from repro.experiments.runner import pool_simulation_count
+    stats = DispatchStats()
+    aborted: Optional[BaseException] = None
+    try:
+        if misses:
+            from repro.experiments.runner import pool_simulation_count
 
-        pool_before = pool_simulation_count()
-        runner = SuiteRunner(jobs=jobs, store=store)
-        with activate(store):
-            for name, result in runner.run_resolved(misses):
-                hits[name] = result
-                report.computed.append(name)
-        # Covers both fan-out grains: experiments dispatched to workers
-        # AND cells a single experiment fanned out via speedup_suite.
-        report.worker_simulations = pool_simulation_count() - pool_before
+            pool_before = pool_simulation_count()
+            runner = SuiteRunner(jobs=jobs, store=store, policy=policy)
+            try:
+                with activate(store):
+                    for name, result in runner.run_resolved(
+                        misses, keep_going=keep_going, stats=stats
+                    ):
+                        hits[name] = result
+                        report.computed.append(name)
+            finally:
+                # Covers both fan-out grains: experiments dispatched to
+                # workers AND cells one experiment fanned out via
+                # speedup_suite — even when the run aborts mid-way.
+                report.worker_simulations = pool_simulation_count() - pool_before
+    except BaseException as exc:
+        aborted = exc
+        raise
+    finally:
+        report.failures = list(stats.failures)
+        report.failed = sorted(
+            {
+                f.label.split("/", 1)[1]
+                for f in report.failures
+                if f.label.startswith("experiment/")
+            }
+        )
+        report.retries = stats.retries
+        report.pool_respawns = stats.pool_respawns
+        report.deadline_requeues = stats.deadline_requeues
+        report.attempts = dict(stats.attempts)
+        report.results = [hits[name] for name, _, _ in resolved if name in hits]
+        report.elapsed_seconds = time.perf_counter() - start
+        if store is not None:
+            run_id = _journal_run_id()
+            status = "aborted" if aborted is not None else report.status
+            document = {
+                "schema": JOURNAL_SCHEMA,
+                "run_id": run_id,
+                "status": status,
+                "requested": [name for name, _, _ in resolved],
+                "cached": list(report.cached),
+                "computed": list(report.computed),
+                "failed": list(report.failed),
+                "failures": [f.as_dict() for f in report.failures],
+                "retries": report.retries,
+                "pool_respawns": report.pool_respawns,
+                "deadline_requeues": report.deadline_requeues,
+                "attempts": dict(report.attempts),
+                "jobs": jobs,
+                "fast": fast,
+                "keep_going": keep_going,
+                "policy": policy.as_dict(),
+                "faults": os.environ.get("REPRO_FAULTS") or None,
+                "elapsed_seconds": report.elapsed_seconds,
+                "worker_simulations": report.worker_simulations,
+                "error": str(aborted) if aborted is not None else None,
+            }
+            report.journal_path = _write_journal(store, run_id, document)
 
-    report.results = [hits[name] for name, _, _ in resolved]
-    report.elapsed_seconds = time.perf_counter() - start
     return report

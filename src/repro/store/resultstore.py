@@ -35,13 +35,14 @@ import gzip
 import hashlib
 import json
 import os
-import sys
 import tempfile
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro import faults
+from repro.log import get_logger
 from repro.store.keys import (
     SIM_FINGERPRINT,
     STORE_SCHEMA,
@@ -50,8 +51,14 @@ from repro.store.keys import (
     selector_fingerprint,
 )
 
+_log = get_logger("store")
+
 #: Environment variable naming the store root for subprocesses.
 STORE_ENV = "REPRO_STORE"
+
+#: Bounded in-process retries for a failed record write (I/O hiccup,
+#: injected ``store_put_io``) before the error propagates.
+PUT_ATTEMPTS = 3
 
 #: Schema of an exported store archive (gzip JSON lines).
 EXPORT_SCHEMA = "repro.store.export.v1"
@@ -79,6 +86,7 @@ class StoreStats:
     misses: int = 0
     puts: int = 0
     corrupt: int = 0
+    put_retries: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -86,6 +94,7 @@ class StoreStats:
             "misses": self.misses,
             "puts": self.puts,
             "corrupt": self.corrupt,
+            "put_retries": self.put_retries,
         }
 
 
@@ -119,6 +128,13 @@ class ResultStore:
         ``value`` must be JSON-serializable; it round-trips exactly
         (floats serialize shortest-repr, so a reloaded value re-renders
         byte-identically).
+
+        A failed write (transient I/O error, injected ``store_put_io``
+        fault) is retried in-process up to :data:`PUT_ATTEMPTS` times
+        with a short backoff before the ``OSError`` propagates — a
+        computed result is too expensive to drop over an I/O hiccup, and
+        the retry is local because the caller cannot re-drive just the
+        write.
         """
         record = {
             "schema": STORE_SCHEMA,
@@ -135,18 +151,35 @@ class ResultStore:
         footer = json.dumps({"blake2b": _body_digest(body)}).encode("utf-8")
         path = self.path_for(key)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(body + b"\n" + footer + b"\n")
-            os.replace(tmp, path)
-        except BaseException:
+        for attempt in range(PUT_ATTEMPTS):
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                faults.fire("store_put_io", key.digest, attempt)
+                os.makedirs(directory, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(body + b"\n" + footer + b"\n")
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError as exc:
+                if attempt + 1 >= PUT_ATTEMPTS:
+                    raise
+                self.stats.put_retries += 1
+                _log.warning(
+                    "retrying write of record %s (attempt %d/%d): %s",
+                    key.digest[:12],
+                    attempt + 1,
+                    PUT_ATTEMPTS,
+                    exc,
+                )
+                time.sleep(0.01 * 2**attempt)
+            else:
+                break
         self.stats.puts += 1
         return path
 
@@ -155,8 +188,8 @@ class ResultStore:
 
         A record that exists but fails its integrity checks (footer
         digest, schema, key-digest cross-check) counts as a miss — an
-        incremental run recomputes and overwrites it — and is reported
-        on stderr so corruption never passes silently.
+        incremental run recomputes and overwrites it — and is logged at
+        WARNING so corruption never passes silently.
         """
         path = self.path_for(key)
         try:
@@ -171,10 +204,7 @@ class ResultStore:
         if problem is not None:
             self.stats.corrupt += 1
             self.stats.misses += 1
-            print(
-                f"repro store: ignoring corrupt record {path}: {problem}",
-                file=sys.stderr,
-            )
+            _log.warning("ignoring corrupt record %s: %s", path, problem)
             return None
         self.stats.hits += 1
         return record
@@ -249,8 +279,9 @@ class ResultStore:
         older_than_days: Optional[float] = None,
         everything: bool = False,
         dry_run: bool = False,
+        tmp_grace_seconds: float = 3600.0,
     ) -> List[str]:
-        """Delete dead records; returns the paths removed.
+        """Delete dead records and orphaned temp files; returns paths removed.
 
         Args:
             stale: drop records whose embedded fingerprints no longer
@@ -261,6 +292,12 @@ class ResultStore:
                 this many days ago.
             everything: drop all records regardless.
             dry_run: report without deleting.
+            tmp_grace_seconds: reclaim atomic-write ``*.tmp`` files older
+                than this (a worker killed between ``tempfile.mkstemp``
+                and ``os.replace`` leaks its temp file forever — no
+                process remembers the random name).  The grace period
+                keeps gc from racing a *live* writer mid-``put``; with
+                ``everything``, temp files go regardless of age.
         """
         current = component_fingerprints()
         now = time.time()
@@ -279,6 +316,18 @@ class ResultStore:
                 removed.append(path)
                 if not dry_run:
                     os.unlink(path)
+        for path in self._orphan_tmp_paths():
+            try:
+                age = now - os.path.getmtime(path)
+            except OSError:
+                continue  # already gone (concurrent writer finished)
+            if everything or age > tmp_grace_seconds:
+                removed.append(path)
+                if not dry_run:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
         if not dry_run:
             for shard in list(self._shard_dirs()):
                 try:
@@ -286,6 +335,24 @@ class ResultStore:
                 except OSError:
                     pass
         return removed
+
+    def _orphan_tmp_paths(self) -> Iterator[str]:
+        """Every atomic-write temp file under the store tree.
+
+        Temp files live next to their destination (``os.replace`` must
+        stay same-filesystem): record temps in shard directories, journal
+        temps in ``journal/``, and any stragglers in the root.
+        """
+        if not os.path.isdir(self.root):
+            return
+        directories = [self.root, os.path.join(self.root, "journal")]
+        directories.extend(self._shard_dirs())
+        for directory in directories:
+            if not os.path.isdir(directory):
+                continue
+            for name in sorted(os.listdir(directory)):
+                if name.endswith(".tmp"):
+                    yield os.path.join(directory, name)
 
     def _shard_dirs(self) -> Iterator[str]:
         if not os.path.isdir(self.root):

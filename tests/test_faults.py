@@ -1,0 +1,199 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    FAULT_SITES,
+    FaultError,
+    FaultIOError,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    parse_fault_plan,
+)
+
+
+class TestGrammar:
+    def test_single_clause_defaults(self):
+        plan = parse_fault_plan("cell_exception")
+        spec = plan.specs["cell_exception"]
+        assert spec.probability == 1.0
+        assert spec.seed == 0
+        assert spec.attempts is None
+
+    def test_full_clause(self):
+        plan = parse_fault_plan("worker_crash:p=0.2:seed=7:attempts=2")
+        spec = plan.specs["worker_crash"]
+        assert spec.probability == 0.2
+        assert spec.seed == 7
+        assert spec.attempts == 2
+
+    def test_multiple_clauses(self):
+        plan = parse_fault_plan(
+            "worker_crash:p=0.2:seed=1,cell_exception:p=0.1:seed=2"
+        )
+        assert set(plan.specs) == {"worker_crash", "cell_exception"}
+
+    def test_params_in_any_order(self):
+        a = parse_fault_plan("cell_exception:seed=3:p=0.5")
+        b = parse_fault_plan("cell_exception:p=0.5:seed=3")
+        assert a == b
+
+    def test_stall_seconds(self):
+        plan = parse_fault_plan("cell_stall:s=0.25")
+        assert plan.specs["cell_stall"].stall_seconds == 0.25
+
+    def test_round_trip(self):
+        spec = "worker_crash:p=0.2:seed=1,cell_stall:p=1:seed=0:s=2.5"
+        plan = parse_fault_plan(spec)
+        assert parse_fault_plan(plan.spec_string()) == plan
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no_such_site",
+            "cell_exception:p=1.5",
+            "cell_exception:p=-0.1",
+            "cell_exception:q=1",
+            "cell_exception:p=abc",
+            "cell_exception:attempts=0",
+            "cell_exception:p=0.5:p=0.5",
+            "cell_exception,cell_exception",
+            "worker_crash:s=5",  # s= is cell_stall-only
+            "cell_stall:s=-1",
+        ],
+    )
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_fault_plan(bad)
+
+    def test_empty_spec_is_empty_plan(self):
+        assert parse_fault_plan("").specs == {}
+
+
+class TestDeterminism:
+    def test_decisions_are_pure(self):
+        plan = parse_fault_plan("cell_exception:p=0.5:seed=9")
+        first = [
+            plan.should_fire("cell_exception", f"cell/{i}", 0)
+            for i in range(64)
+        ]
+        second = [
+            plan.should_fire("cell_exception", f"cell/{i}", 0)
+            for i in range(64)
+        ]
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 actually splits
+
+    def test_seed_changes_decisions(self):
+        a = parse_fault_plan("cell_exception:p=0.5:seed=1")
+        b = parse_fault_plan("cell_exception:p=0.5:seed=2")
+        decisions_a = [
+            a.should_fire("cell_exception", f"t{i}", 0) for i in range(64)
+        ]
+        decisions_b = [
+            b.should_fire("cell_exception", f"t{i}", 0) for i in range(64)
+        ]
+        assert decisions_a != decisions_b
+
+    def test_attempt_rerolls(self):
+        plan = parse_fault_plan("cell_exception:p=0.5:seed=4")
+        token = "cell/gcc/alecto"
+        draws = [
+            plan.should_fire("cell_exception", token, attempt)
+            for attempt in range(64)
+        ]
+        assert any(draws) and not all(draws)
+
+    def test_attempts_gate(self):
+        plan = parse_fault_plan("cell_exception:p=1:attempts=1")
+        assert plan.should_fire("cell_exception", "t", 0)
+        assert not plan.should_fire("cell_exception", "t", 1)
+
+    def test_p_zero_never_fires(self):
+        plan = parse_fault_plan("cell_exception:p=0")
+        assert not any(
+            plan.should_fire("cell_exception", f"t{i}", 0) for i in range(32)
+        )
+
+
+class TestFiring:
+    def test_cell_exception_raises_with_site(self):
+        plan = parse_fault_plan("cell_exception:p=1")
+        with pytest.raises(FaultError) as excinfo:
+            plan.fire("cell_exception", "cell/gcc/alecto", 0)
+        assert excinfo.value.site == "cell_exception"
+        assert "cell/gcc/alecto" in str(excinfo.value)
+
+    def test_io_sites_raise_oserror(self):
+        plan = parse_fault_plan("store_put_io:p=1,trace_read_io:p=1")
+        with pytest.raises(FaultIOError):
+            plan.fire("store_put_io", "digest", 0)
+        with pytest.raises(OSError):
+            plan.fire("trace_read_io", "file.trace.v2", 0)
+
+    def test_worker_crash_noop_outside_pool_worker(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_WORKER", raising=False)
+        plan = parse_fault_plan("worker_crash:p=1")
+        plan.fire("worker_crash", "experiment/fig01", 0)  # must not die
+
+    def test_cell_stall_sleeps(self):
+        import time
+
+        plan = parse_fault_plan("cell_stall:p=1:s=0.05")
+        start = time.monotonic()
+        plan.fire("cell_stall", "cell/x/y", 0)
+        assert time.monotonic() - start >= 0.05
+
+    def test_unknown_site_rejected(self):
+        plan = FaultPlan({"cell_exception": FaultSpec("cell_exception")})
+        with pytest.raises(ValueError):
+            plan.fire("nonsense", "t", 0)
+
+    def test_disarmed_site_is_noop(self):
+        plan = parse_fault_plan("cell_exception:p=1")
+        plan.fire("store_put_io", "t", 0)  # no clause for this site
+
+
+class TestAmbientPlan:
+    def test_no_env_no_plan(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+        assert active_plan() is None
+        faults.fire("cell_exception", "t")  # no-op without a plan
+
+    def test_env_compiles_and_caches(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "cell_exception:p=1:seed=3")
+        plan = active_plan()
+        assert plan is not None
+        assert active_plan() is plan  # same env value → cached object
+        monkeypatch.setenv(faults.FAULTS_ENV, "cell_exception:p=1:seed=4")
+        assert active_plan() is not plan  # env change recompiles
+
+    def test_module_fire_uses_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "cell_exception:p=1")
+        with pytest.raises(FaultError):
+            faults.fire("cell_exception", "anything", 0)
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "cell_exception:p=oops")
+        with pytest.raises(ValueError):
+            active_plan()
+
+    def test_attempt_context(self):
+        assert faults.current_attempt() == 0
+        with faults.attempt_context(3):
+            assert faults.current_attempt() == 3
+            with faults.attempt_context(5):
+                assert faults.current_attempt() == 5
+            assert faults.current_attempt() == 3
+        assert faults.current_attempt() == 0
+
+    def test_all_sites_named(self):
+        assert FAULT_SITES == (
+            "worker_crash",
+            "cell_exception",
+            "cell_stall",
+            "store_put_io",
+            "trace_read_io",
+        )

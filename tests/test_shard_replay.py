@@ -117,6 +117,49 @@ class TestAggregate:
         assert totals["ipc"] == pytest.approx(40 / 60)
 
 
+class TestShardErrorNaming:
+    def test_corrupt_block_names_shard_and_file(self, tmp_path):
+        """A decode failure mid-replay names the shard, not just the byte.
+
+        Under a pool the parent sees errors from many concurrent shards;
+        ``shard I/N of PATH`` is what makes the report actionable.
+        """
+        from repro.cpu.blocktrace import BlockTraceReader
+        from repro.cpu.tracefile import TraceFormatError
+
+        path = str(tmp_path / "corrupt.trace.v2")
+        records = get_profile("mcf").generate(ACCESSES, seed=5)
+        write_trace_v2(
+            path, records,
+            meta={"benchmark": "mcf"}, codec="gzip", block_records=128,
+        )
+        # Flip payload bytes of the LAST block: its records live only in
+        # shard 1 of 2, so shard 0 must replay clean and only shard 1
+        # must report the corruption.
+        last = BlockTraceReader(path).blocks[-1]
+        with open(path, "r+b") as fh:
+            fh.seek(last.offset + 4 + 5)  # past the u32 size prefix
+            fh.write(b"\xff\xff\xff")
+        with pytest.raises(TraceFormatError, match=r"shard 1/2 of .*corrupt"):
+            SuiteRunner(jobs=1).replay_shards(path, shards=2)
+
+    def test_clean_shard_of_corrupt_file_still_replays(self, tmp_path):
+        from repro.cpu.blocktrace import BlockTraceReader
+        from repro.experiments.runner import _shard_replay_worker
+
+        path = str(tmp_path / "tail-corrupt.trace.v2")
+        write_trace_v2(
+            path, get_profile("mcf").generate(ACCESSES, seed=5),
+            meta={"benchmark": "mcf"}, codec="gzip", block_records=128,
+        )
+        last = BlockTraceReader(path).blocks[-1]
+        with open(path, "r+b") as fh:
+            fh.seek(last.offset + 4 + 5)
+            fh.write(b"\xff\xff\xff")
+        rows = _shard_replay_worker(path, 0, 2, None, None)
+        assert rows["instructions"] > 0
+
+
 class TestSpool:
     def test_suite_spool_writes_v2(self, tmp_path):
         # The runner's spool-once-replay-everywhere path now spools v2.

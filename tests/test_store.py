@@ -12,6 +12,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from contextlib import contextmanager
 
 import pytest
@@ -388,6 +389,46 @@ class TestResultStore:
         store.gc(everything=True)
         assert store.get(key) is None
 
+    def test_gc_reclaims_orphaned_tmp_files(self, store):
+        """A worker killed mid-``put`` leaks its ``*.tmp`` sibling.
+
+        No process remembers the random temp name afterwards, so gc is
+        the only reclaimer — but it must not race a *live* writer, so
+        only temps older than the grace period (or ``everything``) go.
+        """
+        key = StoreKey("cell", {"schema": "repro.store.v1", "x": 5})
+        store.put(key, {"ipc": 1.0})
+        shard_dir = os.path.dirname(store.path_for(key))
+        stale_tmp = os.path.join(shard_dir, "tmpdead01.tmp")
+        fresh_tmp = os.path.join(shard_dir, "tmplive01.tmp")
+        journal_dir = os.path.join(store.root, "journal")
+        os.makedirs(journal_dir)
+        journal_tmp = os.path.join(journal_dir, ".run-xyz.tmp")
+        for path in (stale_tmp, fresh_tmp, journal_tmp):
+            with open(path, "w") as handle:
+                handle.write("partial")
+        old = time.time() - 7200
+        os.utime(stale_tmp, (old, old))
+        os.utime(journal_tmp, (old, old))
+
+        # stale=False isolates the temp sweep (the synthetic record has
+        # no live fingerprints, so default stale gc would drop it too)
+        removed = store.gc(stale=False, dry_run=True)
+        assert stale_tmp in removed and journal_tmp in removed
+        assert fresh_tmp not in removed
+        assert os.path.exists(stale_tmp)  # dry run deleted nothing
+
+        removed = store.gc(stale=False)
+        assert stale_tmp in removed and journal_tmp in removed
+        assert not os.path.exists(stale_tmp)
+        assert not os.path.exists(journal_tmp)
+        assert os.path.exists(fresh_tmp)  # within grace: maybe mid-write
+        assert store.get_value(key) == {"ipc": 1.0}  # records untouched
+
+        # everything reclaims temps regardless of age
+        assert fresh_tmp in store.gc(everything=True)
+        assert not os.path.exists(fresh_tmp)
+
     def test_export_import_roundtrip(self, store, tmp_path):
         keys = [StoreKey("cell", {"schema": "repro.store.v1", "x": i}) for i in range(5)]
         for i, key in enumerate(keys):
@@ -564,7 +605,7 @@ class TestRunSuite:
         store.
         """
         cold = run_suite(["fig01"], overrides=TINY, store=store)
-        cells = sum(1 for _ in glob.iglob(store.root + "/*/*.json"))
+        cells = sum(1 for _ in glob.iglob(store.root + "/[0-9a-f][0-9a-f]/*.json"))
         with bumped_fingerprint(SELECTORS, "ipcp"):
             before = simulation_count()
             bumped = run_suite(["fig01"], overrides=TINY, store=store)
@@ -618,7 +659,7 @@ class TestRunSuite:
         broken["schema"] = "repro.experiment-result.v999"
         store.put(key, broken, meta=record["meta"])
         hits_before = store.stats.hits
-        cells = sum(1 for _ in glob.iglob(store.root + "/*/*.json")) - 1
+        cells = sum(1 for _ in glob.iglob(store.root + "/[0-9a-f][0-9a-f]/*.json")) - 1
         report = run_suite(["fig01"], overrides=TINY, store=store)
         assert report.computed == ["fig01"]
         assert "recomputing" in capsys.readouterr().err
