@@ -428,7 +428,17 @@ def _terminate_pool(jobs: int) -> None:
     if entry is None:
         return
     pool = entry[1]
-    processes = list((getattr(pool, "_processes", None) or {}).values())
+    process_map = getattr(pool, "_processes", None)
+    if process_map is None:
+        # Straggler killing rides on this private attribute (pinned by
+        # a test); if a CPython release renames it, deadline enforcement
+        # would silently degrade to shutdown(wait=False) — which never
+        # interrupts a running worker.  Make the degradation visible.
+        _log.warning(
+            "ProcessPoolExecutor._processes is missing on this Python; "
+            "straggler workers cannot be killed and may leak until exit"
+        )
+    processes = list((process_map or {}).values())
     try:
         pool.shutdown(wait=False, cancel_futures=True)
     except Exception:  # a broken pool may refuse further calls
@@ -716,23 +726,28 @@ def _dispatch_pool(
         if charge_budget:
             respawns += 1
             if respawns > budget:
-                raise SuiteExecutionError(
-                    [
-                        TaskFailure(
-                            label=task.label,
-                            attempts=task.dispatches,
-                            kind="pool",
-                            error=(
-                                f"pool respawn budget ({budget}) exhausted: "
-                                f"{reason}"
-                            ),
-                        )
-                        for task in (
-                            list(pending.values()) + list(ready)
-                            + [entry[2] for entry in waiting]
-                        )
-                    ]
-                )
+                pool_failures = [
+                    TaskFailure(
+                        label=task.label,
+                        attempts=task.dispatches,
+                        kind="pool",
+                        error=(
+                            f"pool respawn budget ({budget}) exhausted: "
+                            f"{reason}"
+                        ),
+                    )
+                    for task in (
+                        list(pending.values()) + list(ready)
+                        + [entry[2] for entry in waiting]
+                    )
+                ]
+                # Record the failures in stats *before* raising: the run
+                # journal is written from ``stats.failures`` in the
+                # caller's finally block, and an abort journalled with
+                # an empty failure list would hide exactly the failure
+                # mode the journal exists to post-mortem.
+                stats.failures.extend(pool_failures)
+                raise SuiteExecutionError(pool_failures)
         for future, task in pending.items():
             future.cancel()
             ready.append(task)
@@ -750,7 +765,14 @@ def _dispatch_pool(
             ready.append(heappop(waiting)[2])
 
         submitted_broken = None
-        while ready:
+        # Keep at most ``jobs`` tasks in flight.  The pool runs exactly
+        # ``jobs`` at once, so anything submitted beyond that would sit
+        # in the executor's queue with its deadline clock already
+        # running (``started`` is stamped at submit) — and a healthy
+        # queued task would be falsely expired once tasks > jobs.
+        # Leaving the excess in ``ready`` keeps submit ≈ execution
+        # start, so deadlines measure runtime, not queue wait.
+        while ready and len(pending) < jobs:
             task = ready.popleft()
             # Re-dispatch only work the store has not already absorbed
             # (an experiment persisted by a worker that died *after*

@@ -11,6 +11,7 @@ are byte-identical to a fault-free run.
 import dataclasses
 import json
 import os
+import time
 
 import pytest
 
@@ -212,6 +213,51 @@ class TestPoolRecovery:
                 policy=RetryPolicy(max_pool_respawns=2, backoff_base=0.01),
             )
 
+    def test_respawn_budget_exhaustion_is_journalled(self, fault_env, store):
+        """The pool-budget abort must land in the journal's failure list.
+
+        The journal is written from ``stats.failures`` — if the budget
+        failures were only carried by the raised exception, the journal
+        would record ``status: "aborted"`` with an empty failure list
+        for exactly the failure mode it exists to post-mortem.
+        """
+        fault_env("worker_crash:p=1")
+        with pytest.raises(SuiteExecutionError, match="respawn budget"):
+            run_suite(
+                ["fig01", "fig08"], overrides=TINY, jobs=2, store=store,
+                policy=RetryPolicy(max_pool_respawns=1, backoff_base=0.01),
+            )
+        journal_dir = os.path.join(store.root, "journal")
+        docs = [
+            json.load(open(os.path.join(journal_dir, name)))
+            for name in os.listdir(journal_dir)
+        ]
+        aborted = [doc for doc in docs if doc["status"] == "aborted"]
+        assert aborted, "abort was not journalled"
+        failures = aborted[-1]["failures"]
+        assert failures, "pool-budget abort journalled an empty failure list"
+        assert all(f["kind"] == "pool" for f in failures)
+        assert all("respawn budget" in f["error"] for f in failures)
+
+    def test_pool_private_processes_attribute_exists(self):
+        """Pin the private map ``_terminate_pool`` kills stragglers with.
+
+        Straggler cancellation reaches into
+        ``ProcessPoolExecutor._processes``; if a CPython release renames
+        it, deadline enforcement degrades to ``shutdown(wait=False)`` —
+        which never interrupts a running worker.  Fail loudly here
+        instead of silently leaking stuck processes.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            assert pool.submit(os.getpid).result() > 0
+            processes = getattr(pool, "_processes", None)
+            assert processes, "ProcessPoolExecutor._processes went missing"
+        finally:
+            pool.shutdown()
+
     def test_hard_kill_resume_is_byte_identical(self, fault_env, store):
         """SIGKILL a pool worker mid-suite; rerun; rows must not move.
 
@@ -308,6 +354,35 @@ class TestDeadlines:
         assert sorted(report.computed) == ["fig01", "fig08"]
         assert report.deadline_requeues >= 1
         assert rows_of(report) == rows_of(baseline)
+
+    def test_queued_tasks_are_not_falsely_expired(self, fresh_pools):
+        """Deadline clocks start at execution, not at enqueue.
+
+        One worker, four 0.4s tasks, a 1.0s per-task deadline: the tail
+        task waits ~1.2s for its slot — longer than its deadline — so a
+        dispatcher that stamps ``started`` at submit and queues all four
+        at once would falsely expire healthy tasks (charging attempts
+        and recycling the pool under the in-flight ones).  Keeping at
+        most ``jobs`` tasks in flight makes every task finish clean.
+        """
+        from repro.experiments.runner import _dispatch_pool, _Task
+
+        tasks = [
+            _Task(
+                key=index,
+                label=f"cell/sleep/{index}",
+                fn=time.sleep,
+                make_args=lambda attempt, index=index: (0.4,),
+                deadline=1.0,
+            )
+            for index in range(4)
+        ]
+        stats = DispatchStats()
+        outcomes = list(_dispatch_pool(1, tasks, FAST, stats))
+        assert [status for _, status, _ in outcomes] == ["ok"] * 4
+        assert stats.deadline_requeues == 0
+        assert stats.retries == 0
+        assert stats.failures == []
 
     def test_deadline_exhaustion_is_a_structured_failure(
         self, fault_env, store
