@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Append a ``repro bench`` record to the retained bench-trend file.
+
+The trend file is JSON-lines (``repro.bench-trend.v1``): one compact
+line per (rev, date), carrying the throughput numbers that matter for
+trend plots — the hot-loop accesses/sec headline plus accesses/sec per
+case.  Nightly CI restores the file from the previous run's artifact,
+appends tonight's record, and re-uploads it, so the artifact is a
+growing per-commit history rather than a single point.
+
+Keyed by rev: re-running a night for the same rev *replaces* that
+rev's line instead of duplicating it, so a retried workflow cannot
+skew a trend plot.
+
+Usage::
+
+    python scripts/append_bench_trend.py --record bench.json \
+        --trend bench-trend.jsonl [--rev REV] [--date YYYY-MM-DD]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import sys
+
+TREND_SCHEMA = "repro.bench-trend.v1"
+
+
+def trend_entry(record: dict, rev: str, date: str) -> dict:
+    """One compact trend line from a full ``repro.bench.v1`` record."""
+    if record.get("schema") != "repro.bench.v1":
+        raise ValueError(
+            f"expected a repro.bench.v1 record, got {record.get('schema')!r}"
+        )
+    return {
+        "schema": TREND_SCHEMA,
+        "rev": rev,
+        "date": date,
+        "fast": record.get("fast", False),
+        "python": record.get("python"),
+        "hot_loop_accesses_per_sec": record["hot_loop_accesses_per_sec"],
+        "cases": {
+            f"{case['benchmark']}/{case['selector']}": case["accesses_per_sec"]
+            for case in record.get("cases", [])
+        },
+    }
+
+
+def load_trend(path: str) -> list:
+    """Existing trend lines, oldest first; a missing file is empty."""
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if entry.get("schema") != TREND_SCHEMA:
+                raise ValueError(
+                    f"{path}:{lineno}: unexpected schema "
+                    f"{entry.get('schema')!r}"
+                )
+            entries.append(entry)
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="append a repro bench record to a JSON-lines trend file"
+    )
+    parser.add_argument(
+        "--record", required=True, help="bench JSON written by `repro bench`"
+    )
+    parser.add_argument(
+        "--trend", required=True,
+        help="trend file to append to (created if missing)",
+    )
+    parser.add_argument(
+        "--rev", default=None,
+        help="revision key (default: the record's rev field)",
+    )
+    parser.add_argument(
+        "--date", default=None,
+        help="date key, YYYY-MM-DD (default: today, UTC)",
+    )
+    args = parser.parse_args()
+
+    with open(args.record, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    rev = args.rev or record.get("rev") or "unknown"
+    date = args.date or datetime.datetime.now(
+        datetime.timezone.utc
+    ).strftime("%Y-%m-%d")
+
+    try:
+        entries = load_trend(args.trend)
+        entry = trend_entry(record, rev, date)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    replaced = any(existing["rev"] == rev for existing in entries)
+    entries = [e for e in entries if e["rev"] != rev] + [entry]
+
+    tmp = args.trend + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        for existing in entries:
+            handle.write(json.dumps(existing) + "\n")
+    os.replace(tmp, args.trend)
+    verb = "replaced rev" if replaced else "appended rev"
+    print(
+        f"{verb} {rev} ({date}): {len(entries)} trend point(s) in "
+        f"{args.trend}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,7 +55,7 @@ from repro.selection import (
 from repro.sim import simulate, simulate_multicore
 from repro.workloads import get_profile
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AlectoConfig",

@@ -217,11 +217,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Default result-store root (overridable with --store or $REPRO_STORE).
+#: Default result-store URL (overridable with --store or $REPRO_STORE).
 DEFAULT_STORE = ".repro-store"
+
+#: One-line URL grammar, shared by every --store help string.
+_STORE_URL_HELP = (
+    "store URL: a directory path / dir:PATH, http://host:port for a "
+    "`repro store serve` daemon, or tiered:LOCAL+REMOTE"
+)
 
 
 def _open_store(args: argparse.Namespace):
+    """Open the store named by --store / $REPRO_STORE / the default.
+
+    Raises :class:`repro.store.StoreURLError` for an unknown scheme —
+    callers turn that into an exit-2 usage diagnostic.
+    """
     import os
 
     from repro.store import ResultStore
@@ -264,7 +275,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
     # --no-store must mean no caching at all: suppress the $REPRO_STORE
     # env fallback too, or cells would still read/write that store.
-    store = None if args.no_store else _open_store(args)
+    from repro.store import StoreURLError
+
+    try:
+        store = None if args.no_store else _open_store(args)
+    except StoreURLError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     guard = suppress_store() if args.no_store else nullcontext()
     sims_before = simulation_count()
     try:
@@ -338,7 +355,16 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 def _cmd_store(args: argparse.Namespace) -> int:
     import json
 
-    store = _open_store(args)
+    from repro.store import StoreURLError
+
+    try:
+        store = _open_store(args)
+    except StoreURLError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.store_command == "serve":
+        return _store_serve(store, args)
 
     if args.store_command == "stats":
         print(json.dumps(store.summary(), indent=2))
@@ -383,6 +409,35 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
+def _store_serve(store, args: argparse.Namespace) -> int:
+    """Run the `repro store serve` HTTP daemon over a local store."""
+    from repro.store.local import LocalBackend
+    from repro.store.remote import serve
+
+    backend = store.backend
+    if not isinstance(backend, LocalBackend):
+        print(
+            f"store serve needs a local directory store to serve, got "
+            f"{store.root!r} ({backend.kind}); pass --store dir:PATH",
+            file=sys.stderr,
+        )
+        return 2
+    server = serve(backend.root, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving store {backend.root} on http://{host}:{port} "
+        f"(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def _trace_v2_options(args: argparse.Namespace) -> dict:
@@ -839,8 +894,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the cache misses",
     )
     suite.add_argument(
-        "--store", metavar="PATH", default=None,
-        help=f"result store root (default: $REPRO_STORE or {DEFAULT_STORE})",
+        "--store", metavar="URL", default=None,
+        help=f"{_STORE_URL_HELP} "
+        f"(default: $REPRO_STORE or {DEFAULT_STORE})",
     )
     suite.add_argument(
         "--no-store", action="store_true",
@@ -891,11 +947,23 @@ def build_parser() -> argparse.ArgumentParser:
         "store", help="inspect / maintain a repro.store.v1 result store"
     )
     store.add_argument(
-        "--store", metavar="PATH", default=None,
-        help=f"store root (default: $REPRO_STORE or {DEFAULT_STORE})",
+        "--store", metavar="URL", default=None,
+        help=f"{_STORE_URL_HELP} "
+        f"(default: $REPRO_STORE or {DEFAULT_STORE})",
     )
     ssub = store.add_subparsers(dest="store_command", required=True)
     ssub.add_parser("stats", help="record counts, sizes, and session stats")
+    serve = ssub.add_parser(
+        "serve", help="serve a local store over HTTP for other nodes"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; 0.0.0.0 for the LAN)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="TCP port (default: 8737; 0 picks an ephemeral port)",
+    )
     ssub.add_parser("verify", help="integrity-check every record")
     gc = ssub.add_parser(
         "gc", help="drop stale records (bumped fingerprints, corruption)"

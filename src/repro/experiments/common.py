@@ -142,6 +142,97 @@ def cell_rows(
     return rows
 
 
+def _compute_missing_cells(
+    store,
+    profile: BenchmarkProfile,
+    name: str,
+    missing: Sequence[Optional[str]],
+    keys: Dict,
+    summaries: Dict,
+    accesses: int,
+    seed: int,
+    config: Optional[SystemConfig],
+    selector_kwargs: Dict,
+) -> None:
+    """Fill ``summaries`` for every spec in ``missing``, claim-first.
+
+    Without a store this simply simulates.  With one, each cell is
+    leased (``store.claim``) before it simulates so several nodes
+    sharing a store partition the grid: cells another node holds are
+    deferred, then polled — served from the store once the peer's
+    record lands, or computed here if its lease expires first.  The
+    trace is generated lazily, once, and only if this node actually
+    computes a cell.
+    """
+    import time as _time
+
+    from repro.experiments.runner import _cell_meta, simulation_rows
+
+    trace = None
+
+    def compute(spec: Optional[str]) -> None:
+        nonlocal trace
+        if trace is None:
+            trace = profile.generate(accesses, seed=seed)
+        selector = (
+            make_selector(spec, **selector_kwargs) if spec is not None else None
+        )
+        result = simulate(trace, selector, config=config, name=name)
+        summaries[spec] = simulation_rows(result)
+        if store is not None:
+            store.put(keys[spec], summaries[spec], meta=_cell_meta(name, spec))
+
+    if store is None:
+        for spec in missing:
+            compute(spec)
+        return
+
+    from repro.store.resultstore import lease_ttl
+
+    ttl = lease_ttl()
+    claimed: List[Optional[str]] = []
+    deferred: List[Optional[str]] = []
+    for spec in missing:
+        (claimed if store.claim(keys[spec], ttl) else deferred).append(spec)
+    held = set(claimed)
+    try:
+        for spec in claimed:
+            compute(spec)
+            store.release(keys[spec])
+            held.discard(spec)
+        poll = 0.05
+        give_up_at = _time.monotonic() + 2.0 * ttl + 60.0
+        pending = deferred
+        while pending:
+            still: List[Optional[str]] = []
+            for spec in pending:
+                value = store.get_value(keys[spec])
+                if value is not None:
+                    summaries[spec] = value
+                elif store.claim(keys[spec], ttl):
+                    held.add(spec)
+                    compute(spec)
+                    store.release(keys[spec])
+                    held.discard(spec)
+                else:
+                    still.append(spec)
+            pending = still
+            if not pending:
+                return
+            if _time.monotonic() > give_up_at:
+                # Peer wedged past any credible TTL: fail open (like
+                # ResultStore.claim) and compute locally — duplicated
+                # work is byte-identical; a hung suite is worse.
+                for spec in pending:
+                    compute(spec)
+                return
+            _time.sleep(poll)
+            poll = min(poll * 1.6, 2.0)
+    finally:
+        for spec in held:
+            store.release(keys[spec])
+
+
 def speedup_suite(
     profiles: Dict[str, BenchmarkProfile],
     selector_names: Sequence[str] = SELECTOR_NAMES,
@@ -193,21 +284,10 @@ def speedup_suite(
                     summaries[spec] = value
         missing = [spec for spec in specs if spec not in summaries]
         if missing:
-            from repro.experiments.runner import _cell_meta, simulation_rows
-
-            trace = profile.generate(accesses, seed=seed)
-            for spec in missing:
-                selector = (
-                    make_selector(spec, **selector_kwargs)
-                    if spec is not None
-                    else None
-                )
-                result = simulate(trace, selector, config=config, name=name)
-                summaries[spec] = simulation_rows(result)
-                if store is not None:
-                    store.put(
-                        keys[spec], summaries[spec], meta=_cell_meta(name, spec)
-                    )
+            _compute_missing_cells(
+                store, profile, name, missing, keys, summaries,
+                accesses, seed, config, selector_kwargs,
+            )
         baseline = summaries[None]["ipc"]
         rows[name] = {
             spec: (summaries[spec]["ipc"] / baseline if baseline else 0.0)

@@ -1274,6 +1274,23 @@ class SuiteRunner:
                 if value is not None:
                     summaries[cell] = value
         missing = [cell for cell in cells if cell not in summaries]
+        deferred: List[Any] = []
+        held: set = set()
+        if store is not None and missing:
+            # Claim-before-compute at cell grain: several nodes fanning
+            # out over one shared store partition the grid instead of
+            # simulating the same cells in parallel.
+            from repro.store.resultstore import lease_ttl
+
+            ttl = lease_ttl()
+            claimed = []
+            for cell in missing:
+                if store.claim(keys[cell], ttl):
+                    claimed.append(cell)
+                    held.add(cell)
+                else:
+                    deferred.append(cell)
+            missing = claimed
         spool_dir = None
         try:
             if missing:
@@ -1338,10 +1355,21 @@ class SuiteRunner:
                     # "absorbed": another process simulated and stored
                     # the cell; use it without charging a simulation.
                     summaries[task.key] = value
+                    if store is not None and task.key in held:
+                        store.release(keys[task.key])
+                        held.discard(task.key)
+            if deferred:
+                self._resolve_deferred_cells(
+                    store, deferred, keys, summaries, held,
+                    profiles, accesses, seed, config, selector_kwargs,
+                )
         except Exception:
             _evict_pool(self.jobs)
             raise
         finally:
+            if store is not None:
+                for cell in held:
+                    store.release(keys[cell])
             if spool_dir is not None:
                 shutil.rmtree(spool_dir, ignore_errors=True)
         rows: Dict[str, Dict[str, float]] = {}
@@ -1356,6 +1384,68 @@ class SuiteRunner:
                 for selector in selector_names
             }
         return rows
+
+    def _resolve_deferred_cells(
+        self,
+        store,
+        deferred: List[Any],
+        keys: Dict[Any, Any],
+        summaries: Dict[Any, Dict[str, Any]],
+        held: set,
+        profiles: Mapping[str, Any],
+        accesses: int,
+        seed: int,
+        config,
+        selector_kwargs: Dict[str, Any],
+    ) -> None:
+        """Resolve cells another node held a claim on at fan-out time.
+
+        Polls each deferred cell with growing backoff: the peer's record
+        lands (a plain store hit), or its lease expires and our
+        re-``claim`` wins — then the cell simulates *in this process*
+        (contended leftovers are rare; spinning the pool back up for
+        them costs more than it saves).  A generous overall deadline
+        backstops a wedged peer, mirroring the store's fail-open lease
+        policy.
+        """
+        from repro.store.resultstore import lease_ttl
+
+        ttl = lease_ttl()
+
+        def compute(cell) -> None:
+            summaries[cell] = _cell_worker(
+                profiles[cell[0]], cell[1], accesses, seed,
+                config, selector_kwargs,
+            )
+            store.put(
+                keys[cell], summaries[cell], meta=_cell_meta(cell[0], cell[1])
+            )
+
+        pending = list(deferred)
+        poll = 0.05
+        give_up_at = time.monotonic() + 2.0 * ttl + 60.0
+        while pending:
+            still: List[Any] = []
+            for cell in pending:
+                value = store.get_value(keys[cell])
+                if value is not None:
+                    summaries[cell] = value
+                elif store.claim(keys[cell], ttl):
+                    held.add(cell)
+                    compute(cell)
+                    store.release(keys[cell])
+                    held.discard(cell)
+                else:
+                    still.append(cell)
+            pending = still
+            if not pending:
+                return
+            if time.monotonic() > give_up_at:
+                for cell in pending:
+                    compute(cell)
+                return
+            time.sleep(poll)
+            poll = min(poll * 1.6, 2.0)
 
     # -- sharded trace replay ----------------------------------------------
 

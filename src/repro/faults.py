@@ -19,6 +19,13 @@ Sites (:data:`FAULT_SITES`):
   wall-clock deadlines (bounded, so an abandoned worker is reclaimed).
 - ``store_put_io`` — raise :class:`FaultIOError` from
   :meth:`repro.store.ResultStore.put`'s write path.
+- ``store_get_io`` — raise :class:`FaultIOError` from
+  :meth:`repro.store.ResultStore.get`'s read path (retried, then
+  degraded to a cache miss — a flaky store backend recomputes, never
+  crashes).
+- ``store_lease_io`` — raise :class:`FaultIOError` from the store's
+  ``claim``/``release`` lease path (claims fail *open*: the node
+  computes without a lease rather than deadlocking).
 - ``trace_read_io`` — raise :class:`FaultIOError` from
   :func:`repro.cpu.tracefile.open_trace`.
 
@@ -69,6 +76,8 @@ FAULT_SITES = (
     "cell_exception",
     "cell_stall",
     "store_put_io",
+    "store_get_io",
+    "store_lease_io",
     "trace_read_io",
 )
 

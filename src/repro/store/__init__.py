@@ -9,17 +9,26 @@ of batch-recomputed:
   result depends on (trace identity, selector spec and build context,
   resolved system config, schema version, per-registration code
   fingerprints);
-- :mod:`repro.store.resultstore` — the ``repro.store.v1`` on-disk store
-  (sharded directories, atomic writes, integrity-checked footers) with
-  ``get``/``put``/``gc``/``verify``/``export``/``import`` operations;
+- :mod:`repro.store.codec` — the backend-agnostic record byte format
+  (canonical-JSON body + BLAKE2b integrity footer);
+- :mod:`repro.store.backend` — the :class:`StoreBackend` byte+lease
+  protocol and the store-URL registry (``dir:``, ``http(s)://``,
+  ``tiered:``), with :class:`repro.store.local.LocalBackend`,
+  :class:`repro.store.remote.HTTPBackend` (plus the ``repro store
+  serve`` daemon), and :class:`repro.store.tiered.TieredBackend`
+  implementations;
+- :mod:`repro.store.resultstore` — the ``repro.store.v1`` policy layer
+  over any backend: ``get``/``put``/``gc``/``verify``/``export``/
+  ``import`` plus ``claim``/``release`` work leases;
 - :mod:`repro.store.orchestrator` — :func:`run_suite`, which executes
-  only the cache misses and persists results as they complete, so runs
-  are resumable and a warm ``repro suite --all`` executes zero
-  simulations.
+  only the cache misses (claiming each before computing, so several
+  nodes sharing one store partition the work) and persists results as
+  they complete, so runs are resumable and a warm ``repro suite --all``
+  executes zero simulations.
 
 Caching is strictly opt-in: nothing here activates unless a store is
 passed explicitly, :func:`activate` is entered, or ``REPRO_STORE`` is
-exported.
+exported (its value is a store URL).
 """
 
 from repro.store.keys import (
@@ -33,34 +42,50 @@ from repro.store.keys import (
     trace_identity,
     workload_fingerprint,
 )
+from repro.store.backend import (
+    StoreBackend,
+    StoreURLError,
+    open_backend,
+    split_store_url,
+)
 from repro.store.orchestrator import JOURNAL_SCHEMA, SuiteReport, run_suite
 from repro.store.resultstore import (
+    DEFAULT_LEASE_TTL,
     EXPORT_SCHEMA,
+    LEASE_TTL_ENV,
     STORE_ENV,
     ResultStore,
     StoreStats,
     activate,
     active_store,
+    lease_ttl,
     suppress_store,
 )
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "EXPORT_SCHEMA",
     "JOURNAL_SCHEMA",
+    "LEASE_TTL_ENV",
     "SIM_FINGERPRINT",
     "STORE_ENV",
     "STORE_SCHEMA",
     "ResultStore",
+    "StoreBackend",
     "StoreKey",
     "StoreStats",
+    "StoreURLError",
     "SuiteReport",
     "activate",
     "active_store",
     "cell_key",
     "component_fingerprints",
     "experiment_key",
+    "lease_ttl",
+    "open_backend",
     "run_suite",
     "selector_fingerprint",
+    "split_store_url",
     "suppress_store",
     "trace_identity",
     "workload_fingerprint",

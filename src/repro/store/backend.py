@@ -1,0 +1,237 @@
+"""The :class:`StoreBackend` protocol and the store-URL registry.
+
+A backend is *dumb bytes + leases*: it moves opaque record payloads
+(already encoded and integrity-footered by :mod:`repro.store.codec`)
+addressed by their key digest, and arbitrates short-lived ``claim``
+leases so cooperating nodes partition work instead of duplicating it.
+Everything clever — staleness rules, gc policy, stats, export/import —
+lives above the seam in :class:`repro.store.resultstore.ResultStore`,
+which works against any backend.
+
+Backends are selected by **store URLs** wherever a store is named
+(``--store``, ``$REPRO_STORE``, the orchestrator, the EXPERIMENTS.md
+generator)::
+
+    .repro-store                 # bare path: local sharded directory
+    dir:/var/cache/repro-store   # the same, explicit
+    http://cache-host:8737       # repro store serve daemon
+    tiered:.repro-store+http://cache-host:8737
+                                 # local read-through cache in front of
+                                 # a shared remote; split on the LAST +
+
+An unknown scheme raises :class:`StoreURLError` carrying the supported
+list and a difflib did-you-mean — the CLI turns that into an exit-2
+diagnostic, matching the registry convention.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import re
+import socket
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "BackendCounters",
+    "StoreBackend",
+    "StoreURLError",
+    "open_backend",
+    "owner_token",
+    "split_store_url",
+]
+
+#: Distinguishes lease owners across processes AND across backend
+#: instances within one process (two stores in one test must race).
+_INSTANCE_IDS = count()
+
+
+def owner_token() -> str:
+    """A lease-owner identity unique per (host, process, backend instance)."""
+    return f"{socket.gethostname()}:{os.getpid()}:{next(_INSTANCE_IDS)}"
+
+
+#: Supported store-URL schemes, in documentation order.
+SCHEMES = ("dir", "http", "https", "tiered")
+
+#: ``scheme:`` prefix — one token before the first colon.  A bare path
+#: (no colon in the first path segment) is shorthand for ``dir:``.
+_SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*):")
+
+
+class StoreURLError(ValueError):
+    """A store URL that names no known backend scheme."""
+
+    def __init__(self, url: str, scheme: str):
+        suggestions = difflib.get_close_matches(
+            scheme.lower(), SCHEMES, n=5, cutoff=0.5
+        )
+        hint = f". did you mean: {', '.join(suggestions)}?" if suggestions else ""
+        super().__init__(
+            f"unknown store scheme {scheme!r} in store URL {url!r} "
+            f"(supported: {', '.join(SCHEMES)}; a bare path means dir:){hint}"
+        )
+        self.url = url
+        self.scheme = scheme
+        self.suggestions = suggestions
+
+
+@dataclass
+class BackendCounters:
+    """Per-backend session counters, surfaced by ``repro store stats``."""
+
+    remote_roundtrips: int = 0
+    conditional_get_hits: int = 0
+    lease_claims: int = 0
+    lease_conflicts: int = 0
+    tier_promotions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "remote_roundtrips": self.remote_roundtrips,
+            "conditional_get_hits": self.conditional_get_hits,
+            "lease_claims": self.lease_claims,
+            "lease_conflicts": self.lease_conflicts,
+            "tier_promotions": self.tier_promotions,
+        }
+
+
+class StoreBackend:
+    """Minimal byte-level storage + lease protocol.
+
+    Implementations: :class:`repro.store.local.LocalBackend` (sharded
+    directory), :class:`repro.store.remote.HTTPBackend` (a
+    ``repro store serve`` daemon), and
+    :class:`repro.store.tiered.TieredBackend` (local read-through in
+    front of a remote).
+
+    Contract notes:
+
+    - ``digest`` arguments are record key digests (32 lowercase hex
+      chars) — backends never see :class:`~repro.store.keys.StoreKey`.
+    - ``get_bytes`` returns ``None`` for *absent*; it raises ``OSError``
+      only for real I/O trouble (unreachable server, permission error),
+      so callers can retry errors without sleeping on ordinary misses.
+    - ``put_bytes`` is atomic: a concurrent reader sees the old bytes or
+      the new bytes, never a torn record.
+    - ``claim`` grants an exclusive lease for ``ttl`` seconds (renewable
+      by the same owner, expiring so a crashed holder cannot wedge the
+      grid); exactly one concurrent claimant wins.  ``release`` is
+      owner-checked and idempotent.
+    """
+
+    #: Short backend-type tag (``"local"`` / ``"http"`` / ``"tiered"``).
+    kind: str = "abstract"
+    #: The canonical store URL this backend was opened from.
+    url: str = ""
+    #: Local directory housing journal files and ``path_for`` answers,
+    #: or ``None`` for a purely remote backend.
+    local_root: Optional[str] = None
+
+    def __init__(self) -> None:
+        self.counters = BackendCounters()
+
+    # -- records -----------------------------------------------------------
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        raise NotImplementedError
+
+    def put_bytes(self, digest: str, content: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, digest: str) -> bool:
+        raise NotImplementedError
+
+    def list_keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def stat(self, digest: str) -> Optional[int]:
+        """Size in bytes of the stored record, or ``None`` if absent."""
+        raise NotImplementedError
+
+    def entries(self) -> Iterator[tuple]:
+        """Yield ``(digest, content)`` for every stored record.
+
+        The default composes ``list_keys`` + ``get_bytes``; the local
+        backend overrides it to walk actual files so even a *misfiled*
+        record (hand-moved to a shard its digest does not hash to) is
+        seen — ``verify`` must be able to name it.
+        """
+        for digest in self.list_keys():
+            content = self.get_bytes(digest)
+            if content is not None:
+                yield digest, content
+
+    # -- leases ------------------------------------------------------------
+
+    def claim(self, digest: str, ttl: float) -> bool:
+        raise NotImplementedError
+
+    def release(self, digest: str) -> None:
+        raise NotImplementedError
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self, digest: str) -> str:
+        """A human-facing address for one record (path or URL)."""
+        raise NotImplementedError
+
+    def description(self) -> Dict[str, Any]:
+        """Backend type + counters for ``repro store stats``."""
+        return {
+            "type": self.kind,
+            "url": self.url,
+            "counters": self.counters.as_dict(),
+        }
+
+
+def split_store_url(url: str) -> tuple:
+    """Split a store URL into ``(scheme, rest)``; bare paths are ``dir``.
+
+    Raises :class:`StoreURLError` for an unknown scheme.  ``rest`` keeps
+    the full original URL for ``http``/``https`` (the scheme is part of
+    the address) and the payload after the colon otherwise.
+    """
+    if not url:
+        raise StoreURLError(url, "")
+    match = _SCHEME_RE.match(url)
+    if match is None:
+        return "dir", url
+    scheme = match.group(1).lower()
+    if scheme not in SCHEMES:
+        raise StoreURLError(url, match.group(1))
+    if scheme in ("http", "https"):
+        return scheme, url
+    return scheme, url[match.end() :]
+
+
+def open_backend(url: str) -> StoreBackend:
+    """Open the backend a store URL names.
+
+    ``tiered:`` recurses on both sides of the **last** ``+`` (local
+    paths may contain ``+``; ``http`` URLs here do not).
+    """
+    scheme, rest = split_store_url(url)
+    if scheme == "dir":
+        from repro.store.local import LocalBackend
+
+        if not rest:
+            raise StoreURLError(url, "dir")
+        return LocalBackend(rest)
+    if scheme in ("http", "https"):
+        from repro.store.remote import HTTPBackend
+
+        return HTTPBackend(rest)
+    if scheme == "tiered":
+        from repro.store.tiered import TieredBackend
+
+        local_part, sep, remote_part = rest.rpartition("+")
+        if not sep or not local_part or not remote_part:
+            raise ValueError(
+                f"tiered store URL must be tiered:<local>+<remote>, "
+                f"got {url!r}"
+            )
+        return TieredBackend(open_backend(local_part), open_backend(remote_part))
+    raise AssertionError(f"unhandled scheme {scheme!r}")  # pragma: no cover

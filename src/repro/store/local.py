@@ -1,0 +1,286 @@
+"""The local sharded-directory backend (the pre-refactor on-disk layout).
+
+Byte-for-byte the format :class:`~repro.store.resultstore.ResultStore`
+always wrote::
+
+    <root>/
+        ab/ab12...ef.json     # record bytes, addressed by key digest
+        cd/...
+        journal/              # suite run journals (written above the seam)
+        leases/<digest>.lease # live claim leases (JSON: owner, expires)
+
+Writes are atomic (temp file in the destination directory +
+``os.replace``), so concurrent writers — pool workers, parallel CI
+jobs, several nodes on one network filesystem — can ``put`` the same
+key without torn records; last writer wins with both contents valid and
+identical by construction.
+
+Leases piggyback on two filesystem atomics so no daemon is needed:
+
+- a fresh claim is an ``O_CREAT | O_EXCL`` create of the lease file —
+  exactly one concurrent claimant can win;
+- taking over an *expired* lease first ``os.rename``\\ s it to a
+  claimant-unique reap name — exactly one renamer succeeds, and only
+  the winner proceeds to re-create the lease — so two nodes reaping the
+  same dead lease cannot both conclude they hold it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Iterator, Optional
+
+from repro.log import get_logger
+from repro.store.backend import StoreBackend, owner_token
+
+_log = get_logger("store")
+
+__all__ = ["LocalBackend"]
+
+
+class LocalBackend(StoreBackend):
+    """Sharded-directory records + lease files under ``root``."""
+
+    kind = "local"
+
+    def __init__(self, root: str):
+        super().__init__()
+        self.root = root
+        self.url = root
+        self.local_root = root
+        self.owner = owner_token()
+
+    # -- records -----------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        try:
+            with open(self._path(digest), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+        except (IsADirectoryError, NotADirectoryError):
+            return None
+
+    def put_bytes(self, digest: str, content: bytes) -> None:
+        path = self._path(digest)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(content)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, digest: str) -> bool:
+        try:
+            os.unlink(self._path(digest))
+            return True
+        except FileNotFoundError:
+            pass
+        # A misfiled record (wrong shard directory) is not at its
+        # canonical path; gc still has to be able to drop it.
+        for shard_dir in self.shard_dirs():
+            try:
+                os.unlink(os.path.join(shard_dir, digest + ".json"))
+                return True
+            except FileNotFoundError:
+                continue
+        return False
+
+    def list_keys(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    def stat(self, digest: str) -> Optional[int]:
+        try:
+            return os.path.getsize(self._path(digest))
+        except OSError:
+            return None
+
+    def entries(self) -> Iterator[tuple]:
+        """``(digest, content)`` read from the files' *actual* locations.
+
+        Unlike the default (list + canonical-path reads), this walk
+        still surfaces a record that was hand-moved into the wrong
+        shard directory, so ``verify`` can flag the filename mismatch
+        instead of silently skipping the file.
+        """
+        if not os.path.isdir(self.root):
+            return
+        for shard_dir in sorted(self.shard_dirs()):
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    with open(os.path.join(shard_dir, name), "rb") as handle:
+                        content = handle.read()
+                except OSError:
+                    continue
+                yield name[: -len(".json")], content
+
+    def describe(self, digest: str) -> str:
+        return self._path(digest)
+
+    # -- leases ------------------------------------------------------------
+
+    def _lease_path(self, digest: str) -> str:
+        return os.path.join(self.root, "leases", digest + ".lease")
+
+    def _read_lease(self, path: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lease = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(lease, dict):
+            return None
+        return lease
+
+    def claim(self, digest: str, ttl: float) -> bool:
+        path = self._lease_path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps(
+            {"owner": self.owner, "expires": time.time() + ttl}
+        ).encode("utf-8")
+        # Two rounds: create -> (conflict) inspect -> maybe reap -> create.
+        for _ in range(2):
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+            except FileExistsError:
+                lease = self._read_lease(path)
+                if lease is None:
+                    # Unreadable/vanished lease: reap it and retry.
+                    self._reap(path)
+                    continue
+                if lease.get("owner") == self.owner:
+                    # Renewal: extend our own lease atomically.
+                    self._rewrite(path, payload)
+                    self.counters.lease_claims += 1
+                    return True
+                if lease.get("expires", 0.0) > time.time():
+                    self.counters.lease_conflicts += 1
+                    return False
+                # Expired: exactly one reaper wins the rename, then both
+                # race the O_EXCL create again.
+                self._reap(path)
+                continue
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            self.counters.lease_claims += 1
+            return True
+        self.counters.lease_conflicts += 1
+        return False
+
+    def _reap(self, path: str) -> None:
+        reaped = f"{path}.{self.owner.replace(os.sep, '_')}.reap"
+        try:
+            os.rename(path, reaped)
+        except OSError:
+            return  # another claimant reaped it first
+        try:
+            os.unlink(reaped)
+        except OSError:
+            pass
+
+    def _rewrite(self, path: str, payload: bytes) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def release(self, digest: str) -> None:
+        path = self._lease_path(digest)
+        lease = self._read_lease(path)
+        # Owner-checked: never release a lease another node took over
+        # after ours expired (their compute must stay protected).
+        if lease is None or lease.get("owner") != self.owner:
+            return
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- gc support (used by ResultStore.gc) -------------------------------
+
+    def orphan_tmp_paths(self) -> Iterator[str]:
+        """Every atomic-write temp file under the store tree.
+
+        Temp files live next to their destination (``os.replace`` must
+        stay same-filesystem): record temps in shard directories,
+        journal temps in ``journal/``, lease temps and abandoned
+        ``*.reap`` takeovers in ``leases/``, and stragglers in the root.
+        """
+        if not os.path.isdir(self.root):
+            return
+        directories = [
+            self.root,
+            os.path.join(self.root, "journal"),
+            os.path.join(self.root, "leases"),
+        ]
+        directories.extend(self.shard_dirs())
+        for directory in directories:
+            if not os.path.isdir(directory):
+                continue
+            for name in sorted(os.listdir(directory)):
+                if name.endswith(".tmp") or name.endswith(".reap"):
+                    yield os.path.join(directory, name)
+
+    def expired_lease_paths(self) -> Iterator[str]:
+        """Lease files whose TTL has passed (dead holders)."""
+        lease_dir = os.path.join(self.root, "leases")
+        if not os.path.isdir(lease_dir):
+            return
+        now = time.time()
+        for name in sorted(os.listdir(lease_dir)):
+            if not name.endswith(".lease"):
+                continue
+            path = os.path.join(lease_dir, name)
+            lease = self._read_lease(path)
+            if lease is None or lease.get("expires", 0.0) <= now:
+                yield path
+
+    def shard_dirs(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) == 2 and os.path.isdir(shard_dir):
+                yield shard_dir
+
+    def sweep_empty_dirs(self) -> None:
+        for shard in list(self.shard_dirs()):
+            try:
+                os.rmdir(shard)  # only succeeds when empty
+            except OSError:
+                pass
+        try:
+            os.rmdir(os.path.join(self.root, "leases"))
+        except OSError:
+            pass

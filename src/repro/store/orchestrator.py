@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.log import get_logger
 from repro.store.keys import experiment_key
-from repro.store.resultstore import ResultStore, activate
+from repro.store.resultstore import ResultStore, activate, lease_ttl
 
 if TYPE_CHECKING:  # pragma: no cover — avoids importing the experiments
     from repro.experiments.runner import (  # package eagerly
@@ -67,6 +67,11 @@ class SuiteReport:
         computed: names that executed this run.
         failed: names that exhausted their retry budget (non-empty only
             under ``keep_going``; otherwise the run raises instead).
+        deferred: names another node held a claim on when this run
+            wanted to compute them; each was later resolved — read from
+            the store once the peer finished (also listed in
+            ``cached``), or computed here after the peer's lease
+            expired (also listed in ``computed``).
         failures: one structured :class:`TaskFailure` (attempts, kind,
             fault site, error, traceback digest) per entry in ``failed``.
         retries: work-unit re-dispatches after charged failures.
@@ -87,6 +92,7 @@ class SuiteReport:
     cached: List[str] = field(default_factory=list)
     computed: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
+    deferred: List[str] = field(default_factory=list)
     failures: List[TaskFailure] = field(default_factory=list)
     retries: int = 0
     pool_respawns: int = 0
@@ -150,9 +156,13 @@ def _write_journal(
 
     The journal is telemetry about a run that already happened — failing
     to record it must not turn a successful (or already-failing) suite
-    into a different outcome.
+    into a different outcome.  A purely remote store has no local
+    directory to journal into; the run proceeds without one.
     """
-    journal_dir = os.path.join(store.root, "journal")
+    local_root = store.local_root
+    if local_root is None:
+        return None
+    journal_dir = os.path.join(local_root, "journal")
     path = os.path.join(journal_dir, f"{run_id}.json")
     try:
         os.makedirs(journal_dir, exist_ok=True)
@@ -171,6 +181,70 @@ def _write_journal(
         _log.warning("could not write suite journal %s: %s", path, exc)
         return None
     return path
+
+
+def _resolve_deferred(
+    store: ResultStore,
+    deferred: List[tuple],
+    keys_by_name: Dict[str, Any],
+    ttl: float,
+    hits: Dict[str, Any],
+    report: SuiteReport,
+    held: set,
+    execute,
+) -> None:
+    """Resolve experiments another node held a claim on when we started.
+
+    Polls each deferred key with growing backoff until either the
+    peer's record lands (served as a cache hit) or its lease expires and
+    our re-``claim`` wins (computed here via ``execute``).  Lease expiry
+    guarantees termination: a crashed peer's claim frees within ``ttl``
+    seconds.  A generous overall deadline backstops even a wedged
+    arbiter, mirroring :meth:`ResultStore.claim`'s fail-open policy —
+    worst case is duplicated (byte-identical) work, never a hang.
+    """
+    pending = list(deferred)
+    poll = 0.05
+    give_up_at = time.monotonic() + 2.0 * ttl + 60.0
+    while pending:
+        still: List[tuple] = []
+        to_run: List[tuple] = []
+        for entry in pending:
+            name = entry[0]
+            key = keys_by_name[name]
+            record = store.get(key)
+            result = None
+            if record is not None:
+                try:
+                    result = _result_from_record(record)
+                except ValueError:
+                    result = None
+            if result is not None:
+                hits[name] = result
+                report.cached.append(name)
+            elif store.claim(key, ttl):
+                held.add(name)
+                to_run.append(entry)
+            else:
+                still.append(entry)
+        if to_run:
+            execute(to_run)
+        pending = still
+        if not pending:
+            return
+        if time.monotonic() > give_up_at:
+            _log.warning(
+                "deferred experiment(s) still leased elsewhere after "
+                "%.0fs; computing locally: %s",
+                2.0 * ttl + 60.0,
+                ", ".join(entry[0] for entry in pending),
+            )
+            for entry in pending:
+                held.add(entry[0])
+            execute(pending)
+            return
+        time.sleep(poll)
+        poll = min(poll * 1.6, 2.0)
 
 
 def run_suite(
@@ -214,6 +288,7 @@ def run_suite(
         DispatchStats,
         RetryPolicy,
         SuiteRunner,
+        pool_simulation_count,
         resolve_experiments,
     )
 
@@ -222,14 +297,18 @@ def run_suite(
         policy = RetryPolicy()
     resolved = resolve_experiments(names, fast=fast, overrides=overrides)
     report = SuiteReport(results=[], store=store)
+    ttl = lease_ttl()
 
     hits: Dict[str, ExperimentResult] = {}
     misses: List[tuple] = []
+    deferred: List[tuple] = []
+    keys_by_name: Dict[str, Any] = {}
     if store is None:
         misses = list(resolved)
     else:
         for name, applied, params in resolved:
             key = experiment_key(name, params)
+            keys_by_name[name] = key
             record = store.get(key)
             result = None
             if record is not None:
@@ -254,31 +333,65 @@ def run_suite(
             else:
                 hits[name] = result
                 report.cached.append(name)
+        # Claim-before-compute: two suites against one shared store
+        # partition the misses — whoever wins a key's lease computes it,
+        # everyone else defers and reads the record when it lands.
+        claimed: List[tuple] = []
+        for entry in misses:
+            if store.claim(keys_by_name[entry[0]], ttl):
+                claimed.append(entry)
+            else:
+                deferred.append(entry)
+                report.deferred.append(entry[0])
+        misses = claimed
+        if deferred:
+            _log.info(
+                "deferring %d experiment(s) another node claimed: %s",
+                len(deferred),
+                ", ".join(report.deferred),
+            )
+
+    #: Names whose lease this run still holds (released as each record
+    #: is persisted, and unconditionally on the way out).
+    held = {entry[0] for entry in misses} if store is not None else set()
 
     stats = DispatchStats()
     aborted: Optional[BaseException] = None
+    pool_before = pool_simulation_count()
+
+    def execute(batch: List[tuple]) -> None:
+        runner = SuiteRunner(jobs=jobs, store=store, policy=policy)
+        with activate(store):
+            for name, result in runner.run_resolved(
+                batch, keep_going=keep_going, stats=stats
+            ):
+                hits[name] = result
+                report.computed.append(name)
+                if store is not None and name in held:
+                    # run_resolved persisted the record before yielding,
+                    # so peers polling this key flip from "leased" to
+                    # "cached" with no gap.
+                    store.release(keys_by_name[name])
+                    held.discard(name)
+
     try:
         if misses:
-            from repro.experiments.runner import pool_simulation_count
-
-            pool_before = pool_simulation_count()
-            runner = SuiteRunner(jobs=jobs, store=store, policy=policy)
-            try:
-                with activate(store):
-                    for name, result in runner.run_resolved(
-                        misses, keep_going=keep_going, stats=stats
-                    ):
-                        hits[name] = result
-                        report.computed.append(name)
-            finally:
-                # Covers both fan-out grains: experiments dispatched to
-                # workers AND cells one experiment fanned out via
-                # speedup_suite — even when the run aborts mid-way.
-                report.worker_simulations = pool_simulation_count() - pool_before
+            execute(misses)
+        if deferred:
+            _resolve_deferred(
+                store, deferred, keys_by_name, ttl, hits, report, held, execute
+            )
     except BaseException as exc:
         aborted = exc
         raise
     finally:
+        if store is not None:
+            for name in held:
+                store.release(keys_by_name[name])
+        # Covers both fan-out grains: experiments dispatched to workers
+        # AND cells one experiment fanned out via speedup_suite — even
+        # when the run aborts mid-way.
+        report.worker_simulations = pool_simulation_count() - pool_before
         report.failures = list(stats.failures)
         report.failed = sorted(
             {
@@ -304,6 +417,7 @@ def run_suite(
                 "cached": list(report.cached),
                 "computed": list(report.computed),
                 "failed": list(report.failed),
+                "deferred": list(report.deferred),
                 "failures": [f.as_dict() for f in report.failures],
                 "retries": report.retries,
                 "pool_respawns": report.pool_respawns,

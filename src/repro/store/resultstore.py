@@ -1,51 +1,51 @@
-"""The on-disk content-addressed result store (``repro.store.v1``).
+"""The content-addressed result store policy layer (``repro.store.v1``).
 
-Layout — one record per file, sharded by digest prefix so no directory
-grows unboundedly::
+After the backend split, this module owns everything *above* byte
+storage: record construction and integrity policy (via
+:mod:`repro.store.codec`), session stats, retry/degrade behaviour on
+I/O faults, staleness rules, gc/verify/export/import, lease fail-open
+semantics, and the ambient active-store context.  Where the bytes live
+is a :class:`~repro.store.backend.StoreBackend`, selected by store URL:
 
-    .repro-store/
-        ab/
-            ab12...ef.json        # record addressed by its key digest
-        cd/
-            ...
+- ``dir:PATH`` (or a bare path) — the classic sharded local directory,
+  byte-compatible with every store written before the split;
+- ``http://host:port`` — a ``repro store serve`` daemon;
+- ``tiered:<local>+<remote>`` — local read-through cache in front of a
+  shared remote, write-through puts.
 
-Each record file carries two lines, mirroring the integrity discipline
-of :mod:`repro.cpu.tracefile`: a canonical-JSON body and a footer with
-the body's BLAKE2b digest.  A record whose footer disagrees with its
-body (truncated write, bit rot, hand-editing) is *detected*, not
-trusted: :meth:`ResultStore.get` treats it as a miss and
-:meth:`ResultStore.verify` names it.
-
-Writes are atomic (temp file in the destination directory +
-``os.replace``), so concurrent writers — pool workers, parallel CI jobs
-sharing a cache — can ``put`` the same key without torn records; last
-writer wins with both contents valid and identical by construction.
+Every store operation keeps its pre-split meaning: ``get`` treats a
+record that fails its integrity checks as a miss, ``put`` is atomic and
+retried through the ``store_put_io`` fault site, and ``gc``/``verify``
+walk whichever backend is configured.  New in the split: ``get`` rides
+the ``store_get_io`` fault site with retry-then-degrade-to-miss (a
+flaky network read recomputes instead of crashing), and
+``claim``/``release`` expose the backend's leases with **fail-open**
+policy — a node that cannot reach the lease arbiter duplicates work, it
+never deadlocks.
 
 The *active store* is an ambient, opt-in context: deep call sites
 (:func:`repro.experiments.common.speedup_suite` cells) consult
 :func:`active_store`, which resolves an explicitly activated store
 first and the ``REPRO_STORE`` environment variable second (the env var
-is how pool workers inherit the store without plumbing it through every
-signature).
+— now a store URL — is how pool workers inherit the store without
+plumbing it through every signature).
 """
 
 from __future__ import annotations
 
 import gzip
-import hashlib
 import json
 import os
-import tempfile
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro import faults
 from repro.log import get_logger
+from repro.store import codec
+from repro.store.backend import StoreBackend, open_backend
 from repro.store.keys import (
     SIM_FINGERPRINT,
-    STORE_SCHEMA,
     StoreKey,
     component_fingerprints,
     selector_fingerprint,
@@ -53,40 +53,82 @@ from repro.store.keys import (
 
 _log = get_logger("store")
 
-#: Environment variable naming the store root for subprocesses.
+#: Environment variable naming the store URL for subprocesses.
 STORE_ENV = "REPRO_STORE"
 
 #: Bounded in-process retries for a failed record write (I/O hiccup,
 #: injected ``store_put_io``) before the error propagates.
 PUT_ATTEMPTS = 3
 
+#: Bounded in-process retries for a failed record *read* (flaky network
+#: backend, injected ``store_get_io``) before it degrades to a miss.
+GET_ATTEMPTS = 3
+
+#: Default lease TTL in seconds (override with $REPRO_LEASE_TTL): long
+#: enough to cover one experiment's compute, short enough that a crashed
+#: node's cells are re-claimable within a couple of minutes.
+DEFAULT_LEASE_TTL = 120.0
+
+#: Environment override for the claim-before-compute lease TTL.
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+
 #: Schema of an exported store archive (gzip JSON lines).
 EXPORT_SCHEMA = "repro.store.export.v1"
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "EXPORT_SCHEMA",
+    "LEASE_TTL_ENV",
     "STORE_ENV",
     "ResultStore",
     "StoreStats",
     "activate",
     "active_store",
+    "lease_ttl",
     "suppress_store",
 ]
 
 
 def _body_digest(body: bytes) -> str:
-    return hashlib.blake2b(body, digest_size=16).hexdigest()
+    return codec.body_digest(body)
 
 
-@dataclass
+def lease_ttl() -> float:
+    """The claim-before-compute lease TTL (``$REPRO_LEASE_TTL`` or default)."""
+    raw = os.environ.get(LEASE_TTL_ENV)
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+        _log.warning(
+            "ignoring invalid %s=%r (want a positive float)",
+            LEASE_TTL_ENV,
+            raw,
+        )
+    return DEFAULT_LEASE_TTL
+
+
 class StoreStats:
     """Session counters for one :class:`ResultStore` instance."""
 
-    hits: int = 0
-    misses: int = 0
-    puts: int = 0
-    corrupt: int = 0
-    put_retries: int = 0
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        puts: int = 0,
+        corrupt: int = 0,
+        put_retries: int = 0,
+        get_retries: int = 0,
+    ):
+        self.hits = hits
+        self.misses = misses
+        self.puts = puts
+        self.corrupt = corrupt
+        self.put_retries = put_retries
+        self.get_retries = get_retries
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -95,25 +137,69 @@ class StoreStats:
             "puts": self.puts,
             "corrupt": self.corrupt,
             "put_retries": self.put_retries,
+            "get_retries": self.get_retries,
         }
 
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StoreStats) and self.as_dict() == other.as_dict()
 
-@dataclass
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"StoreStats({fields})"
+
+
 class ResultStore:
     """Content-addressed persistence for experiment results and cells.
 
     Args:
-        root: store directory, created on first write.
+        root: a store URL (``dir:PATH``, a bare directory path,
+            ``http://host:port``, ``tiered:<local>+<remote>``); the
+            backend is created on first use, lazily for local
+            directories (created on first write).
+        backend: an already-open :class:`StoreBackend` (tests,
+            composition); ``root`` is then only the display name.
+
+    Raises:
+        repro.store.backend.StoreURLError: ``root`` names an unknown
+            scheme (the CLI maps this to exit 2 with a did-you-mean).
     """
 
-    root: str
-    stats: StoreStats = field(default_factory=StoreStats)
+    def __init__(
+        self,
+        root: str,
+        backend: Optional[StoreBackend] = None,
+        stats: Optional[StoreStats] = None,
+    ):
+        self.root = root
+        self.backend = backend if backend is not None else open_backend(root)
+        self.stats = stats if stats is not None else StoreStats()
+
+    @property
+    def url(self) -> str:
+        """The store URL subprocesses should reopen (``$REPRO_STORE``)."""
+        return self.root
+
+    @property
+    def local_root(self) -> Optional[str]:
+        """The local directory for journals etc., if this store has one."""
+        return self.backend.local_root
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResultStore) and self.root == other.root
+
+    def __repr__(self) -> str:
+        return f"ResultStore({self.root!r})"
 
     # -- addressing --------------------------------------------------------
 
     def path_for(self, key: StoreKey) -> str:
+        """Where ``key``'s record lives: a filesystem path for local
+        (tiers included), the record URL for a purely remote store."""
         digest = key.digest
-        return os.path.join(self.root, digest[:2], digest + ".json")
+        local = self.local_root
+        if local is not None:
+            return os.path.join(local, digest[:2], digest + ".json")
+        return self.backend.describe(digest)
 
     # -- core operations ---------------------------------------------------
 
@@ -123,7 +209,7 @@ class ResultStore:
         value: Any,
         meta: Optional[Dict[str, Any]] = None,
     ) -> str:
-        """Persist ``value`` under ``key`` atomically; returns the path.
+        """Persist ``value`` under ``key`` atomically; returns its address.
 
         ``value`` must be JSON-serializable; it round-trips exactly
         (floats serialize shortest-repr, so a reloaded value re-renders
@@ -136,36 +222,12 @@ class ResultStore:
         the retry is local because the caller cannot re-drive just the
         write.
         """
-        record = {
-            "schema": STORE_SCHEMA,
-            "kind": key.kind,
-            "key": key.payload,
-            "key_digest": key.digest,
-            "value": value,
-            "meta": dict(meta or {}),
-        }
-        # No sort_keys: the value's insertion order IS data (row/column
-        # order of rendered tables) and must survive the round trip; the
-        # integrity footer hashes the serialized bytes as written.
-        body = json.dumps(record, default=float).encode("utf-8")
-        footer = json.dumps({"blake2b": _body_digest(body)}).encode("utf-8")
-        path = self.path_for(key)
-        directory = os.path.dirname(path)
+        record = codec.build_record(key, value, meta)
+        content = codec.encode_record(record)
         for attempt in range(PUT_ATTEMPTS):
             try:
                 faults.fire("store_put_io", key.digest, attempt)
-                os.makedirs(directory, exist_ok=True)
-                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-                try:
-                    with os.fdopen(fd, "wb") as handle:
-                        handle.write(body + b"\n" + footer + b"\n")
-                    os.replace(tmp, path)
-                except BaseException:
-                    try:
-                        os.unlink(tmp)
-                    except OSError:
-                        pass
-                    raise
+                self.backend.put_bytes(key.digest, content)
             except OSError as exc:
                 if attempt + 1 >= PUT_ATTEMPTS:
                     raise
@@ -181,7 +243,7 @@ class ResultStore:
             else:
                 break
         self.stats.puts += 1
-        return path
+        return self.path_for(key)
 
     def get(self, key: StoreKey) -> Optional[Dict[str, Any]]:
         """The record stored under ``key``, or ``None`` on miss.
@@ -190,21 +252,48 @@ class ResultStore:
         digest, schema, key-digest cross-check) counts as a miss — an
         incremental run recomputes and overwrites it — and is logged at
         WARNING so corruption never passes silently.
+
+        A read that *errors* (unreachable server, injected
+        ``store_get_io``) is retried up to :data:`GET_ATTEMPTS` times,
+        then degrades to a miss: recomputing a cell is always correct,
+        and a flaky cache must never take the suite down.  Plain
+        not-found answers return immediately — no retry tax on the cold
+        path.
         """
-        path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                content = handle.read()
-        except OSError:
+        content: Optional[bytes] = None
+        for attempt in range(GET_ATTEMPTS):
+            try:
+                faults.fire("store_get_io", key.digest, attempt)
+                content = self.backend.get_bytes(key.digest)
+            except OSError as exc:
+                if attempt + 1 >= GET_ATTEMPTS:
+                    _log.warning(
+                        "giving up reading record %s after %d attempt(s), "
+                        "treating as a miss: %s",
+                        key.digest[:12],
+                        GET_ATTEMPTS,
+                        exc,
+                    )
+                    self.stats.misses += 1
+                    return None
+                self.stats.get_retries += 1
+                time.sleep(0.01 * 2**attempt)
+            else:
+                break
+        if content is None:
             self.stats.misses += 1
             return None
-        record, problem = _parse_record(content)
+        record, problem = codec.decode_record(content)
         if problem is None and record["key_digest"] != key.digest:
             problem = "key digest does not match the requested key"
         if problem is not None:
             self.stats.corrupt += 1
             self.stats.misses += 1
-            _log.warning("ignoring corrupt record %s: %s", path, problem)
+            _log.warning(
+                "ignoring corrupt record %s: %s",
+                self.backend.describe(key.digest),
+                problem,
+            )
             return None
         self.stats.hits += 1
         return record
@@ -218,28 +307,66 @@ class ResultStore:
         """Whether a *valid* record exists for ``key`` (counts as get)."""
         return self.get(key) is not None
 
+    # -- leases (multi-node work partitioning) -----------------------------
+
+    def claim(self, key: StoreKey, ttl: Optional[float] = None) -> bool:
+        """Try to lease ``key`` for ``ttl`` seconds before computing it.
+
+        ``True`` means this node should compute the cell; ``False``
+        means another live node holds it — defer and poll
+        (:meth:`get` until the record lands, or re-``claim`` once the
+        holder's TTL expires).
+
+        **Fails open**: if the lease backend errors (arbiter down,
+        injected ``store_lease_io``), the claim is granted locally — the
+        worst case is duplicated work, and duplicated work is always
+        byte-identical here; a deadlocked suite is strictly worse.
+        """
+        if ttl is None:
+            ttl = lease_ttl()
+        try:
+            faults.fire("store_lease_io", key.digest)
+            return self.backend.claim(key.digest, ttl)
+        except OSError as exc:
+            _log.warning(
+                "lease claim for %s failed (%s); computing without a lease",
+                key.digest[:12],
+                exc,
+            )
+            return True
+
+    def release(self, key: StoreKey) -> None:
+        """Release this node's lease on ``key`` (idempotent, never raises)."""
+        try:
+            faults.fire("store_lease_io", key.digest)
+            self.backend.release(key.digest)
+        except OSError as exc:
+            _log.debug("lease release for %s failed: %s", key.digest[:12], exc)
+
     # -- maintenance -------------------------------------------------------
 
-    def _record_paths(self) -> Iterator[str]:
-        if not os.path.isdir(self.root):
-            return
-        for shard in sorted(os.listdir(self.root)):
-            shard_dir = os.path.join(self.root, shard)
-            if len(shard) != 2 or not os.path.isdir(shard_dir):
-                continue
-            for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".json"):
-                    yield os.path.join(shard_dir, name)
+    def _iter_records(
+        self,
+    ) -> Iterator[Tuple[str, Optional[Dict[str, Any]], Optional[str]]]:
+        """Yield ``(digest, record, problem)`` for every stored record.
+
+        Uses :meth:`StoreBackend.entries` so local walks read each file
+        where it actually sits — a record misfiled into the wrong shard
+        still surfaces here and gets flagged by ``verify``.
+        """
+        for digest, content in self.backend.entries():
+            record, problem = codec.decode_record(content)
+            yield digest, record, problem
 
     def summary(self) -> Dict[str, Any]:
         """Counts and sizes by record kind (walks the whole store)."""
         kinds: Dict[str, int] = {}
         total_bytes = 0
         records = 0
-        for path in self._record_paths():
+        for digest, record, problem in self._iter_records():
             records += 1
-            total_bytes += os.path.getsize(path)
-            record, problem = _read_record(path)
+            size = self.backend.stat(digest)
+            total_bytes += size if size is not None else 0
             kind = record["kind"] if problem is None else "corrupt"
             kinds[kind] = kinds.get(kind, 0) + 1
         return {
@@ -248,29 +375,30 @@ class ResultStore:
             "bytes": total_bytes,
             "kinds": dict(sorted(kinds.items())),
             "session": self.stats.as_dict(),
+            "backend": self.backend.description(),
         }
 
     def verify(self) -> List[Tuple[str, str]]:
-        """Re-check every record's integrity; returns (path, problem)s.
+        """Re-check every record's integrity; returns (address, problem)s.
 
         Flags footer/body digest mismatches, malformed JSON, schema
         drift, and records filed under a name that does not match their
-        own key digest (a doctored or misplaced file).
+        own key digest (a doctored or misplaced file).  Addresses are
+        filesystem paths for local stores and record URLs for remote
+        ones.
         """
         problems: List[Tuple[str, str]] = []
-        for path in self._record_paths():
-            record, problem = _read_record(path)
+        for digest, record, problem in self._iter_records():
             if problem is None:
-                expected = os.path.basename(path)[: -len(".json")]
-                if record["key_digest"] != expected:
+                if record["key_digest"] != digest:
                     problem = (
                         f"record key digest {record['key_digest']} does not "
-                        f"match its filename {expected}"
+                        f"match its filename {digest}"
                     )
-                elif StoreKey(record["kind"], record["key"]).digest != expected:
+                elif StoreKey(record["kind"], record["key"]).digest != digest:
                     problem = "key payload does not hash to the stored digest"
             if problem is not None:
-                problems.append((path, problem))
+                problems.append((self.backend.describe(digest), problem))
         return problems
 
     def gc(
@@ -281,7 +409,7 @@ class ResultStore:
         dry_run: bool = False,
         tmp_grace_seconds: float = 3600.0,
     ) -> List[str]:
-        """Delete dead records and orphaned temp files; returns paths removed.
+        """Delete dead records and orphaned files; returns addresses removed.
 
         Args:
             stale: drop records whose embedded fingerprints no longer
@@ -298,12 +426,13 @@ class ResultStore:
                 process remembers the random name).  The grace period
                 keeps gc from racing a *live* writer mid-``put``; with
                 ``everything``, temp files go regardless of age.
+                Expired lease files are reclaimed the same sweep (local
+                backends only; remote leases expire server-side).
         """
         current = component_fingerprints()
         now = time.time()
         removed: List[str] = []
-        for path in self._record_paths():
-            record, problem = _read_record(path)
+        for digest, record, problem in self._iter_records():
             drop = everything
             if not drop and problem is not None:
                 drop = stale
@@ -313,54 +442,32 @@ class ResultStore:
                 created = record["meta"].get("created", now)
                 drop = (now - created) > older_than_days * 86400.0
             if drop:
-                removed.append(path)
+                removed.append(self.backend.describe(digest))
                 if not dry_run:
-                    os.unlink(path)
-        for path in self._orphan_tmp_paths():
-            try:
-                age = now - os.path.getmtime(path)
-            except OSError:
-                continue  # already gone (concurrent writer finished)
-            if everything or age > tmp_grace_seconds:
+                    self.backend.delete(digest)
+        for tier in _local_tiers(self.backend):
+            for path in tier.orphan_tmp_paths():
+                try:
+                    age = now - os.path.getmtime(path)
+                except OSError:
+                    continue  # already gone (concurrent writer finished)
+                if everything or age > tmp_grace_seconds:
+                    removed.append(path)
+                    if not dry_run:
+                        try:
+                            os.unlink(path)
+                        except OSError:
+                            pass
+            for path in tier.expired_lease_paths():
                 removed.append(path)
                 if not dry_run:
                     try:
                         os.unlink(path)
                     except OSError:
                         pass
-        if not dry_run:
-            for shard in list(self._shard_dirs()):
-                try:
-                    os.rmdir(shard)  # only succeeds when empty
-                except OSError:
-                    pass
+            if not dry_run:
+                tier.sweep_empty_dirs()
         return removed
-
-    def _orphan_tmp_paths(self) -> Iterator[str]:
-        """Every atomic-write temp file under the store tree.
-
-        Temp files live next to their destination (``os.replace`` must
-        stay same-filesystem): record temps in shard directories, journal
-        temps in ``journal/``, and any stragglers in the root.
-        """
-        if not os.path.isdir(self.root):
-            return
-        directories = [self.root, os.path.join(self.root, "journal")]
-        directories.extend(self._shard_dirs())
-        for directory in directories:
-            if not os.path.isdir(directory):
-                continue
-            for name in sorted(os.listdir(directory)):
-                if name.endswith(".tmp"):
-                    yield os.path.join(directory, name)
-
-    def _shard_dirs(self) -> Iterator[str]:
-        if not os.path.isdir(self.root):
-            return
-        for shard in os.listdir(self.root):
-            shard_dir = os.path.join(self.root, shard)
-            if len(shard) == 2 and os.path.isdir(shard_dir):
-                yield shard_dir
 
     # -- archival ----------------------------------------------------------
 
@@ -370,13 +477,13 @@ class ResultStore:
         The archive opens with a header line, carries one line per
         record (digest + body object), and closes with a count trailer
         — the same loud-truncation discipline as ``repro.trace.v1``.
-        Returns the number of records exported.
+        Returns the number of records exported.  Works against any
+        backend, so a remote store can be archived through HTTP.
         """
         count = 0
         with gzip.open(path, "wt", encoding="utf-8") as handle:
             handle.write(json.dumps({"schema": EXPORT_SCHEMA}) + "\n")
-            for record_path in self._record_paths():
-                record, problem = _read_record(record_path)
+            for _, record, problem in self._iter_records():
                 if problem is not None:
                     continue
                 line = {
@@ -384,7 +491,9 @@ class ResultStore:
                     # Integrity digest over the serialized record, so a
                     # doctored archive line (key OR value) is rejected on
                     # import — same discipline as the per-file footers.
-                    "blake2b": _body_digest(json.dumps(record).encode("utf-8")),
+                    "blake2b": codec.body_digest(
+                        json.dumps(record).encode("utf-8")
+                    ),
                     "record": record,
                 }
                 handle.write(json.dumps(line) + "\n")
@@ -415,7 +524,7 @@ class ResultStore:
                     break
                 record = entry["record"]
                 body = json.dumps(record).encode("utf-8")
-                if _body_digest(body) != entry.get("blake2b"):
+                if codec.body_digest(body) != entry.get("blake2b"):
                     raise ValueError(
                         f"archive record {entry.get('digest')!r} fails its "
                         "integrity cross-check (doctored archive?)"
@@ -437,36 +546,17 @@ class ResultStore:
         return added
 
 
-def _parse_record(content: bytes) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
-    """Parse + integrity-check one record file's bytes."""
-    body, _, rest = content.partition(b"\n")
-    footer_line = rest.strip()
-    if not footer_line:
-        return None, "missing integrity footer"
-    try:
-        footer = json.loads(footer_line)
-    except json.JSONDecodeError as exc:
-        return None, f"malformed footer: {exc}"
-    if footer.get("blake2b") != _body_digest(body):
-        return None, "body does not match its integrity footer"
-    try:
-        record = json.loads(body)
-    except json.JSONDecodeError as exc:
-        return None, f"malformed body: {exc}"
-    if record.get("schema") != STORE_SCHEMA:
-        return None, f"unsupported record schema {record.get('schema')!r}"
-    for field_name in ("kind", "key", "key_digest", "value", "meta"):
-        if field_name not in record:
-            return None, f"record missing field {field_name!r}"
-    return record, None
+def _local_tiers(backend: StoreBackend) -> List[Any]:
+    """The local-directory backends reachable under ``backend`` (for
+    filesystem sweeps: orphan temp files, expired lease files)."""
+    from repro.store.local import LocalBackend
+    from repro.store.tiered import TieredBackend
 
-
-def _read_record(path: str) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
-    try:
-        with open(path, "rb") as handle:
-            return _parse_record(handle.read())
-    except OSError as exc:
-        return None, f"unreadable: {exc}"
+    if isinstance(backend, LocalBackend):
+        return [backend]
+    if isinstance(backend, TieredBackend):
+        return _local_tiers(backend.local) + _local_tiers(backend.remote)
+    return []
 
 
 def _is_stale(record: Dict[str, Any], current: Dict[str, int]) -> bool:
@@ -565,10 +655,11 @@ def suppress_store() -> Iterator[None]:
 def activate(store: Optional[ResultStore]) -> Iterator[Optional[ResultStore]]:
     """Make ``store`` the ambient store for the dynamic extent.
 
-    Also exports ``REPRO_STORE`` so worker processes forked while the
-    context is active inherit the same store.  ``None`` is accepted and
-    leaves the environment untouched (a no-op context), which lets
-    callers write one code path for cached and uncached runs.
+    Also exports ``REPRO_STORE`` (the store URL) so worker processes
+    forked while the context is active reopen the same backend.
+    ``None`` is accepted and leaves the environment untouched (a no-op
+    context), which lets callers write one code path for cached and
+    uncached runs.
     """
     global _ACTIVE
     if store is None:
@@ -576,7 +667,7 @@ def activate(store: Optional[ResultStore]) -> Iterator[Optional[ResultStore]]:
         return
     previous, previous_env = _ACTIVE, os.environ.get(STORE_ENV)
     _ACTIVE = store
-    os.environ[STORE_ENV] = store.root
+    os.environ[STORE_ENV] = store.url
     try:
         yield store
     finally:

@@ -1,0 +1,118 @@
+"""Tiered backend: a local read-through cache in front of a shared remote.
+
+``tiered:<local>+<remote>`` is the deployment shape for a fleet of
+nodes behind one ``repro store serve`` daemon: reads hit the local tier
+first (no network round-trip for warm cells), fall back to the remote,
+and **promote** what they fetch into the local tier; writes go through
+to *both* tiers, so every node's computation immediately warms the
+shared cache and its own.
+
+Leases always go to the remote tier — the whole point of a claim is
+that *other nodes* see it, and the remote is the only tier they share.
+A remote lease failure propagates as ``OSError`` and the policy layer
+(:meth:`repro.store.resultstore.ResultStore.claim`) fails open: a node
+cut off from the arbiter computes redundantly rather than deadlocking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.log import get_logger
+from repro.store.backend import StoreBackend
+
+_log = get_logger("store")
+
+__all__ = ["TieredBackend"]
+
+
+class TieredBackend(StoreBackend):
+    """Read-through/write-through composition of two backends."""
+
+    kind = "tiered"
+
+    def __init__(self, local: StoreBackend, remote: StoreBackend):
+        super().__init__()
+        self.local = local
+        self.remote = remote
+        self.url = f"tiered:{local.url}+{remote.url}"
+        self.local_root = local.local_root
+
+    # -- records -----------------------------------------------------------
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        content = self.local.get_bytes(digest)
+        if content is not None:
+            return content
+        content = self.remote.get_bytes(digest)
+        if content is not None:
+            # Promote so the next read is local; a promotion failure
+            # (full disk) only costs future round-trips, never the read.
+            try:
+                self.local.put_bytes(digest, content)
+                self.counters.tier_promotions += 1
+            except OSError as exc:
+                _log.warning(
+                    "could not promote record %s to the local tier: %s",
+                    digest[:12],
+                    exc,
+                )
+        return content
+
+    def put_bytes(self, digest: str, content: bytes) -> None:
+        # Write-through: the shared tier is the durable one, so it goes
+        # first — if it fails, the caller retries the whole put and the
+        # local tier never holds bytes the fleet cannot see.
+        self.remote.put_bytes(digest, content)
+        self.local.put_bytes(digest, content)
+
+    def delete(self, digest: str) -> bool:
+        local_removed = self.local.delete(digest)
+        remote_removed = self.remote.delete(digest)
+        return local_removed or remote_removed
+
+    def list_keys(self) -> Iterator[str]:
+        seen = set()
+        for digest in self.local.list_keys():
+            seen.add(digest)
+            yield digest
+        for digest in self.remote.list_keys():
+            if digest not in seen:
+                yield digest
+
+    def entries(self) -> Iterator[tuple]:
+        seen = set()
+        for digest, content in self.local.entries():
+            seen.add(digest)
+            yield digest, content
+        for digest, content in self.remote.entries():
+            if digest not in seen:
+                yield digest, content
+
+    def stat(self, digest: str) -> Optional[int]:
+        size = self.local.stat(digest)
+        return size if size is not None else self.remote.stat(digest)
+
+    def describe(self, digest: str) -> str:
+        if self.local.stat(digest) is not None:
+            return self.local.describe(digest)
+        return self.remote.describe(digest)
+
+    # -- leases ------------------------------------------------------------
+
+    def claim(self, digest: str, ttl: float) -> bool:
+        return self.remote.claim(digest, ttl)
+
+    def release(self, digest: str) -> None:
+        self.remote.release(digest)
+
+    # -- introspection -----------------------------------------------------
+
+    def description(self) -> Dict[str, Any]:
+        return {
+            "type": self.kind,
+            "url": self.url,
+            "counters": self.counters.as_dict(),
+            "local": self.local.description(),
+            "remote": self.remote.description(),
+        }

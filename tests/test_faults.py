@@ -195,5 +195,7 @@ class TestAmbientPlan:
             "cell_exception",
             "cell_stall",
             "store_put_io",
+            "store_get_io",
+            "store_lease_io",
             "trace_read_io",
         )
