@@ -27,7 +27,11 @@ Public API tour:
   over a process pool;
 - :mod:`repro.store` — the content-addressed result store behind
   ``repro suite``: cells and experiments cached by everything that
-  determines their value, so warm suite runs execute zero simulations.
+  determines their value, so warm suite runs execute zero simulations;
+- :mod:`repro.api` — the stable programmatic facade
+  (:func:`repro.api.run_suite`, :func:`repro.api.submit`,
+  :func:`repro.api.open_store`, ...) over all of the above, plus the
+  :mod:`repro.jobs` async job API served by ``repro serve``.
 """
 
 from repro.common.config import SystemConfig, ddr3_1600, ddr4_2400, multicore_config
@@ -55,7 +59,11 @@ from repro.selection import (
 from repro.sim import simulate, simulate_multicore
 from repro.workloads import get_profile
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
+
+# Imported after __version__: repro.api's lazy internals (the runner)
+# read ``repro.__version__`` at import time.
+from repro import api  # noqa: E402
 
 __all__ = [
     "AlectoConfig",
@@ -65,6 +73,7 @@ __all__ = [
     "IPCPSelection",
     "SystemConfig",
     "__version__",
+    "api",
     "build_composite",
     "build_prefetcher",
     "build_selector",

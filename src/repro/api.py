@@ -1,0 +1,134 @@
+"""Stable programmatic facade over the library's moving parts.
+
+Programmatic users import *this* module (or ``repro`` itself, which
+re-exports it) instead of deep module paths; its surface is pinned by
+``tests/test_public_api.py`` and changes only deliberately:
+
+- :func:`run_experiment` / :func:`run_suite` — run registered
+  experiments through the store-backed orchestrator, accepting a store
+  as a URL string, a :class:`~repro.store.resultstore.ResultStore`, or
+  ``None``.
+- :func:`submit` — submit a ``repro.jobspec.v1`` dict to a running
+  ``repro serve`` daemon and (optionally) wait for it.
+- :func:`build_selector` / :func:`build_workload` — registry factories
+  re-exported from :mod:`repro.registry`.
+- :func:`open_store` — resolve a store URL (argument, ``$REPRO_STORE``,
+  or the default ``.repro-store``) into a ``ResultStore``.
+
+Heavy imports stay inside the functions, so ``import repro`` remains
+cheap.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from repro.registry import build_selector, build_workload
+
+__all__ = [
+    "build_selector",
+    "build_workload",
+    "open_store",
+    "run_experiment",
+    "run_suite",
+    "submit",
+]
+
+#: Default on-disk store directory (mirrors the CLI's ``--store`` default).
+DEFAULT_STORE = ".repro-store"
+
+
+def open_store(url: Optional[str] = None):
+    """Open a result store from a URL, ``$REPRO_STORE``, or the default.
+
+    Resolution order: explicit ``url`` argument, the ``REPRO_STORE``
+    environment variable, then the CLI's default ``.repro-store``
+    directory.  Accepts every store URL form (a directory path,
+    ``dir:``, ``http://``, ``tiered:``).
+    """
+    from repro.store.resultstore import STORE_ENV, ResultStore
+
+    if url is None:
+        url = os.environ.get(STORE_ENV) or DEFAULT_STORE
+    return ResultStore(url)
+
+
+def _as_store(store):
+    from repro.store.resultstore import ResultStore
+
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(str(store))
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    fast: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+    store: Union[None, str, Any] = None,
+    keep_going: bool = False,
+    policy: Optional[Any] = None,
+    progress: Optional[Any] = None,
+):
+    """Run experiments through the orchestrator; returns a ``SuiteReport``.
+
+    Exactly :func:`repro.store.orchestrator.run_suite`, except ``store``
+    may also be a store URL string (opened via
+    :class:`~repro.store.resultstore.ResultStore`).
+    """
+    from repro.store.orchestrator import run_suite as _run_suite
+
+    return _run_suite(
+        names=names,
+        jobs=jobs,
+        fast=fast,
+        overrides=overrides,
+        store=_as_store(store),
+        keep_going=keep_going,
+        policy=policy,
+        progress=progress,
+    )
+
+
+def run_experiment(
+    name: str,
+    fast: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+    store: Union[None, str, Any] = None,
+    jobs: int = 1,
+):
+    """Run one registered experiment; returns its ``ExperimentResult``.
+
+    Store-backed and incremental like :func:`run_suite` (a warm store
+    replays instantly); raises
+    :class:`~repro.experiments.runner.SuiteExecutionError` on permanent
+    failure.
+    """
+    report = run_suite(
+        names=[name], jobs=jobs, fast=fast, overrides=overrides, store=store
+    )
+    return report.results[0]
+
+
+def submit(
+    spec: Dict[str, Any],
+    server: Optional[str] = None,
+    wait: bool = True,
+    timeout: float = 600.0,
+) -> Dict[str, Any]:
+    """Submit a ``repro.jobspec.v1`` dict to a ``repro serve`` daemon.
+
+    Returns the job document (``repro.job.v1``); with ``wait`` (the
+    default) it polls until the job reaches a terminal state.  Raises
+    :class:`repro.jobs.JobServerError` on a rejected spec (400) or a
+    full queue (429 — honor ``.retry_after``).
+    """
+    from repro.jobs.client import DEFAULT_SERVER, JobClient
+
+    client = JobClient(server or DEFAULT_SERVER)
+    document = client.submit(spec)
+    if wait:
+        document = client.wait(document["id"], timeout=timeout)
+    return document

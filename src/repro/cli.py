@@ -114,6 +114,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _build_selector(args, args.selector) if args.selector != "none" else None
     )
     result = simulate(trace, selector, config=config, name=args.benchmark)
+    if args.json:
+        from repro.output import envelope_json
+
+        data = {
+            "benchmark": args.benchmark,
+            "selector": args.selector,
+            "config": args.config,
+            "accesses": args.accesses,
+            "seed": args.seed,
+            "ipc": result.ipc,
+            "baseline_ipc": baseline.ipc,
+            "speedup": result.ipc / baseline.ipc,
+        }
+        if selector is not None:
+            data.update(
+                accuracy=result.metrics.accuracy,
+                coverage=result.metrics.coverage,
+                issued=result.metrics.issued,
+                table_misses=result.table_misses,
+            )
+        print(envelope_json("run", data))
+        return 0
     print(f"benchmark: {args.benchmark} ({args.accesses} accesses)")
     print(f"selector:  {args.selector}")
     print(f"ipc:       {result.ipc:.4f}")
@@ -133,15 +155,43 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     profile = _resolve_benchmark(args.benchmark)
     trace = profile.generate(args.accesses, seed=args.seed)
     baseline = simulate(trace, None, config=config, name=args.benchmark)
-    print(f"{args.benchmark}: baseline ipc {baseline.ipc:.4f}")
+    rows = []
     for spec in args.selectors:
         result = simulate(
             trace, _build_selector(args, spec), config=config, name=args.benchmark
         )
+        rows.append(
+            {
+                "selector": spec,
+                "speedup": result.ipc / baseline.ipc,
+                "ipc": result.ipc,
+                "accuracy": result.metrics.accuracy,
+                "coverage": result.metrics.coverage,
+            }
+        )
+    if args.json:
+        from repro.output import envelope_json
+
         print(
-            f"  {spec:<16} speedup {result.ipc / baseline.ipc:.3f}  "
-            f"acc {result.metrics.accuracy:.2f}  "
-            f"cov {result.metrics.coverage:.2f}"
+            envelope_json(
+                "compare",
+                {
+                    "benchmark": args.benchmark,
+                    "config": args.config,
+                    "accesses": args.accesses,
+                    "seed": args.seed,
+                    "baseline_ipc": baseline.ipc,
+                    "selectors": rows,
+                },
+            )
+        )
+        return 0
+    print(f"{args.benchmark}: baseline ipc {baseline.ipc:.4f}")
+    for row in rows:
+        print(
+            f"  {row['selector']:<16} speedup {row['speedup']:.3f}  "
+            f"acc {row['accuracy']:.2f}  "
+            f"cov {row['coverage']:.2f}"
         )
     return 0
 
@@ -183,11 +233,19 @@ def _suite_request(args: argparse.Namespace):
     return names, overrides
 
 
+def _write_results_envelope(command: str, results, path: str) -> None:
+    """Write CLI results JSON: the ``repro.experiment-suite.v1`` document
+    wrapped in the ``repro.cli-output.v1`` envelope."""
+    from repro.experiments.runner import results_document
+    from repro.output import write_envelope
+
+    write_envelope(path, command, results_document(results))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.runner import (
         SuiteRunner,
         render_result,
-        write_results_json,
     )
 
     try:
@@ -212,7 +270,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(render_result(result))
         print()
     if args.json:
-        write_results_json(results, args.json)
+        _write_results_envelope("experiment", results, args.json)
         print(f"wrote {len(results)} result(s) to {args.json}", file=sys.stderr)
     return 0
 
@@ -246,7 +304,6 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         RetryPolicy,
         SuiteExecutionError,
         render_result,
-        write_results_json,
     )
     from repro.sim import simulation_count
     from repro.store import run_suite
@@ -344,12 +401,185 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     if report.journal_path is not None and (report.failed or not args.quiet):
         print(f"journal: {report.journal_path}", file=sys.stderr)
     if args.json:
-        write_results_json(report.results, args.json)
+        _write_results_envelope("suite", report.results, args.json)
         print(
             f"wrote {len(report.results)} result(s) to {args.json}",
             file=sys.stderr,
         )
     return 3 if report.failed else 0
+
+
+def _store_url(args: argparse.Namespace) -> str:
+    """Resolve the --store / $REPRO_STORE / default store *URL* string."""
+    import os
+
+    return args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.jobs.server import serve as job_serve
+    from repro.store import ResultStore, StoreURLError
+
+    url = _store_url(args)
+    try:
+        # Validate the URL scheme up front: a typo'd store must fail at
+        # startup, not on the first submitted job.
+        ResultStore(url)
+    except StoreURLError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.queue_limit < 1:
+        print("--queue-limit must be >= 1", file=sys.stderr)
+        return 2
+    server = job_serve(
+        url,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving jobs over store {url} on http://{host}:{port} "
+        f"({args.workers} worker(s), queue limit {args.queue_limit}; "
+        f"Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _jobspec_from_args(args: argparse.Namespace):
+    """Build the raw jobspec dict a ``repro submit`` invocation implies."""
+    spec = {}
+    cell_mode = args.workload is not None or args.selector is not None
+    if cell_mode:
+        if args.names or args.all:
+            raise _SuiteRequestError(
+                "give experiment names/--all or --workload/--selector, not both"
+            )
+        if args.workload is None or args.selector is None:
+            raise _SuiteRequestError(
+                "cell mode needs both --workload and --selector"
+            )
+        spec["workload"] = args.workload
+        spec["selector"] = args.selector
+        if args.config != "default":
+            spec["config"] = args.config
+    elif args.all:
+        if args.names:
+            raise _SuiteRequestError(
+                "give experiment names or --all, not both"
+            )
+        spec["experiments"] = "all"
+    elif args.names:
+        spec["experiments"] = list(args.names)
+    else:
+        raise _SuiteRequestError(
+            "specify experiment names, --all, or --workload/--selector"
+        )
+    if args.fast:
+        spec["fast"] = True
+    overrides = {}
+    if args.accesses is not None:
+        overrides["accesses"] = args.accesses
+        if not cell_mode:
+            overrides["accesses_per_core"] = args.accesses
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec["overrides"] = overrides
+    if args.jobs != 1:
+        spec["jobs"] = args.jobs
+    if args.store:
+        spec["store"] = args.store
+    return spec
+
+
+#: Exit code per terminal job state, mirroring `repro suite`'s contract
+#: (0 clean, 3 partial, 1 failed/cancelled).
+_JOB_EXIT_CODES = {"done": 0, "partial": 3, "failed": 1, "cancelled": 1}
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.jobs.client import JobClient, JobServerError
+    from repro.output import envelope_json
+
+    try:
+        spec = _jobspec_from_args(args)
+    except _SuiteRequestError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    client = JobClient(args.server)
+    try:
+        document = client.submit(spec)
+        if not args.no_wait:
+            document = client.wait(document["id"], timeout=args.timeout)
+    except JobServerError as exc:
+        if exc.status == 429 and exc.retry_after is not None:
+            print(
+                f"{exc} (queue full; retry in {exc.retry_after:.0f}s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(exc, file=sys.stderr)
+        return 2 if exc.status == 400 else 1
+    except (OSError, TimeoutError) as exc:
+        print(f"cannot reach job server {args.server}: {exc}", file=sys.stderr)
+        return 1
+    print(envelope_json("submit", document))
+    if args.no_wait:
+        return 0
+    state = document.get("state")
+    if state != "done":
+        progress = document.get("progress") or {}
+        print(
+            f"job {document.get('id')} finished {state}: "
+            f"{progress.get('completed', 0)}/{progress.get('requested', 0)} "
+            f"completed, {progress.get('failed', 0)} failed"
+            + (f" ({document['error']})" if document.get("error") else ""),
+            file=sys.stderr,
+        )
+    return _JOB_EXIT_CODES.get(state, 1)
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.jobs.client import JobClient, JobServerError
+    from repro.output import envelope, envelope_json
+
+    client = JobClient(args.server)
+    try:
+        if args.job_command == "list":
+            print(envelope_json("job-list", client.list_jobs()))
+            return 0
+        if args.job_command == "status":
+            print(envelope_json("job-status", client.status(args.id)))
+            return 0
+        if args.job_command == "cancel":
+            print(envelope_json("cancel", client.cancel(args.id)))
+            return 0
+        if args.job_command == "results":
+            for result in client.results(args.id, timeout=args.timeout):
+                print(json.dumps(envelope("job-results", result),
+                                 sort_keys=True))
+            return 0
+    except JobServerError as exc:
+        print(exc, file=sys.stderr)
+        return 2 if exc.status in (400, 404) else 1
+    except OSError as exc:
+        print(f"cannot reach job server {args.server}: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled job command {args.job_command!r}")
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -367,7 +597,9 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return _store_serve(store, args)
 
     if args.store_command == "stats":
-        print(json.dumps(store.summary(), indent=2))
+        from repro.output import envelope
+
+        print(json.dumps(envelope("store-stats", store.summary()), indent=2))
         return 0
 
     if args.store_command == "verify":
@@ -731,7 +963,9 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(info, indent=2, sort_keys=True))
+        from repro.output import envelope_json
+
+        print(envelope_json("trace-info", info))
         return 0
     print(f"schema:  {info['schema']}")
     print(f"records: {info['count']}")
@@ -765,6 +999,30 @@ def _cmd_list(args: argparse.Namespace) -> int:
         list_suites,
     )
 
+    if args.json:
+        from repro.output import envelope_json
+
+        print(
+            envelope_json(
+                "list",
+                {
+                    "experiments": list_experiments(),
+                    "selectors": list_selectors(),
+                    "composites": list_composites(),
+                    "prefetchers": list_prefetchers(),
+                    "configs": list(CONFIG_PRESETS),
+                    "workload_factories": [
+                        name for name in WORKLOADS.names()
+                        if callable(WORKLOADS.get(name))
+                    ],
+                    "suites": {
+                        suite: sorted(get_suite(suite))
+                        for suite in list_suites()
+                    },
+                },
+            )
+        )
+        return 0
     print("experiments:", ", ".join(list_experiments()))
     if args.verbose:
         for name in list_experiments():
@@ -836,6 +1094,10 @@ def build_parser() -> argparse.ArgumentParser:
         "or none (see `repro list`)",
     )
     _add_selector_options(run)
+    run.add_argument(
+        "--json", action="store_true",
+        help="repro.cli-output.v1 JSON on stdout",
+    )
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser("compare", help="compare selectors on one benchmark")
@@ -845,6 +1107,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=["ipcp", "dol", "bandit3", "bandit6", "alecto"],
     )
     _add_selector_options(compare)
+    compare.add_argument(
+        "--json", action="store_true",
+        help="repro.cli-output.v1 JSON on stdout",
+    )
     compare.set_defaults(func=_cmd_compare)
 
     experiment = sub.add_parser(
@@ -1119,7 +1385,127 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true",
         help="include titles and descriptions",
     )
+    lister.add_argument(
+        "--json", action="store_true",
+        help="repro.cli-output.v1 JSON on stdout",
+    )
     lister.set_defaults(func=_cmd_list)
+
+    from repro.jobs.client import DEFAULT_SERVER
+    from repro.jobs.server import DEFAULT_PORT
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the async job daemon (submit work with `repro submit`)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; 0.0.0.0 for the LAN)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port (default: {DEFAULT_PORT}; 0 picks an ephemeral port)",
+    )
+    serve_cmd.add_argument(
+        "--store", metavar="URL", default=None,
+        help=f"{_STORE_URL_HELP} "
+        f"(default: $REPRO_STORE or {DEFAULT_STORE})",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job worker threads (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="queued jobs before submissions get 429 (default 16)",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job to a `repro serve` daemon and wait for it",
+    )
+    submit.add_argument(
+        "names", nargs="*", help="experiment names (see `repro list`)"
+    )
+    submit.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    submit.add_argument(
+        "--workload", default=None,
+        help="cell mode: workload spec (with --selector)",
+    )
+    submit.add_argument(
+        "--selector", default=None,
+        help="cell mode: selector spec (with --workload)",
+    )
+    submit.add_argument(
+        "--config", default="default", choices=CONFIG_PRESETS,
+        help="cell mode: system configuration preset",
+    )
+    submit.add_argument(
+        "--fast", action="store_true",
+        help="reduced-scale smoke run (each experiment's fast_params)",
+    )
+    submit.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes the server uses for this job",
+    )
+    submit.add_argument(
+        "--accesses", type=int, default=None,
+        help="override trace length",
+    )
+    submit.add_argument(
+        "--seed", type=int, default=None,
+        help="override the trace seed",
+    )
+    submit.add_argument(
+        "--store", metavar="URL", default=None,
+        help="per-job store URL override (default: the server's store)",
+    )
+    submit.add_argument(
+        "--server", default=DEFAULT_SERVER,
+        help=f"job server URL (default {DEFAULT_SERVER})",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of waiting",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for completion (default 600)",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    job = sub.add_parser(
+        "job", help="inspect / stream / cancel jobs on a `repro serve` daemon"
+    )
+    job.add_argument(
+        "--server", default=DEFAULT_SERVER,
+        help=f"job server URL (default {DEFAULT_SERVER})",
+    )
+    jsub = job.add_subparsers(dest="job_command", required=True)
+    jlist = jsub.add_parser("list", help="list all jobs")
+    jstatus = jsub.add_parser("status", help="one job's status document")
+    jstatus.add_argument("id")
+    jresults = jsub.add_parser(
+        "results", help="stream a job's results as NDJSON (live)"
+    )
+    jresults.add_argument("id")
+    jresults.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="stream timeout in seconds (default 600)",
+    )
+    jcancel = jsub.add_parser("cancel", help="cancel a queued/running job")
+    jcancel.add_argument("id")
+    for leaf in (jlist, jstatus, jresults, jcancel):
+        # Accepted after the subcommand too (`repro job results ID
+        # --server URL`); SUPPRESS keeps the sub-level default from
+        # clobbering a value parsed at the `job` level.
+        leaf.add_argument(
+            "--server", default=argparse.SUPPRESS, help=argparse.SUPPRESS
+        )
+    job.set_defaults(func=_cmd_job)
     return parser
 
 

@@ -1561,6 +1561,7 @@ class SuiteRunner:
         resolved: Sequence[Tuple[str, Dict[str, Any], Dict[str, Any]]],
         keep_going: bool = False,
         stats: Optional[DispatchStats] = None,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> Iterator[Tuple[str, ExperimentResult]]:
         """Execute ``(name, applied, params)`` triples, yielding on completion.
 
@@ -1578,11 +1579,20 @@ class SuiteRunner:
         raises :class:`SuiteExecutionError` — unless ``keep_going``, in
         which case it is recorded in ``stats.failures`` (pass a
         :class:`DispatchStats` to collect them) and skipped.
+
+        ``progress``, when given, is called with ``{"event": "failed",
+        "name", "failure"}`` for each permanent ``keep_going`` failure
+        (completions are observable from the yielded pairs, so only
+        failures — which are *not* yielded — need a side channel).
         """
         from repro.store.resultstore import activate
 
         if stats is None:
             stats = DispatchStats()
+
+        def report_failure(name: str, failure: Any) -> None:
+            if progress is not None:
+                progress({"event": "failed", "name": name, "failure": failure})
         with activate(self.store):
             if self.jobs == 1 or len(resolved) == 1:
                 # A single experiment still profits from parallelism:
@@ -1602,6 +1612,7 @@ class SuiteRunner:
                     if not ok:
                         if not keep_going:
                             raise SuiteExecutionError([value])
+                        report_failure(name, value)
                         continue
                     self._put_experiment(name, params, value)
                     yield name, value
@@ -1641,6 +1652,7 @@ class SuiteRunner:
                     absorbed=absorbed if self.store is not None else None,
                 ):
                     if status == "failed":
+                        report_failure(task.key[0], value)
                         continue  # recorded in stats.failures
                     name = task.key[0]
                     result, worker_stats = value
@@ -1696,19 +1708,25 @@ def run_experiments(
     )
 
 
-def write_results_json(
-    results: Sequence[ExperimentResult], path: str
-) -> Dict[str, Any]:
-    """Write a result collection to ``path`` and return the document.
+def results_document(results: Sequence[ExperimentResult]) -> Dict[str, Any]:
+    """The ``repro.experiment-suite.v1`` document for a result collection.
 
-    The document carries one serialized :class:`ExperimentResult` per
-    experiment under ``"results"``.
+    One serialized :class:`ExperimentResult` per experiment under
+    ``"results"``; the CLI wraps this document in its
+    ``repro.cli-output.v1`` envelope, the library writes it bare.
     """
-    document = {
+    return {
         "schema": "repro.experiment-suite.v1",
         "version": __version__,
         "results": [result.to_dict() for result in results],
     }
+
+
+def write_results_json(
+    results: Sequence[ExperimentResult], path: str
+) -> Dict[str, Any]:
+    """Write a result collection to ``path`` and return the document."""
+    document = results_document(results)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, default=float)
         handle.write("\n")

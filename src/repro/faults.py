@@ -28,6 +28,9 @@ Sites (:data:`FAULT_SITES`):
   computes without a lease rather than deadlocking).
 - ``trace_read_io`` — raise :class:`FaultIOError` from
   :func:`repro.cpu.tracefile.open_trace`.
+- ``job_dispatch_io`` — raise :class:`FaultIOError` from the job
+  server's dispatch path (:mod:`repro.jobs`), before a queued job's
+  suite run starts; the job worker's retry loop absorbs it.
 
 Activation — the ``REPRO_FAULTS`` environment variable, a comma-joined
 list of site clauses::
@@ -79,6 +82,7 @@ FAULT_SITES = (
     "store_get_io",
     "store_lease_io",
     "trace_read_io",
+    "job_dispatch_io",
 )
 
 #: Set in pool workers (mirrors ``repro.experiments.runner._WORKER_ENV``;

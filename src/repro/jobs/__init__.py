@@ -1,0 +1,36 @@
+"""Async job API: serializable job specs, a job server, and its client.
+
+The package turns the registry + orchestrator into a
+simulation-as-a-service surface:
+
+- :mod:`repro.jobs.spec` — the versioned, fully-serializable
+  ``repro.jobspec.v1`` request schema with a canonicalizer, so the same
+  logical request always yields the same JSON and the same store keys.
+- :mod:`repro.jobs.server` — a threaded stdlib ``http.server`` daemon
+  (``repro serve``) with a bounded FIFO worker pool, backpressure, and
+  journal-backed crash recovery.
+- :mod:`repro.jobs.client` — a tiny urllib client used by the
+  ``repro submit`` / ``repro job`` subcommands and ``repro.api``.
+"""
+
+from repro.jobs.client import JobClient, JobServerError
+from repro.jobs.server import JobManager, serve
+from repro.jobs.spec import (
+    JOBSPEC_SCHEMA,
+    JobSpecError,
+    canonical_json,
+    canonicalize_jobspec,
+    job_digest,
+)
+
+__all__ = [
+    "JOBSPEC_SCHEMA",
+    "JobClient",
+    "JobManager",
+    "JobServerError",
+    "JobSpecError",
+    "canonical_json",
+    "canonicalize_jobspec",
+    "job_digest",
+    "serve",
+]

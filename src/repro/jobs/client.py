@@ -1,0 +1,151 @@
+"""Thin urllib client for the ``repro serve`` job daemon.
+
+Backs the ``repro submit`` / ``repro job`` CLI subcommands and
+``repro.api.submit``; stdlib only, mirroring the store's
+:class:`~repro.store.remote.HTTPBackend` conventions (HTTP error
+statuses surface as :class:`JobServerError`, transport errors propagate
+as ``OSError``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+from urllib import error as urlerror
+from urllib import parse as urlparse
+from urllib import request as urlrequest
+
+from repro.jobs.server import DEFAULT_PORT, TERMINAL_STATES
+from repro.output import unwrap
+
+#: Default server URL the CLI talks to when ``--server`` is omitted.
+DEFAULT_SERVER = f"http://127.0.0.1:{DEFAULT_PORT}"
+
+#: Client timeout per HTTP round-trip, seconds (the results stream uses
+#: its own, longer timeout because the socket stays open between rows).
+DEFAULT_TIMEOUT = 10.0
+
+__all__ = ["DEFAULT_SERVER", "DEFAULT_TIMEOUT", "JobClient", "JobServerError"]
+
+
+class JobServerError(RuntimeError):
+    """The job server answered with an error status."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class JobClient:
+    """Client for one job daemon (``repro serve``)."""
+
+    def __init__(self, url: str = DEFAULT_SERVER,
+                 timeout: float = DEFAULT_TIMEOUT):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        request = urlrequest.Request(
+            self.url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urlrequest.urlopen(request, timeout=self.timeout) as response:
+                return response.status, dict(response.headers), response.read()
+        except urlerror.HTTPError as err:
+            with err:
+                return err.code, dict(err.headers), err.read()
+
+    def _call(self, method: str, path: str,
+              body: Optional[bytes] = None) -> Any:
+        status, headers, content = self._request(method, path, body)
+        if status >= 400:
+            try:
+                message = json.loads(content).get("error", "")
+            except ValueError:
+                message = content.decode("utf-8", "replace").strip()
+            retry_after = None
+            if headers.get("Retry-After"):
+                try:
+                    retry_after = float(headers["Retry-After"])
+                except ValueError:
+                    pass
+            raise JobServerError(status, message, retry_after)
+        return unwrap(json.loads(content))
+
+    def _job_path(self, job_id: str, tail: str = "") -> str:
+        path = "/jobs/" + urlparse.quote(job_id, safe="")
+        return path + ("/" + tail if tail else "")
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a jobspec; returns the job document (``repro.job.v1``).
+
+        Raises :class:`JobServerError` — inspect ``.status`` for 400
+        (bad spec) vs 429 (queue full; honor ``.retry_after``).
+        """
+        payload = json.dumps(spec).encode("utf-8")
+        return self._call("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", self._job_path(job_id))
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return self._call("GET", "/jobs")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._call("DELETE", self._job_path(job_id))
+
+    def results(self, job_id: str,
+                timeout: float = 600.0) -> Iterator[Dict[str, Any]]:
+        """Stream a job's results as they land (NDJSON → dicts).
+
+        The iterator ends when the job reaches a terminal state and the
+        server closes the stream.
+        """
+        request = urlrequest.Request(
+            self.url + self._job_path(job_id, "results"), method="GET"
+        )
+        try:
+            response = urlrequest.urlopen(request, timeout=timeout)
+        except urlerror.HTTPError as err:
+            with err:
+                raise JobServerError(
+                    err.code, err.read().decode("utf-8", "replace").strip()
+                ) from None
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield unwrap(json.loads(line))
+
+    def wait(self, job_id: str, poll: float = 0.2,
+             timeout: float = 600.0) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.status(job_id)
+            if document.get("state") in TERMINAL_STATES:
+                return document
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {document.get('state')!r} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,224 @@
+"""The ``repro.jobspec.v1`` schema: serializable, canonicalized job requests.
+
+A jobspec is the fully-serializable description of one unit of work the
+job server (:mod:`repro.jobs.server`) can execute.  Two modes share the
+schema:
+
+- **suite mode** — ``{"experiments": [...]}`` (or ``"all"``): run the
+  named registered experiments through the orchestrator, exactly like
+  ``repro suite``.
+- **cell mode** — ``{"workload": ..., "selector": ...}``: simulate one
+  workload/selector cell, like a single ``repro run``.
+
+Canonicalization (:func:`canonicalize_jobspec`) normalizes every field
+so that the *same logical request always serializes to the same JSON*:
+experiment lists are expanded (``"all"``), deduplicated, and sorted;
+workload/selector spec strings are rebuilt through
+:func:`repro.registry.canonical_spec` (defaults stripped, params
+sorted); defaulted fields are omitted.  :func:`job_digest` then hashes
+the canonical JSON of the *identity* fields — execution hints (``jobs``)
+and the store URL are excluded, because they change where/how a job
+runs, not what it computes.  Identical digests mean identical store
+keys, so resubmitting a completed spec replays entirely from the store
+(0 simulations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "JOBSPEC_SCHEMA",
+    "JobSpecError",
+    "canonical_json",
+    "canonicalize_jobspec",
+    "job_digest",
+]
+
+#: Schema identifier stamped on every canonical jobspec.
+JOBSPEC_SCHEMA = "repro.jobspec.v1"
+
+#: Fields that do not participate in the job identity digest: they are
+#: execution/placement hints, not part of what the job computes.
+NON_IDENTITY_FIELDS = ("jobs", "store")
+
+_KNOWN_FIELDS = frozenset(
+    {
+        "schema",
+        "experiments",
+        "workload",
+        "selector",
+        "config",
+        "fast",
+        "overrides",
+        "jobs",
+        "store",
+    }
+)
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class JobSpecError(ValueError):
+    """A jobspec failed validation or canonicalization."""
+
+
+def _require_type(value: Any, types, what: str):
+    if not isinstance(value, types) or (
+        bool not in _as_tuple(types) and isinstance(value, bool)
+    ):
+        raise JobSpecError(
+            f"jobspec field {what} has invalid type {type(value).__name__}"
+        )
+    return value
+
+
+def _as_tuple(types):
+    return types if isinstance(types, tuple) else (types,)
+
+
+def _canonical_experiments(value: Any) -> List[str]:
+    from repro.registry import EXPERIMENTS
+
+    if value == "all":
+        return EXPERIMENTS.names()
+    if isinstance(value, str):
+        value = [value]
+    if not isinstance(value, list) or not value:
+        raise JobSpecError(
+            'jobspec "experiments" must be "all" or a non-empty list of names'
+        )
+    names: List[str] = []
+    for name in value:
+        _require_type(name, str, '"experiments" entry')
+        try:
+            EXPERIMENTS.get(name)
+        except ValueError as exc:
+            raise JobSpecError(str(exc)) from None
+        names.append(name)
+    return sorted(set(names))
+
+
+def _canonical_overrides(value: Any) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise JobSpecError('jobspec "overrides" must be an object')
+    overrides: Dict[str, Any] = {}
+    for key in sorted(value):
+        _require_type(key, str, '"overrides" key')
+        item = value[key]
+        if not isinstance(item, _SCALAR_TYPES):
+            raise JobSpecError(
+                f"jobspec override {key!r} must be a JSON scalar, "
+                f"got {type(item).__name__}"
+            )
+        overrides[key] = item
+    return overrides
+
+
+def canonicalize_jobspec(raw: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate and canonicalize a raw jobspec into its v1 normal form.
+
+    Raises :class:`JobSpecError` on unknown fields, unknown
+    experiment/workload/selector names, a bad config preset, or invalid
+    field types.  The returned dict is the canonical serialized form:
+    the same logical request always canonicalizes to the same dict (and
+    therefore, via :func:`canonical_json` / :func:`job_digest`, the
+    same JSON bytes and digest).
+    """
+    if not isinstance(raw, dict):
+        raise JobSpecError("jobspec must be a JSON object")
+    unknown = sorted(set(raw) - _KNOWN_FIELDS)
+    if unknown:
+        raise JobSpecError(f"unknown jobspec field(s): {', '.join(unknown)}")
+    schema = raw.get("schema", JOBSPEC_SCHEMA)
+    if schema != JOBSPEC_SCHEMA:
+        raise JobSpecError(
+            f"unsupported jobspec schema {schema!r} (expected {JOBSPEC_SCHEMA!r})"
+        )
+
+    spec: Dict[str, Any] = {"schema": JOBSPEC_SCHEMA}
+    has_experiments = "experiments" in raw
+    has_cell = "workload" in raw or "selector" in raw
+    if has_experiments and has_cell:
+        raise JobSpecError(
+            'jobspec is either suite mode ("experiments") or cell mode '
+            '("workload"/"selector"), not both'
+        )
+    if has_experiments:
+        spec["experiments"] = _canonical_experiments(raw["experiments"])
+    elif has_cell:
+        if "workload" not in raw or "selector" not in raw:
+            raise JobSpecError('cell-mode jobspec needs both "workload" and "selector"')
+        from repro.registry import canonical_spec
+
+        try:
+            spec["workload"] = canonical_spec(
+                "workload", _require_type(raw["workload"], str, '"workload"')
+            )
+            spec["selector"] = canonical_spec(
+                "selector", _require_type(raw["selector"], str, '"selector"')
+            )
+        except JobSpecError:
+            raise
+        except ValueError as exc:
+            raise JobSpecError(str(exc)) from None
+        config = raw.get("config", "default")
+        _require_type(config, str, '"config"')
+        from repro.cli import CONFIG_PRESETS
+
+        if config not in CONFIG_PRESETS:
+            raise JobSpecError(
+                f"unknown config preset {config!r} "
+                f"(known: {', '.join(CONFIG_PRESETS)})"
+            )
+        if config != "default":
+            spec["config"] = config
+    else:
+        raise JobSpecError(
+            'jobspec needs "experiments" (suite mode) or '
+            '"workload"+"selector" (cell mode)'
+        )
+
+    fast = raw.get("fast", False)
+    _require_type(fast, bool, '"fast"')
+    if fast:
+        spec["fast"] = True
+    overrides = _canonical_overrides(raw.get("overrides", {}))
+    if overrides:
+        spec["overrides"] = overrides
+
+    if "jobs" in raw and raw["jobs"] is not None:
+        jobs = _require_type(raw["jobs"], int, '"jobs"')
+        if jobs < 1:
+            raise JobSpecError('jobspec "jobs" must be >= 1')
+        if jobs != 1:
+            spec["jobs"] = jobs
+    if "store" in raw and raw["store"] is not None:
+        store = _require_type(raw["store"], str, '"store"')
+        if store:
+            spec["store"] = store
+    return spec
+
+
+def canonical_json(spec: Dict[str, Any]) -> str:
+    """Compact, key-sorted JSON of a (canonical) jobspec."""
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+
+
+def job_digest(spec: Dict[str, Any]) -> str:
+    """Stable identity digest of a canonical jobspec.
+
+    Hashes the canonical JSON of the identity fields only — the
+    :data:`NON_IDENTITY_FIELDS` (``jobs``, ``store``) are excluded, so
+    the same logical computation submitted with a different parallelism
+    hint or store URL still deduplicates to the same job identity.
+    """
+    identity = {
+        key: value
+        for key, value in spec.items()
+        if key not in NON_IDENTITY_FIELDS
+    }
+    payload = canonical_json(identity).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()

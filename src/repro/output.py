@@ -1,0 +1,67 @@
+"""Versioned CLI/API JSON output envelope (``repro.cli-output.v1``).
+
+Every machine-readable surface the CLI and the job server expose — the
+``--json`` flags on ``run``/``compare``/``experiment``/``suite``/``trace
+info``/``store stats``/``list``, and the job server's NDJSON result
+stream — wraps its payload in one versioned envelope::
+
+    {"schema": "repro.cli-output.v1", "command": "<subcommand>", "data": ...}
+
+so scripted consumers parse a single shape and can dispatch on
+``command`` without sniffing payload fields.  The payload under
+``data`` keeps its own schema where it has one (e.g. the
+``repro.experiment-suite.v1`` results document) — the envelope is a
+transport wrapper, not a replacement for payload versioning.
+
+:func:`unwrap` accepts both enveloped and bare documents so scripts
+written against pre-envelope output keep working during migration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+__all__ = [
+    "CLI_OUTPUT_SCHEMA",
+    "envelope",
+    "envelope_json",
+    "unwrap",
+    "write_envelope",
+]
+
+#: Schema identifier stamped on every envelope.
+CLI_OUTPUT_SCHEMA = "repro.cli-output.v1"
+
+
+def envelope(command: str, data: Any) -> Dict[str, Any]:
+    """Wrap ``data`` in the versioned CLI output envelope."""
+    return {"schema": CLI_OUTPUT_SCHEMA, "command": command, "data": data}
+
+
+def envelope_json(command: str, data: Any, *, indent: int = 2) -> str:
+    """Render an envelope as a JSON string (stable key order)."""
+    return json.dumps(envelope(command, data), indent=indent, sort_keys=True)
+
+
+def write_envelope(path: str, command: str, data: Any) -> None:
+    """Write an envelope to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope(command, data), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def unwrap(document: Any) -> Any:
+    """Return the payload of an enveloped document, or the document itself.
+
+    Back-compat reader: scripts that consume ``--json`` output call this
+    so they accept both the current enveloped shape and pre-envelope
+    bare documents.
+    """
+    if (
+        isinstance(document, dict)
+        and document.get("schema") == CLI_OUTPUT_SCHEMA
+        and "data" in document
+    ):
+        return document["data"]
+    return document

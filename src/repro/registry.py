@@ -39,6 +39,7 @@ __all__ = [
     "build_prefetcher",
     "build_selector",
     "build_workload",
+    "canonical_spec",
     "get_experiment",
     "get_suite",
     "list_composites",
@@ -54,6 +55,7 @@ __all__ = [
     "register_selector",
     "register_suite",
     "register_workload",
+    "spec_defaults",
 ]
 
 
@@ -451,6 +453,115 @@ def build_workload(spec: str):
             f"parameters (got {sorted(params)})"
         )
     return entry
+
+
+# -- canonical spec strings -------------------------------------------------
+
+
+#: Registries whose entries are addressed by spec strings.
+_SPEC_REGISTRIES: Dict[str, "Registry"] = {}
+
+
+def _spec_registries() -> Dict[str, "Registry"]:
+    if not _SPEC_REGISTRIES:
+        _SPEC_REGISTRIES.update(
+            prefetcher=PREFETCHERS,
+            composite=COMPOSITES,
+            selector=SELECTORS,
+            workload=WORKLOADS,
+        )
+    return _SPEC_REGISTRIES
+
+
+def spec_defaults(kind: str, name: str) -> Dict[str, Any]:
+    """Default spec parameters for a registered entry, by introspection.
+
+    Returns the mapping of parameter name to default value that a bare
+    ``"name"`` spec implies: the keyword defaults of the registered
+    factory (skipping the ``(prefetchers, ctx)`` positionals for
+    selectors), or ``{}`` for entries that take no spec parameters
+    (composites, static workload profiles, ``**params`` factories).
+    """
+    registry = _spec_registries().get(kind)
+    if registry is None:
+        raise ValueError(
+            f"unknown spec kind: {kind!r} "
+            f"(known: {', '.join(sorted(_spec_registries()))})"
+        )
+    entry = registry.get(name)
+    if kind == "composite":
+        return {}
+    if kind == "workload" and not callable(entry):
+        return {}
+    import inspect
+
+    try:
+        signature = inspect.signature(entry)
+    except (TypeError, ValueError):
+        return {}
+    parameters = list(signature.parameters.values())
+    if kind == "selector":
+        # factory(prefetchers, ctx, **params) — the first two positionals
+        # are supplied by build_selector, not the spec string.
+        parameters = parameters[2:]
+    defaults: Dict[str, Any] = {}
+    for param in parameters:
+        if param.kind in (param.VAR_POSITIONAL, param.VAR_KEYWORD):
+            continue
+        if param.default is not param.empty:
+            defaults[param.name] = param.default
+    return defaults
+
+
+def _render_spec_value(value: Any) -> str:
+    """Render a coerced spec value back into spec-string syntax."""
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "none"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def canonical_spec(kind: str, spec: str) -> str:
+    """Rebuild a spec string into its canonical serialized form.
+
+    Canonicalization parses the spec, validates the name against the
+    registry for ``kind`` (one of ``"prefetcher"``, ``"composite"``,
+    ``"selector"``, ``"workload"``), drops parameters spelled out at
+    their registered default value, and re-renders the remainder sorted
+    by key.  Two spellings of the same logical spec — e.g.
+    ``"ipcp"`` and ``"ipcp:degree=3"`` — therefore canonicalize to the
+    same string, so downstream content-addressed keys (the result
+    store, jobspec digests) treat them identically.
+
+    Raises ``ValueError`` for an unknown kind, an unknown name, or a
+    malformed spec string.
+    """
+    name, params = parse_spec(spec)
+    defaults = spec_defaults(kind, name)
+    kept: List[Tuple[str, Any]] = []
+    for key in sorted(params):
+        value = params[key]
+        default = defaults.get(key)
+        if (
+            key in defaults
+            and default == value
+            and isinstance(default, bool) == isinstance(value, bool)
+        ):
+            # Spelled-out default; but only drop it when the rendered
+            # form round-trips to the same value (e.g. a string default
+            # "1" would re-coerce to int 1 and change meaning).
+            if _coerce(_render_spec_value(value)) == value:
+                continue
+        kept.append((key, value))
+    if not kept:
+        return name
+    rendered = ",".join(f"{key}={_render_spec_value(value)}" for key, value in kept)
+    return f"{name}:{rendered}"
 
 
 def get_suite(name: str):

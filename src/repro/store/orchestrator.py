@@ -192,6 +192,7 @@ def _resolve_deferred(
     report: SuiteReport,
     held: set,
     execute,
+    notify,
 ) -> None:
     """Resolve experiments another node held a claim on when we started.
 
@@ -222,6 +223,8 @@ def _resolve_deferred(
             if result is not None:
                 hits[name] = result
                 report.cached.append(name)
+                notify({"event": "result", "name": name, "source": "cached",
+                        "result": result})
             elif store.claim(key, ttl):
                 held.add(name)
                 to_run.append(entry)
@@ -255,6 +258,7 @@ def run_suite(
     store: Optional[ResultStore] = None,
     keep_going: bool = False,
     policy: Optional["RetryPolicy"] = None,
+    progress: Optional[Any] = None,
 ) -> SuiteReport:
     """Run experiments incrementally against ``store``.
 
@@ -277,6 +281,18 @@ def run_suite(
         policy: the :class:`~repro.experiments.runner.RetryPolicy`
             (retries, backoff, deadlines, respawn budget); default
             ``RetryPolicy()``.
+        progress: optional callback receiving event dicts as the run
+            advances — ``{"event": "resolved", "requested", "cached",
+            "deferred"}`` once after store classification, ``{"event":
+            "result", "name", "source": "cached"|"computed", "result"}``
+            per completed experiment (cache hits, live completions, and
+            deferred resolutions alike), and ``{"event": "failed",
+            "name", "failure"}`` per permanent failure under
+            ``keep_going``.  ``Exception``-derived errors raised by the
+            callback are swallowed — progress reporting can never change
+            a run's outcome — while ``BaseException``-level ones
+            propagate and abort the run (the job server's cancellation
+            hook relies on this).
 
     Raises:
         repro.experiments.runner.SuiteExecutionError: an experiment
@@ -298,6 +314,14 @@ def run_suite(
     resolved = resolve_experiments(names, fast=fast, overrides=overrides)
     report = SuiteReport(results=[], store=store)
     ttl = lease_ttl()
+
+    def notify(event: Dict[str, Any]) -> None:
+        if progress is None:
+            return
+        try:
+            progress(event)
+        except Exception:  # noqa: BLE001 — progress must never break a run
+            _log.debug("progress callback failed on %r", event.get("event"))
 
     hits: Dict[str, ExperimentResult] = {}
     misses: List[tuple] = []
@@ -333,6 +357,8 @@ def run_suite(
             else:
                 hits[name] = result
                 report.cached.append(name)
+                notify({"event": "result", "name": name, "source": "cached",
+                        "result": result})
         # Claim-before-compute: two suites against one shared store
         # partition the misses — whoever wins a key's lease computes it,
         # everyone else defers and reads the record when it lands.
@@ -358,12 +384,18 @@ def run_suite(
     stats = DispatchStats()
     aborted: Optional[BaseException] = None
     pool_before = pool_simulation_count()
+    notify({
+        "event": "resolved",
+        "requested": len(resolved),
+        "cached": len(report.cached),
+        "deferred": len(report.deferred),
+    })
 
     def execute(batch: List[tuple]) -> None:
         runner = SuiteRunner(jobs=jobs, store=store, policy=policy)
         with activate(store):
             for name, result in runner.run_resolved(
-                batch, keep_going=keep_going, stats=stats
+                batch, keep_going=keep_going, stats=stats, progress=notify
             ):
                 hits[name] = result
                 report.computed.append(name)
@@ -373,13 +405,16 @@ def run_suite(
                     # "cached" with no gap.
                     store.release(keys_by_name[name])
                     held.discard(name)
+                notify({"event": "result", "name": name,
+                        "source": "computed", "result": result})
 
     try:
         if misses:
             execute(misses)
         if deferred:
             _resolve_deferred(
-                store, deferred, keys_by_name, ttl, hits, report, held, execute
+                store, deferred, keys_by_name, ttl, hits, report, held,
+                execute, notify,
             )
     except BaseException as exc:
         aborted = exc

@@ -1,0 +1,156 @@
+"""Canonical spec-string round-trips across all four spec registries."""
+
+import pytest
+
+from repro.registry import (
+    COMPOSITES,
+    PREFETCHERS,
+    SELECTORS,
+    WORKLOADS,
+    canonical_spec,
+    parse_spec,
+    spec_defaults,
+)
+
+KINDS = {
+    "prefetcher": PREFETCHERS,
+    "composite": COMPOSITES,
+    "selector": SELECTORS,
+    "workload": WORKLOADS,
+}
+
+
+def _render(value):
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value is None:
+        return "none"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class TestSweepAllRegistries:
+    """Every registered name in every registry canonicalizes cleanly."""
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_bare_names_are_canonical(self, kind):
+        for name in KINDS[kind].names():
+            assert canonical_spec(kind, name) == name
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_spelled_out_defaults_strip(self, kind):
+        """``name:param=<default>`` canonicalizes back to bare ``name``.
+
+        Only parameters whose rendered spec form re-coerces to the same
+        value participate (a string default ``"1"`` cannot be spelled in
+        a spec without becoming int 1, so canonicalization keeps it).
+        """
+        from repro.registry import _coerce
+
+        checked = 0
+        for name in KINDS[kind].names():
+            for key, default in spec_defaults(kind, name).items():
+                if _coerce(_render(default)) != default:
+                    continue
+                if type(_coerce(_render(default))) is not type(default):
+                    continue
+                spec = f"{name}:{key}={_render(default)}"
+                assert canonical_spec(kind, spec) == name, spec
+                checked += 1
+        if kind == "selector":
+            assert checked > 0  # ipcp:degree=3 and friends must be swept
+
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_canonical_form_is_fixed_point(self, kind):
+        """Canonicalizing a canonical spec is the identity."""
+        for name in KINDS[kind].names():
+            once = canonical_spec(kind, name)
+            assert canonical_spec(kind, once) == once
+
+
+class TestCanonicalization:
+    def test_non_default_params_kept(self):
+        assert canonical_spec("selector", "ipcp:degree=4") == "ipcp:degree=4"
+
+    def test_default_params_stripped(self):
+        assert canonical_spec("selector", "ipcp:degree=3") == "ipcp"
+
+    def test_params_sorted(self):
+        spec = canonical_spec(
+            "selector", "bandit_ext:max_boost=7,conservative_degree=2"
+        )
+        assert spec == "bandit_ext:conservative_degree=2,max_boost=7"
+
+    def test_mixed_default_and_non_default(self):
+        spec = canonical_spec(
+            "selector", "bandit_ext:conservative_degree=3,max_boost=7"
+        )
+        assert spec == "bandit_ext:max_boost=7"
+
+    def test_workload_factory_defaults(self):
+        name, params = parse_spec(canonical_spec("workload", "phased:period=2000"))
+        assert name == "phased"
+        defaults = spec_defaults("workload", "phased")
+        for key, value in params.items():
+            assert defaults.get(key) != value
+
+    def test_var_keyword_factory_params_pass_through_sorted(self):
+        # alecto's factory takes **params: nothing can be defaulted away,
+        # but ordering still normalizes.
+        spec = canonical_spec("selector", "alecto:fixed_degree=6,epoch=500")
+        assert spec == "alecto:epoch=500,fixed_degree=6"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown selector"):
+            canonical_spec("selector", "nonsense")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown spec kind"):
+            canonical_spec("experiment", "fig01")
+
+    def test_malformed_spec_raises(self):
+        with pytest.raises(ValueError, match="malformed parameter"):
+            canonical_spec("selector", "ipcp:degree")
+
+    def test_synthetic_selector_full_roundtrip(self):
+        """A selector with bool/float/str/int defaults strips exactly those."""
+
+        def _factory(prefetchers, ctx, alpha=1, beta=2.5, gamma="x", delta=True):
+            raise NotImplementedError  # never built in this test
+
+        SELECTORS.add("_canontest", _factory)
+        try:
+            assert spec_defaults("selector", "_canontest") == {
+                "alpha": 1, "beta": 2.5, "gamma": "x", "delta": True,
+            }
+            spelled = "_canontest:delta=true,alpha=1,beta=2.5,gamma=x"
+            assert canonical_spec("selector", spelled) == "_canontest"
+            kept = canonical_spec(
+                "selector", "_canontest:delta=false,beta=2.5"
+            )
+            assert kept == "_canontest:delta=false"
+        finally:
+            SELECTORS._entries.pop("_canontest", None)
+            SELECTORS._metadata.pop("_canontest", None)
+
+    def test_bool_int_confusion_guard(self):
+        """A default of ``True`` must not swallow an explicit ``1``."""
+
+        def _factory(prefetchers, ctx, flag=True):
+            raise NotImplementedError
+
+        SELECTORS.add("_canonbool", _factory)
+        try:
+            # flag=1 coerces to int 1; int 1 == True but is not a bool,
+            # so it must be kept, not stripped as "the default".
+            assert (
+                canonical_spec("selector", "_canonbool:flag=1")
+                == "_canonbool:flag=1"
+            )
+            assert canonical_spec("selector", "_canonbool:flag=true") == "_canonbool"
+        finally:
+            SELECTORS._entries.pop("_canonbool", None)
+            SELECTORS._metadata.pop("_canonbool", None)

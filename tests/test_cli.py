@@ -123,8 +123,10 @@ class TestCommands:
         ]) == 0
         assert "Table III" in capsys.readouterr().out
         document = json.loads(path.read_text())
-        assert document["schema"] == "repro.experiment-suite.v1"
-        assert document["results"][0]["name"] == "table3"
+        assert document["schema"] == "repro.cli-output.v1"
+        assert document["command"] == "experiment"
+        assert document["data"]["schema"] == "repro.experiment-suite.v1"
+        assert document["data"]["results"][0]["name"] == "table3"
 
     def test_experiment_accesses_override(self, capsys):
         assert main(["experiment", "abl_epoch", "--accesses", "500"]) == 0

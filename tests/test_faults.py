@@ -198,4 +198,5 @@ class TestAmbientPlan:
             "store_get_io",
             "store_lease_io",
             "trace_read_io",
+            "job_dispatch_io",
         )

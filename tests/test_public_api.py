@@ -28,6 +28,61 @@ class TestTopLevel:
         assert list(parameters) == ["trace", "selector", "config", "name"]
 
 
+class TestApiFacade:
+    """Pin the stable ``repro.api`` facade surface."""
+
+    def test_surface(self):
+        import repro.api
+
+        assert repro.api.__all__ == [
+            "build_selector",
+            "build_workload",
+            "open_store",
+            "run_experiment",
+            "run_suite",
+            "submit",
+        ]
+        for name in repro.api.__all__:
+            assert callable(getattr(repro.api, name)), name
+
+    def test_reexported_from_root(self):
+        import repro.api
+
+        assert "api" in repro.__all__
+        assert repro.api is getattr(repro, "api")
+
+    def test_open_store_resolution(self, tmp_path, monkeypatch):
+        import repro.api
+
+        explicit = repro.api.open_store(str(tmp_path / "a"))
+        assert explicit.root == str(tmp_path / "a")
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "b"))
+        from_env = repro.api.open_store()
+        assert from_env.root == str(tmp_path / "b")
+
+    def test_run_experiment_accepts_store_url(self, tmp_path):
+        import repro.api
+
+        url = str(tmp_path / "store")
+        result = repro.api.run_experiment(
+            "fig01", fast=True, overrides={"accesses": 120, "seed": 1},
+            store=url,
+        )
+        assert result.name == "fig01"
+        again = repro.api.run_suite(
+            ["fig01"], fast=True, overrides={"accesses": 120, "seed": 1},
+            store=url,
+        )
+        assert again.cached == ["fig01"] and not again.computed
+
+    def test_builders_are_registry_functions(self):
+        import repro.api
+        import repro.registry
+
+        assert repro.api.build_selector is repro.registry.build_selector
+        assert repro.api.build_workload is repro.registry.build_workload
+
+
 class TestSubpackageExports:
     def test_common(self):
         for name in repro.common.__all__:

@@ -95,8 +95,8 @@ class TestScenarioExperiments:
         warm_out = capsys.readouterr().out
         assert "2 experiment(s) cached, 0 computed" in warm_out
         assert "0 simulation(s) executed" in warm_out
-        cold = json.load(open(cold_json))["results"]
-        warm = json.load(open(warm_json))["results"]
+        cold = json.load(open(cold_json))["data"]["results"]
+        warm = json.load(open(warm_json))["data"]["results"]
         for c, w in zip(cold, warm):
             assert json.dumps(c["rows"], sort_keys=True) == json.dumps(
                 w["rows"], sort_keys=True

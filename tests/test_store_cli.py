@@ -36,8 +36,8 @@ class TestSuiteCommand:
         assert _suite(store_root, "--json", cold_json) == 0
         assert _suite(store_root, "--json", warm_json) == 0
         capsys.readouterr()
-        cold = json.load(open(cold_json))["results"]
-        warm = json.load(open(warm_json))["results"]
+        cold = json.load(open(cold_json))["data"]["results"]
+        warm = json.load(open(warm_json))["data"]["results"]
         assert json.dumps(cold) == json.dumps(warm)
 
     def test_no_store_disables_caching(self, tmp_path, capsys):
@@ -79,7 +79,10 @@ class TestStoreCommand:
 
     def test_stats(self, populated, capsys):
         assert main(["store", "--store", populated, "stats"]) == 0
-        stats = json.loads(capsys.readouterr().out)
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.cli-output.v1"
+        assert document["command"] == "store-stats"
+        stats = document["data"]
         assert stats["kinds"]["experiment"] == 1
         assert stats["kinds"]["cell"] > 0
         assert stats["records"] == stats["kinds"]["experiment"] + stats["kinds"]["cell"]
@@ -108,7 +111,7 @@ class TestStoreCommand:
         out = capsys.readouterr().out
         assert "removed 0" not in out
         assert main(["store", "--store", populated, "stats"]) == 0
-        assert json.loads(capsys.readouterr().out)["records"] == 0
+        assert json.loads(capsys.readouterr().out)["data"]["records"] == 0
 
     def test_export_import_roundtrip(self, populated, tmp_path, capsys):
         archive = str(tmp_path / "export.jsonl.gz")
