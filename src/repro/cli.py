@@ -409,6 +409,102 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 3 if report.failed else 0
 
 
+#: Default trace lengths for `repro fuzz` (full / --fast).
+_FUZZ_ACCESSES = 6000
+_FUZZ_FAST_ACCESSES = 1500
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.sim import simulation_count
+    from repro.store import StoreURLError, suppress_store
+    from repro.store.resultstore import activate
+
+    if args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    accesses = args.accesses
+    if accesses is None:
+        accesses = _FUZZ_FAST_ACCESSES if args.fast else _FUZZ_ACCESSES
+    try:
+        store = None if args.no_store else _open_store(args)
+    except StoreURLError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    from repro.fuzz import run_fuzz
+
+    config = _system_config(args.config)
+    guard = suppress_store() if args.no_store else activate(store)
+    sims_before = simulation_count()
+    try:
+        with guard:
+            report = run_fuzz(
+                budget=args.budget,
+                seed=args.seed,
+                objectives=args.objective or None,
+                factories=args.factory or None,
+                accesses=accesses,
+                trace_seed=args.trace_seed,
+                config=config,
+            )
+    except ValueError as exc:
+        # Unknown objective/factory specs and bad parameters exit as
+        # usage errors, with the registries' did-you-mean text.
+        print(exc, file=sys.stderr)
+        return 2
+    simulations = simulation_count() - sims_before
+
+    if args.write_corpus:
+        from repro.fuzz import corpus_entries, merge_finds, save_corpus
+
+        entries = merge_finds(corpus_entries(args.write_corpus), report.finds)
+        save_corpus(args.write_corpus, entries)
+        print(
+            f"corpus: {args.write_corpus} now holds {len(entries)} "
+            f"find(s) ({len(report.finds)} from this run)",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        from repro.output import envelope_json
+
+        # `finds` is the determinism surface CI byte-compares across
+        # runs: keep it free of anything run-dependent (timings,
+        # cache-hit counts live in the sibling fields instead).
+        print(
+            envelope_json(
+                "fuzz",
+                {
+                    "budget": report.budget,
+                    "seed": report.seed,
+                    "accesses": report.accesses,
+                    "trace_seed": report.trace_seed,
+                    "factories": list(report.factories),
+                    "objectives": list(report.objectives),
+                    "probes": report.probes,
+                    "evaluations": report.evaluations,
+                    "minimize_probes": report.minimize_probes,
+                    "simulations": simulations,
+                    "finds": [find.as_dict() for find in report.finds],
+                },
+            )
+        )
+    else:
+        print(
+            f"fuzz: {len(report.finds)} find(s) in {report.probes} probe(s) "
+            f"(+{report.minimize_probes} minimizing), budget {report.budget}, "
+            f"seed {report.seed}; {simulations} simulation(s) executed"
+        )
+        for find in report.finds:
+            print(
+                f"  [{find.objective}] {find.minimized}  "
+                f"score {find.score:.3f}  ({find.name})"
+            )
+    return 3 if report.finds else 0
+
+
 def _store_url(args: argparse.Namespace) -> str:
     """Resolve the --store / $REPRO_STORE / default store *URL* string."""
     import os
@@ -1208,6 +1304,73 @@ def build_parser() -> argparse.ArgumentParser:
         "out by a single experiment under --jobs",
     )
     suite.set_defaults(func=_cmd_suite)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario search over workload factory spaces",
+        description="Hunt the registered workload-factory parameter "
+        "spaces for points where a fuzz objective fires (accuracy "
+        "collapse, paper-claim ordering inversion, IPC regression vs "
+        "the static best); finds are auto-minimized and exit code 3 "
+        "signals at least one. Deterministic: the same --seed/--budget "
+        "produce a byte-identical find list.",
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="search evaluations across all (factory, objective) pairs "
+        "(default 50; minimization probes are extra)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed (same seed => same trajectory, byte-for-byte)",
+    )
+    fuzz.add_argument(
+        "--objective", action="append", default=[], metavar="SPEC",
+        help="objective spec, repeatable: collapse, inversion, "
+        "regression, optionally with parameters "
+        "(collapse:selector=bandit6,accuracy=0.3); default: all three",
+    )
+    fuzz.add_argument(
+        "--factory", action="append", default=[], metavar="NAME",
+        help="workload factory to search, repeatable (default: every "
+        "factory declaring a param_space)",
+    )
+    fuzz.add_argument(
+        "--accesses", type=int, default=None,
+        help=f"trace length per evaluated cell "
+        f"(default {_FUZZ_ACCESSES}, or {_FUZZ_FAST_ACCESSES} with --fast)",
+    )
+    fuzz.add_argument(
+        "--trace-seed", type=int, default=1,
+        help="trace seed per evaluated cell (default 1)",
+    )
+    fuzz.add_argument(
+        "--fast", action="store_true",
+        help=f"smoke-scale traces ({_FUZZ_FAST_ACCESSES} accesses)",
+    )
+    fuzz.add_argument(
+        "--config", default="default", choices=CONFIG_PRESETS,
+        help="system configuration preset",
+    )
+    fuzz.add_argument(
+        "--store", metavar="URL", default=None,
+        help=f"{_STORE_URL_HELP} "
+        f"(default: $REPRO_STORE or {DEFAULT_STORE})",
+    )
+    fuzz.add_argument(
+        "--no-store", action="store_true",
+        help="disable caching (every probe simulates)",
+    )
+    fuzz.add_argument(
+        "--write-corpus", metavar="PATH", default=None,
+        help="merge this run's minimized finds into the corpus file at "
+        "PATH (repro.fuzz-corpus.v1; existing entries are kept)",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true",
+        help="repro.cli-output.v1 JSON on stdout",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     store = sub.add_parser(
         "store", help="inspect / maintain a repro.store.v1 result store"

@@ -1,0 +1,81 @@
+"""Adversarial scenario search over workload-factory parameter spaces.
+
+The paper's headline claims are *orderings* — which selector wins where
+— but hand-picked scenario points only sample the workload space the
+parametric factories define.  This package hunts the space for points
+that break the claims and freezes each find as a regression test:
+
+- :mod:`repro.fuzz.space` — declarative parameter domains
+  (``param_space`` metadata on ``@register_workload`` factories) and the
+  deterministic hashed RNG;
+- :mod:`repro.fuzz.objectives` — what counts as adversarial: accuracy/
+  coverage collapse, pairwise ordering inversions vs the paper's
+  expected-ordering table, IPC regression vs the static best;
+- :mod:`repro.fuzz.search` — the seeded hill-climbing loop and the
+  per-parameter find minimizer (:func:`run_fuzz`);
+- :mod:`repro.fuzz.corpus` — the committed regression corpus
+  (``tests/data/fuzz_corpus.json``): load/save/merge, replay/verify,
+  and registration of finds as named workloads.
+
+Only :mod:`~repro.fuzz.space` is imported eagerly: factory modules
+(``workloads/scenarios.py``) import it to declare their domains, and
+the heavier siblings transitively import the workloads package — the
+lazy ``__getattr__`` below keeps that cycle open.
+"""
+
+from repro.fuzz.space import (  # noqa: F401
+    Choice,
+    DrawRng,
+    IntRange,
+    factory_param_space,
+    render_workload_spec,
+    searchable_factories,
+)
+
+__all__ = [
+    "Choice",
+    "DrawRng",
+    "Find",
+    "FuzzReport",
+    "IntRange",
+    "build_objective",
+    "corpus_entries",
+    "factory_param_space",
+    "list_objectives",
+    "load_corpus",
+    "merge_finds",
+    "register_corpus_workloads",
+    "render_workload_spec",
+    "replay_entry",
+    "run_fuzz",
+    "save_corpus",
+    "searchable_factories",
+    "verify_entry",
+]
+
+_LAZY = {
+    "Find": "repro.fuzz.search",
+    "FuzzReport": "repro.fuzz.search",
+    "run_fuzz": "repro.fuzz.search",
+    "build_objective": "repro.fuzz.objectives",
+    "list_objectives": "repro.fuzz.objectives",
+    "corpus_entries": "repro.fuzz.corpus",
+    "load_corpus": "repro.fuzz.corpus",
+    "merge_finds": "repro.fuzz.corpus",
+    "register_corpus_workloads": "repro.fuzz.corpus",
+    "replay_entry": "repro.fuzz.corpus",
+    "save_corpus": "repro.fuzz.corpus",
+    "verify_entry": "repro.fuzz.corpus",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.fuzz' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,261 @@
+"""The committed regression corpus: minimized finds, frozen as tests.
+
+A fuzz find is only worth anything if it *stays found*: the corpus file
+(``tests/data/fuzz_corpus.json``, schema ``repro.fuzz-corpus.v1``)
+freezes each minimized find as a named, fully-specified regression
+workload — factory spec with **every** searchable parameter spelled out
+(so later default changes cannot silently move the point), the
+objective that fired, the selectors involved, the trace seed/length,
+and the metrics observed at find time.  ``tests/test_fuzz_corpus.py``
+replays every entry on every tier-1 run and asserts the recorded
+metrics reproduce, which turns each find into a permanent regression
+test; :func:`register_corpus_workloads` additionally registers the
+entries as ordinary named workloads (suite ``"fuzz"``), so a find is
+addressable anywhere a workload spec is (``repro sim``, suite runs,
+new experiments).
+
+Graduation path (see ``docs/fuzzing.md``): a find that proves durable
+and interesting gets promoted into ``workloads/scenarios.py`` as a
+first-class scenario with a provenance note; its corpus entry is then
+removed so the point is not pinned twice.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.fuzz.search import FIND_SCHEMA, Find, _Evaluator
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "DEFAULT_CORPUS_PATH",
+    "corpus_entries",
+    "load_corpus",
+    "merge_finds",
+    "register_corpus_workloads",
+    "replay_entry",
+    "save_corpus",
+    "verify_entry",
+]
+
+#: Schema identifier of the corpus document (entries carry
+#: :data:`repro.fuzz.search.FIND_SCHEMA` individually).
+CORPUS_SCHEMA = "repro.fuzz-corpus.v1"
+
+#: The committed corpus, relative to the repository root.
+DEFAULT_CORPUS_PATH = Path("tests") / "data" / "fuzz_corpus.json"
+
+#: Relative tolerance when comparing replayed metrics to recorded ones.
+#: Simulation is deterministic, so metrics should reproduce *exactly*;
+#: the epsilon only absorbs float-repr round-trips through JSON.
+_METRIC_RTOL = 1e-9
+
+_REQUIRED_FIELDS = (
+    "schema",
+    "name",
+    "factory",
+    "workload",
+    "minimized",
+    "objective",
+    "selectors",
+    "seed",
+    "accesses",
+    "search_seed",
+    "score",
+    "metrics",
+)
+
+
+def _validate_entry(entry: Dict[str, Any], where: str) -> None:
+    missing = [field for field in _REQUIRED_FIELDS if field not in entry]
+    if missing:
+        raise ValueError(
+            f"corpus entry {where} is missing field(s): {', '.join(missing)}"
+        )
+    if entry["schema"] != FIND_SCHEMA:
+        raise ValueError(
+            f"corpus entry {where} has schema {entry['schema']!r} "
+            f"(expected {FIND_SCHEMA!r})"
+        )
+
+
+def load_corpus(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate a corpus document.
+
+    Raises ``ValueError`` for a wrong document schema, a malformed
+    entry, or duplicate find names.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {document.get('schema')!r} "
+            f"(expected {CORPUS_SCHEMA!r})"
+        )
+    seen: set = set()
+    for index, entry in enumerate(document.get("finds", [])):
+        _validate_entry(entry, f"#{index} in {path}")
+        if entry["name"] in seen:
+            raise ValueError(f"{path}: duplicate find name {entry['name']!r}")
+        seen.add(entry["name"])
+    return document
+
+
+def corpus_entries(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """The validated find entries of a corpus file (empty if absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    return list(load_corpus(path).get("finds", []))
+
+
+def merge_finds(
+    existing: Sequence[Dict[str, Any]], finds: Sequence[Find]
+) -> List[Dict[str, Any]]:
+    """Merge new finds into existing entries, deduplicated by name.
+
+    An incoming find with the name of an existing entry *replaces* it
+    (the name hashes the minimized spec + objective + trace identity,
+    so a same-name find is the same logical point re-observed); the
+    result is sorted by name for a stable on-disk order.
+    """
+    merged = {entry["name"]: dict(entry) for entry in existing}
+    for find in finds:
+        merged[find.name] = find.as_dict()
+    return [merged[name] for name in sorted(merged)]
+
+
+def save_corpus(
+    path: Union[str, Path], entries: Sequence[Dict[str, Any]]
+) -> None:
+    """Write a corpus document (sorted entries, trailing newline)."""
+    ordered = sorted(entries, key=lambda entry: entry["name"])
+    for index, entry in enumerate(ordered):
+        _validate_entry(entry, f"#{index}")
+    document = {"schema": CORPUS_SCHEMA, "finds": ordered}
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+# -- replay -----------------------------------------------------------------
+
+
+def replay_entry(entry: Dict[str, Any], config: Any = None):
+    """Re-evaluate a corpus entry's objective at its frozen workload.
+
+    Runs the same (selector × workload) cells the original find ran —
+    store-backed via :func:`repro.experiments.common.cell_rows`, so a
+    warm store replays without a single simulation — and returns the
+    fresh :class:`~repro.fuzz.objectives.Outcome`.
+    """
+    from repro.fuzz.objectives import build_objective
+
+    objective = build_objective(entry["objective"])
+    evaluator = _Evaluator(
+        objective,
+        accesses=int(entry["accesses"]),
+        trace_seed=int(entry["seed"]),
+        config=config,
+    )
+    return evaluator.outcome(entry["workload"])
+
+
+def _metrics_match(recorded: Any, observed: Any) -> bool:
+    if isinstance(recorded, dict) and isinstance(observed, dict):
+        return sorted(recorded) == sorted(observed) and all(
+            _metrics_match(recorded[key], observed[key]) for key in recorded
+        )
+    if isinstance(recorded, float) or isinstance(observed, float):
+        try:
+            return math.isclose(
+                float(recorded), float(observed), rel_tol=_METRIC_RTOL
+            )
+        except (TypeError, ValueError):
+            return False
+    return recorded == observed
+
+
+def verify_entry(entry: Dict[str, Any], config: Any = None) -> Dict[str, Any]:
+    """Replay one entry and diff the outcome against the record.
+
+    Returns ``{"ok", "fired", "mismatches"}`` where ``mismatches`` maps
+    each diverging metric to ``{"recorded", "observed"}``.  ``ok`` means
+    the objective still fires *and* every recorded metric reproduces
+    (within float-JSON round-trip tolerance — simulation itself is
+    deterministic).
+    """
+    outcome = replay_entry(entry, config=config)
+    mismatches: Dict[str, Any] = {}
+    recorded = entry["metrics"]
+    for key in sorted(set(recorded) | set(outcome.metrics)):
+        if key not in recorded or key not in outcome.metrics:
+            mismatches[key] = {
+                "recorded": recorded.get(key),
+                "observed": outcome.metrics.get(key),
+            }
+        elif not _metrics_match(recorded[key], outcome.metrics[key]):
+            mismatches[key] = {
+                "recorded": recorded[key],
+                "observed": outcome.metrics[key],
+            }
+    return {
+        "ok": outcome.fired and not mismatches,
+        "fired": outcome.fired,
+        "mismatches": mismatches,
+    }
+
+
+# -- registration -----------------------------------------------------------
+
+
+def register_corpus_workloads(
+    source: Union[str, Path, Sequence[Dict[str, Any]], None] = None,
+) -> List[str]:
+    """Register every corpus entry as a named workload (suite ``"fuzz"``).
+
+    Each entry's fully-specified factory spec is built once and
+    registered under the entry's find name with provenance metadata
+    (``suite="fuzz"``, objective, search seed), plus a ``"fuzz"`` suite
+    mapping name to profile.  Registration bumps
+    :func:`repro.store.keys.workload_fingerprint` — invalidating cached
+    *experiment-tier* records only; simulation cell keys do not fold the
+    workload fingerprint, so every cached cell stays byte-valid (pinned
+    by ``tests/test_fuzz_corpus.py``).
+
+    Args:
+        source: a corpus path, a pre-loaded entry list, or ``None`` for
+            :data:`DEFAULT_CORPUS_PATH` (resolved against the current
+            working directory; missing file registers nothing).
+
+    Returns the sorted list of registered workload names.
+    """
+    from repro.registry import WORKLOADS, build_workload, register_suite
+
+    if source is None:
+        source = DEFAULT_CORPUS_PATH
+    if isinstance(source, (str, Path)):
+        entries = corpus_entries(source)
+    else:
+        entries = [dict(entry) for entry in source]
+        for index, entry in enumerate(entries):
+            _validate_entry(entry, f"#{index}")
+    suite: Dict[str, Any] = {}
+    names: List[str] = []
+    for entry in sorted(entries, key=lambda item: item["name"]):
+        profile = build_workload(entry["workload"])
+        WORKLOADS.add(
+            entry["name"],
+            profile,
+            suite="fuzz",
+            fuzz_objective=entry["objective"],
+            fuzz_workload=entry["workload"],
+            fuzz_search_seed=entry["search_seed"],
+        )
+        suite[entry["name"]] = profile
+        names.append(entry["name"])
+    if suite:
+        register_suite("fuzz")(suite)
+    return names

@@ -1,0 +1,194 @@
+"""Searchable parameter domains for workload factories.
+
+A parametric workload factory (``"phased:period=2000"``) defines a whole
+workload *space*, but the registry alone cannot say which points of that
+space are valid: ``phased(period=-3)`` raises, ``regimes=9`` raises, and
+nothing distinguishes a sweepable parameter from an internal knob.  This
+module closes that gap with declarative **domains**: a factory registers
+a ``param_space`` mapping of parameter name to domain object alongside
+its ``@register_workload`` registration, and every consumer — the fuzz
+search loop, the hypothesis property sweep in ``tests/test_fuzz.py``,
+documentation — reads the same declaration.
+
+The contract a declared domain makes (and the property test enforces):
+**every in-domain point builds a valid** :class:`~repro.workloads.\
+profiles.BenchmarkProfile`.  A domain that lies — admits a point whose
+factory call raises — is a bug in the declaration, not in the search.
+
+Domains are deliberately tiny: integer ranges and finite choices cover
+every current factory.  All sampling is driven by *externally supplied*
+uniform draws (see :class:`DrawRng`), so the search trajectory is a pure
+function of its seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "Choice",
+    "DrawRng",
+    "IntRange",
+    "factory_param_space",
+    "render_workload_spec",
+    "searchable_factories",
+]
+
+
+@dataclass(frozen=True)
+class IntRange:
+    """An inclusive integer interval ``[lo, hi]``, optionally stepped.
+
+    ``step`` quantizes samples to ``lo + k*step`` (mutation and random
+    sampling never propose off-grid values), which keeps domains like
+    "a period in multiples of 100" honest without shrinking them.
+    """
+
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self):
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+        if self.lo > self.hi:
+            raise ValueError(f"empty IntRange [{self.lo}, {self.hi}]")
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.lo <= value <= self.hi
+            and (value - self.lo) % self.step == 0
+        )
+
+    def clamp(self, value: int) -> int:
+        """Nearest in-domain point to ``value``."""
+        snapped = self.lo + round((value - self.lo) / self.step) * self.step
+        return max(self.lo, min(self.hi, snapped))
+
+    def sample(self, u: float) -> int:
+        """Map a uniform draw in [0, 1) to an in-domain point."""
+        slots = (self.hi - self.lo) // self.step + 1
+        return self.lo + min(int(u * slots), slots - 1) * self.step
+
+    def mutate(self, value: int, u: float, scale: float = 0.25) -> int:
+        """A local step from ``value``: up to ``scale`` of the range wide.
+
+        ``u`` < 0.5 steps down, ``u`` >= 0.5 steps up; the magnitude
+        grows with the distance of ``u`` from 0.5, and is never zero, so
+        a mutation always proposes a *different* point when one exists.
+        """
+        span = max(1, int((self.hi - self.lo) // self.step * scale))
+        magnitude = 1 + int(abs(u - 0.5) * 2 * span)
+        delta = magnitude * self.step * (1 if u >= 0.5 else -1)
+        moved = self.clamp(value + delta)
+        if moved == value:  # clamped into the wall: step the other way
+            moved = self.clamp(value - delta)
+        return moved
+
+    def midpoint(self, value: int, target: int) -> int:
+        """In-domain midpoint between ``value`` and ``target`` (for the
+        minimizer's bisection toward the default)."""
+        return self.clamp((value + target) // 2)
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A finite set of admissible values (order is the declaration's)."""
+
+    values: Tuple[Any, ...]
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError("Choice needs at least one value")
+
+    def contains(self, value: Any) -> bool:
+        return value in self.values
+
+    def sample(self, u: float) -> Any:
+        return self.values[min(int(u * len(self.values)), len(self.values) - 1)]
+
+    def mutate(self, value: Any, u: float, scale: float = 0.25) -> Any:
+        others = [v for v in self.values if v != value]
+        if not others:
+            return value
+        return others[min(int(u * len(others)), len(others) - 1)]
+
+    def midpoint(self, value: Any, target: Any) -> Any:
+        # No metric on a finite choice: the only shrink is the target.
+        return target
+
+
+class DrawRng:
+    """Deterministic uniform draws: a pure function of ``(seed, tag)``.
+
+    The same construction as :func:`repro.faults._draw` — a blake2b hash
+    of the seed and a structured tag, mapped to [0, 1) — so a search
+    trajectory is byte-reproducible across runs, platforms, and
+    interpreters (no ``random`` module state anywhere).  Tags name the
+    decision ("phased|7|mutate|period"), which makes draws independent:
+    inserting a new decision does not shift every draw after it.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    def draw(self, tag: str) -> float:
+        digest = hashlib.blake2b(
+            f"fuzz|{self.seed}|{tag}".encode("utf-8"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / 2.0**64
+
+    def pick(self, tag: str, items: List[Any]) -> Any:
+        """One element of a non-empty list, by a hashed draw."""
+        if not items:
+            raise ValueError(f"pick from empty list at {tag!r}")
+        index = min(int(self.draw(tag) * len(items)), len(items) - 1)
+        return items[index]
+
+
+# -- registry access ----------------------------------------------------------
+
+
+def factory_param_space(name: str) -> Dict[str, Any]:
+    """The declared ``param_space`` of a registered workload factory.
+
+    Returns ``{param: domain}`` (a copy), or ``{}`` for registrations
+    without a declaration (static profiles, undeclared factories).
+    Raises the registry's uniform did-you-mean ``ValueError`` for an
+    unknown workload name.
+    """
+    from repro.registry import WORKLOADS
+
+    return dict(WORKLOADS.metadata(name).get("param_space") or {})
+
+
+def searchable_factories() -> List[str]:
+    """Sorted names of every workload factory declaring a ``param_space``."""
+    from repro.registry import WORKLOADS
+
+    return [
+        name
+        for name in WORKLOADS.names()
+        if WORKLOADS.metadata(name).get("param_space")
+    ]
+
+
+def render_workload_spec(factory: str, params: Dict[str, Any]) -> str:
+    """Render ``(factory, params)`` as a workload spec string.
+
+    Parameters are sorted, so equal param dicts render identically;
+    values use the registry's spec syntax (ints/floats/bools as
+    :func:`repro.registry.parse_spec` coerces them back).
+    """
+    from repro.registry import _render_spec_value
+
+    if not params:
+        return factory
+    rendered = ",".join(
+        f"{key}={_render_spec_value(params[key])}" for key in sorted(params)
+    )
+    return f"{factory}:{rendered}"

@@ -425,6 +425,45 @@ def build_selector(
     return factory(prefetchers, ctx, **params)
 
 
+def _check_factory_params(
+    kind: str, name: str, entry: Any, params: Dict[str, Any]
+) -> None:
+    """Reject spec parameters the factory does not accept.
+
+    Raises the registries' uniform did-you-mean ``ValueError`` naming
+    the valid parameters instead of letting the factory call surface a
+    bare ``TypeError``.  Factories with a ``**kwargs`` catch-all (or an
+    uninspectable signature) accept anything and are left alone.
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(entry)
+    except (TypeError, ValueError):
+        return
+    accepted = set()
+    for parameter in signature.parameters.values():
+        if parameter.kind is parameter.VAR_KEYWORD:
+            return
+        if parameter.kind in (
+            parameter.POSITIONAL_OR_KEYWORD,
+            parameter.KEYWORD_ONLY,
+        ):
+            accepted.add(parameter.name)
+    unknown = sorted(set(params) - accepted)
+    if not unknown:
+        return
+    import difflib
+
+    valid = sorted(accepted)
+    close = difflib.get_close_matches(unknown[0], valid, n=3, cutoff=0.5)
+    hint = f" — did you mean: {', '.join(close)}?" if close else ""
+    raise ValueError(
+        f"unknown parameter(s) {', '.join(map(repr, unknown))} for "
+        f"{kind} {name!r} (valid: {', '.join(valid) or '(none)'}){hint}"
+    )
+
+
 def build_workload(spec: str):
     """Resolve a workload spec string into a benchmark profile.
 
@@ -446,6 +485,8 @@ def build_workload(spec: str):
     name, params = parse_spec(spec)
     entry = WORKLOADS.get(name)
     if callable(entry):
+        if params:
+            _check_factory_params("workload", name, entry, params)
         return entry(**params)
     if params:
         raise ValueError(

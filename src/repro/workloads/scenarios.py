@@ -25,6 +25,7 @@ sweepable from the CLI and experiments without new code.
 
 from __future__ import annotations
 
+from repro.fuzz.space import IntRange
 from repro.registry import register_workload
 from repro.workloads.profiles import BenchmarkProfile, profile
 
@@ -56,7 +57,17 @@ PHASE_REGIMES = (
 )
 
 
-@register_workload("phased")
+# Searchable domains (repro.fuzz): every in-domain point must build a
+# valid profile — the hypothesis sweep in tests/test_fuzz.py enforces
+# the contract, so keep these in sync with the pattern validators
+# (period > 0; 2 <= regimes <= len(PHASE_REGIMES)).
+@register_workload(
+    "phased",
+    param_space={
+        "period": IntRange(100, 8000, step=100),
+        "regimes": IntRange(2, 4),
+    },
+)
 def phased(period: int = 2000, regimes: int = 4) -> BenchmarkProfile:
     """Phase-alternating scenario: one regime per ``period`` accesses.
 
@@ -80,7 +91,16 @@ def phased(period: int = 2000, regimes: int = 4) -> BenchmarkProfile:
     ])
 
 
-@register_workload("drifting")
+# stride must stay inside the pattern's [min_stride=64, max_stride=2048]
+# clamp window; drift may be negative (downward drift, cf. drift_sweep).
+@register_workload(
+    "drifting",
+    param_space={
+        "stride": IntRange(64, 2048, step=64),
+        "drift": IntRange(-256, 256, step=32),
+        "drift_period": IntRange(64, 4096, step=64),
+    },
+)
 def drifting(
     stride: int = 256, drift: int = 64, drift_period: int = 512
 ) -> BenchmarkProfile:

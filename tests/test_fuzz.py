@@ -1,0 +1,346 @@
+"""Tests for the adversarial scenario search (repro.fuzz)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.objectives import build_objective, list_objectives
+from repro.fuzz.search import _minimize, run_fuzz
+from repro.fuzz.space import (
+    Choice,
+    DrawRng,
+    IntRange,
+    factory_param_space,
+    render_workload_spec,
+    searchable_factories,
+)
+from repro.registry import build_workload
+from repro.workloads.profiles import BenchmarkProfile
+
+
+class TestIntRange:
+    def test_contains_respects_bounds_and_grid(self):
+        r = IntRange(100, 800, step=100)
+        assert r.contains(100) and r.contains(800) and r.contains(300)
+        assert not r.contains(99) and not r.contains(801)
+        assert not r.contains(150)  # off-grid
+        assert not r.contains(True)  # bool is not an int here
+        assert not r.contains(2.0)
+
+    def test_clamp_snaps_to_grid(self):
+        r = IntRange(100, 800, step=100)
+        assert r.clamp(0) == 100
+        assert r.clamp(10_000) == 800
+        assert r.clamp(149) == 100
+        assert r.clamp(151) == 200
+
+    def test_sample_covers_endpoints(self):
+        r = IntRange(2, 4)
+        assert r.sample(0.0) == 2
+        assert r.sample(0.999) == 4
+        assert all(r.contains(r.sample(u / 10)) for u in range(10))
+
+    def test_mutate_always_moves_when_possible(self):
+        r = IntRange(0, 10)
+        for u in (0.0, 0.1, 0.49, 0.5, 0.9, 0.999):
+            for value in (0, 5, 10):
+                moved = r.mutate(value, u)
+                assert r.contains(moved)
+                assert moved != value
+
+    def test_midpoint_stays_in_domain(self):
+        r = IntRange(100, 800, step=100)
+        assert r.midpoint(800, 100) == 500  # 450 snaps to the grid
+        assert r.contains(r.midpoint(800, 100))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntRange(5, 4)
+
+
+class TestChoice:
+    def test_sample_and_mutate(self):
+        c = Choice((2, 3, 4))
+        assert c.sample(0.0) == 2
+        assert c.sample(0.999) == 4
+        assert c.mutate(3, 0.0) in (2, 4)
+        assert c.mutate(3, 0.0) != 3
+
+    def test_midpoint_is_target(self):
+        assert Choice((1, 2)).midpoint(1, 2) == 2
+
+
+class TestDrawRng:
+    def test_pure_function_of_seed_and_tag(self):
+        a, b = DrawRng(7), DrawRng(7)
+        assert a.draw("x|1") == b.draw("x|1")
+        assert DrawRng(8).draw("x|1") != a.draw("x|1")
+        assert a.draw("x|1") != a.draw("x|2")
+        assert 0.0 <= a.draw("anything") < 1.0
+
+    def test_pick_deterministic(self):
+        rng = DrawRng(3)
+        items = ["a", "b", "c"]
+        assert rng.pick("t", items) == rng.pick("t", items)
+        with pytest.raises(ValueError):
+            rng.pick("t", [])
+
+
+class TestParamSpaces:
+    def test_scenario_factories_declare_spaces(self):
+        names = searchable_factories()
+        assert "phased" in names and "drifting" in names
+
+    def test_defaults_are_in_domain(self):
+        from repro.registry import spec_defaults
+
+        for factory in searchable_factories():
+            space = factory_param_space(factory)
+            defaults = spec_defaults("workload", factory)
+            for param, domain in space.items():
+                assert domain.contains(defaults[param]), (
+                    f"{factory}.{param} default {defaults[param]!r} "
+                    f"outside its declared domain"
+                )
+
+    def test_render_workload_spec_round_trips(self):
+        spec = render_workload_spec("phased", {"regimes": 2, "period": 400})
+        assert spec == "phased:period=400,regimes=2"
+        assert build_workload(spec).name == "phased[period=400,regimes=2]"
+
+
+def _domain_points(factory):
+    """Hypothesis strategy: one in-domain point of ``factory``'s space."""
+    space = factory_param_space(factory)
+    return st.fixed_dictionaries(
+        {
+            name: st.floats(0.0, 1.0, exclude_max=True).map(domain.sample)
+            for name, domain in space.items()
+        }
+    )
+
+
+class TestParamSpaceContract:
+    """Every in-domain point builds a valid BenchmarkProfile."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(point=_domain_points("phased"))
+    def test_phased_domain_is_honest(self, point):
+        self._check("phased", point)
+
+    @settings(max_examples=25, deadline=None)
+    @given(point=_domain_points("drifting"))
+    def test_drifting_domain_is_honest(self, point):
+        self._check("drifting", point)
+
+    def _check(self, factory, point):
+        space = factory_param_space(factory)
+        for name, value in point.items():
+            assert space[name].contains(value)
+        profile = build_workload(render_workload_spec(factory, point))
+        assert isinstance(profile, BenchmarkProfile)
+        # Pattern weights normalize: the mixture is a distribution.
+        assert sum(spec.weight for spec in profile.patterns) == pytest.approx(1.0)
+        # Generate/stream parity on a short prefix.
+        materialized = profile.generate(120, seed=3)
+        streamed = list(profile.stream(120, seed=3))
+        assert materialized == streamed
+
+
+class TestUnknownFactoryParameter:
+    """build_workload('phased:perod=...') must be a did-you-mean
+    ValueError naming the valid params, not a bare TypeError."""
+
+    def test_misspelled_parameter(self):
+        with pytest.raises(ValueError) as exc_info:
+            build_workload("phased:perod=2000")
+        message = str(exc_info.value)
+        assert "perod" in message
+        assert "period, regimes" in message
+        assert "did you mean: period" in message
+
+    def test_wholly_unknown_parameter(self):
+        with pytest.raises(ValueError) as exc_info:
+            build_workload("drifting:bananas=3")
+        assert "stride" in str(exc_info.value)
+
+    def test_valid_parameters_still_build(self):
+        assert build_workload("drifting:stride=128") is not None
+
+    def test_static_profile_error_unchanged(self):
+        with pytest.raises(ValueError, match="static profile"):
+            build_workload("mcf:period=3")
+
+
+class TestObjectives:
+    def test_registry_and_spec_canonicalization(self):
+        assert list_objectives() == ["collapse", "inversion", "regression"]
+        assert build_objective("collapse").spec == "collapse"
+        assert (
+            build_objective("collapse:selector=alecto").spec == "collapse"
+        )  # spelled-out default drops
+        assert (
+            build_objective("collapse:accuracy=0.3,selector=bandit6").spec
+            == "collapse:accuracy=0.3,selector=bandit6"
+        )
+
+    def test_unknown_objective_and_parameter(self):
+        with pytest.raises(ValueError, match="did you mean: collapse"):
+            build_objective("colapse")
+        with pytest.raises(ValueError, match="margin"):
+            build_objective("inversion:margn=0.1")
+
+    def test_collapse_needs_sane_thresholds(self):
+        with pytest.raises(ValueError):
+            build_objective("collapse:accuracy=0.0")
+
+    def test_regression_rejects_selector_in_statics(self):
+        with pytest.raises(ValueError):
+            build_objective("regression:selector=pmp_only")
+
+
+class TestMinimizer:
+    """The greedy minimizer shrinks a planted objective to its minimal
+    parameters: superfluous params return to their defaults, the
+    load-bearing one bisects to its exact firing boundary."""
+
+    def test_shrinks_planted_objective(self):
+        space = {"a": IntRange(0, 100), "b": IntRange(0, 100)}
+        defaults = {"a": 0, "b": 0}
+        probes = []
+
+        def fires(point):
+            probes.append(dict(point))
+            return point["a"] >= 30
+
+        minimal = _minimize({"a": 80, "b": 50}, defaults, space, fires)
+        assert minimal == {"a": 30, "b": 0}
+
+    def test_point_already_minimal_is_untouched(self):
+        space = {"a": IntRange(0, 100)}
+
+        def fires(point):
+            return point["a"] >= 30
+
+        assert _minimize({"a": 30}, {"a": 0}, space, fires) == {"a": 30}
+
+    def test_default_firing_point_collapses_to_defaults(self):
+        space = {"a": IntRange(0, 100), "b": IntRange(0, 100)}
+        minimal = _minimize(
+            {"a": 70, "b": 20}, {"a": 0, "b": 0}, space, lambda point: True
+        )
+        assert minimal == {"a": 0, "b": 0}
+
+
+class TestFuzzCli:
+    def test_bad_budget_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--budget", "0", "--no-store"]) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_unknown_objective_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--objective", "colapse", "--no-store"]) == 2
+        assert "did you mean: collapse" in capsys.readouterr().err
+
+    def test_unknown_factory_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--factory", "mcf", "--no-store"]) == 2
+        assert "param_space" in capsys.readouterr().err
+
+    def test_json_envelope_and_exit_codes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        # A strict objective that cannot fire => exit 0, empty finds.
+        code = main([
+            "fuzz", "--budget", "2", "--seed", "1", "--json",
+            "--accesses", "300", "--factory", "drifting",
+            "--objective", "collapse:accuracy=0.001,coverage=0.001",
+            "--store", str(tmp_path / "store"),
+        ])
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.cli-output.v1"
+        assert document["command"] == "fuzz"
+        assert document["data"]["finds"] == []
+        assert document["data"]["simulations"] > 0
+        assert code == 0
+
+    def test_write_corpus_merges(self, capsys, tmp_path):
+        from repro.cli import main
+
+        corpus = tmp_path / "corpus.json"
+        # A trivially-firing objective guarantees at least one find.
+        argv = [
+            "fuzz", "--budget", "3", "--seed", "2", "--json",
+            "--accesses", "300", "--factory", "drifting",
+            "--objective", "collapse:accuracy=0.999,coverage=0.999",
+            "--store", str(tmp_path / "store"),
+            "--write-corpus", str(corpus),
+        ]
+        assert main(argv) == 3
+        from repro.fuzz import corpus_entries
+
+        first = corpus_entries(corpus)
+        assert first
+        capsys.readouterr()
+        # Re-running merges idempotently: same finds, same corpus.
+        assert main(argv) == 3
+        assert corpus_entries(corpus) == first
+
+
+class TestSearchDeterminism:
+    #: Tiny search: one factory, one single-cell objective, short traces.
+    KWARGS = dict(
+        budget=5,
+        seed=11,
+        objectives=["collapse:accuracy=0.9,coverage=0.3"],
+        factories=["drifting"],
+        accesses=300,
+        trace_seed=1,
+    )
+
+    def test_same_seed_same_finds_byte_for_byte(self):
+        first = run_fuzz(**self.KWARGS)
+        second = run_fuzz(**self.KWARGS)
+        as_json = lambda report: json.dumps(  # noqa: E731
+            [find.as_dict() for find in report.finds], sort_keys=True
+        )
+        assert as_json(first) == as_json(second)
+        assert first.probes == second.probes
+        assert first.evaluations == second.evaluations
+
+    def test_different_seed_different_trajectory(self):
+        first = run_fuzz(**self.KWARGS)
+        other = run_fuzz(**{**self.KWARGS, "seed": 12})
+        # The walks differ (different points probed) even if the find
+        # lists happen to coincide.
+        assert first.seed != other.seed
+        assert first.budget == other.budget
+
+    def test_unknown_factory_rejected(self):
+        with pytest.raises(ValueError, match="param_space"):
+            run_fuzz(budget=1, factories=["mcf"])
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            run_fuzz(budget=0)
+
+    def test_finds_fire_and_are_minimized(self):
+        report = run_fuzz(**self.KWARGS)
+        for find in report.finds:
+            assert find.objective.startswith("collapse")
+            assert find.factory == "drifting"
+            # The fully-specified spec spells out every searchable param.
+            from repro.registry import parse_spec
+
+            _, params = parse_spec(find.workload)
+            assert set(params) == set(factory_param_space("drifting"))
+            # And the minimized spec is its canonical reduction.
+            from repro.registry import canonical_spec
+
+            assert find.minimized == canonical_spec("workload", find.workload)

@@ -1,0 +1,178 @@
+"""The committed fuzz corpus: every entry is a permanent regression test.
+
+``tests/data/fuzz_corpus.json`` holds the minimized adversarial finds
+(`repro.fuzz-corpus.v1`); this module replays each one and asserts the
+recorded outcome reproduces, pins the corpus invariants (schema,
+canonical minimized specs, fully-specified workload specs), and pins the
+invalidation scope of registering corpus finds as workloads:
+experiment-tier only — simulation cell keys stay byte-stable.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA,
+    corpus_entries,
+    load_corpus,
+    merge_finds,
+    register_corpus_workloads,
+    replay_entry,
+    save_corpus,
+    verify_entry,
+)
+from repro.fuzz.search import FIND_SCHEMA, Find
+from repro.registry import canonical_spec, parse_spec
+
+CORPUS_PATH = Path(__file__).parent / "data" / "fuzz_corpus.json"
+
+ENTRIES = corpus_entries(CORPUS_PATH)
+
+
+class TestCorpusDocument:
+    def test_committed_corpus_exists_with_at_least_three_finds(self):
+        document = load_corpus(CORPUS_PATH)
+        assert document["schema"] == CORPUS_SCHEMA
+        assert len(document["finds"]) >= 3
+
+    def test_entries_cover_multiple_objectives_and_factories(self):
+        objectives = {entry["objective"].split(":")[0] for entry in ENTRIES}
+        factories = {entry["factory"] for entry in ENTRIES}
+        assert len(objectives) >= 2
+        assert len(factories) >= 2
+
+    @pytest.mark.parametrize(
+        "entry", ENTRIES, ids=[entry["name"] for entry in ENTRIES]
+    )
+    def test_entry_shape(self, entry):
+        assert entry["schema"] == FIND_SCHEMA
+        # The workload spec is fully specified: every searchable param
+        # spelled out, so a factory-default change cannot move the point.
+        from repro.fuzz.space import factory_param_space
+
+        _, params = parse_spec(entry["workload"])
+        assert set(params) == set(factory_param_space(entry["factory"]))
+        # The minimized spec is the canonical reduction of the workload.
+        assert entry["minimized"] == canonical_spec(
+            "workload", entry["workload"]
+        )
+        assert entry["selectors"], "a find names the selectors it judged"
+        assert entry["score"] > 0.0
+
+    def test_sorted_and_unique_names(self):
+        names = [entry["name"] for entry in ENTRIES]
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+
+class TestCorpusReplay:
+    """The regression guarantee: every committed find still reproduces."""
+
+    @pytest.mark.parametrize(
+        "entry", ENTRIES, ids=[entry["name"] for entry in ENTRIES]
+    )
+    def test_entry_replays_with_recorded_metrics(self, entry):
+        report = verify_entry(entry)
+        assert report["fired"], (
+            f"{entry['name']}: objective {entry['objective']} no longer "
+            f"fires at {entry['workload']}"
+        )
+        assert report["ok"], (
+            f"{entry['name']}: replay diverged from recorded metrics: "
+            f"{json.dumps(report['mismatches'], sort_keys=True)}"
+        )
+
+    def test_replay_outcome_is_deterministic(self):
+        entry = min(ENTRIES, key=lambda e: len(e["selectors"]))
+        first = replay_entry(entry)
+        second = replay_entry(entry)
+        assert first.metrics == second.metrics
+        assert first.score == second.score
+
+
+class TestCorpusFile:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "corpus.json"
+        save_corpus(path, ENTRIES)
+        assert corpus_entries(path) == sorted(
+            ENTRIES, key=lambda entry: entry["name"]
+        )
+
+    def test_merge_replaces_same_name_and_sorts(self):
+        find = Find(
+            name=ENTRIES[0]["name"],
+            factory=ENTRIES[0]["factory"],
+            workload=ENTRIES[0]["workload"],
+            minimized=ENTRIES[0]["minimized"],
+            objective=ENTRIES[0]["objective"],
+            selectors=tuple(ENTRIES[0]["selectors"]),
+            seed=ENTRIES[0]["seed"],
+            accesses=ENTRIES[0]["accesses"],
+            search_seed=99,
+            score=1.0,
+            metrics={"marker": True},
+        )
+        merged = merge_finds(ENTRIES, [find])
+        assert len(merged) == len(ENTRIES)
+        replaced = next(e for e in merged if e["name"] == find.name)
+        assert replaced["metrics"] == {"marker": True}
+        assert [e["name"] for e in merged] == sorted(e["name"] for e in merged)
+
+    def test_missing_corpus_is_empty(self, tmp_path):
+        assert corpus_entries(tmp_path / "nope.json") == []
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "wrong", "finds": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_corpus(path)
+
+
+@pytest.fixture
+def registry_snapshot():
+    """Snapshot/restore the workload registries around a registration."""
+    from repro.registry import SUITES, WORKLOADS
+
+    WORKLOADS._ensure_loaded()
+    SUITES._ensure_loaded()
+    saved = [
+        (reg, dict(reg._entries), dict(reg._metadata))
+        for reg in (WORKLOADS, SUITES)
+    ]
+    try:
+        yield
+    finally:
+        for reg, entries, metadata in saved:
+            reg._entries = entries
+            reg._metadata = metadata
+
+
+class TestRegistrationScope:
+    """Registering corpus finds invalidates experiment records only."""
+
+    def test_registration_and_fingerprint_scope(self, registry_snapshot):
+        from repro.experiments.common import cell_store_key
+        from repro.registry import build_workload, get_suite
+        from repro.store.keys import workload_fingerprint
+
+        probe = build_workload("phased")
+        key_before = cell_store_key(probe, "alecto", 500, 1, None, {})
+        fingerprint_before = workload_fingerprint()
+
+        names = register_corpus_workloads(ENTRIES)
+        assert names == sorted(entry["name"] for entry in ENTRIES)
+
+        # The finds are now ordinary named workloads and a suite.
+        for name in names:
+            assert build_workload(name) is not None
+        assert set(get_suite("fuzz")) == set(names)
+
+        # Experiment-tier invalidation: the conservative workload
+        # fingerprint moves with the new registrations...
+        assert workload_fingerprint() != fingerprint_before
+        # ...but simulation cell keys never fold it: existing cells
+        # stay byte-stable, so a warm store loses nothing.
+        key_after = cell_store_key(probe, "alecto", 500, 1, None, {})
+        assert key_after == key_before

@@ -49,7 +49,9 @@ class TestWorkloadRegistry:
         assert "period=777" in profile.name
 
     def test_factory_bad_parameter(self):
-        with pytest.raises(TypeError):
+        # Unknown factory params are a usage error naming the valid
+        # params, not a bare TypeError from the call itself.
+        with pytest.raises(ValueError, match="period, regimes"):
             build_workload("phased:bogus=1")
 
     def test_factory_invalid_value(self):
